@@ -1,0 +1,496 @@
+// Benchmarks mapping to every table and figure of the paper's evaluation.
+//
+// Each BenchmarkFigNN exercises the code path behind the corresponding
+// figure; DES-driven figures run a short simulation per iteration and
+// report the *simulated* metric (Kreq/s, conflicts/s, µs) via
+// b.ReportMetric, while CPU-bound paths (allocator, local reads,
+// compaction) are genuine Go benchmarks. Full paper-style tables come from
+// `go run ./cmd/corm-bench all`.
+package corm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/experiments"
+	"corm/internal/prob"
+	"corm/internal/stats"
+	"corm/internal/timing"
+	"corm/internal/workload"
+)
+
+// benchStore builds a data-backed store outside the timed region.
+func benchStore(b *testing.B, mutate func(*Config)) *core.Store {
+	b.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := core.NewStore(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// --- Table 1 / Table 3: static content; benchmark their generation.
+
+func BenchmarkTable1And3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1()
+		experiments.Table3()
+	}
+}
+
+// --- Figure 7: analytical compaction probability.
+
+func BenchmarkFig07Probability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prob.Figure7()
+	}
+	pts := prob.Figure7()
+	b.ReportMetric(pts[len(pts)-1].CoRM16, "p(corm16,256B,50%)")
+}
+
+// --- Figure 8: remapping strategies (one full compact+remap per iter).
+
+func benchmarkRemap(b *testing.B, remap core.RemapStrategy) {
+	var lastFirstRead time.Duration
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Fig8()
+		_ = tables
+		lastFirstRead = 0
+	}
+	_ = lastFirstRead
+}
+
+func BenchmarkFig08RemapStrategies(b *testing.B) {
+	benchmarkRemap(b, core.RemapODPPrefetch)
+}
+
+// --- Figure 9: operation latencies with direct pointers (real store ops).
+
+func BenchmarkFig09AllocFree(b *testing.B) {
+	s := benchStore(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.AllocOn(i%s.Workers(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Free(&r.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig09RPCRead(b *testing.B) {
+	for _, size := range []int{8, 256, 2048} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			s := benchStore(b, nil)
+			r, _ := s.AllocOn(0, size)
+			buf := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := r.Addr
+				if _, err := s.Read(&a, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig09RPCWrite(b *testing.B) {
+	for _, size := range []int{8, 256, 2048} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			s := benchStore(b, nil)
+			r, _ := s.AllocOn(0, size)
+			buf := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := r.Addr
+				if err := s.Write(&a, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig09DirectRead(b *testing.B) {
+	for _, size := range []int{8, 256, 2048} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			s := benchStore(b, nil)
+			r, _ := s.AllocOn(0, size)
+			client := s.ConnectClient()
+			buf := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			var modeled time.Duration
+			for i := 0; i < b.N; i++ {
+				cost, err := client.DirectRead(r.Addr, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled = cost.Latency
+			}
+			b.ReportMetric(float64(modeled.Nanoseconds())/1e3, "modeled-us")
+		})
+	}
+}
+
+// --- Figure 10: indirect pointers — ScanRead and server-side correction.
+
+func BenchmarkFig10ScanRead(b *testing.B) {
+	s := benchStore(b, nil)
+	// Build one block with a moved object: fill two blocks at slot 0.
+	per := s.Allocator().Config().SlotsPerBlock(64)
+	var addrs []core.Addr
+	for i := 0; i < 2*per; i++ {
+		r, err := s.AllocOn(0, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	for i := range addrs {
+		if i%per != 0 {
+			s.Free(&addrs[i])
+		}
+	}
+	class := s.Allocator().Config().ClassFor(64)
+	if r := s.CompactClass(core.CompactOptions{Class: class, Leader: 0}); r.ObjectsMoved == 0 {
+		b.Fatal("no object moved")
+	}
+	// Find the stale pointer.
+	client := s.ConnectClient()
+	buf := make([]byte, 64)
+	var stale core.Addr
+	for i := 0; i < 2*per; i += per {
+		if _, err := client.DirectRead(addrs[i], buf); errors.Is(err, core.ErrWrongObject) {
+			stale = addrs[i]
+		}
+	}
+	if stale.IsZero() {
+		b.Fatal("no stale pointer found")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := stale // fresh indirect copy each time
+		if _, err := client.ScanRead(&a, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10PointerCorrectionRPC(b *testing.B) {
+	s := benchStore(b, nil)
+	per := s.Allocator().Config().SlotsPerBlock(64)
+	var addrs []core.Addr
+	for i := 0; i < 2*per; i++ {
+		r, _ := s.AllocOn(0, 64)
+		addrs = append(addrs, r.Addr)
+	}
+	for i := range addrs {
+		if i%per != 0 {
+			s.Free(&addrs[i])
+		}
+	}
+	class := s.Allocator().Config().ClassFor(64)
+	s.CompactClass(core.CompactOptions{Class: class, Leader: 0})
+	client := s.ConnectClient()
+	buf := make([]byte, 64)
+	var stale core.Addr
+	for i := 0; i < 2*per; i += per {
+		if _, err := client.DirectRead(addrs[i], buf); errors.Is(err, core.ErrWrongObject) {
+			stale = addrs[i]
+		}
+	}
+	if stale.IsZero() {
+		b.Skip("no moved object this seed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := stale
+		if _, err := s.Read(&a, buf); err != nil { // server-side correction
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 11: local read path vs memcpy (genuine wall clock).
+
+func BenchmarkFig11LocalRead(b *testing.B) {
+	for _, size := range []int{8, 256, 2048} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			s := benchStore(b, nil)
+			r, _ := s.AllocOn(0, size)
+			reader := core.NewLocalReader(s)
+			obj, err := reader.Bind(r.Addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reader.Read(obj, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig11Memcpy(b *testing.B) {
+	for _, size := range []int{8, 256, 2048} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			src := make([]byte, size)
+			dst := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(dst, src)
+			}
+		})
+	}
+}
+
+// --- Figures 12-14: YCSB simulation (short windows, simulated metrics).
+
+func BenchmarkFig12YCSBSim(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		h, p := experiments.NewYCSBBench(50_000, 8, workload.DistZipf, 0.99, workload.Mix95, true, 1)
+		rate, _ = h.Run(p)
+	}
+	b.ReportMetric(rate/1e3, "sim-Kreq/s")
+}
+
+func BenchmarkFig13ConflictSim(b *testing.B) {
+	var conflicts float64
+	for i := 0; i < b.N; i++ {
+		h, p := experiments.NewYCSBBench(50_000, 16, workload.DistZipf, 0.99, workload.Mix50, true, 1)
+		_, conflicts = h.Run(p)
+	}
+	b.ReportMetric(conflicts, "sim-conflicts/s")
+}
+
+func BenchmarkFig14FragmentationSim(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		h, p := experiments.NewYCSBBenchFrag(50_000, 8, workload.DistZipf, 0.8, workload.Mix100, true, 1)
+		rate, _ = h.Run(p)
+	}
+	b.ReportMetric(rate/1e3, "sim-Kreq/s-fragmented")
+}
+
+// --- Figure 15: compaction stages (real compaction work, modeled time).
+
+func BenchmarkFig15Compaction(b *testing.B) {
+	for _, blocks := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("%dblocks", blocks), func(b *testing.B) {
+			var modeled time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := benchStore(b, func(c *Config) { c.Workers = blocks })
+				for th := 0; th < blocks; th++ {
+					if _, err := s.AllocOn(th, 32); err != nil {
+						b.Fatal(err)
+					}
+				}
+				class := s.Allocator().Config().ClassFor(32)
+				b.StartTimer()
+				r := s.CompactClass(core.CompactOptions{Class: class, Leader: 0})
+				modeled = r.Duration
+				if r.BlocksFreed != blocks-1 {
+					b.Fatalf("freed %d", r.BlocksFreed)
+				}
+			}
+			b.ReportMetric(float64(modeled.Microseconds()), "modeled-us")
+		})
+	}
+}
+
+// --- Figure 16: throughput timeline (short sim window per iteration).
+
+func BenchmarkFig16TimelineSim(b *testing.B) {
+	var freed int
+	for i := 0; i < b.N; i++ {
+		freed = experiments.TimelineBench(40_000, 1)
+	}
+	b.ReportMetric(float64(freed), "blocks-freed")
+}
+
+// --- Figures 17-19: trace replay + compaction (accounting mode).
+
+func BenchmarkFig17SpikeTrace(b *testing.B) {
+	var active int64
+	for i := 0; i < b.N; i++ {
+		tr := workload.NewSpikeTrace(1, 2048, 100_000, 0.75)
+		active = experiments.RunTraceBench(tr, core.StrategyCoRM, 16, 8, 1)
+	}
+	b.ReportMetric(float64(active)/float64(1<<20), "active-MiB")
+}
+
+func BenchmarkFig18RedisT3Vanilla(b *testing.B) {
+	var active int64
+	for i := 0; i < b.N; i++ {
+		active = experiments.RunTraceBench(workload.RedisT3(1), core.StrategyCoRM, 16, 8, 1)
+	}
+	b.ReportMetric(float64(active)/float64(1<<20), "active-MiB")
+}
+
+func BenchmarkFig19RedisT3Hybrid(b *testing.B) {
+	var active int64
+	for i := 0; i < b.N; i++ {
+		active = experiments.RunTraceBench(workload.RedisT3(1), core.StrategyHybrid, 16, 8, 1)
+	}
+	b.ReportMetric(float64(active)/float64(1<<20), "active-MiB")
+}
+
+// --- Core data-structure microbenchmarks (ablations).
+
+func BenchmarkAllocatorThroughput(b *testing.B) {
+	s := benchStore(b, func(c *Config) { c.DataBacked = false; c.Remap = RemapRereg; c.Model = timing.Default() })
+	rng := rand.New(rand.NewSource(1))
+	var live []core.Addr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 1000 && i%2 == 0 {
+			j := rng.Intn(len(live))
+			if err := s.Free(&live[j]); err != nil {
+				b.Fatal(err)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		r, err := s.AllocOn(i%s.Workers(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, r.Addr)
+	}
+}
+
+func BenchmarkCompactionProbabilityFormula(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prob.NoCollision(1<<16, 4096, 1000, 1200)
+	}
+}
+
+func BenchmarkZipfGenerator(b *testing.B) {
+	z := workload.NewZipf(rand.New(rand.NewSource(1)), 1<<20, 0.99, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkSeriesRecord(b *testing.B) {
+	s := stats.NewSeries(100 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(time.Duration(i) * time.Microsecond)
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md).
+
+func BenchmarkAblationConsistency(b *testing.B) {
+	for _, mode := range []core.ConsistencyMode{core.ConsistencyVersions, core.ConsistencyChecksum} {
+		for _, size := range []int{256, 2048, 8192} {
+			b.Run(fmt.Sprintf("%v/%dB", mode, size), func(b *testing.B) {
+				s := benchStore(b, func(c *Config) { c.Consistency = mode; c.BlockBytes = 1 << 20 })
+				r, err := s.AllocOn(0, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				client := s.ConnectClient()
+				buf := make([]byte, size)
+				var modeled time.Duration
+				b.SetBytes(int64(core.StrideOf(mode, size)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cost, err := client.DirectRead(r.Addr, buf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					modeled = cost.Latency
+				}
+				b.ReportMetric(float64(modeled.Nanoseconds())/1e3, "modeled-us")
+			})
+		}
+	}
+}
+
+func BenchmarkAblationHugePageRemap(b *testing.B) {
+	nic := timing.ConnectX3()
+	var small, huge time.Duration
+	for i := 0; i < b.N; i++ {
+		small = nic.MmapCost(256) + nic.Rereg(256) // 1 MiB in 4 KiB pages
+		huge = nic.MmapCost(1) + nic.Rereg(1)      // 1 MiB in one huge page
+	}
+	b.ReportMetric(float64(small.Microseconds()), "4KiB-pages-us")
+	b.ReportMetric(float64(huge.Microseconds()), "2MiB-page-us")
+}
+
+func BenchmarkAblationMergeBudget(b *testing.B) {
+	for _, attempts := range []int{1, 8} {
+		b.Run(fmt.Sprintf("attempts=%d", attempts), func(b *testing.B) {
+			var freed int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := benchStore(b, func(c *Config) {
+					c.DataBacked = false
+					c.Remap = RemapRereg
+					c.Model = timing.Default()
+					c.BlockBytes = 1 << 20
+				})
+				rng := rand.New(rand.NewSource(1))
+				tr := workload.NewSpikeTrace(1, 2048, 50_000, 0.6)
+				var addrs []core.Addr
+				for {
+					ev, ok := tr.Next()
+					if !ok {
+						break
+					}
+					if ev.Op == workload.TAlloc {
+						r, _ := s.AllocOn(rng.Intn(s.Workers()), ev.Size)
+						addrs = append(addrs, r.Addr)
+					} else {
+						s.Free(&addrs[ev.Index])
+					}
+				}
+				class := s.Allocator().Config().ClassFor(2048)
+				b.StartTimer()
+				r := s.CompactClass(core.CompactOptions{
+					Class: class, Leader: 0, MaxOccupancy: 0.95, MaxAttempts: attempts,
+				})
+				freed = r.BlocksFreed
+			}
+			b.ReportMetric(float64(freed), "blocks-freed")
+		})
+	}
+}
+
+func BenchmarkAutoTunerSnapshot(b *testing.B) {
+	s := benchStore(b, func(c *Config) { c.DataBacked = false; c.Remap = RemapRereg; c.Model = timing.Default() })
+	tuner := core.NewAutoTuner(s)
+	for i := 0; i < 1000; i++ {
+		s.AllocOn(0, 64)
+		tuner.ObserveAlloc(5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuner.Snapshot()
+	}
+}

@@ -1,0 +1,172 @@
+// Command corm-client is an interactive CLI for a remote CoRM node.
+//
+//	corm-client -connect 127.0.0.1:7170 alloc 64
+//	corm-client -connect 127.0.0.1:7170 put <addr-hex> "hello"
+//	corm-client -connect 127.0.0.1:7170 get <addr-hex>
+//	corm-client -connect 127.0.0.1:7170 getdirect <addr-hex>
+//	corm-client -connect 127.0.0.1:7170 free <addr-hex>
+//	corm-client -connect 127.0.0.1:7170 bench -n 10000 -size 64
+//
+// Pointers print as two 64-bit hex words "lo:hi" — CoRM's 128-bit Addr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"corm"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:7170", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: corm-client [-connect host:port] alloc|put|get|getdirect|free|release|bench ...")
+		os.Exit(2)
+	}
+	cli, err := corm.Connect(*connect)
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer cli.Close()
+
+	switch args[0] {
+	case "alloc":
+		size := 64
+		if len(args) > 1 {
+			size, err = strconv.Atoi(args[1])
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		addr, err := cli.Alloc(size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fmtAddr(addr))
+
+	case "put":
+		addr := parseAddr(args[1])
+		payload := []byte(strings.Join(args[2:], " "))
+		if err := cli.Write(&addr, payload); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fmtAddr(addr))
+
+	case "get", "getdirect":
+		addr := parseAddr(args[1])
+		size, err := cli.ClassSize(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, size)
+		if args[0] == "get" {
+			_, err = cli.Read(&addr, buf)
+		} else {
+			_, err = cli.SmartRead(&addr, buf)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%q\n", strings.TrimRight(string(buf), "\x00"))
+		if addr.HasFlag(corm.FlagIndirect) {
+			fmt.Printf("(pointer corrected: %s)\n", fmtAddr(addr))
+		}
+
+	case "free":
+		addr := parseAddr(args[1])
+		if err := cli.Free(&addr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("freed")
+
+	case "release":
+		addr := parseAddr(args[1])
+		if err := cli.ReleasePtr(&addr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("released; new pointer:", fmtAddr(addr))
+
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := fs.Int("n", 10000, "operations")
+		size := fs.Int("size", 64, "object size")
+		oneSided := fs.Bool("onesided", true, "read with emulated one-sided reads")
+		fs.Parse(args[1:])
+		benchLoop(cli, *n, *size, *oneSided)
+
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func benchLoop(cli *corm.Client, n, size int, oneSided bool) {
+	addrs := make([]corm.Addr, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		a, err := cli.Alloc(size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	allocDur := time.Since(start)
+
+	buf := make([]byte, size)
+	start = time.Now()
+	for i := range addrs {
+		var err error
+		if oneSided {
+			_, err = cli.SmartRead(&addrs[i], buf)
+		} else {
+			_, err = cli.Read(&addrs[i], buf)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	readDur := time.Since(start)
+
+	start = time.Now()
+	for i := range addrs {
+		if err := cli.Free(&addrs[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	freeDur := time.Since(start)
+
+	rate := func(d time.Duration) float64 { return float64(n) / d.Seconds() / 1000 }
+	fmt.Printf("alloc: %6.1f Kreq/s   read(%s): %6.1f Kreq/s   free: %6.1f Kreq/s\n",
+		rate(allocDur), readKind(oneSided), rate(readDur), rate(freeDur))
+}
+
+func readKind(oneSided bool) string {
+	if oneSided {
+		return "one-sided"
+	}
+	return "rpc"
+}
+
+func fmtAddr(a corm.Addr) string { return fmt.Sprintf("%016x:%016x", a.Lo, a.Hi) }
+
+func parseAddr(s string) corm.Addr {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		log.Fatalf("bad address %q (want lo:hi hex)", s)
+	}
+	lo, err := strconv.ParseUint(parts[0], 16, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hi, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return corm.Addr{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,100 @@
+// Command corm-server runs a CoRM node serving the RPC + emulated-RDMA
+// protocol over TCP.
+//
+//	corm-server -listen 127.0.0.1:7170 -workers 8 -block 4096 \
+//	    -strategy corm -idbits 16 -compact-every 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"corm"
+	"corm/internal/core"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7170", "TCP listen address")
+	workers := flag.Int("workers", 8, "worker threads")
+	block := flag.Int("block", 4096, "block size in bytes (power-of-two multiple of 4096)")
+	strategy := flag.String("strategy", "corm", "compaction strategy: corm, corm-0, mesh, hybrid, none")
+	idBits := flag.Int("idbits", 16, "object identifier bits")
+	compactEvery := flag.Duration("compact-every", 0, "run the compaction policy periodically (0 = only on demand)")
+	fragThreshold := flag.Float64("frag-threshold", 2.0, "fragmentation ratio that triggers compaction")
+	flag.Parse()
+
+	cfg := corm.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.BlockBytes = *block
+	cfg.IDBits = *idBits
+	cfg.FragThreshold = *fragThreshold
+	switch strings.ToLower(*strategy) {
+	case "corm":
+		cfg.Strategy = core.StrategyCoRM
+	case "corm-0", "corm0":
+		cfg.Strategy = core.StrategyCoRM0
+	case "mesh":
+		cfg.Strategy = core.StrategyMesh
+	case "hybrid":
+		cfg.Strategy = core.StrategyHybrid
+	case "none", "farm":
+		cfg.Strategy = core.StrategyNone
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	srv, err := corm.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	addr, err := srv.ListenAndServe(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("corm-server listening on %s (workers=%d block=%d strategy=%v idbits=%d)",
+		addr, cfg.Workers, cfg.BlockBytes, cfg.Strategy, cfg.IDBits)
+
+	var stopLoop func()
+	if *compactEvery > 0 {
+		stopLoop = corm.CompactionLoop(srv, *compactEvery)
+		log.Printf("compaction policy every %v (threshold %.1fx)", *compactEvery, *fragThreshold)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			if stopLoop != nil {
+				stopLoop()
+			}
+			st := srv.Stats()
+			fmt.Printf("shutting down: allocs=%d frees=%d reads=%d writes=%d compactions=%d blocks-freed=%d\n",
+				st.Allocs, st.Frees, st.Reads, st.Writes, st.Compactions, st.BlocksFreed)
+			return
+		case <-ticker.C:
+			st := srv.Stats()
+			log.Printf("active=%s allocs=%d frees=%d corrections=%d compactions=%d",
+				human(srv.ActiveBytes()), st.Allocs, st.Frees, st.Corrections, st.Compactions)
+		}
+	}
+}
+
+func human(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/float64(1<<20))
+	}
+	return fmt.Sprintf("%dKiB", n>>10)
+}

@@ -1,0 +1,210 @@
+// Package corm is a Go reproduction of CoRM (Compactable Remote Memory
+// over RDMA, SIGMOD 2021): a distributed shared memory system that serves
+// one-sided RDMA reads *and* compacts fragmented memory without breaking
+// client pointers or RDMA connections.
+//
+// Since real RDMA hardware is unavailable to a pure-Go library, the RDMA
+// substrate (RNIC with MTT, reliable QPs, ODP, registration keys) and the
+// physical page layer (memfd-style frames, remappable page tables) are
+// simulated in software with timing models calibrated to the paper; the
+// CoRM algorithms themselves — the two-level allocator, the ID-based
+// probabilistic compaction, pointer correction, and virtual address reuse
+// — are fully functional. See DESIGN.md for the substitution map.
+//
+// # Quick start
+//
+//	srv, _ := corm.NewServer(corm.DefaultConfig())
+//	defer srv.Close()
+//	cli, _ := srv.ConnectLocal()
+//	addr, _ := cli.Alloc(64)
+//	cli.Write(&addr, payload)
+//	cli.DirectRead(&addr, buf)  // one-sided read, no server CPU
+//	srv.Compact()               // clients keep their pointers
+//
+// To run over TCP, use srv.ListenAndServe and corm.Connect.
+package corm
+
+import (
+	"time"
+
+	"corm/internal/client"
+	"corm/internal/cluster"
+	"corm/internal/core"
+	"corm/internal/rpc"
+	"corm/internal/timing"
+	"corm/internal/transport"
+)
+
+// Re-exported core types. Addr is the 128-bit CoRM pointer of Table 2.
+type (
+	Addr           = core.Addr
+	Config         = core.Config
+	Strategy       = core.Strategy
+	RemapStrategy  = core.RemapStrategy
+	CorrectionMode = core.CorrectionMode
+	CompactOptions = core.CompactOptions
+	CompactReport  = core.CompactReport
+	StoreStats     = core.Stats
+)
+
+// Compaction strategies (§3.1.2, §4.4).
+const (
+	StrategyNone   = core.StrategyNone
+	StrategyCoRM   = core.StrategyCoRM
+	StrategyCoRM0  = core.StrategyCoRM0
+	StrategyMesh   = core.StrategyMesh
+	StrategyHybrid = core.StrategyHybrid
+)
+
+// RDMA remapping strategies (§3.5).
+const (
+	RemapRereg       = core.RemapRereg
+	RemapODP         = core.RemapODP
+	RemapODPPrefetch = core.RemapODPPrefetch
+)
+
+// FlagIndirect marks a pointer the library had to correct (§3.3: "CoRM
+// always notifies the user if it uses an old pointer").
+const FlagIndirect = core.FlagIndirectObserved
+
+// ConsistencyMode selects the one-sided read validation scheme (§4.2.1).
+type ConsistencyMode = core.ConsistencyMode
+
+// One-sided consistency schemes.
+const (
+	ConsistencyVersions = core.ConsistencyVersions
+	ConsistencyChecksum = core.ConsistencyChecksum
+)
+
+// AutoTuner recommends per-class compaction labels (the §4.4 future-work
+// auto-labeling strategy). See core.NewAutoTuner.
+type AutoTuner = core.AutoTuner
+
+// NewAutoTuner attaches a class-labeling tuner to a server's store.
+func NewAutoTuner(srv *Server) *AutoTuner { return core.NewAutoTuner(srv.Store()) }
+
+// Sentinel errors clients observe.
+var (
+	ErrNotFound     = core.ErrNotFound
+	ErrWrongObject  = core.ErrWrongObject
+	ErrInconsistent = core.ErrInconsistent
+	ErrCompacting   = core.ErrCompacting
+	ErrNoClass      = core.ErrNoClass
+)
+
+// DefaultConfig is the paper's main setup: 8 workers, 4 KiB blocks, 16-bit
+// object IDs, ODP-prefetch remapping on a ConnectX-5, data-backed blocks.
+func DefaultConfig() Config {
+	return Config{
+		Workers:    8,
+		BlockBytes: 4096,
+		Strategy:   core.StrategyCoRM,
+		IDBits:     16,
+		DataBacked: true,
+		Remap:      core.RemapODPPrefetch,
+		Model:      timing.Default().WithNIC(timing.ConnectX5()),
+	}
+}
+
+// Server is one CoRM node: the store, its RPC worker pool, and optionally
+// a TCP listener.
+type Server struct {
+	store *core.Store
+	rpc   *rpc.Server
+	tcp   *transport.Server
+}
+
+// NewServer builds and starts a node (workers running, not yet listening).
+func NewServer(cfg Config) (*Server, error) {
+	store, err := core.NewStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{store: store, rpc: rpc.NewServer(store)}, nil
+}
+
+// Store exposes the underlying store for direct embedding, experiments,
+// and compaction control.
+func (s *Server) Store() *core.Store { return s.store }
+
+// ListenAndServe starts serving the CoRM protocol on a TCP address
+// (e.g. "127.0.0.1:7170"). It returns the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ts, err := transport.Listen(addr, s.rpc)
+	if err != nil {
+		return "", err
+	}
+	s.tcp = ts
+	return ts.Addr(), nil
+}
+
+// ConnectLocal returns an in-process client context.
+func (s *Server) ConnectLocal() (*Client, error) {
+	return client.NewLocal(s.rpc)
+}
+
+// Compact runs the compaction policy across all size classes whose
+// fragmentation ratio exceeds the threshold, with worker 0 as leader.
+func (s *Server) Compact() CompactReport {
+	return s.store.CompactAll(0, nil)
+}
+
+// CompactClass compacts one size class explicitly.
+func (s *Server) CompactClass(opts CompactOptions) CompactReport {
+	return s.store.CompactClass(opts)
+}
+
+// ActiveBytes reports the node's active physical memory.
+func (s *Server) ActiveBytes() int64 { return s.store.ActiveBytes() }
+
+// Stats snapshots store counters.
+func (s *Server) Stats() StoreStats { return s.store.Stats() }
+
+// Close shuts the node down.
+func (s *Server) Close() {
+	if s.tcp != nil {
+		s.tcp.Close()
+	}
+	s.rpc.Close()
+}
+
+// Client is a CoRM client context implementing the Table 2 API.
+type Client = client.Ctx
+
+// Connect opens a client context to a remote CoRM node over TCP.
+func Connect(addr string) (*Client, error) {
+	return client.CreateCtx(addr)
+}
+
+// Multi-node deployment: a Pool spans several CoRM nodes with least-loaded
+// placement; KV adds rendezvous-hashed string keys on top.
+type (
+	Pool       = cluster.Pool
+	GlobalAddr = cluster.GlobalAddr
+	KV         = cluster.KV
+)
+
+// DialCluster connects a pool to every node address.
+func DialCluster(addrs []string) (*Pool, error) { return cluster.Dial(addrs) }
+
+// NewKV builds a keyed store over a pool.
+func NewKV(pool *Pool) *KV { return cluster.NewKV(pool) }
+
+// CompactionLoop is a convenience helper: it runs srv.Compact every
+// interval until the returned stop function is called.
+func CompactionLoop(srv *Server, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				srv.Compact()
+			}
+		}
+	}()
+	return func() { close(done) }
+}

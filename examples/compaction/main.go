@@ -1,0 +1,104 @@
+// compaction: the allocation-spike scenario of §2.1.2/§4.4.2 under four
+// compaction strategies side by side — none (FaRM), Mesh (offset
+// conflicts), CoRM-8 and CoRM-16 (random object IDs) — reporting active
+// memory against the ideal compactor. This is a miniature of the paper's
+// Figure 17.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"corm"
+	"corm/internal/core"
+)
+
+const (
+	objectSize = 2048
+	objects    = 200_000
+	deallocate = 0.75
+	blockBytes = 1 << 20 // 1 MiB blocks, as FaRM uses
+)
+
+func main() {
+	fmt.Printf("allocation spike: %d objects x %d B, then %.0f%% random deallocation\n",
+		objects, objectSize, deallocate*100)
+	fmt.Printf("%-22s %12s %12s\n", "strategy", "active", "vs ideal")
+
+	ideal := idealBytes()
+	fmt.Printf("%-22s %12s %12s\n", "ideal compactor", mib(ideal), "1.00x")
+
+	for _, v := range []struct {
+		name     string
+		strategy corm.Strategy
+		idBits   int
+	}{
+		{"none (FaRM)", corm.StrategyNone, 0},
+		{"Mesh (offsets)", corm.StrategyMesh, 0},
+		{"CoRM-8", corm.StrategyCoRM, 8},
+		{"CoRM-16", corm.StrategyCoRM, 16},
+	} {
+		active := runStrategy(v.strategy, v.idBits)
+		fmt.Printf("%-22s %12s %11.2fx\n", v.name, mib(active), float64(active)/float64(ideal))
+	}
+}
+
+// runStrategy replays the spike on a store with the given strategy and
+// compacts to quiescence.
+func runStrategy(strategy corm.Strategy, idBits int) int64 {
+	cfg := corm.Config{
+		Workers:    8,
+		BlockBytes: blockBytes,
+		Strategy:   strategy,
+		IDBits:     idBits,
+		DataBacked: false, // accounting mode: no payload bytes needed
+		Remap:      corm.RemapRereg,
+	}
+	srv, err := corm.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	store := srv.Store()
+
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]corm.Addr, 0, objects)
+	for i := 0; i < objects; i++ {
+		r, err := store.AllocOn(rng.Intn(cfg.Workers), objectSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	for _, idx := range rng.Perm(objects)[:int(deallocate*objects)] {
+		if err := store.Free(&addrs[idx]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Compact every class until no block is freed anymore.
+	for {
+		freed := 0
+		for class := range store.Config().Classes {
+			r := store.CompactClass(core.CompactOptions{
+				Class: class, Leader: 0, MaxOccupancy: 0.95, MaxAttempts: 16,
+			})
+			freed += r.BlocksFreed
+		}
+		if freed == 0 {
+			break
+		}
+	}
+	return srv.ActiveBytes()
+}
+
+// idealBytes is the perfectly packed footprint: live payloads, no waste.
+func idealBytes() int64 {
+	live := int64(objects - int(deallocate*objects))
+	perBlock := int64(blockBytes / objectSize)
+	blocks := (live + perBlock - 1) / perBlock
+	return blocks * blockBytes
+}
+
+func mib(n int64) string { return fmt.Sprintf("%.1f MiB", float64(n)/float64(1<<20)) }

@@ -1,0 +1,107 @@
+// Quickstart: the Table 2 API end to end on an in-process CoRM node —
+// allocate, write, read (RPC and one-sided), compact, observe pointer
+// correction, release, free.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"corm"
+)
+
+func main() {
+	srv, err := corm.NewServer(corm.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := srv.ConnectLocal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Alloc returns a 128-bit pointer: virtual address + offset hint,
+	// object ID, r_key, size class.
+	addr, err := cli.Alloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated 64 B object: %v\n", addr)
+
+	if err := cli.Write(&addr, []byte("hello, compactable remote memory")); err != nil {
+		log.Fatal(err)
+	}
+
+	buf := make([]byte, 64)
+	if _, err := cli.Read(&addr, buf); err != nil { // RPC read
+		log.Fatal(err)
+	}
+	fmt.Printf("RPC read:       %q\n", trim(buf))
+
+	if _, err := cli.DirectRead(&addr, buf); err != nil { // one-sided read
+		log.Fatal(err)
+	}
+	fmt.Printf("one-sided read: %q\n", trim(buf))
+
+	// Fragment the store: fill blocks, then free most objects, so
+	// compaction has something to do.
+	var extras []corm.Addr
+	for i := 0; i < 1024; i++ {
+		a, err := cli.Alloc(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extras = append(extras, a)
+	}
+	for i := range extras {
+		if i%16 != 0 {
+			if err := cli.Free(&extras[i]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	before := srv.ActiveBytes()
+	report := srv.Compact()
+	fmt.Printf("compaction: %d blocks freed, %d objects moved, active %d -> %d KiB\n",
+		report.BlocksFreed, report.ObjectsMoved, before>>10, srv.ActiveBytes()>>10)
+
+	// Our pointer may now be indirect: a plain DirectRead tells us, and
+	// ScanRead (or SmartRead) fixes the pointer in place.
+	_, err = cli.DirectRead(&addr, buf)
+	switch {
+	case err == nil:
+		fmt.Println("pointer survived compaction directly")
+	case errors.Is(err, corm.ErrWrongObject):
+		if _, err := cli.ScanRead(&addr, buf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pointer corrected by ScanRead -> %v\n", addr)
+	default:
+		log.Fatal(err)
+	}
+	fmt.Printf("read after compaction: %q\n", trim(buf))
+
+	// Tell the node every copy of the old pointer is gone, so the old
+	// virtual address can be reused (§3.3).
+	if err := cli.ReleasePtr(&addr); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Free(&addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("released and freed; done")
+}
+
+func trim(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,130 @@
+// ycsb: a YCSB-style benchmark against a CoRM node over real TCP. It
+// spawns a server in-process (or targets -connect), loads a keyed object
+// population, then drives concurrent closed-loop clients with a
+// configurable key distribution and read:write mix — the workload of
+// §4.2.2, on the wire instead of in the simulator.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corm"
+	"corm/internal/workload"
+)
+
+func main() {
+	connect := flag.String("connect", "", "existing server address (empty: spawn in-process)")
+	objects := flag.Int("objects", 50_000, "population size")
+	size := flag.Int("size", 32, "object size in bytes")
+	clients := flag.Int("clients", 4, "concurrent clients")
+	dist := flag.String("dist", "zipf", "key distribution: zipf or uniform")
+	theta := flag.Float64("theta", 0.99, "zipf skew")
+	reads := flag.Int("reads", 95, "read percentage (writes = 100-reads)")
+	oneSided := flag.Bool("onesided", true, "reads use emulated one-sided RDMA")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	flag.Parse()
+
+	addr := *connect
+	if addr == "" {
+		srv, err := corm.NewServer(corm.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addr, err = srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("spawned in-process server on %s\n", addr)
+	}
+
+	// Load phase.
+	loader, err := corm.Connect(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer loader.Close()
+	pop := make([]corm.Addr, *objects)
+	payload := make([]byte, *size)
+	start := time.Now()
+	for i := range pop {
+		a, err := loader.Alloc(*size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := loader.Write(&a, payload); err != nil {
+			log.Fatal(err)
+		}
+		pop[i] = a
+	}
+	fmt.Printf("loaded %d x %d B objects in %v\n", *objects, *size, time.Since(start).Round(time.Millisecond))
+
+	d := workload.DistZipf
+	if *dist == "uniform" {
+		d = workload.DistUniform
+	}
+	mix := workload.Mix{Read: *reads, Write: 100 - *reads}
+
+	var ops, readOps, writeOps, failures int64
+	var wg sync.WaitGroup
+	stop := time.Now().Add(*duration)
+	for c := 0; c < *clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := corm.Connect(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cli.Close()
+			gen := workload.NewYCSB(int64(c)*7919+1, uint64(len(pop)), d, *theta, mix)
+			buf := make([]byte, *size)
+			for time.Now().Before(stop) {
+				op, key := gen.Next()
+				a := pop[key] // private copy; corrections stay local
+				if op == workload.OpWrite {
+					if err := cli.Write(&a, payload); err != nil {
+						log.Fatal(err)
+					}
+					atomic.AddInt64(&writeOps, 1)
+				} else if *oneSided {
+					_, err := cli.SmartRead(&a, buf)
+					if errors.Is(err, corm.ErrInconsistent) {
+						atomic.AddInt64(&failures, 1)
+						continue
+					}
+					if err != nil {
+						log.Fatal(err)
+					}
+					atomic.AddInt64(&readOps, 1)
+				} else {
+					if _, err := cli.Read(&a, buf); err != nil {
+						log.Fatal(err)
+					}
+					atomic.AddInt64(&readOps, 1)
+				}
+				atomic.AddInt64(&ops, 1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	secs := duration.Seconds()
+	fmt.Printf("%s %s %d%%:%d%% | %d clients | %.0f ops/s (%.0f reads/s, %.0f writes/s, %d failed reads)\n",
+		d, fmtTheta(d, *theta), *reads, 100-*reads, *clients,
+		float64(ops)/secs, float64(readOps)/secs, float64(writeOps)/secs, failures)
+}
+
+func fmtTheta(d workload.Dist, theta float64) string {
+	if d == workload.DistZipf {
+		return fmt.Sprintf("(theta=%.2f)", theta)
+	}
+	return ""
+}

@@ -1,0 +1,3 @@
+module corm
+
+go 1.22

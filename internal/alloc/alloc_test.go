@@ -1,0 +1,368 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"corm/internal/mem"
+)
+
+func newProc(t *testing.T, cfg Config) *ProcWide {
+	t.Helper()
+	p, err := NewProcWide(mem.NewAddrSpace(mem.NewPhys(false)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	space := mem.NewAddrSpace(mem.NewPhys(false))
+	bad := []Config{
+		{BlockBytes: 1000},
+		{BlockBytes: 8192, Classes: []int{16, 8}},
+		{BlockBytes: 8192, Classes: []int{10}},
+		{BlockBytes: 8192, Classes: []int{8}, HeaderBytes: -1},
+		{BlockBytes: 12288}, // not a power of two
+	}
+	for i, cfg := range bad {
+		if _, err := NewProcWide(space, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewProcWide(space, Config{}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestStrideAndCapacity(t *testing.T) {
+	cfg := Config{BlockBytes: 4096, HeaderBytes: 16, CachelineAlign: true}.withDefaults()
+	// 16B payload + 16B header -> 32 -> rounded to one cacheline.
+	if s := cfg.Stride(16); s != 64 {
+		t.Errorf("stride(16) = %d, want 64", s)
+	}
+	if n := cfg.SlotsPerBlock(16); n != 64 {
+		t.Errorf("slots(16) = %d, want 64", n)
+	}
+	// 128B payload + 16B header = 144 -> 192 (3 cachelines).
+	if s := cfg.Stride(128); s != 192 {
+		t.Errorf("stride(128) = %d, want 192", s)
+	}
+	cfg8 := Config{BlockBytes: 4096, HeaderBytes: 8}.withDefaults()
+	if s := cfg8.Stride(8); s != 16 {
+		t.Errorf("8-aligned stride(8) = %d, want 16", s)
+	}
+	if n := cfg8.SlotsPerBlock(8); n != 256 {
+		t.Errorf("slots = %d, want 256", n)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	cases := map[int]int{1: 8, 8: 8, 9: 16, 33: 48, 250: 256, 16384: 16384}
+	for size, wantClass := range cases {
+		idx := cfg.ClassFor(size)
+		if idx < 0 || cfg.Classes[idx] != wantClass {
+			t.Errorf("ClassFor(%d) -> class %d, want %d", size, cfg.Classes[idx], wantClass)
+		}
+	}
+	if cfg.ClassFor(20000) != -1 {
+		t.Error("oversized object should map to no class")
+	}
+}
+
+func TestBlockSlotLifecycle(t *testing.T) {
+	b := newBlock(0, 64, 10, 0x10000, 1)
+	seen := make(map[int]bool)
+	for i := 0; i < 10; i++ {
+		s, ok := b.AllocSlot()
+		if !ok || seen[s] {
+			t.Fatalf("alloc %d: ok=%v dup=%v", i, ok, seen[s])
+		}
+		seen[s] = true
+	}
+	if !b.Full() {
+		t.Fatal("block should be full")
+	}
+	if _, ok := b.AllocSlot(); ok {
+		t.Fatal("alloc from full block succeeded")
+	}
+	if err := b.FreeSlot(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FreeSlot(3); err == nil {
+		t.Fatal("double free not detected")
+	}
+	if b.Used() != 9 {
+		t.Fatalf("used = %d", b.Used())
+	}
+	if !b.AllocSlotAt(3) {
+		t.Fatal("AllocSlotAt on free slot failed")
+	}
+	if b.AllocSlotAt(3) {
+		t.Fatal("AllocSlotAt on used slot succeeded")
+	}
+	if b.AllocSlotAt(10) {
+		t.Fatal("AllocSlotAt out of range succeeded")
+	}
+}
+
+func TestBlockSlotAddrRoundtrip(t *testing.T) {
+	b := newBlock(0, 96, 42, 0x400000, 1)
+	for _, idx := range []int{0, 1, 41} {
+		addr := b.SlotAddr(idx)
+		got, aligned := b.SlotIndex(addr)
+		if !aligned || got != idx {
+			t.Fatalf("SlotIndex(SlotAddr(%d)) = %d,%v", idx, got, aligned)
+		}
+	}
+	// Interior address maps to the slot but is not aligned.
+	got, aligned := b.SlotIndex(b.SlotAddr(5) + 10)
+	if aligned || got != 5 {
+		t.Fatalf("interior address: %d,%v", got, aligned)
+	}
+	if _, ok := b.SlotIndex(b.VAddr + uint64(42*96)); ok {
+		t.Fatal("address past last slot accepted")
+	}
+}
+
+func TestThreadLocalAllocFreeAndRelease(t *testing.T) {
+	proc := newProc(t, Config{BlockBytes: 4096, HeaderBytes: 0})
+	tl := NewThreadLocal(0, proc)
+	class := proc.Config().ClassFor(64)
+
+	type ref struct {
+		b *Block
+		s int
+	}
+	var refs []ref
+	perBlock := proc.Config().SlotsPerBlock(64)
+	for i := 0; i < perBlock+1; i++ { // force a second block
+		b, s, _ := tl.Alloc(class)
+		refs = append(refs, ref{b, s})
+	}
+	if tl.Refills != 2 {
+		t.Fatalf("refills = %d, want 2", tl.Refills)
+	}
+	if proc.Blocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", proc.Blocks())
+	}
+	live := proc.Space().Phys().LivePages()
+	if live != 2 {
+		t.Fatalf("live pages = %d, want 2", live)
+	}
+
+	// Free everything in the first block: it is non-current, so it must be
+	// released back (memory drops).
+	for _, r := range refs[:perBlock] {
+		if err := tl.Free(r.b, r.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if proc.Blocks() != 1 {
+		t.Fatalf("blocks after drain = %d, want 1", proc.Blocks())
+	}
+	if proc.Space().Phys().LivePages() != 1 {
+		t.Fatal("empty block's pages not freed")
+	}
+	// Its vaddr is reusable.
+	if proc.Space().ReusablePool(1) != 1 {
+		t.Fatal("vaddr not retired")
+	}
+}
+
+func TestFreeWrongOwnerRejected(t *testing.T) {
+	proc := newProc(t, Config{BlockBytes: 4096})
+	t0, t1 := NewThreadLocal(0, proc), NewThreadLocal(1, proc)
+	class := proc.Config().ClassFor(32)
+	b, s, _ := t0.Alloc(class)
+	if err := t1.Free(b, s); err == nil {
+		t.Fatal("cross-thread free accepted")
+	}
+	if err := t0.Free(b, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullToPartialTransition(t *testing.T) {
+	proc := newProc(t, Config{BlockBytes: 4096})
+	tl := NewThreadLocal(0, proc)
+	class := proc.Config().ClassFor(2048)
+	per := proc.Config().SlotsPerBlock(2048) // 2 slots per 4K block
+	var blocks []*Block
+	var slots []int
+	for i := 0; i < per*2; i++ {
+		b, s, _ := tl.Alloc(class)
+		blocks, slots = append(blocks, b), append(slots, s)
+	}
+	// First block is full; free one slot -> becomes partial and is used
+	// again before a new refill.
+	if err := tl.Free(blocks[0], slots[0]); err != nil {
+		t.Fatal(err)
+	}
+	refillsBefore := tl.Refills
+	b, _, refilled := tl.Alloc(class)
+	_ = b
+	if refilled || tl.Refills != refillsBefore {
+		t.Fatal("allocator refilled instead of reusing the partial block")
+	}
+}
+
+func TestFragmentationRatio(t *testing.T) {
+	proc := newProc(t, Config{BlockBytes: 4096, HeaderBytes: 0})
+	tl := NewThreadLocal(0, proc)
+	class := proc.Config().ClassFor(64)
+	per := proc.Config().SlotsPerBlock(64)
+
+	var refs []struct {
+		b *Block
+		s int
+	}
+	for i := 0; i < per*4; i++ {
+		b, s, _ := tl.Alloc(class)
+		refs = append(refs, struct {
+			b *Block
+			s int
+		}{b, s})
+	}
+	f := proc.Fragmentation(class)
+	if f.Ratio < 0.99 || f.Ratio > 1.01 {
+		t.Fatalf("packed ratio = %v, want ~1", f.Ratio)
+	}
+	// Free 3 of every 4 objects: blocks stay alive, ratio should be ~4.
+	for i, r := range refs {
+		if i%4 != 0 {
+			if err := tl.Free(r.b, r.s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f = proc.Fragmentation(class)
+	if f.Ratio < 3.5 || f.Ratio > 4.5 {
+		t.Fatalf("sparse ratio = %v, want ~4", f.Ratio)
+	}
+}
+
+func TestCollectBelow(t *testing.T) {
+	proc := newProc(t, Config{BlockBytes: 4096, HeaderBytes: 0})
+	tl := NewThreadLocal(0, proc)
+	class := proc.Config().ClassFor(64)
+	per := proc.Config().SlotsPerBlock(64)
+
+	var refs []struct {
+		b *Block
+		s int
+	}
+	for i := 0; i < per*3; i++ {
+		b, s, _ := tl.Alloc(class)
+		refs = append(refs, struct {
+			b *Block
+			s int
+		}{b, s})
+	}
+	// Drain block 0 to 25%, block 1 to 75%, keep block 2 full.
+	for i := 0; i < per; i++ {
+		if i%4 != 0 {
+			tl.Free(refs[i].b, refs[i].s)
+		}
+	}
+	for i := per; i < 2*per; i++ {
+		if i%4 == 0 {
+			tl.Free(refs[i].b, refs[i].s)
+		}
+	}
+	got := tl.CollectBelow(class, 0.5, 99)
+	if len(got) != 1 {
+		t.Fatalf("collected %d blocks, want 1", len(got))
+	}
+	if got[0].Owner() != 99 {
+		t.Fatal("ownership not transferred to leader")
+	}
+	// The collected block is detached from the thread.
+	for _, b := range tl.Owned(class) {
+		if b == got[0] {
+			t.Fatal("collected block still owned by thread")
+		}
+	}
+}
+
+func TestBlockFor(t *testing.T) {
+	proc := newProc(t, Config{BlockBytes: 8192})
+	tl := NewThreadLocal(0, proc)
+	class := proc.Config().ClassFor(128)
+	b, s, _ := tl.Alloc(class)
+	got, ok := proc.BlockFor(b.SlotAddr(s) + 13)
+	if !ok || got != b {
+		t.Fatal("BlockFor failed to resolve interior address")
+	}
+	if _, ok := proc.BlockFor(0xdead0000); ok {
+		t.Fatal("BlockFor resolved an unknown address")
+	}
+}
+
+// Property: random alloc/free interleavings never corrupt slot accounting
+// and fully freeing everything releases all physical memory.
+func TestQuickAllocFreeInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		proc, err := NewProcWide(mem.NewAddrSpace(mem.NewPhys(false)),
+			Config{BlockBytes: 4096, HeaderBytes: 8})
+		if err != nil {
+			return false
+		}
+		tl := NewThreadLocal(0, proc)
+		type ref struct {
+			b *Block
+			s int
+		}
+		var live []ref
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				class := int(op) % 5 // classes 8..48
+				b, s, _ := tl.Alloc(class)
+				if !b.SlotUsed(s) {
+					return false
+				}
+				live = append(live, ref{b, s})
+			} else {
+				i := int(op/3) % len(live)
+				r := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := tl.Free(r.b, r.s); err != nil {
+					return false
+				}
+			}
+		}
+		// Sum of per-block used must match live refs.
+		total := 0
+		for _, b := range func() []*Block {
+			var all []*Block
+			for c := 0; c < 5; c++ {
+				all = append(all, proc.BlocksOfClass(c)...)
+			}
+			return all
+		}() {
+			total += b.Used()
+		}
+		if total != len(live) {
+			return false
+		}
+		for _, r := range live {
+			if err := tl.Free(r.b, r.s); err != nil {
+				return false
+			}
+		}
+		// Only current blocks may remain; they are empty.
+		for c := 0; c < 5; c++ {
+			for _, b := range proc.BlocksOfClass(c) {
+				if !b.Empty() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"corm/internal/mem"
+)
+
+// Block is one size-classed memory block: a contiguous virtual range backed
+// by physical frames, divided into fixed-stride slots. A block is owned by
+// at most one thread-local allocator at any time (the paper's ownership
+// invariant that makes lockless compaction possible); the internal mutex
+// only guards metadata against the auxiliary readers used in pointer
+// correction.
+type Block struct {
+	Class  int // class index into Config.Classes
+	Stride int // slot stride in bytes (header + payload, aligned)
+	Slots  int // capacity s
+	VAddr  uint64
+	Pages  int
+
+	mu     sync.Mutex
+	bitmap []uint64
+	nUsed  int
+	owner  int // owning thread id, -1 when unowned (e.g. during compaction)
+}
+
+// newBlock builds the slot bookkeeping for a block at vaddr.
+func newBlock(class, stride, slots int, vaddr uint64, pages int) *Block {
+	return &Block{
+		Class:  class,
+		Stride: stride,
+		Slots:  slots,
+		VAddr:  vaddr,
+		Pages:  pages,
+		bitmap: make([]uint64, (slots+63)/64),
+		owner:  -1,
+	}
+}
+
+// Owner returns the owning thread, or -1.
+func (b *Block) Owner() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.owner
+}
+
+// SetOwner transfers ownership (block collection during compaction).
+func (b *Block) SetOwner(thread int) {
+	b.mu.Lock()
+	b.owner = thread
+	b.mu.Unlock()
+}
+
+// AllocSlot claims a free slot and returns its index.
+func (b *Block) AllocSlot() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.nUsed >= b.Slots {
+		return 0, false
+	}
+	for w, word := range b.bitmap {
+		if word == ^uint64(0) {
+			continue
+		}
+		for bit := 0; bit < 64; bit++ {
+			idx := w*64 + bit
+			if idx >= b.Slots {
+				break
+			}
+			if word&(1<<bit) == 0 {
+				b.bitmap[w] |= 1 << bit
+				b.nUsed++
+				return idx, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// AllocSlotAt claims a specific slot (compaction placing an object at its
+// original offset). It fails if the slot is taken.
+func (b *Block) AllocSlotAt(idx int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx < 0 || idx >= b.Slots {
+		return false
+	}
+	w, bit := idx/64, uint(idx%64)
+	if b.bitmap[w]&(1<<bit) != 0 {
+		return false
+	}
+	b.bitmap[w] |= 1 << bit
+	b.nUsed++
+	return true
+}
+
+// FreeSlot releases a slot.
+func (b *Block) FreeSlot(idx int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx < 0 || idx >= b.Slots {
+		return fmt.Errorf("alloc: slot %d out of range [0,%d)", idx, b.Slots)
+	}
+	w, bit := idx/64, uint(idx%64)
+	if b.bitmap[w]&(1<<bit) == 0 {
+		return fmt.Errorf("alloc: double free of slot %d in block %#x", idx, b.VAddr)
+	}
+	b.bitmap[w] &^= 1 << bit
+	b.nUsed--
+	return nil
+}
+
+// SlotUsed reports whether a slot is allocated.
+func (b *Block) SlotUsed(idx int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w, bit := idx/64, uint(idx%64)
+	return b.bitmap[w]&(1<<bit) != 0
+}
+
+// Used returns the number of allocated slots.
+func (b *Block) Used() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nUsed
+}
+
+// Empty reports whether no slots are allocated.
+func (b *Block) Empty() bool { return b.Used() == 0 }
+
+// Full reports whether every slot is allocated.
+func (b *Block) Full() bool { return b.Used() == b.Slots }
+
+// Occupancy is the used fraction of the block.
+func (b *Block) Occupancy() float64 {
+	return float64(b.Used()) / float64(b.Slots)
+}
+
+// UsedSlots returns the indices of allocated slots in ascending order.
+func (b *Block) UsedSlots() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, 0, b.nUsed)
+	for idx := 0; idx < b.Slots; idx++ {
+		if b.bitmap[idx/64]&(1<<uint(idx%64)) != 0 {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// SlotAddr returns the virtual address of slot idx.
+func (b *Block) SlotAddr(idx int) uint64 {
+	return b.VAddr + uint64(idx*b.Stride)
+}
+
+// SlotIndex maps a virtual address inside the block to its slot index and
+// reports whether the address is slot-aligned.
+func (b *Block) SlotIndex(vaddr uint64) (int, bool) {
+	off := int(vaddr - b.VAddr)
+	if off < 0 || off >= b.Slots*b.Stride {
+		return 0, false
+	}
+	return off / b.Stride, off%b.Stride == 0
+}
+
+// FrameList resolves the block's current physical frames through the
+// address space (needed when compaction remaps the source block onto the
+// destination's frames).
+func (b *Block) FrameList(space *mem.AddrSpace) []*mem.Frame {
+	frames := make([]*mem.Frame, b.Pages)
+	for i := 0; i < b.Pages; i++ {
+		f, _, ok := space.Translate(b.VAddr + uint64(i*mem.PageSize))
+		if !ok {
+			panic(fmt.Sprintf("alloc: block page %d of %#x unmapped", i, b.VAddr))
+		}
+		frames[i] = f
+	}
+	return frames
+}

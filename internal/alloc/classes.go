@@ -1,0 +1,110 @@
+// Package alloc implements CoRM's concurrent memory allocator (§2.1,
+// §3.1.1): a two-level design where per-thread allocators serve object
+// allocations from size-classed blocks and refill from a process-wide
+// block allocator, which draws physical pages from the simulated memfd
+// allocator and maps them into the shared address space.
+//
+// The package deliberately knows nothing about object IDs, headers'
+// contents, compaction, or RDMA: it deals in blocks and slots. The core
+// package layers CoRM's object format and compaction on top through the
+// Config hooks.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultClasses is the allocator's size-class list: 8-byte-aligned payload
+// sizes chosen, as in the paper, to bound internal fragmentation from
+// rounding up to the nearest class (~<=25% between neighbours).
+var DefaultClasses = []int{
+	8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
+	768, 1024, 1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384,
+}
+
+// Config parameterizes the allocator.
+type Config struct {
+	// BlockBytes is the block size handed out by the process-wide
+	// allocator: a power-of-two multiple of the 4 KiB page (4 KiB in most
+	// latency experiments, 1 MiB in the compaction studies, as in FaRM).
+	BlockBytes int
+
+	// Classes lists payload sizes. Defaults to DefaultClasses.
+	Classes []int
+
+	// HeaderBytes is the per-object header the store prepends inside each
+	// slot (version, lock bits, object ID, home-block address).
+	HeaderBytes int
+
+	// CachelineAlign makes slot strides 64-byte aligned, required for the
+	// FaRM-style per-cacheline version consistency of one-sided reads.
+	// Without it strides are 8-byte aligned.
+	CachelineAlign bool
+
+	// StrideFunc, if set, overrides the stride computation entirely. The
+	// store uses it for the versioned data layout, where each cacheline
+	// loses one byte to the version tag.
+	StrideFunc func(classSize int) int
+}
+
+// Cacheline is the modeled CPU cacheline size.
+const Cacheline = 64
+
+func (c Config) withDefaults() Config {
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 4096
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = DefaultClasses
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.BlockBytes < 4096 || c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("alloc: block size %d must be a power-of-two >= 4096", c.BlockBytes)
+	}
+	if !sort.IntsAreSorted(c.Classes) {
+		return fmt.Errorf("alloc: size classes must be ascending")
+	}
+	for _, s := range c.Classes {
+		if s <= 0 || s%8 != 0 {
+			return fmt.Errorf("alloc: size class %d must be a positive multiple of 8", s)
+		}
+	}
+	if c.HeaderBytes < 0 {
+		return fmt.Errorf("alloc: negative header size")
+	}
+	return nil
+}
+
+// Stride is the slot stride for a payload class: header + payload rounded
+// up to the alignment unit, unless StrideFunc overrides it.
+func (c Config) Stride(classSize int) int {
+	if c.StrideFunc != nil {
+		return c.StrideFunc(classSize)
+	}
+	align := 8
+	if c.CachelineAlign {
+		align = Cacheline
+	}
+	n := c.HeaderBytes + classSize
+	return (n + align - 1) / align * align
+}
+
+// SlotsPerBlock is the block capacity s for a payload class.
+func (c Config) SlotsPerBlock(classSize int) int {
+	return c.BlockBytes / c.Stride(classSize)
+}
+
+// ClassFor returns the index of the smallest class fitting size, or -1 if
+// size exceeds the largest class.
+func (c Config) ClassFor(size int) int {
+	for i, s := range c.Classes {
+		if s >= size {
+			return i
+		}
+	}
+	return -1
+}

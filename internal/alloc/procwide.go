@@ -1,0 +1,200 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"corm/internal/mem"
+)
+
+// ProcWide is the process-wide block allocator: it turns physical frames
+// into mapped, size-classed blocks and keeps the global registries used by
+// compaction (blocks by class, block lookup by address) and by the
+// fragmentation policy (granted vs used bytes per class).
+type ProcWide struct {
+	cfg   Config
+	space *mem.AddrSpace
+
+	mu       sync.Mutex
+	byBase   map[uint64]*Block
+	byClass  [][]*Block
+	usedObjs []int64 // live objects per class
+	granted  []int64 // blocks granted per class
+
+	// OnNewBlock, if set, runs for every freshly mapped block before it is
+	// returned (the store uses it to register memory with the RNIC).
+	OnNewBlock func(*Block)
+	// OnReleaseBlock runs before a block's memory is unmapped.
+	OnReleaseBlock func(*Block)
+}
+
+// NewProcWide creates the process-wide allocator.
+func NewProcWide(space *mem.AddrSpace, cfg Config) (*ProcWide, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &ProcWide{
+		cfg:      cfg,
+		space:    space,
+		byBase:   make(map[uint64]*Block),
+		byClass:  make([][]*Block, len(cfg.Classes)),
+		usedObjs: make([]int64, len(cfg.Classes)),
+		granted:  make([]int64, len(cfg.Classes)),
+	}, nil
+}
+
+// Config returns the allocator configuration.
+func (p *ProcWide) Config() Config { return p.cfg }
+
+// Space returns the backing address space.
+func (p *ProcWide) Space() *mem.AddrSpace { return p.space }
+
+// NewBlock maps a fresh block for the given class, owned by thread.
+func (p *ProcWide) NewBlock(class, thread int) *Block {
+	if class < 0 || class >= len(p.cfg.Classes) {
+		panic(fmt.Sprintf("alloc: class index %d out of range", class))
+	}
+	pages := p.cfg.BlockBytes / mem.PageSize
+	vaddr := p.space.ReserveBlock(pages)
+	frames := p.space.Phys().Alloc(pages)
+	p.space.Map(vaddr, frames)
+
+	size := p.cfg.Classes[class]
+	b := newBlock(class, p.cfg.Stride(size), p.cfg.SlotsPerBlock(size), vaddr, pages)
+	b.SetOwner(thread)
+
+	p.mu.Lock()
+	p.byBase[vaddr] = b
+	p.byClass[class] = append(p.byClass[class], b)
+	p.granted[class]++
+	p.mu.Unlock()
+
+	if p.OnNewBlock != nil {
+		p.OnNewBlock(b)
+	}
+	return b
+}
+
+// ReleaseBlock unmaps an empty block and retires its virtual address into
+// the reuse pool. retireVaddr is false when the address must stay reserved
+// because moved-out objects still reference it (§3.3); the store retires it
+// later through RetireVaddr.
+func (p *ProcWide) ReleaseBlock(b *Block, retireVaddr bool) {
+	if !b.Empty() {
+		panic(fmt.Sprintf("alloc: releasing non-empty block %#x", b.VAddr))
+	}
+	if p.OnReleaseBlock != nil {
+		p.OnReleaseBlock(b)
+	}
+	p.mu.Lock()
+	delete(p.byBase, b.VAddr)
+	p.removeFromClassLocked(b)
+	p.granted[b.Class]--
+	p.mu.Unlock()
+
+	p.space.Unmap(b.VAddr, b.Pages)
+	if retireVaddr {
+		p.space.RetireBlock(b.VAddr, b.Pages)
+	}
+}
+
+// DropBlockKeepMapping removes a block from the registries without
+// unmapping it: after compaction the source block's vaddr stays mapped
+// (aliased to the destination frames) until its address can be reused.
+func (p *ProcWide) DropBlockKeepMapping(b *Block) {
+	p.mu.Lock()
+	delete(p.byBase, b.VAddr)
+	p.removeFromClassLocked(b)
+	p.granted[b.Class]--
+	p.mu.Unlock()
+}
+
+// RetireVaddr finishes the release of a previously dropped block address:
+// unmaps the alias and returns the address to the reuse pool.
+func (p *ProcWide) RetireVaddr(vaddr uint64, pages int) {
+	p.space.Unmap(vaddr, pages)
+	p.space.RetireBlock(vaddr, pages)
+}
+
+func (p *ProcWide) removeFromClassLocked(b *Block) {
+	list := p.byClass[b.Class]
+	for i, x := range list {
+		if x == b {
+			list[i] = list[len(list)-1]
+			p.byClass[b.Class] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+// BlockFor looks up the block containing vaddr. Blocks are block-size
+// aligned, so the base is recovered by masking.
+func (p *ProcWide) BlockFor(vaddr uint64) (*Block, bool) {
+	base := vaddr &^ uint64(p.cfg.BlockBytes-1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.byBase[base]
+	return b, ok
+}
+
+// BlocksOfClass snapshots the blocks of one class.
+func (p *ProcWide) BlocksOfClass(class int) []*Block {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Block, len(p.byClass[class]))
+	copy(out, p.byClass[class])
+	return out
+}
+
+// Blocks reports the total number of live blocks.
+func (p *ProcWide) Blocks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.byBase)
+}
+
+// CountAlloc records a live-object count change for fragmentation stats.
+func (p *ProcWide) CountAlloc(class, delta int) {
+	p.mu.Lock()
+	p.usedObjs[class] += int64(delta)
+	p.mu.Unlock()
+}
+
+// FragStats describes one class's fragmentation state (§3.1.3).
+type FragStats struct {
+	Class        int
+	GrantedBytes int64 // block bytes granted by the OS
+	UsedBytes    int64 // live payload+header bytes
+	Ratio        float64
+}
+
+// Fragmentation computes the per-class granted/used ratio. A ratio of 1
+// means perfectly packed; the compaction policy fires above a threshold.
+func (p *ProcWide) Fragmentation(class int) FragStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	granted := p.granted[class] * int64(p.cfg.BlockBytes)
+	used := p.usedObjs[class] * int64(p.cfg.Stride(p.cfg.Classes[class]))
+	st := FragStats{Class: class, GrantedBytes: granted, UsedBytes: used}
+	if used > 0 {
+		st.Ratio = float64(granted) / float64(used)
+	} else if granted > 0 {
+		st.Ratio = float64(granted) // arbitrarily high: all waste
+	} else {
+		st.Ratio = 1
+	}
+	return st
+}
+
+// GrantedBytes is the total memory granted across classes — with the frame
+// allocator's live count, the two views of active memory used in Figs 17-19.
+func (p *ProcWide) GrantedBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, g := range p.granted {
+		total += g * int64(p.cfg.BlockBytes)
+	}
+	return total
+}

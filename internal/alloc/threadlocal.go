@@ -1,0 +1,191 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ThreadLocal is a per-worker-thread allocator (§2.1.1). It keeps, per size
+// class, a current block plus a list of partially used blocks, and refills
+// from the process-wide allocator when everything is full.
+//
+// Conceptually the structure is thread-confined; a small mutex makes it
+// safe for the store to route frees to the owning allocator from any
+// goroutine (the messaging hop this represents is costed by the timing
+// model, not by this lock).
+type ThreadLocal struct {
+	ID   int
+	proc *ProcWide
+	mu   sync.Mutex
+
+	current []*Block   // per class: block served first
+	partial [][]*Block // per class: other owned, non-full blocks
+	full    [][]*Block // per class: owned full blocks
+
+	// Refills counts trips to the process-wide allocator; the latency model
+	// charges the extra block-registration cost (§4.1: +5 µs) per refill.
+	Refills int64
+}
+
+// NewThreadLocal creates a thread-local allocator with the given id.
+func NewThreadLocal(id int, proc *ProcWide) *ThreadLocal {
+	n := len(proc.cfg.Classes)
+	return &ThreadLocal{
+		ID:      id,
+		proc:    proc,
+		current: make([]*Block, n),
+		partial: make([][]*Block, n),
+		full:    make([][]*Block, n),
+	}
+}
+
+// Alloc claims a slot of the given class, refilling from the process-wide
+// allocator if needed. refilled reports whether a new block was fetched.
+func (t *ThreadLocal) Alloc(class int) (b *Block, slot int, refilled bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur := t.current[class]; cur != nil {
+		if s, ok := cur.AllocSlot(); ok {
+			t.proc.CountAlloc(class, 1)
+			return cur, s, false
+		}
+		t.full[class] = append(t.full[class], cur)
+		t.current[class] = nil
+	}
+	// Promote a partial block if one exists.
+	if list := t.partial[class]; len(list) > 0 {
+		cur := list[len(list)-1]
+		t.partial[class] = list[:len(list)-1]
+		t.current[class] = cur
+		if s, ok := cur.AllocSlot(); ok {
+			t.proc.CountAlloc(class, 1)
+			return cur, s, false
+		}
+		// Raced to full (shouldn't happen single-threaded, but be safe).
+		t.full[class] = append(t.full[class], cur)
+		t.current[class] = nil
+	}
+	cur := t.proc.NewBlock(class, t.ID)
+	t.current[class] = cur
+	t.Refills++
+	s, ok := cur.AllocSlot()
+	if !ok {
+		panic("alloc: fresh block has no free slot")
+	}
+	t.proc.CountAlloc(class, 1)
+	return cur, s, true
+}
+
+// Free releases a slot in a block owned by this thread. Empty non-current
+// blocks are returned to the process-wide allocator, which is what the
+// paper notes cannot happen while a single object remains — the root cause
+// of fragmentation.
+func (t *ThreadLocal) Free(b *Block, slot int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if owner := b.Owner(); owner != t.ID {
+		return fmt.Errorf("alloc: thread %d freeing slot in block owned by %d", t.ID, owner)
+	}
+	if err := b.FreeSlot(slot); err != nil {
+		return err
+	}
+	t.proc.CountAlloc(b.Class, -1)
+	if b.Empty() && t.current[b.Class] != b {
+		t.removeOwned(b)
+		t.proc.ReleaseBlock(b, true)
+	} else if wasFull := t.inFull(b); wasFull {
+		t.moveFullToPartial(b)
+	}
+	return nil
+}
+
+func (t *ThreadLocal) inFull(b *Block) bool {
+	for _, x := range t.full[b.Class] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *ThreadLocal) moveFullToPartial(b *Block) {
+	list := t.full[b.Class]
+	for i, x := range list {
+		if x == b {
+			list[i] = list[len(list)-1]
+			t.full[b.Class] = list[:len(list)-1]
+			t.partial[b.Class] = append(t.partial[b.Class], b)
+			return
+		}
+	}
+}
+
+// removeOwned detaches b from whichever list holds it.
+func (t *ThreadLocal) removeOwned(b *Block) {
+	c := b.Class
+	if t.current[c] == b {
+		t.current[c] = nil
+		return
+	}
+	for i, x := range t.partial[c] {
+		if x == b {
+			t.partial[c][i] = t.partial[c][len(t.partial[c])-1]
+			t.partial[c] = t.partial[c][:len(t.partial[c])-1]
+			return
+		}
+	}
+	for i, x := range t.full[c] {
+		if x == b {
+			t.full[c][i] = t.full[c][len(t.full[c])-1]
+			t.full[c] = t.full[c][:len(t.full[c])-1]
+			return
+		}
+	}
+}
+
+// Owned returns every block currently owned by the thread for a class.
+func (t *ThreadLocal) Owned(class int) []*Block {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ownedLocked(class)
+}
+
+func (t *ThreadLocal) ownedLocked(class int) []*Block {
+	var out []*Block
+	if t.current[class] != nil {
+		out = append(out, t.current[class])
+	}
+	out = append(out, t.partial[class]...)
+	out = append(out, t.full[class]...)
+	return out
+}
+
+// CollectBelow detaches and returns owned blocks of the class with
+// occupancy <= maxOcc — the collection stage of compaction (§3.1.4). The
+// blocks' ownership moves to the requesting leader thread.
+func (t *ThreadLocal) CollectBelow(class int, maxOcc float64, leader int) []*Block {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var collected []*Block
+	for _, b := range t.ownedLocked(class) {
+		if b.Occupancy() <= maxOcc && !b.Empty() {
+			t.removeOwned(b)
+			b.SetOwner(leader)
+			collected = append(collected, b)
+		}
+	}
+	return collected
+}
+
+// AdoptBlock takes ownership of a block (the leader re-homing leftovers
+// after compaction).
+func (t *ThreadLocal) AdoptBlock(b *Block) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b.SetOwner(t.ID)
+	if b.Full() {
+		t.full[b.Class] = append(t.full[b.Class], b)
+	} else {
+		t.partial[b.Class] = append(t.partial[b.Class], b)
+	}
+}

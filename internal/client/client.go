@@ -1,0 +1,255 @@
+// Package client implements CoRM's client library: the Table 2 API.
+//
+//	ctx, _  := client.CreateCtx("host:port")       // or client.NewLocal(...)
+//	addr, _ := ctx.Alloc(64)
+//	ctx.Write(&addr, data)
+//	ctx.Read(&addr, buf)        // RPC read, pointer correction transparent
+//	ctx.DirectRead(&addr, buf)  // one-sided RDMA read, no remote CPU
+//	ctx.ScanRead(&addr, buf)    // one-sided block scan (pointer correction)
+//	ctx.ReleasePtr(&addr)       // release the old virtual address
+//	ctx.Free(&addr)
+//
+// Every call that may correct the pointer updates it in place and reports
+// the correction through addr's FlagIndirectObserved, implementing "CoRM
+// always notifies the user if it uses an old pointer" (§3.3).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/rpc"
+	"corm/internal/transport"
+)
+
+// Backend abstracts how the context reaches the store: in-process or TCP.
+type Backend interface {
+	Call(req rpc.Request) (rpc.Response, error)
+	DirectRead(rkey uint32, vaddr uint64, buf []byte) error
+	Close() error
+}
+
+// Ctx is a client context bound to one CoRM node.
+type Ctx struct {
+	backend    Backend
+	classes    []int
+	blockBytes int
+	mode       core.ConsistencyMode
+
+	// RetryBackoff paces DirectRead retries on inconsistent objects
+	// (§3.2.3); Retries bounds them.
+	RetryBackoff time.Duration
+	Retries      int
+}
+
+// CreateCtx connects to a remote CoRM node over TCP (Table 2's
+// CreateCtx(ip, port)).
+func CreateCtx(addr string) (*Ctx, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newCtx(conn)
+}
+
+// NewLocal builds a context over an in-process RPC server. One-sided reads
+// go through a simulated QP on the store's NIC.
+func NewLocal(srv *rpc.Server) (*Ctx, error) {
+	return newCtx(&localBackend{srv: srv, qp: srv.Store().ConnectClient()})
+}
+
+func newCtx(b Backend) (*Ctx, error) {
+	resp, err := b.Call(rpc.Request{Op: rpc.OpInfo})
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	if resp.Status != rpc.StatusOK {
+		b.Close()
+		return nil, fmt.Errorf("client: info failed: %v", resp.Status)
+	}
+	info, err := rpc.UnmarshalInfo(resp.Payload)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return &Ctx{
+		backend:      b,
+		classes:      info.Classes,
+		blockBytes:   info.BlockBytes,
+		mode:         info.Consistency,
+		RetryBackoff: 2 * time.Microsecond,
+		Retries:      64,
+	}, nil
+}
+
+// Close releases the context.
+func (c *Ctx) Close() error { return c.backend.Close() }
+
+// ClassSize returns the payload capacity of a pointer's size class.
+func (c *Ctx) ClassSize(addr core.Addr) (int, error) {
+	cls := int(addr.Class())
+	if cls < 0 || cls >= len(c.classes) {
+		return 0, core.ErrInvalidAddr
+	}
+	return c.classes[cls], nil
+}
+
+// Alloc allocates an object of the given size.
+func (c *Ctx) Alloc(size int) (core.Addr, error) {
+	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpAlloc, Size: uint32(size)})
+	if err != nil {
+		return core.Addr{}, err
+	}
+	if e := resp.Status.Err(); e != nil {
+		return core.Addr{}, e
+	}
+	return resp.Addr, nil
+}
+
+// Free releases the object; the pointer is corrected in place first if it
+// was indirect.
+func (c *Ctx) Free(addr *core.Addr) error {
+	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpFree, Addr: *addr})
+	if err != nil {
+		return err
+	}
+	c.adopt(addr, resp.Addr)
+	return resp.Status.Err()
+}
+
+// Read reads the object via RPC; pointer correction is transparent.
+func (c *Ctx) Read(addr *core.Addr, buf []byte) (int, error) {
+	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpRead, Addr: *addr, Size: uint32(len(buf))})
+	if err != nil {
+		return 0, err
+	}
+	if e := resp.Status.Err(); e != nil {
+		return 0, e
+	}
+	c.adopt(addr, resp.Addr)
+	return copy(buf, resp.Payload), nil
+}
+
+// Write updates the object via RPC.
+func (c *Ctx) Write(addr *core.Addr, payload []byte) error {
+	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpWrite, Addr: *addr, Payload: payload})
+	if err != nil {
+		return err
+	}
+	c.adopt(addr, resp.Addr)
+	return resp.Status.Err()
+}
+
+// ReleasePtr tells the node that all copies of this pointer have been
+// corrected; the pointer is rebased onto the object's current block
+// (§3.3).
+func (c *Ctx) ReleasePtr(addr *core.Addr) error {
+	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpRelease, Addr: *addr})
+	if err != nil {
+		return err
+	}
+	if e := resp.Status.Err(); e != nil {
+		return e
+	}
+	*addr = resp.Addr
+	return nil
+}
+
+// DirectRead performs a one-sided read with client-side validity checks,
+// retrying inconsistent reads with backoff. ErrWrongObject surfaces to the
+// caller, who picks the correction path (ScanRead or RPC Read).
+func (c *Ctx) DirectRead(addr *core.Addr, buf []byte) (int, error) {
+	size, err := c.ClassSize(*addr)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < size {
+		return 0, core.ErrShortBuffer
+	}
+	raw := make([]byte, core.StrideOf(c.mode, size))
+	for attempt := 0; ; attempt++ {
+		if err := c.backend.DirectRead(addr.RKey(), addr.VAddr(), raw); err != nil {
+			return 0, err
+		}
+		payload, err := core.ExtractObjectMode(c.mode, raw, addr.ID(), size)
+		switch {
+		case err == nil:
+			return copy(buf, payload), nil
+		case errors.Is(err, core.ErrInconsistent) && attempt < c.Retries:
+			time.Sleep(c.RetryBackoff)
+			continue
+		default:
+			return 0, err
+		}
+	}
+}
+
+// ScanRead reads the object's whole block one-sidedly and scans it for the
+// ID, fixing the pointer's offset hint on success (§3.2.2).
+func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
+	size, err := c.ClassSize(*addr)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < size {
+		return 0, core.ErrShortBuffer
+	}
+	base := addr.VAddr() &^ uint64(c.blockBytes-1)
+	raw := make([]byte, c.blockBytes)
+	for attempt := 0; ; attempt++ {
+		if err := c.backend.DirectRead(addr.RKey(), base, raw); err != nil {
+			return 0, err
+		}
+		idx, payload, err := core.ScanBlockMode(c.mode, raw, addr.ID(), size)
+		switch {
+		case err == nil:
+			addr.SetVAddr(base + uint64(idx*core.StrideOf(c.mode, size)))
+			addr.SetFlag(core.FlagIndirectObserved)
+			return copy(buf, payload), nil
+		case errors.Is(err, core.ErrInconsistent) && attempt < c.Retries:
+			time.Sleep(c.RetryBackoff)
+			continue
+		default:
+			return 0, err
+		}
+	}
+}
+
+// SmartRead is the composite read loop a CoRM application uses: DirectRead
+// first, ScanRead when the pointer turns out to be indirect.
+func (c *Ctx) SmartRead(addr *core.Addr, buf []byte) (int, error) {
+	n, err := c.DirectRead(addr, buf)
+	if errors.Is(err, core.ErrWrongObject) {
+		return c.ScanRead(addr, buf)
+	}
+	return n, err
+}
+
+// adopt folds a server-corrected pointer back into the caller's copy.
+func (c *Ctx) adopt(addr *core.Addr, corrected core.Addr) {
+	if !corrected.IsZero() && corrected.VAddr() != addr.VAddr() {
+		*addr = corrected
+	} else if corrected.HasFlag(core.FlagIndirectObserved) {
+		addr.SetFlag(core.FlagIndirectObserved)
+	}
+}
+
+// localBackend adapts an in-process rpc.Server and a simulated QP.
+type localBackend struct {
+	srv *rpc.Server
+	qp  *core.ClientQP
+}
+
+func (l *localBackend) Call(req rpc.Request) (rpc.Response, error) {
+	return l.srv.Submit(req), nil
+}
+
+func (l *localBackend) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
+	_, err := l.qp.QP().Read(rkey, vaddr, buf)
+	return err
+}
+
+func (l *localBackend) Close() error { return nil }

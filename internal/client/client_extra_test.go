@@ -1,0 +1,175 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"corm/internal/core"
+	"corm/internal/rpc"
+	"corm/internal/timing"
+	"corm/internal/transport"
+)
+
+func TestCreateCtxUnreachable(t *testing.T) {
+	if _, err := CreateCtx("127.0.0.1:1"); err == nil {
+		t.Fatal("connect to dead port succeeded")
+	}
+}
+
+func TestClassSizeInvalid(t *testing.T) {
+	store := newStore(t)
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ctx, err := NewLocal(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctx.Close() })
+	bogus := core.MakeAddr(0x1000, 1, 1, 250)
+	if _, err := ctx.ClassSize(bogus); !errors.Is(err, core.ErrInvalidAddr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ctx.DirectRead(&bogus, make([]byte, 8)); !errors.Is(err, core.ErrInvalidAddr) {
+		t.Fatalf("direct read err = %v", err)
+	}
+}
+
+func TestShortBuffersRejected(t *testing.T) {
+	store := newStore(t)
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ctx, _ := NewLocal(srv)
+	t.Cleanup(func() { ctx.Close() })
+	addr, err := ctx.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.DirectRead(&addr, make([]byte, 10)); !errors.Is(err, core.ErrShortBuffer) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ctx.ScanRead(&addr, make([]byte, 10)); !errors.Is(err, core.ErrShortBuffer) {
+		t.Fatalf("scan err = %v", err)
+	}
+}
+
+// TestCtxDirectReadRetriesUnderWriter exercises the client-side backoff
+// loop against a genuinely concurrent writer over TCP.
+func TestCtxDirectReadRetriesUnderWriter(t *testing.T) {
+	store := newStore(t)
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ts, err := transport.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	ctx, err := CreateCtx(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctx.Close() })
+
+	size := 1024
+	addr, err := ctx.Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wctx, err := CreateCtx(ts.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer wctx.Close()
+		a := addr
+		for round := byte(1); ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := wctx.Write(&a, bytes.Repeat([]byte{round}, size)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	buf := make([]byte, size)
+	for i := 0; i < 300; i++ {
+		if _, err := ctx.DirectRead(&addr, buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		first := buf[0]
+		for _, b := range buf {
+			if b != first {
+				t.Fatal("torn read escaped the retry loop")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestChecksumModeOverTCP(t *testing.T) {
+	store, err := core.NewStore(core.Config{
+		Workers: 2, Strategy: core.StrategyCoRM, DataBacked: true,
+		Consistency: core.ConsistencyChecksum,
+		Remap:       core.RemapODPPrefetch,
+		Model:       timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ts, err := transport.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	ctx, err := CreateCtx(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctx.Close() })
+
+	// The client must have learned the checksum mode from OpInfo: direct
+	// reads fetch the denser stride and validate via CRC.
+	addr, err := ctx.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xC5}, 512)
+	if err := ctx.Write(&addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if _, err := ctx.DirectRead(&addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("checksum-mode TCP read mismatch")
+	}
+}
+
+func TestSmartReadPlainMiss(t *testing.T) {
+	store := newStore(t)
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ctx, _ := NewLocal(srv)
+	t.Cleanup(func() { ctx.Close() })
+	addr, _ := ctx.Alloc(64)
+	if err := ctx.Free(&addr); err != nil {
+		t.Fatal(err)
+	}
+	// Freed object: DirectRead says wrong-object, ScanRead says not found.
+	if _, err := ctx.SmartRead(&addr, make([]byte, 64)); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}

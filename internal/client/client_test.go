@@ -1,0 +1,299 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"corm/internal/core"
+	"corm/internal/rpc"
+	"corm/internal/timing"
+	"corm/internal/transport"
+)
+
+func newStore(t *testing.T) *core.Store {
+	t.Helper()
+	store, err := core.NewStore(core.Config{
+		Workers:    4,
+		Strategy:   core.StrategyCoRM,
+		DataBacked: true,
+		Remap:      core.RemapODPPrefetch,
+		Model:      timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// eachBackend runs the test body against a local and a TCP-backed context.
+func eachBackend(t *testing.T, body func(t *testing.T, store *core.Store, ctx *Ctx)) {
+	t.Run("local", func(t *testing.T) {
+		store := newStore(t)
+		srv := rpc.NewServer(store)
+		t.Cleanup(srv.Close)
+		ctx, err := NewLocal(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ctx.Close() })
+		body(t, store, ctx)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		store := newStore(t)
+		srv := rpc.NewServer(store)
+		t.Cleanup(srv.Close)
+		ts, err := transport.Listen("127.0.0.1:0", srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ts.Close)
+		ctx, err := CreateCtx(ts.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ctx.Close() })
+		body(t, store, ctx)
+	})
+}
+
+func TestCtxLifecycle(t *testing.T) {
+	eachBackend(t, func(t *testing.T, store *core.Store, ctx *Ctx) {
+		addr, err := ctx.Alloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{7}, 128)
+		if err := ctx.Write(&addr, payload); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 128)
+		if _, err := ctx.Read(&addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatal("RPC read mismatch")
+		}
+		clear(buf)
+		if _, err := ctx.DirectRead(&addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatal("one-sided read mismatch")
+		}
+		if err := ctx.Free(&addr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.Read(&addr, buf); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("read after free: %v", err)
+		}
+		if _, err := ctx.DirectRead(&addr, buf); !errors.Is(err, core.ErrWrongObject) {
+			t.Fatalf("direct read after free: %v", err)
+		}
+	})
+}
+
+func TestCtxAllocTooLarge(t *testing.T) {
+	eachBackend(t, func(t *testing.T, store *core.Store, ctx *Ctx) {
+		if _, err := ctx.Alloc(1 << 26); !errors.Is(err, core.ErrNoClass) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+// fragment allocates many objects and then frees all but `keep` per block
+// (grouping by each pointer's actual block, since RPC workers spread
+// allocations over threads), leaving sparse blocks for compaction.
+func fragment(t *testing.T, store *core.Store, ctx *Ctx, size, total, keep int) []core.Addr {
+	t.Helper()
+	blockBytes := store.Config().BlockBytes
+	var all []core.Addr
+	for i := 0; i < total; i++ {
+		a, err := ctx.Alloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, a)
+	}
+	perBlock := make(map[uint64]int)
+	var live []core.Addr
+	for i := range all {
+		base := all[i].VAddr() &^ uint64(blockBytes-1)
+		if perBlock[base] < keep {
+			perBlock[base]++
+			payload := bytes.Repeat([]byte{byte(i)}, size)
+			if err := ctx.Write(&all[i], payload); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, all[i])
+			continue
+		}
+		if err := ctx.Free(&all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return live
+}
+
+func TestCtxSurvivesCompaction(t *testing.T) {
+	eachBackend(t, func(t *testing.T, store *core.Store, ctx *Ctx) {
+		per := store.Allocator().Config().SlotsPerBlock(64)
+		live := fragment(t, store, ctx, 64, 6*per, 2)
+		class := store.Allocator().Config().ClassFor(64)
+		r := store.CompactClass(core.CompactOptions{Class: class, Leader: 0})
+		if r.BlocksFreed == 0 {
+			t.Fatal("nothing compacted")
+		}
+		// RPC reads: transparent correction.
+		for i := range live {
+			buf := make([]byte, 64)
+			if _, err := ctx.Read(&live[i], buf); err != nil {
+				t.Fatalf("RPC read: %v", err)
+			}
+		}
+		// One-sided path: SmartRead falls back to ScanRead for indirect
+		// pointers and fixes them.
+		scans := 0
+		for i := range live {
+			buf := make([]byte, 64)
+			a := live[i]
+			if _, err := ctx.SmartRead(&a, buf); err != nil {
+				t.Fatalf("SmartRead: %v", err)
+			}
+			if a.HasFlag(core.FlagIndirectObserved) {
+				scans++
+				// Corrected pointer now works directly.
+				if _, err := ctx.DirectRead(&a, buf); err != nil {
+					t.Fatalf("DirectRead after fix: %v", err)
+				}
+			}
+		}
+		t.Logf("corrected %d/%d pointers via ScanRead", scans, len(live))
+	})
+}
+
+func TestCtxReleasePtr(t *testing.T) {
+	eachBackend(t, func(t *testing.T, store *core.Store, ctx *Ctx) {
+		per := store.Allocator().Config().SlotsPerBlock(64)
+		live := fragment(t, store, ctx, 64, 4*per, 1)
+		class := store.Allocator().Config().ClassFor(64)
+		if r := store.CompactClass(core.CompactOptions{Class: class, Leader: 0}); r.BlocksFreed == 0 {
+			t.Fatal("nothing compacted")
+		}
+		for i := range live {
+			old := live[i].VAddr()
+			if err := ctx.ReleasePtr(&live[i]); err != nil {
+				t.Fatalf("release: %v", err)
+			}
+			buf := make([]byte, 64)
+			if _, err := ctx.Read(&live[i], buf); err != nil {
+				t.Fatalf("read after release: %v", err)
+			}
+			_ = old
+		}
+		if store.PendingVaddrs() != 0 {
+			t.Fatalf("%d vaddrs still pending", store.PendingVaddrs())
+		}
+	})
+}
+
+func TestTCPDMABadKeyAndReconnect(t *testing.T) {
+	store := newStore(t)
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ts, err := transport.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	conn, err := transport.Dial(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+
+	ctx, err := CreateCtx(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctx.Close() })
+	addr, err := ctx.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid rkey breaks this QP; subsequent reads fail until reconnect.
+	buf := make([]byte, 8)
+	if err := conn.DirectRead(0xDEAD, addr.VAddr(), buf); !errors.Is(err, transport.ErrDMABadKey) {
+		t.Fatalf("bad key: %v", err)
+	}
+	if err := conn.DirectRead(addr.RKey(), addr.VAddr(), buf); !errors.Is(err, transport.ErrDMABroken) {
+		t.Fatalf("broken QP accepted read: %v", err)
+	}
+	if err := conn.ReconnectDMA(); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, core.DataStride(64))
+	if err := conn.DirectRead(addr.RKey(), addr.VAddr(), raw); err != nil {
+		t.Fatalf("read after reconnect: %v", err)
+	}
+}
+
+func TestCtxConcurrentClientsTCP(t *testing.T) {
+	store := newStore(t)
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ts, err := transport.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+
+	done := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		go func() {
+			ctx, err := CreateCtx(ts.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer ctx.Close()
+			var addrs []core.Addr
+			for i := 0; i < 50; i++ {
+				a, err := ctx.Alloc(64)
+				if err != nil {
+					done <- err
+					return
+				}
+				payload := bytes.Repeat([]byte{byte(c)}, 64)
+				if err := ctx.Write(&a, payload); err != nil {
+					done <- err
+					return
+				}
+				addrs = append(addrs, a)
+			}
+			buf := make([]byte, 64)
+			for i := range addrs {
+				if _, err := ctx.DirectRead(&addrs[i], buf); err != nil {
+					done <- err
+					return
+				}
+				if buf[0] != byte(c) {
+					done <- errors.New("cross-client data corruption")
+					return
+				}
+				if err := ctx.Free(&addrs[i]); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package cluster aggregates multiple CoRM nodes into one logical shared
+// memory space — the DSM deployment the paper's introduction motivates
+// ("the memory space may consist of hundreds of physical nodes"). Each
+// node runs the full CoRM stack (allocator, compaction, RDMA emulation);
+// the pool adds placement and a thin keyed facade:
+//
+//   - Pool: explicit placement. Alloc picks a node (least-allocated),
+//     returning a GlobalAddr = (node, 128-bit CoRM pointer). All Table 2
+//     operations route to the owning node, so compaction on any node
+//     stays invisible to pool users exactly as for a single node.
+//   - KV: optional convenience mapping string keys to objects with
+//     rendezvous (highest-random-weight) hashing, so adding nodes moves
+//     only ~1/n of the keys.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"corm/internal/client"
+	"corm/internal/core"
+)
+
+// GlobalAddr locates an object in the cluster: the owning node index plus
+// CoRM's 128-bit pointer on that node.
+type GlobalAddr struct {
+	Node int
+	Addr core.Addr
+}
+
+func (g GlobalAddr) String() string { return fmt.Sprintf("node%d/%v", g.Node, g.Addr) }
+
+// Pool is a client-side view over several CoRM nodes.
+type Pool struct {
+	mu     sync.Mutex
+	nodes  []*client.Ctx
+	labels []string
+	allocs []int64 // live allocations per node, for least-loaded placement
+}
+
+// Dial connects to every node address.
+func Dial(addrs []string) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	p := &Pool{}
+	for _, a := range addrs {
+		ctx, err := client.CreateCtx(a)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", a, err)
+		}
+		p.nodes = append(p.nodes, ctx)
+		p.labels = append(p.labels, a)
+	}
+	p.allocs = make([]int64, len(p.nodes))
+	return p, nil
+}
+
+// NewFromClients builds a pool over existing contexts (in-process tests).
+func NewFromClients(ctxs []*client.Ctx) *Pool {
+	labels := make([]string, len(ctxs))
+	for i := range labels {
+		labels[i] = fmt.Sprintf("node%d", i)
+	}
+	return &Pool{nodes: ctxs, labels: labels, allocs: make([]int64, len(ctxs))}
+}
+
+// Close tears down every connection.
+func (p *Pool) Close() {
+	for _, n := range p.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}
+
+// Nodes reports the pool size.
+func (p *Pool) Nodes() int { return len(p.nodes) }
+
+// Node exposes one node's client context.
+func (p *Pool) Node(i int) *client.Ctx { return p.nodes[i] }
+
+// Alloc places an object on the least-allocated node.
+func (p *Pool) Alloc(size int) (GlobalAddr, error) {
+	p.mu.Lock()
+	best := 0
+	for i := 1; i < len(p.allocs); i++ {
+		if p.allocs[i] < p.allocs[best] {
+			best = i
+		}
+	}
+	p.allocs[best]++
+	p.mu.Unlock()
+	addr, err := p.nodes[best].Alloc(size)
+	if err != nil {
+		p.mu.Lock()
+		p.allocs[best]--
+		p.mu.Unlock()
+		return GlobalAddr{}, err
+	}
+	return GlobalAddr{Node: best, Addr: addr}, nil
+}
+
+// AllocOn places an object on a specific node.
+func (p *Pool) AllocOn(node, size int) (GlobalAddr, error) {
+	if node < 0 || node >= len(p.nodes) {
+		return GlobalAddr{}, fmt.Errorf("cluster: node %d out of range", node)
+	}
+	addr, err := p.nodes[node].Alloc(size)
+	if err != nil {
+		return GlobalAddr{}, err
+	}
+	p.mu.Lock()
+	p.allocs[node]++
+	p.mu.Unlock()
+	return GlobalAddr{Node: node, Addr: addr}, nil
+}
+
+func (p *Pool) ctxOf(g GlobalAddr) (*client.Ctx, error) {
+	if g.Node < 0 || g.Node >= len(p.nodes) {
+		return nil, fmt.Errorf("cluster: node %d out of range", g.Node)
+	}
+	return p.nodes[g.Node], nil
+}
+
+// Write updates an object; the pointer is corrected in place.
+func (p *Pool) Write(g *GlobalAddr, payload []byte) error {
+	ctx, err := p.ctxOf(*g)
+	if err != nil {
+		return err
+	}
+	return ctx.Write(&g.Addr, payload)
+}
+
+// Read reads via RPC with transparent correction.
+func (p *Pool) Read(g *GlobalAddr, buf []byte) (int, error) {
+	ctx, err := p.ctxOf(*g)
+	if err != nil {
+		return 0, err
+	}
+	return ctx.Read(&g.Addr, buf)
+}
+
+// SmartRead reads one-sidedly, repairing indirect pointers with ScanRead.
+func (p *Pool) SmartRead(g *GlobalAddr, buf []byte) (int, error) {
+	ctx, err := p.ctxOf(*g)
+	if err != nil {
+		return 0, err
+	}
+	return ctx.SmartRead(&g.Addr, buf)
+}
+
+// Free releases the object.
+func (p *Pool) Free(g *GlobalAddr) error {
+	ctx, err := p.ctxOf(*g)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Free(&g.Addr); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.allocs[g.Node]--
+	p.mu.Unlock()
+	return nil
+}
+
+// ReleasePtr releases the old virtual address of a corrected pointer.
+func (p *Pool) ReleasePtr(g *GlobalAddr) error {
+	ctx, err := p.ctxOf(*g)
+	if err != nil {
+		return err
+	}
+	return ctx.ReleasePtr(&g.Addr)
+}
+
+// ClassSize reports the payload capacity behind a global pointer.
+func (p *Pool) ClassSize(g GlobalAddr) (int, error) {
+	ctx, err := p.ctxOf(g)
+	if err != nil {
+		return 0, err
+	}
+	return ctx.ClassSize(g.Addr)
+}
+
+// --- Keyed facade ---
+
+// KV maps string keys onto pool objects with rendezvous hashing.
+type KV struct {
+	pool *Pool
+
+	mu      sync.Mutex
+	entries map[string]*kvEntry
+}
+
+type kvEntry struct {
+	addr GlobalAddr
+	size int
+}
+
+// NewKV builds a keyed store over the pool.
+func NewKV(pool *Pool) *KV {
+	return &KV{pool: pool, entries: make(map[string]*kvEntry)}
+}
+
+// NodeFor returns the rendezvous-hash owner node for a key: the node
+// whose hash(key, node) is highest. Adding or removing a node relocates
+// only the keys it wins or loses.
+func (kv *KV) NodeFor(key string) int {
+	best, bestScore := 0, uint64(0)
+	for i := 0; i < kv.pool.Nodes(); i++ {
+		h := fnv.New64a()
+		// Node id first, so its bytes diffuse through the whole key; a
+		// final avalanche step removes FNV's weak tail mixing.
+		fmt.Fprintf(h, "%d/%s", i, key)
+		score := mix64(h.Sum64())
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// mix64 is a finalizing avalanche (splitmix64's) for rendezvous scores.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Put stores value under key on its rendezvous node.
+func (kv *KV) Put(key string, value []byte) error {
+	kv.mu.Lock()
+	old := kv.entries[key]
+	kv.mu.Unlock()
+	if old != nil {
+		if err := kv.pool.Free(&old.addr); err != nil {
+			return err
+		}
+	}
+	g, err := kv.pool.AllocOn(kv.NodeFor(key), len(value))
+	if err != nil {
+		return err
+	}
+	if err := kv.pool.Write(&g, value); err != nil {
+		return err
+	}
+	kv.mu.Lock()
+	kv.entries[key] = &kvEntry{addr: g, size: len(value)}
+	kv.mu.Unlock()
+	return nil
+}
+
+// Get fetches a value with a one-sided read; pointers corrected by
+// compaction are repaired in place.
+func (kv *KV) Get(key string) ([]byte, bool, error) {
+	kv.mu.Lock()
+	e := kv.entries[key]
+	kv.mu.Unlock()
+	if e == nil {
+		return nil, false, nil
+	}
+	classSize, err := kv.pool.ClassSize(e.addr)
+	if err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, classSize)
+	if _, err := kv.pool.SmartRead(&e.addr, buf); err != nil {
+		return nil, false, err
+	}
+	return buf[:e.size], true, nil
+}
+
+// Delete frees a key's object.
+func (kv *KV) Delete(key string) error {
+	kv.mu.Lock()
+	e := kv.entries[key]
+	delete(kv.entries, key)
+	kv.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	return kv.pool.Free(&e.addr)
+}
+
+// Len reports the number of keys.
+func (kv *KV) Len() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return len(kv.entries)
+}

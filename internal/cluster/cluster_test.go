@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"corm/internal/client"
+	"corm/internal/core"
+	"corm/internal/rpc"
+	"corm/internal/timing"
+	"corm/internal/transport"
+)
+
+// spinCluster starts n TCP-backed CoRM nodes and a pool over them.
+func spinCluster(t *testing.T, n int) (*Pool, []*core.Store) {
+	t.Helper()
+	var addrs []string
+	var stores []*core.Store
+	for i := 0; i < n; i++ {
+		store, err := core.NewStore(core.Config{
+			Workers: 2, Strategy: core.StrategyCoRM, DataBacked: true,
+			Remap: core.RemapODPPrefetch,
+			Model: timing.Default().WithNIC(timing.ConnectX5()),
+			Seed:  int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := rpc.NewServer(store)
+		t.Cleanup(srv.Close)
+		ts, err := transport.Listen("127.0.0.1:0", srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ts.Close)
+		addrs = append(addrs, ts.Addr())
+		stores = append(stores, store)
+	}
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	return pool, stores
+}
+
+func TestPoolSpreadsAllocations(t *testing.T) {
+	pool, stores := spinCluster(t, 3)
+	for i := 0; i < 30; i++ {
+		g, err := pool.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{byte(i)}, 64)
+		if err := pool.Write(&g, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Least-loaded placement balances exactly.
+	for i, s := range stores {
+		if got := s.Stats().Allocs; got != 10 {
+			t.Errorf("node %d allocs = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestPoolReadWriteFreeAcrossNodes(t *testing.T) {
+	pool, _ := spinCluster(t, 3)
+	type obj struct {
+		g       GlobalAddr
+		payload []byte
+	}
+	var objs []obj
+	for i := 0; i < 12; i++ {
+		g, err := pool.Alloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 128)
+		if err := pool.Write(&g, payload); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj{g, payload})
+	}
+	for i := range objs {
+		buf := make([]byte, 128)
+		if _, err := pool.SmartRead(&objs[i].g, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, objs[i].payload) {
+			t.Fatalf("cross-node read mismatch at %d", i)
+		}
+	}
+	for i := range objs {
+		if err := pool.Free(&objs[i].g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolSurvivesPerNodeCompaction(t *testing.T) {
+	pool, stores := spinCluster(t, 2)
+	// Fragment node 0 heavily through the pool.
+	var keep []GlobalAddr
+	var drop []GlobalAddr
+	for i := 0; i < 512; i++ {
+		g, err := pool.AllocOn(0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			payload := bytes.Repeat([]byte{0x77}, 64)
+			if err := pool.Write(&g, payload); err != nil {
+				t.Fatal(err)
+			}
+			keep = append(keep, g)
+		} else {
+			drop = append(drop, g)
+		}
+	}
+	for i := range drop {
+		if err := pool.Free(&drop[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := stores[0].CompactAll(0, nil)
+	if r.BlocksFreed == 0 {
+		t.Fatal("node 0 compacted nothing")
+	}
+	for i := range keep {
+		buf := make([]byte, 64)
+		if _, err := pool.SmartRead(&keep[i], buf); err != nil {
+			t.Fatalf("object lost after node compaction: %v", err)
+		}
+		if buf[0] != 0x77 {
+			t.Fatal("corrupt data after node compaction")
+		}
+	}
+}
+
+func TestPoolInvalidNode(t *testing.T) {
+	pool, _ := spinCluster(t, 2)
+	bad := GlobalAddr{Node: 9}
+	if _, err := pool.Read(&bad, make([]byte, 8)); err == nil {
+		t.Fatal("read from bogus node succeeded")
+	}
+	if _, err := pool.AllocOn(-1, 64); err == nil {
+		t.Fatal("alloc on bogus node succeeded")
+	}
+}
+
+func TestKVRendezvousStability(t *testing.T) {
+	pool, _ := spinCluster(t, 3)
+	kv := NewKV(pool)
+	// Deterministic mapping.
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if kv.NodeFor(key) != kv.NodeFor(key) {
+			t.Fatal("rendezvous hash unstable")
+		}
+	}
+	// All nodes get some keys.
+	counts := make(map[int]int)
+	for i := 0; i < 300; i++ {
+		counts[kv.NodeFor(fmt.Sprintf("key-%d", i))]++
+	}
+	for n := 0; n < 3; n++ {
+		if counts[n] < 50 {
+			t.Fatalf("node %d underloaded: %v", n, counts)
+		}
+	}
+}
+
+func TestKVPutGetDelete(t *testing.T) {
+	pool, _ := spinCluster(t, 3)
+	kv := NewKV(pool)
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		if err := kv.Put(key, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kv.Len() != 60 {
+		t.Fatalf("len = %d", kv.Len())
+	}
+	v, ok, err := kv.Get("user:7")
+	if err != nil || !ok || string(v) != "value-7" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	// Overwrite replaces the object.
+	if err := kv.Put("user:7", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = kv.Get("user:7")
+	if !ok || string(v) != "fresh" {
+		t.Fatalf("after overwrite: %q", v)
+	}
+	if err := kv.Delete("user:7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := kv.Get("user:7"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := kv.Delete("user:7"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestNewFromClients(t *testing.T) {
+	store, err := core.NewStore(core.Config{
+		Workers: 2, Strategy: core.StrategyCoRM, DataBacked: true,
+		Remap: core.RemapODPPrefetch,
+		Model: timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ctx, err := client.NewLocal(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewFromClients([]*client.Ctx{ctx})
+	t.Cleanup(pool.Close)
+	g, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Free(&g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package core implements the CoRM store: the paper's primary contribution.
+//
+// A Store is one CoRM node. It owns the simulated physical memory, the
+// address space, the RNIC, the two-level concurrent allocator, and the
+// compaction machinery. Server-side operations (Alloc, Free, Read, Write,
+// ReleasePtr) are what the RPC workers execute; client-side one-sided
+// operations (DirectRead, ScanRead) run against the NIC without touching
+// the store's CPU path, exactly as in the paper.
+package core
+
+import "fmt"
+
+// Addr is CoRM's 128-bit object pointer (§3, Table 2). It packs the 64-bit
+// object virtual address (block base + offset hint) together with the
+// RDMA metadata a client needs for one-sided access:
+//
+//	Lo[ 0:48]  object virtual address (48-bit, slot-aligned offset hint)
+//	Lo[48:64]  object ID (random, block-local; §3.1.2)
+//	Hi[ 0:32]  r_key of the block's memory region
+//	Hi[32:40]  size-class index
+//	Hi[40:48]  flags
+//	Hi[48:64]  reserved
+//
+// API calls take *Addr: pointer correction updates the offset hint in
+// place, turning an indirect pointer back into a direct one (§3.2).
+type Addr struct {
+	Lo, Hi uint64
+}
+
+// Addr flag bits.
+const (
+	// FlagIndirectObserved is set by the library when it had to correct
+	// the pointer, implementing "CoRM always notifies the user if it uses
+	// an old pointer" (§3.3).
+	FlagIndirectObserved = 1 << 0
+)
+
+const vaddrMask = (1 << 48) - 1
+
+// MakeAddr assembles a pointer from its parts.
+func MakeAddr(vaddr uint64, id uint16, rkey uint32, class uint8) Addr {
+	if vaddr&^uint64(vaddrMask) != 0 {
+		panic(fmt.Sprintf("core: vaddr %#x exceeds 48 bits", vaddr))
+	}
+	return Addr{
+		Lo: vaddr | uint64(id)<<48,
+		Hi: uint64(rkey) | uint64(class)<<32,
+	}
+}
+
+// VAddr returns the object's virtual address (block base + offset hint).
+func (a Addr) VAddr() uint64 { return a.Lo & vaddrMask }
+
+// ID returns the block-local object identifier.
+func (a Addr) ID() uint16 { return uint16(a.Lo >> 48) }
+
+// RKey returns the remote access key of the object's memory region.
+func (a Addr) RKey() uint32 { return uint32(a.Hi) }
+
+// Class returns the size-class index.
+func (a Addr) Class() uint8 { return uint8(a.Hi >> 32) }
+
+// Flags returns the flag byte.
+func (a Addr) Flags() uint8 { return uint8(a.Hi >> 40) }
+
+// SetVAddr updates the address/offset hint in place (pointer correction).
+func (a *Addr) SetVAddr(v uint64) {
+	if v&^uint64(vaddrMask) != 0 {
+		panic(fmt.Sprintf("core: vaddr %#x exceeds 48 bits", v))
+	}
+	a.Lo = a.Lo&^uint64(vaddrMask) | v
+}
+
+// SetFlag sets a flag bit.
+func (a *Addr) SetFlag(bit uint8) { a.Hi |= uint64(bit) << 40 }
+
+// ClearFlag clears a flag bit.
+func (a *Addr) ClearFlag(bit uint8) { a.Hi &^= uint64(bit) << 40 }
+
+// HasFlag reports whether a flag bit is set.
+func (a Addr) HasFlag(bit uint8) bool { return a.Flags()&bit != 0 }
+
+// IsZero reports whether the pointer is the zero value (invalid).
+func (a Addr) IsZero() bool { return a.Lo == 0 && a.Hi == 0 }
+
+func (a Addr) String() string {
+	return fmt.Sprintf("addr{v=%#x id=%d rkey=%#x class=%d flags=%#x}",
+		a.VAddr(), a.ID(), a.RKey(), a.Class(), a.Flags())
+}

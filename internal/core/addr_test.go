@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrPackUnpack(t *testing.T) {
+	a := MakeAddr(0x1234_5678_9abc, 0xBEEF, 0x8000_0042, 7)
+	if a.VAddr() != 0x1234_5678_9abc {
+		t.Errorf("vaddr = %#x", a.VAddr())
+	}
+	if a.ID() != 0xBEEF {
+		t.Errorf("id = %#x", a.ID())
+	}
+	if a.RKey() != 0x8000_0042 {
+		t.Errorf("rkey = %#x", a.RKey())
+	}
+	if a.Class() != 7 {
+		t.Errorf("class = %d", a.Class())
+	}
+	if a.Flags() != 0 {
+		t.Errorf("flags = %#x", a.Flags())
+	}
+}
+
+func TestAddrQuickRoundtrip(t *testing.T) {
+	f := func(vaddr uint64, id uint16, rkey uint32, class uint8) bool {
+		vaddr &= vaddrMask
+		a := MakeAddr(vaddr, id, rkey, class)
+		return a.VAddr() == vaddr && a.ID() == id && a.RKey() == rkey && a.Class() == class
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrSetVAddrPreservesRest(t *testing.T) {
+	f := func(vaddr, v2 uint64, id uint16, rkey uint32, class uint8) bool {
+		vaddr &= vaddrMask
+		v2 &= vaddrMask
+		a := MakeAddr(vaddr, id, rkey, class)
+		a.SetVAddr(v2)
+		return a.VAddr() == v2 && a.ID() == id && a.RKey() == rkey && a.Class() == class
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrFlags(t *testing.T) {
+	a := MakeAddr(0x1000, 1, 2, 3)
+	if a.HasFlag(FlagIndirectObserved) {
+		t.Fatal("fresh addr has flag set")
+	}
+	a.SetFlag(FlagIndirectObserved)
+	if !a.HasFlag(FlagIndirectObserved) {
+		t.Fatal("flag not set")
+	}
+	if a.VAddr() != 0x1000 || a.ID() != 1 || a.RKey() != 2 || a.Class() != 3 {
+		t.Fatal("flag corrupted other fields")
+	}
+	a.ClearFlag(FlagIndirectObserved)
+	if a.HasFlag(FlagIndirectObserved) {
+		t.Fatal("flag not cleared")
+	}
+}
+
+func TestAddrOversizedVaddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("49-bit vaddr accepted")
+		}
+	}()
+	MakeAddr(1<<48, 0, 0, 0)
+}
+
+func TestAddrZero(t *testing.T) {
+	var a Addr
+	if !a.IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	if MakeAddr(0x1000, 0, 0, 0).IsZero() {
+		t.Fatal("valid addr reported zero")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"corm/internal/prob"
+)
+
+// Auto-labeling of size classes — the future-work direction sketched in
+// §4.4's discussion: "users can tune object ID sizes for different
+// size-classes, according to the specific workloads... We consider an
+// auto-labeling strategy of class sizes as future work."
+//
+// The tuner watches per-class allocation behaviour and recommends, for
+// each class, whether compaction is worth its metadata overhead and how
+// many ID bits buy a useful compaction probability:
+//
+//   - hot classes (high allocation/free churn) keep their blocks densely
+//     recycled and gain little from compaction — label them NoCompaction
+//     and save the header bytes;
+//   - cold, sparsely used classes fragment; pick the smallest ID width
+//     whose analytic no-collision probability (§3.4) at the observed
+//     occupancy clears a usefulness threshold.
+
+// ClassLabel is the tuner's recommendation for one size class.
+type ClassLabel struct {
+	Class       int     // class index
+	Size        int     // payload bytes
+	Occupancy   float64 // mean live-object occupancy of the class's blocks
+	Churn       float64 // frees per alloc (1.0 = perfectly recycled)
+	IDBits      int     // recommended identifier width (0 = offsets suffice)
+	Compact     bool    // whether compaction should manage this class
+	Probability float64 // no-collision probability at the recommendation
+}
+
+// AutoTuner accumulates per-class allocation statistics.
+type AutoTuner struct {
+	store  *Store
+	allocs []int64
+	frees  []int64
+}
+
+// NewAutoTuner attaches a tuner to a store. Feed it with Observe* calls
+// (or let Snapshot derive occupancy from the live allocator state).
+func NewAutoTuner(s *Store) *AutoTuner {
+	n := len(s.cfg.Classes)
+	return &AutoTuner{store: s, allocs: make([]int64, n), frees: make([]int64, n)}
+}
+
+// ObserveAlloc records an allocation in a class.
+func (a *AutoTuner) ObserveAlloc(class int) { a.allocs[class]++ }
+
+// ObserveFree records a free in a class.
+func (a *AutoTuner) ObserveFree(class int) { a.frees[class]++ }
+
+// usefulProbability is the compaction probability below which managing a
+// class is not worth the header bytes.
+const usefulProbability = 0.10
+
+// hotChurn is the frees-per-alloc ratio above which a class is considered
+// self-recycling (allocation slots are reused before blocks strand).
+const hotChurn = 0.9
+
+// Snapshot computes recommendations from the observed counters and the
+// allocator's current block population.
+func (a *AutoTuner) Snapshot() []ClassLabel {
+	cfg := a.store.cfg
+	out := make([]ClassLabel, 0, len(cfg.Classes))
+	for class, size := range cfg.Classes {
+		slots := a.store.proc.Config().SlotsPerBlock(size)
+		label := ClassLabel{Class: class, Size: size}
+		if a.allocs[class] > 0 {
+			label.Churn = float64(a.frees[class]) / float64(a.allocs[class])
+		}
+		blocks := a.store.proc.BlocksOfClass(class)
+		if len(blocks) == 0 {
+			out = append(out, label)
+			continue
+		}
+		var occ float64
+		for _, b := range blocks {
+			occ += b.Occupancy()
+		}
+		occ /= float64(len(blocks))
+		label.Occupancy = occ
+
+		// Hot classes self-recycle: skip compaction, save the bytes.
+		if label.Churn >= hotChurn && occ >= 0.5 {
+			out = append(out, label)
+			continue
+		}
+
+		b := int(occ*float64(slots) + 0.5)
+		// Offsets (CoRM-0) might already be enough.
+		if p := prob.NoCollision(slots, slots, b, b); p >= usefulProbability {
+			label.Compact = true
+			label.IDBits = 0
+			label.Probability = p
+			out = append(out, label)
+			continue
+		}
+		// Otherwise the smallest ID width that clears the bar; 16 is the
+		// widest the pointer format carries.
+		for bits := 8; bits <= 16; bits++ {
+			if slots > 1<<bits {
+				continue
+			}
+			if p := prob.CoRM(bits, slots, b, b); p >= usefulProbability {
+				label.Compact = true
+				label.IDBits = bits
+				label.Probability = p
+				break
+			}
+		}
+		out = append(out, label)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// OverheadSavings estimates the bytes/object saved versus labelling every
+// class with fixed ID bits, weighted by live objects.
+func (a *AutoTuner) OverheadSavings(fixedBits int) int64 {
+	labels := a.Snapshot()
+	var saved int64
+	for _, l := range labels {
+		frag := a.store.proc.Fragmentation(l.Class)
+		liveObjs := int64(0)
+		if stride := a.store.proc.Config().Stride(l.Size); stride > 0 {
+			liveObjs = frag.UsedBytes / int64(stride)
+		}
+		fixed := int64(math.Ceil(float64(28+fixedBits) / 8))
+		var chosen int64
+		switch {
+		case !l.Compact:
+			chosen = 0
+		case l.IDBits == 0:
+			chosen = (28 + 7) / 8
+		default:
+			chosen = int64(math.Ceil(float64(28+l.IDBits) / 8))
+		}
+		if fixed > chosen {
+			saved += liveObjs * (fixed - chosen)
+		}
+	}
+	return saved
+}

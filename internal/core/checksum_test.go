@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func checksumStoreT(t *testing.T) *Store {
+	t.Helper()
+	return testStore(t, func(c *Config) { c.Consistency = ConsistencyChecksum })
+}
+
+func TestChecksumStrideDenser(t *testing.T) {
+	// §4.2.1: the checksum layout avoids per-cacheline version bytes and
+	// cacheline alignment, so large classes pack tighter.
+	for _, size := range []int{512, 1024, 2048, 8192} {
+		v := StrideOf(ConsistencyVersions, size)
+		c := StrideOf(ConsistencyChecksum, size)
+		if c >= v {
+			t.Errorf("checksum stride %d >= versions stride %d at %d B", c, v, size)
+		}
+	}
+	// Both must hold payload + metadata.
+	if StrideOf(ConsistencyChecksum, 64) < headerBytes+64+checksumBytes {
+		t.Error("checksum stride too small")
+	}
+}
+
+func TestChecksumLayoutRoundtrip(t *testing.T) {
+	f := func(seed uint8, sizeRaw uint16, version uint32) bool {
+		size := int(sizeRaw)%2048 + 8
+		size = size / 8 * 8
+		slot := make([]byte, checksumStride(size))
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(int(seed) + i)
+		}
+		encodeHeader(slot, header{Version: version, Alloc: true, ID: 7})
+		sealChecksum(slot, payload, size, version)
+		if !checksumConsistent(slot, size) {
+			return false
+		}
+		if !bytes.Equal(checksumPayload(slot, size), payload) {
+			return false
+		}
+		// Any payload corruption is detected.
+		slot[headerBytes+size/2] ^= 0xFF
+		return !checksumConsistent(slot, size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsVersionSkew(t *testing.T) {
+	size := 128
+	slot := make([]byte, checksumStride(size))
+	encodeHeader(slot, header{Version: 5, Alloc: true})
+	sealChecksum(slot, make([]byte, size), size, 5)
+	if !checksumConsistent(slot, size) {
+		t.Fatal("clean slot inconsistent")
+	}
+	// A checksum sealed under an older version must not validate against
+	// a newer header version (stale checksum + fresh header).
+	h := decodeHeader(slot)
+	h.Version = 6
+	encodeHeader(slot, h)
+	if checksumConsistent(slot, size) {
+		t.Fatal("version skew not detected")
+	}
+}
+
+func TestChecksumStoreRoundtrip(t *testing.T) {
+	s := checksumStoreT(t)
+	for _, size := range []int{8, 64, 200, 2048} {
+		res, err := s.AllocOn(0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := res.Addr
+		payload := fill(size, byte(size))
+		if err := s.Write(&addr, payload); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, s.ClassSize(int(addr.Class())))
+		if _, err := s.Read(&addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:size], payload) {
+			t.Fatalf("RPC read mismatch at %d B", size)
+		}
+		client := s.ConnectClient()
+		clear(buf)
+		if _, err := client.DirectRead(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:size], payload) {
+			t.Fatalf("one-sided read mismatch at %d B", size)
+		}
+		if err := s.Free(&addr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.DirectRead(addr, buf); !errors.Is(err, ErrWrongObject) {
+			t.Fatalf("read after free: %v", err)
+		}
+	}
+}
+
+func TestChecksumTornReadDetection(t *testing.T) {
+	s := checksumStoreT(t)
+	size := 2048
+	res, err := s.AllocOn(0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := res.Addr
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a := addr
+		for round := byte(1); ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Write(&a, bytes.Repeat([]byte{round}, size)); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+
+	client := s.ConnectClient()
+	buf := make([]byte, size)
+	ok, inconsistent := 0, 0
+	for i := 0; i < 5000; i++ {
+		_, err := client.DirectRead(addr, buf)
+		switch {
+		case err == nil:
+			ok++
+			first := buf[0]
+			for _, b := range buf {
+				if b != first {
+					t.Fatalf("silent torn read under checksum mode: %d vs %d", first, b)
+				}
+			}
+		case errors.Is(err, ErrInconsistent):
+			inconsistent++
+		default:
+			t.Fatalf("DirectRead: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if ok == 0 {
+		t.Fatal("no consistent read")
+	}
+	t.Logf("checksum mode: %d consistent, %d detected-inconsistent", ok, inconsistent)
+}
+
+func TestChecksumCompactionSurvives(t *testing.T) {
+	s := checksumStoreT(t)
+	live := sparseBlocks(t, s, 64, 6, 2)
+	class := s.Allocator().Config().ClassFor(64)
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed == 0 {
+		t.Fatal("nothing compacted")
+	}
+	client := s.ConnectClient()
+	for addr, payload := range live {
+		buf := make([]byte, 64)
+		_, err := client.DirectRead(*addr, buf)
+		if errors.Is(err, ErrWrongObject) {
+			if _, err = client.ScanRead(addr, buf); err != nil {
+				t.Fatalf("ScanRead: %v", err)
+			}
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatal("payload corrupted across checksum-mode compaction")
+		}
+	}
+}
+
+func TestChecksumLocalReader(t *testing.T) {
+	s := checksumStoreT(t)
+	res, _ := s.AllocOn(0, 256)
+	addr := res.Addr
+	payload := fill(256, 3)
+	if err := s.Write(&addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	reader := NewLocalReader(s)
+	obj, err := reader.Bind(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if _, err := reader.Read(obj, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("local checksum read mismatch")
+	}
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"corm/internal/alloc"
+	"corm/internal/mem"
+	"corm/internal/prob"
+)
+
+// Phase identifies a stage of the compaction process for time accounting.
+// The OnPhase hook receives the modeled duration of each stage; the
+// discrete-event simulation advances its clock there, so concurrent
+// simulated clients observe locks and unavailability windows with
+// realistic timing.
+type Phase string
+
+const (
+	PhaseCollect Phase = "collect" // block-collection broadcast (§3.1.4)
+	PhaseLock    Phase = "lock"    // locking objects under compaction
+	PhaseCopy    Phase = "copy"    // object copy + metadata merge
+	PhaseMmap    Phase = "mmap"    // virtual remapping of the source block
+	PhaseRereg   Phase = "rereg"   // ibv_rereg_mr window (QP-breaking)
+	PhaseAdvise  Phase = "advise"  // ibv_advise_mr prefetch
+	PhaseUnlock  Phase = "unlock"  // releasing compaction locks
+)
+
+// CompactOptions controls one compaction run.
+type CompactOptions struct {
+	// Class is the size-class index to compact.
+	Class int
+	// Leader is the worker thread acting as compaction leader.
+	Leader int
+	// MaxOccupancy bounds which blocks are collected (default 0.9: non-full
+	// low-occupancy blocks).
+	MaxOccupancy float64
+	// MaxBlocks bounds how many source blocks may be freed (0 = unlimited);
+	// §4.3.2 notes an upper bound shortens unavailability windows.
+	MaxBlocks int
+	// MaxAttempts bounds how many candidate destinations are tried per
+	// source block before giving up (default 8). High-collision classes
+	// would otherwise degenerate into a quadratic scan that merges nothing.
+	MaxAttempts int
+	// OnPhase, if set, is invoked with the modeled duration of each stage.
+	OnPhase func(Phase, time.Duration)
+}
+
+// CompactReport summarizes a compaction run.
+type CompactReport struct {
+	Collected     int // blocks gathered from the worker threads
+	Merges        int // merge operations performed
+	BlocksFreed   int // physical blocks released
+	ObjectsCopied int // objects copied between blocks
+	ObjectsMoved  int // objects whose offset changed (pointers went indirect)
+	PagesRemapped int
+	FreedBytes    int64
+	Duration      time.Duration // total modeled time
+}
+
+func (o CompactOptions) withDefaults() CompactOptions {
+	if o.MaxOccupancy == 0 {
+		o.MaxOccupancy = 0.9
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 8
+	}
+	return o
+}
+
+// mergeSet caches a candidate block's conflict state so the greedy pairing
+// loop does not re-snapshot metadata for every pair it considers.
+type mergeSet struct {
+	block *alloc.Block
+	used  int
+	ids   map[uint16]bool // CoRM: live object IDs
+	slots map[int]bool    // Mesh/CoRM-0: occupied offsets
+}
+
+func (s *Store) snapshotSet(strategy Strategy, b *alloc.Block) *mergeSet {
+	m := &mergeSet{block: b, used: b.Used()}
+	if strategy == StrategyCoRM {
+		m.ids = s.stateOf(b).meta.idSet()
+	} else {
+		m.slots = make(map[int]bool, m.used)
+		for _, idx := range b.UsedSlots() {
+			m.slots[idx] = true
+		}
+	}
+	return m
+}
+
+// disjoint reports whether two cached sets have no conflicts.
+func (a *mergeSet) disjoint(b *mergeSet) bool {
+	if a.ids != nil {
+		x, y := a.ids, b.ids
+		if len(x) > len(y) {
+			x, y = y, x
+		}
+		for id := range x {
+			if y[id] {
+				return false
+			}
+		}
+		return true
+	}
+	x, y := a.slots, b.slots
+	if len(x) > len(y) {
+		x, y = y, x
+	}
+	for idx := range x {
+		if y[idx] {
+			return false
+		}
+	}
+	return true
+}
+
+// absorb folds src's post-merge state into the destination's cached set.
+// Moved objects may occupy new offsets, so the destination's sets are
+// rebuilt from the live block.
+func (s *Store) absorb(strategy Strategy, dst *mergeSet) {
+	fresh := s.snapshotSet(strategy, dst.block)
+	dst.used = fresh.used
+	dst.ids = fresh.ids
+	dst.slots = fresh.slots
+}
+
+// phase charges a stage's modeled duration.
+func (s *Store) phase(opts *CompactOptions, r *CompactReport, p Phase, d time.Duration) {
+	r.Duration += d
+	if opts.OnPhase != nil {
+		opts.OnPhase(p, d)
+	}
+}
+
+// CompactClass runs the two-stage compaction of §3.1.4 for one size class:
+// the leader collects low-occupancy blocks from all threads, then greedily
+// merges conflict-free pairs, remapping freed source blocks onto their
+// destinations so existing pointers (and RDMA access) survive.
+func (s *Store) CompactClass(opts CompactOptions) CompactReport {
+	opts = opts.withDefaults()
+	var r CompactReport
+
+	classSize := s.cfg.Classes[opts.Class]
+	slots := s.proc.Config().SlotsPerBlock(classSize)
+	strategy := s.cfg.classStrategy(slots)
+	if strategy == StrategyNone {
+		return r
+	}
+
+	// Stage 1: block collection. Every thread hands over its candidate
+	// blocks; the broadcast costs Collection(threads) on the leader.
+	var candidates []*alloc.Block
+	for _, t := range s.thread {
+		candidates = append(candidates, t.CollectBelow(opts.Class, opts.MaxOccupancy, opts.Leader)...)
+	}
+	s.phase(&opts, &r, PhaseCollect, s.cfg.Model.CPU.Collection(len(s.thread)))
+	r.Collected = len(candidates)
+	if len(candidates) < 2 {
+		s.returnBlocks(opts.Leader, candidates)
+		return r
+	}
+
+	// Stage 2: merge least-utilized blocks first (§3.1.4: fewer objects,
+	// fewer collisions).
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].Used() < candidates[j].Used()
+	})
+	live := make([]*mergeSet, len(candidates))
+	for i, b := range candidates {
+		live[i] = s.snapshotSet(strategy, b)
+	}
+	for i := 0; i < len(live); i++ {
+		src := live[i]
+		if src == nil {
+			continue
+		}
+		if opts.MaxBlocks > 0 && r.BlocksFreed >= opts.MaxBlocks {
+			break
+		}
+		// Choose the fullest fitting destination (tightest packing) but
+		// prune candidates whose analytic no-collision probability (§3.4)
+		// is hopeless, so the bounded attempts are spent where merges can
+		// actually succeed — the least-utilized-first spirit of §3.1.4.
+		idSpace := slots
+		if strategy == StrategyCoRM {
+			idSpace = 1 << s.cfg.IDBits
+		}
+		best := -1
+		attempts := 0
+		// scans bounds how many candidates are even examined, so classes
+		// where no pairing can succeed stay cheap.
+		scans := 64 * opts.MaxAttempts
+		for j := len(live) - 1; j > i && attempts < opts.MaxAttempts && scans > 0; j-- {
+			dst := live[j]
+			if dst == nil || dst == src {
+				continue
+			}
+			if src.used+dst.used > slots {
+				continue // too full to ever fit; free skip
+			}
+			scans-- // probability evaluation below is the costly part
+			if prob.NoCollision(idSpace, slots, src.used, dst.used) < 0.02 {
+				continue // hopeless pairing; don't burn an attempt
+			}
+			attempts++
+			if src.disjoint(dst) {
+				best = j
+				break
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		dst := live[best]
+		s.merge(strategy, src.block, dst.block, &opts, &r)
+		s.absorb(strategy, dst)
+		live[i] = nil
+		r.Merges++
+		r.BlocksFreed++
+		r.FreedBytes += int64(s.cfg.BlockBytes)
+	}
+
+	// Hand surviving blocks (including merge destinations) to the leader.
+	var leftovers []*alloc.Block
+	for _, m := range live {
+		if m != nil {
+			leftovers = append(leftovers, m.block)
+		}
+	}
+	s.returnBlocks(opts.Leader, leftovers)
+
+	s.mu.Lock()
+	s.stats.Compactions += int64(r.Merges)
+	s.stats.BlocksFreed += int64(r.BlocksFreed)
+	s.stats.ObjectsMoved += int64(r.ObjectsMoved)
+	s.mu.Unlock()
+	return r
+}
+
+// CompactAll runs CompactClass over every class whose fragmentation ratio
+// exceeds the threshold (§3.1.3), returning the merged report.
+func (s *Store) CompactAll(leader int, onPhase func(Phase, time.Duration)) CompactReport {
+	var total CompactReport
+	for _, class := range s.NeedsCompaction() {
+		r := s.CompactClass(CompactOptions{Class: class, Leader: leader, OnPhase: onPhase})
+		total.Collected += r.Collected
+		total.Merges += r.Merges
+		total.BlocksFreed += r.BlocksFreed
+		total.ObjectsCopied += r.ObjectsCopied
+		total.ObjectsMoved += r.ObjectsMoved
+		total.PagesRemapped += r.PagesRemapped
+		total.FreedBytes += r.FreedBytes
+		total.Duration += r.Duration
+	}
+	return total
+}
+
+func (s *Store) returnBlocks(leader int, blocks []*alloc.Block) {
+	for _, b := range blocks {
+		s.thread[leader].AdoptBlock(b)
+	}
+}
+
+// Compatible implements the strategy-specific conflict check (§3.1.2): ID
+// disjointness for CoRM, offset disjointness for Mesh/CoRM-0, plus the
+// capacity condition b1+b2 <= s. Exposed for tests and experiments.
+func (s *Store) Compatible(a, b *alloc.Block) bool {
+	classSize := s.cfg.Classes[a.Class]
+	slots := s.proc.Config().SlotsPerBlock(classSize)
+	strategy := s.cfg.classStrategy(slots)
+	if strategy == StrategyNone || a.Class != b.Class {
+		return false
+	}
+	if a.Used()+b.Used() > slots {
+		return false
+	}
+	return s.snapshotSet(strategy, a).disjoint(s.snapshotSet(strategy, b))
+}
+
+// merge copies src's live objects into dst, preserving offsets when
+// possible and relocating on conflict (CoRM only), then remaps src's
+// virtual address — and every alias already attached to it — onto dst's
+// physical frames, preserving RDMA access per the configured strategy.
+func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOptions, r *CompactReport) {
+	stSrc, stDst := s.stateOf(src), s.stateOf(dst)
+	cpu := s.cfg.Model.CPU
+
+	// Lock the objects under compaction (§3.2.3): RPC calls back off and
+	// one-sided readers observe the lock bits.
+	stSrc.setCompacting(true)
+	stDst.setCompacting(true)
+	srcSlots := src.UsedSlots()
+	if s.cfg.DataBacked {
+		for _, idx := range srcSlots {
+			s.setLockState(stSrc, idx, lockCompaction)
+		}
+	}
+	s.phase(opts, r, PhaseLock, time.Duration(len(srcSlots))*cpu.LockPerObject)
+
+	// Copy objects and merge metadata.
+	var copyCost time.Duration
+	for _, idx := range srcSlots {
+		newSlot := idx
+		if !dst.AllocSlotAt(idx) {
+			if strategy != StrategyCoRM {
+				panic("core: offset conflict in offset-based merge (pre-check broken)")
+			}
+			var ok bool
+			newSlot, ok = dst.AllocSlot()
+			if !ok {
+				panic("core: no free slot in merge destination (capacity pre-check broken)")
+			}
+			r.ObjectsMoved++
+		}
+		id, home := stSrc.meta.at(idx)
+		stDst.meta.set(newSlot, id, home)
+		if s.cfg.DataBacked {
+			raw := make([]byte, src.Stride)
+			if err := s.space.ReadAt(src.SlotAddr(idx), raw); err != nil {
+				panic(err)
+			}
+			if err := s.space.WriteAt(dst.SlotAddr(newSlot), raw); err != nil {
+				panic(err)
+			}
+		}
+		stSrc.meta.clear(idx)
+		if err := src.FreeSlot(idx); err != nil {
+			panic(err)
+		}
+		r.ObjectsCopied++
+		copyCost += cpu.Copy(src.Stride) + cpu.MergePerObject
+	}
+	s.phase(opts, r, PhaseCopy, copyCost)
+
+	// Remap src's vaddr (and attached aliases) onto dst's frames. This is
+	// the RDMA-critical step: the NIC's MTT must be refreshed without
+	// invalidating the r_keys clients hold (§3.5).
+	dstFrames := dst.FrameList(s.space)
+	pages := src.Pages
+
+	s.mu.Lock()
+	aliasList := append([]uint64{src.VAddr}, s.aliasOf[stSrc]...)
+	delete(s.aliasOf, stSrc)
+	s.mu.Unlock()
+
+	for _, vaddr := range aliasList {
+		s.remapOne(vaddr, pages, dstFrames, opts, r)
+		r.PagesRemapped += pages
+	}
+
+	// Bookkeeping: src is dissolved; its vaddr (and aliases) now resolve
+	// to dst. The physical frames of src were released by the remap.
+	s.mu.Lock()
+	delete(s.states, src)
+	for _, vaddr := range aliasList {
+		s.aliases[vaddr] = stDst
+	}
+	s.aliasOf[stDst] = append(s.aliasOf[stDst], aliasList...)
+	s.mu.Unlock()
+	s.proc.DropBlockKeepMapping(src)
+
+	// Addresses with no live homed objects become reusable immediately.
+	for _, vaddr := range aliasList {
+		if vaddr == src.VAddr {
+			if s.vt.dissolve(vaddr, pages) {
+				s.releaseAlias(vaddr, pages)
+			}
+		}
+		// Aliases other than src.VAddr were dissolved in earlier merges
+		// and remain tracked until their homed objects disappear.
+	}
+
+	// Unlock.
+	if s.cfg.DataBacked {
+		for _, idx := range dst.UsedSlots() {
+			s.setLockState(stDst, idx, lockFree)
+		}
+	}
+	stSrc.setCompacting(false)
+	stDst.setCompacting(false)
+	s.phase(opts, r, PhaseUnlock, time.Duration(len(srcSlots))*cpu.LockPerObject)
+}
+
+// remapOne performs the virtual remapping of one block-base address onto
+// new frames and restores NIC access per the configured strategy (§3.5).
+func (s *Store) remapOne(vaddr uint64, pages int, frames []*mem.Frame, opts *CompactOptions, r *CompactReport) {
+	nic := s.cfg.Model.NIC
+	s.mu.Lock()
+	region := s.regions[vaddr]
+	s.mu.Unlock()
+
+	switch s.cfg.Remap {
+	case RemapRereg:
+		// Open the QP-breaking window, remap, refresh the MTT. The OnPhase
+		// hook runs while the window is open so simulated concurrent
+		// accesses genuinely break their QPs.
+		if region != nil {
+			s.nic.BeginRereg(region)
+		}
+		s.space.Remap(vaddr, frames)
+		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
+		s.phase(opts, r, PhaseRereg, nic.Rereg(pages))
+		if region != nil {
+			if err := s.nic.EndRereg(region); err != nil {
+				panic(err)
+			}
+		}
+	case RemapODP:
+		s.space.Remap(vaddr, frames)
+		s.nic.Invalidate(vaddr, pages*mem.PageSize)
+		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
+	case RemapODPPrefetch:
+		s.space.Remap(vaddr, frames)
+		s.nic.Invalidate(vaddr, pages*mem.PageSize)
+		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
+		if region != nil {
+			if _, err := s.nic.AdviseMR(vaddr, pages*mem.PageSize); err != nil {
+				panic(err)
+			}
+		}
+		s.phase(opts, r, PhaseAdvise, nic.AdviseMR)
+	}
+}
+
+// setLockState rewrites the lock bits of a stored object header.
+func (s *Store) setLockState(st *blockState, slot int, lock uint8) {
+	base := st.SlotAddr(slot)
+	line := make([]byte, headerBytes)
+	if err := s.space.ReadAt(base, line); err != nil {
+		return
+	}
+	h := decodeHeader(line)
+	h.Lock = lock
+	encodeHeader(line, h)
+	s.space.WriteAt(base, line)
+}

@@ -1,0 +1,506 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"corm/internal/timing"
+)
+
+// sparseBlocks allocates objects of size on the given threads, then frees
+// all but `keep` per block, returning the surviving addresses with their
+// payloads.
+func sparseBlocks(t *testing.T, s *Store, size, blocks, keepPerBlock int) map[*Addr][]byte {
+	t.Helper()
+	per := s.Allocator().Config().SlotsPerBlock(size)
+	var all []Addr
+	for i := 0; i < blocks*per; i++ {
+		r, err := s.AllocOn(0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r.Addr)
+	}
+	live := make(map[*Addr][]byte)
+	for i := range all {
+		if i%per < keepPerBlock {
+			a := all[i]
+			payload := fill(size, byte(i))
+			if s.Config().DataBacked {
+				if err := s.Write(&a, payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p := new(Addr)
+			*p = a
+			live[p] = payload
+		} else {
+			if err := s.Free(&all[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return live
+}
+
+func TestCompactionMergesAndPreservesData(t *testing.T) {
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 6, 3) // 6 blocks at ~5% occupancy
+	class := s.Allocator().Config().ClassFor(64)
+
+	before := s.Allocator().Blocks()
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed == 0 {
+		t.Fatalf("no blocks freed: %+v", r)
+	}
+	if got := s.Allocator().Blocks(); got != before-r.BlocksFreed {
+		t.Fatalf("block count %d, want %d", got, before-r.BlocksFreed)
+	}
+	if r.Duration <= 0 {
+		t.Fatal("no modeled duration")
+	}
+
+	// Every live object remains readable through its ORIGINAL pointer (the
+	// RPC path corrects indirect pointers transparently).
+	for addr, payload := range live {
+		buf := make([]byte, 64)
+		if _, err := s.Read(addr, buf); err != nil {
+			t.Fatalf("read after compaction: %v", err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatalf("payload corrupted by compaction")
+		}
+	}
+}
+
+func TestCompactionPhysicalMemoryDrops(t *testing.T) {
+	s := testStore(t, nil)
+	sparseBlocks(t, s, 64, 8, 2)
+	class := s.Allocator().Config().ClassFor(64)
+	before := s.ActiveBytes()
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	after := s.ActiveBytes()
+	if after >= before {
+		t.Fatalf("active memory %d -> %d despite freeing %d blocks", before, after, r.BlocksFreed)
+	}
+	if before-after != int64(r.FreedBytes) {
+		t.Fatalf("freed bytes mismatch: delta=%d report=%d", before-after, r.FreedBytes)
+	}
+}
+
+func TestCompactionOneSidedAccessSurvives(t *testing.T) {
+	// After remapping, clients can still read relocated blocks through
+	// their old virtual addresses with one-sided reads (ODP+prefetch keeps
+	// the MTT coherent without breaking QPs) — the core claim of §3.5.
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 6, 2)
+	class := s.Allocator().Config().ClassFor(64)
+	client := s.ConnectClient()
+
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed == 0 {
+		t.Fatal("nothing compacted")
+	}
+	direct, viaScan := 0, 0
+	for addr, payload := range live {
+		buf := make([]byte, 64)
+		_, err := client.DirectRead(*addr, buf)
+		switch {
+		case err == nil:
+			direct++
+		case errors.Is(err, ErrWrongObject):
+			// Indirect pointer: ScanRead recovers and fixes the hint.
+			if _, err := client.ScanRead(addr, buf); err != nil {
+				t.Fatalf("ScanRead: %v", err)
+			}
+			if !addr.HasFlag(FlagIndirectObserved) {
+				t.Fatal("ScanRead did not flag the corrected pointer")
+			}
+			viaScan++
+			// The corrected pointer is direct again.
+			if _, err := client.DirectRead(*addr, buf); err != nil {
+				t.Fatalf("DirectRead after correction: %v", err)
+			}
+		default:
+			t.Fatalf("DirectRead: %v", err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatal("one-sided read returned wrong payload after compaction")
+		}
+	}
+	if direct+viaScan != len(live) {
+		t.Fatalf("reads: %d direct + %d scan != %d", direct, viaScan, len(live))
+	}
+	if qp := client.QP(); qp.Broken() {
+		t.Fatal("QP broke during ODP-based compaction")
+	}
+}
+
+func TestCompactionMovedObjectsNeedCorrection(t *testing.T) {
+	// Force offset conflicts: keep the same slot indices in every block so
+	// CoRM must move objects (Mesh could not compact at all).
+	s := testStore(t, nil)
+	size := 64
+	per := s.Allocator().Config().SlotsPerBlock(size)
+	class := s.Allocator().Config().ClassFor(size)
+	var all []Addr
+	for i := 0; i < 4*per; i++ {
+		r, err := s.AllocOn(0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r.Addr)
+	}
+	// Keep slot 0 and 1 of each block -> guaranteed offset conflicts.
+	var live []Addr
+	for i := range all {
+		if i%per < 2 {
+			live = append(live, all[i])
+		} else if err := s.Free(&all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed == 0 {
+		t.Fatal("conflicting blocks did not merge under CoRM")
+	}
+	if r.ObjectsMoved == 0 {
+		t.Fatal("offset conflicts must force object moves")
+	}
+	for i := range live {
+		buf := make([]byte, size)
+		if _, err := s.Read(&live[i], buf); err != nil {
+			t.Fatalf("object %d unreachable: %v", i, err)
+		}
+	}
+	if s.Stats().Corrections == 0 {
+		t.Fatal("moved objects should have required pointer correction")
+	}
+}
+
+func TestMeshRefusesOffsetConflicts(t *testing.T) {
+	s := testStore(t, func(c *Config) { c.Strategy = StrategyMesh })
+	size := 64
+	per := s.Allocator().Config().SlotsPerBlock(size)
+	class := s.Allocator().Config().ClassFor(size)
+	var all []Addr
+	for i := 0; i < 4*per; i++ {
+		r, _ := s.AllocOn(0, size)
+		all = append(all, r.Addr)
+	}
+	for i := range all {
+		if i%per >= 1 { // keep only slot 0 of each block: all conflict
+			s.Free(&all[i])
+		}
+	}
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed != 0 {
+		t.Fatalf("Mesh merged conflicting blocks: %+v", r)
+	}
+}
+
+func TestMeshCompactsDisjointOffsets(t *testing.T) {
+	s := testStore(t, func(c *Config) { c.Strategy = StrategyMesh })
+	size := 64
+	per := s.Allocator().Config().SlotsPerBlock(size)
+	class := s.Allocator().Config().ClassFor(size)
+	var all []Addr
+	for i := 0; i < 2*per; i++ {
+		r, _ := s.AllocOn(0, size)
+		all = append(all, r.Addr)
+	}
+	// Block A keeps slot 0, block B keeps slot 1: disjoint offsets.
+	var live []Addr
+	for i := range all {
+		block, slot := i/per, i%per
+		if (block == 0 && slot == 0) || (block == 1 && slot == 1) {
+			live = append(live, all[i])
+			continue
+		}
+		s.Free(&all[i])
+	}
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed != 1 {
+		t.Fatalf("Mesh should merge disjoint blocks: %+v", r)
+	}
+	if r.ObjectsMoved != 0 {
+		t.Fatal("Mesh must never move objects to new offsets")
+	}
+	for i := range live {
+		buf := make([]byte, size)
+		if _, err := s.Read(&live[i], buf); err != nil {
+			t.Fatalf("read after Mesh compaction: %v", err)
+		}
+		if live[i].HasFlag(FlagIndirectObserved) {
+			t.Fatal("Mesh compaction should keep pointers direct")
+		}
+	}
+}
+
+func TestCompactionRespectsMaxBlocks(t *testing.T) {
+	s := testStore(t, nil)
+	sparseBlocks(t, s, 64, 8, 1)
+	class := s.Allocator().Config().ClassFor(64)
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxBlocks: 2})
+	if r.BlocksFreed > 2 {
+		t.Fatalf("freed %d > MaxBlocks 2", r.BlocksFreed)
+	}
+}
+
+func TestCompactionSkipsUncompactableClass(t *testing.T) {
+	// Vanilla CoRM-8 cannot manage blocks with more than 256 slots: the 8B
+	// class in a 4 KiB block has 64 slots -> fine, but with 1 MiB blocks
+	// the 8 B class has 16384 slots -> skipped.
+	s := testStore(t, func(c *Config) {
+		c.IDBits = 8
+		c.BlockBytes = 1 << 20
+		c.DataBacked = false
+		c.Remap = RemapRereg
+		c.Model = timing.Default()
+	})
+	class := s.Allocator().Config().ClassFor(8)
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.Collected != 0 || r.BlocksFreed != 0 {
+		t.Fatalf("uncompactable class was processed: %+v", r)
+	}
+}
+
+func TestHybridFallsBackToOffsets(t *testing.T) {
+	// Hybrid CoRM-8 on a class with too many slots uses CoRM-0 (offset
+	// rule): disjoint-offset blocks merge, conflicting ones do not.
+	s := testStore(t, func(c *Config) {
+		c.Strategy = StrategyHybrid
+		c.IDBits = 8
+		c.BlockBytes = 32768
+		c.DataBacked = false
+		c.Remap = RemapRereg
+		c.Model = timing.Default()
+	})
+	size := 8 // stride 8+5(hybrid overhead->corm0? header=overhead bytes)... slots > 256
+	per := s.Allocator().Config().SlotsPerBlock(size)
+	if per <= 256 {
+		t.Skipf("class not oversized (%d slots)", per)
+	}
+	class := s.Allocator().Config().ClassFor(size)
+	var all []Addr
+	for i := 0; i < 2*per; i++ {
+		r, _ := s.AllocOn(0, size)
+		all = append(all, r.Addr)
+	}
+	var live []Addr
+	for i := range all {
+		block, slot := i/per, i%per
+		if (block == 0 && slot == 0) || (block == 1 && slot == 1) {
+			live = append(live, all[i])
+			continue
+		}
+		s.Free(&all[i])
+	}
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed != 1 {
+		t.Fatalf("hybrid CoRM-0 should merge disjoint blocks: %+v", r)
+	}
+	for i := range live {
+		if _, err := s.Read(&live[i], make([]byte, size)); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+}
+
+func TestVaddrReuseAfterCompactionAndFree(t *testing.T) {
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 4, 1)
+	class := s.Allocator().Config().ClassFor(64)
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed == 0 {
+		t.Fatal("nothing compacted")
+	}
+	if s.PendingVaddrs() == 0 {
+		t.Fatal("dissolved source vaddrs should be pending reuse")
+	}
+	// Free every survivor: all pending addresses drain.
+	for addr := range live {
+		if err := s.Free(addr); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+	}
+	if got := s.PendingVaddrs(); got != 0 {
+		t.Fatalf("%d vaddrs still pending after freeing everything", got)
+	}
+	if s.Stats().VaddrsReused == 0 {
+		t.Fatal("no vaddr reuse recorded")
+	}
+}
+
+func TestReleasePtrFreesVaddr(t *testing.T) {
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 4, 1)
+	class := s.Allocator().Config().ClassFor(64)
+	if r := s.CompactClass(CompactOptions{Class: class, Leader: 0}); r.BlocksFreed == 0 {
+		t.Fatal("nothing compacted")
+	}
+	pending := s.PendingVaddrs()
+	if pending == 0 {
+		t.Fatal("no pending vaddrs")
+	}
+	// Release every pointer: the rebased pointers reference live blocks,
+	// and all old addresses drain without freeing any object.
+	for addr := range live {
+		na, err := s.ReleasePtr(addr)
+		if err != nil {
+			t.Fatalf("release: %v", err)
+		}
+		buf := make([]byte, 64)
+		if _, err := s.Read(&na, buf); err != nil {
+			t.Fatalf("read via rebased pointer: %v", err)
+		}
+		if !bytes.Equal(buf, live[addr]) {
+			t.Fatal("rebased pointer reads wrong data")
+		}
+	}
+	if got := s.PendingVaddrs(); got != 0 {
+		t.Fatalf("%d vaddrs still pending after ReleasePtr", got)
+	}
+}
+
+func TestCompactionLocksBlockDuringPhases(t *testing.T) {
+	// During the copy phase, RPC reads of objects under compaction fail
+	// with ErrCompacting (§3.2.3).
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 4, 2)
+	class := s.Allocator().Config().ClassFor(64)
+	var sawLocked bool
+	s.CompactClass(CompactOptions{
+		Class: class, Leader: 0,
+		OnPhase: func(p Phase, d time.Duration) {
+			if p != PhaseCopy {
+				return
+			}
+			for addr := range live {
+				a := *addr
+				if _, err := s.Read(&a, make([]byte, 64)); errors.Is(err, ErrCompacting) {
+					sawLocked = true
+				}
+			}
+		},
+	})
+	if !sawLocked {
+		t.Fatal("no read observed the compaction lock")
+	}
+	// After compaction, everything reads fine.
+	for addr := range live {
+		if _, err := s.Read(addr, make([]byte, 64)); err != nil {
+			t.Fatalf("read after compaction: %v", err)
+		}
+	}
+}
+
+func TestCompactionChainedGenerations(t *testing.T) {
+	// Compact twice: survivors of the first compaction (living in a merge
+	// destination with aliases attached) must survive a second merge, with
+	// all alias addresses still resolving.
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 6, 1)
+	class := s.Allocator().Config().ClassFor(64)
+	if r := s.CompactClass(CompactOptions{Class: class, Leader: 0}); r.BlocksFreed == 0 {
+		t.Fatal("first compaction freed nothing")
+	}
+	// Fragment again: allocate a few more and free them to create new
+	// sparse blocks, then compact again.
+	extra := sparseBlocks(t, s, 64, 4, 1)
+	if r := s.CompactClass(CompactOptions{Class: class, Leader: 0}); r.BlocksFreed == 0 {
+		t.Fatal("second compaction freed nothing")
+	}
+	for addr, payload := range live {
+		buf := make([]byte, 64)
+		if _, err := s.Read(addr, buf); err != nil {
+			t.Fatalf("gen-1 object lost: %v", err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatal("gen-1 payload corrupted")
+		}
+	}
+	for addr, payload := range extra {
+		buf := make([]byte, 64)
+		if _, err := s.Read(addr, buf); err != nil {
+			t.Fatalf("gen-2 object lost: %v", err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatal("gen-2 payload corrupted")
+		}
+	}
+}
+
+func TestCompactAllUsesPolicy(t *testing.T) {
+	s := testStore(t, func(c *Config) { c.FragThreshold = 1.5 })
+	sparseBlocks(t, s, 64, 6, 1)
+	sparseBlocks(t, s, 128, 6, 1)
+	r := s.CompactAll(0, nil)
+	if r.BlocksFreed == 0 {
+		t.Fatalf("policy-driven compaction freed nothing: %+v", r)
+	}
+	if len(s.NeedsCompaction()) > 2 {
+		t.Fatalf("classes still fragmented after CompactAll: %v", s.NeedsCompaction())
+	}
+}
+
+// Property: random workload + compaction never loses or corrupts an object.
+func TestQuickCompactionPreservesObjects(t *testing.T) {
+	f := func(seed int64, frees []uint8) bool {
+		s, err := NewStore(Config{
+			Workers: 2, BlockBytes: 4096, Strategy: StrategyCoRM,
+			DataBacked: true, Remap: RemapODPPrefetch,
+			Model: timing.Default().WithNIC(timing.ConnectX5()),
+			Seed:  seed,
+		})
+		if err != nil {
+			return false
+		}
+		size := 64
+		type obj struct {
+			addr    Addr
+			payload []byte
+		}
+		var live []obj
+		for i := 0; i < 150; i++ {
+			r, err := s.AllocOn(i%2, size)
+			if err != nil {
+				return false
+			}
+			p := fill(size, byte(i))
+			if err := s.Write(&r.Addr, p); err != nil {
+				return false
+			}
+			live = append(live, obj{r.Addr, p})
+		}
+		for _, f := range frees {
+			if len(live) == 0 {
+				break
+			}
+			i := int(f) % len(live)
+			if err := s.Free(&live[i].addr); err != nil {
+				return false
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		class := s.Allocator().Config().ClassFor(size)
+		s.CompactClass(CompactOptions{Class: class, Leader: 0})
+		for i := range live {
+			buf := make([]byte, size)
+			if _, err := s.Read(&live[i].addr, buf); err != nil {
+				return false
+			}
+			if !bytes.Equal(buf, live[i].payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"corm/internal/alloc"
+	"corm/internal/timing"
+)
+
+// Strategy selects the compaction algorithm (§3.1.2, §4.4).
+type Strategy int
+
+const (
+	// StrategyNone disables compaction (the FaRM baseline).
+	StrategyNone Strategy = iota
+	// StrategyCoRM uses random block-local object IDs: blocks merge when
+	// their ID sets are disjoint; offset conflicts are resolved by moving
+	// objects (the paper's contribution).
+	StrategyCoRM
+	// StrategyCoRM0 is CoRM with IDs disabled: the merge condition is
+	// offset disjointness (as Mesh), but home-block tracking still enables
+	// virtual address reuse. Per-object overhead is the 28-bit home.
+	StrategyCoRM0
+	// StrategyMesh is the Mesh baseline: offset-conflict condition, no
+	// object metadata, no virtual address reuse.
+	StrategyMesh
+	// StrategyHybrid uses CoRM for classes whose block capacity fits the
+	// ID space and CoRM-0 for the rest (§4.4.1).
+	StrategyHybrid
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "none"
+	case StrategyCoRM:
+		return "corm"
+	case StrategyCoRM0:
+		return "corm-0"
+	case StrategyMesh:
+		return "mesh"
+	case StrategyHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// RemapStrategy selects how RDMA access is restored after page remapping
+// (§3.5 / Fig 8).
+type RemapStrategy int
+
+const (
+	// RemapRereg re-registers the region (ibv_rereg_mr): works on any NIC
+	// but breaks QPs that access the region during the window.
+	RemapRereg RemapStrategy = iota
+	// RemapODP relies on on-demand paging: the first access after remap
+	// pays the ODP fault.
+	RemapODP
+	// RemapODPPrefetch additionally prefetches translations with
+	// ibv_advise_mr — CoRM's default.
+	RemapODPPrefetch
+)
+
+func (r RemapStrategy) String() string {
+	switch r {
+	case RemapRereg:
+		return "rereg"
+	case RemapODP:
+		return "odp"
+	case RemapODPPrefetch:
+		return "odp+prefetch"
+	}
+	return fmt.Sprintf("remap(%d)", int(r))
+}
+
+// ConsistencyMode selects how one-sided readers validate objects
+// (§3.2.3, §4.2.1).
+type ConsistencyMode int
+
+const (
+	// ConsistencyVersions is FaRM's scheme (CoRM's default): a version
+	// byte in the first byte of every cacheline; readers check that all
+	// lines carry the same version. Requires cacheline-aligned slots.
+	ConsistencyVersions ConsistencyMode = iota
+	// ConsistencyChecksum stores a CRC-32 of (payload, version) after the
+	// record — the alternative the paper suggests for large records:
+	// denser layout, but readers hash the payload.
+	ConsistencyChecksum
+)
+
+func (c ConsistencyMode) String() string {
+	if c == ConsistencyChecksum {
+		return "checksum"
+	}
+	return "versions"
+}
+
+// CorrectionMode selects the server-side pointer-correction approach for
+// RPC calls (§3.2.1 / Fig 6).
+type CorrectionMode int
+
+const (
+	// CorrectMessaging forwards the request to the thread owning the
+	// block, which answers from its ID→offset metadata.
+	CorrectMessaging CorrectionMode = iota
+	// CorrectScan lets the serving thread scan the block itself.
+	CorrectScan
+)
+
+func (c CorrectionMode) String() string {
+	if c == CorrectScan {
+		return "scan"
+	}
+	return "messaging"
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Workers is the number of worker threads (8 in the paper's setup).
+	Workers int
+	// BlockBytes is the block size (4 KiB default; 1 MiB in §4.4).
+	BlockBytes int
+	// Classes is the size-class list; defaults to alloc.DefaultClasses.
+	Classes []int
+	// IDBits is the object identifier width (16 by default; 0 only with
+	// non-ID strategies).
+	IDBits int
+	// Strategy is the compaction strategy.
+	Strategy Strategy
+	// Correction is the RPC pointer-correction mode.
+	Correction CorrectionMode
+	// Remap is the RDMA remapping strategy.
+	Remap RemapStrategy
+	// DataBacked stores real object bytes (required for reads/writes);
+	// accounting-only mode runs the large §4.4 traces cheaply.
+	DataBacked bool
+	// Consistency selects the one-sided read validation scheme.
+	Consistency ConsistencyMode
+	// FragThreshold is the granted/used ratio above which the policy
+	// triggers compaction for a class (§3.1.3).
+	FragThreshold float64
+	// Model supplies the latency constants for cost accounting.
+	Model timing.Model
+	// Seed feeds the store's deterministic RNG (object IDs).
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 4096
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = alloc.DefaultClasses
+	}
+	if c.IDBits == 0 && c.usesIDs() {
+		c.IDBits = 16
+	}
+	if c.FragThreshold == 0 {
+		c.FragThreshold = 2.0
+	}
+	if c.Model.NIC.Name == "" {
+		c.Model = timing.Default()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) usesIDs() bool {
+	return c.Strategy == StrategyCoRM || c.Strategy == StrategyHybrid
+}
+
+func (c Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("core: need at least one worker")
+	}
+	if c.IDBits < 0 || c.IDBits > 16 {
+		return fmt.Errorf("core: IDBits %d out of range [0,16]", c.IDBits)
+	}
+	if c.usesIDs() && c.IDBits == 0 {
+		return fmt.Errorf("core: strategy %v requires IDBits > 0", c.Strategy)
+	}
+	if c.Remap != RemapRereg && !c.Model.NIC.HasODP {
+		return fmt.Errorf("core: remap strategy %v requires an ODP-capable NIC (%s has none)",
+			c.Remap, c.Model.NIC.Name)
+	}
+	return nil
+}
+
+// modelOverheadBytes is the per-object metadata overhead the paper accounts
+// for (Table 3): a 28-bit home-block address for any strategy that reuses
+// virtual addresses, plus the object ID bits.
+func (c Config) modelOverheadBytes() int {
+	switch c.Strategy {
+	case StrategyMesh, StrategyNone:
+		return 0
+	case StrategyCoRM0:
+		return (28 + 7) / 8
+	default:
+		return (28 + c.IDBits + 7) / 8
+	}
+}
+
+// allocConfig derives the allocator configuration. In data mode the stride
+// comes from the versioned cacheline layout; in accounting mode it is the
+// payload plus the paper's model overhead, 8-byte aligned.
+func (c Config) allocConfig() alloc.Config {
+	ac := alloc.Config{
+		BlockBytes: c.BlockBytes,
+		Classes:    c.Classes,
+	}
+	if c.DataBacked {
+		if c.Consistency == ConsistencyChecksum {
+			ac.StrideFunc = checksumStride
+		} else {
+			ac.CachelineAlign = true
+			ac.StrideFunc = dataStride
+		}
+		return ac
+	}
+	round8 := func(n int) int { return (n + 7) / 8 * 8 }
+	base := c.modelOverheadBytes()
+	ac.StrideFunc = func(classSize int) int {
+		ov := base
+		if c.Strategy == StrategyHybrid {
+			// Classes that fall back to CoRM-0 pay only the 28-bit home
+			// address, not the object ID (§4.4.1).
+			slots := c.BlockBytes / round8(classSize+ov)
+			if slots > 1<<c.IDBits {
+				ov = (28 + 7) / 8
+			}
+		}
+		return round8(classSize + ov)
+	}
+	return ac
+}
+
+// classCompactable reports whether a class can be compacted under the
+// configured strategy, and with which effective strategy (hybrid resolves
+// per class, §4.4.1).
+func (c Config) classStrategy(slotsPerBlock int) Strategy {
+	switch c.Strategy {
+	case StrategyCoRM:
+		if slotsPerBlock > 1<<c.IDBits {
+			return StrategyNone // vanilla CoRM skips oversized classes
+		}
+		return StrategyCoRM
+	case StrategyHybrid:
+		if slotsPerBlock > 1<<c.IDBits {
+			return StrategyCoRM0
+		}
+		return StrategyCoRM
+	default:
+		return c.Strategy
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Object layout in data-backed blocks (§3, §3.2.3).
+//
+// Slots are cacheline (64 B) aligned, as required by FaRM-style consistent
+// one-sided reads. The first cacheline starts with a 16-byte header; every
+// subsequent cacheline reserves its first byte for the low version byte, so
+// a reader can verify that all cachelines of the object were captured at
+// the same version:
+//
+//	line 0: [ver8][lock|alloc][id16][version32][home64] + 48 B payload
+//	line k: [ver8] + 63 B payload
+//
+// Writes bump the version, tag every line, and are performed line by line,
+// so a concurrent one-sided read genuinely observes mixed versions (a torn
+// object), which the version check detects (§3.2.3).
+const (
+	headerBytes  = 16
+	line0Payload = 64 - headerBytes
+	lineKPayload = 63
+	cacheline    = 64
+)
+
+// Object lock states, stored in 2 bits (§3.2.3).
+const (
+	lockFree       = 0
+	lockWrite      = 1
+	lockCompaction = 2
+)
+
+// header is the decoded object header.
+type header struct {
+	Version uint32
+	Lock    uint8
+	Alloc   bool
+	ID      uint16
+	Home    uint64
+}
+
+// linesFor returns the number of cachelines a payload class occupies.
+func linesFor(classSize int) int {
+	if classSize <= line0Payload {
+		return 1
+	}
+	rest := classSize - line0Payload
+	return 1 + (rest+lineKPayload-1)/lineKPayload
+}
+
+// dataStride is the slot stride (bytes) of a payload class in data mode.
+func dataStride(classSize int) int { return cacheline * linesFor(classSize) }
+
+// encodeHeader writes h into the first 16 bytes of a slot buffer.
+func encodeHeader(buf []byte, h header) {
+	buf[0] = byte(h.Version)
+	b1 := h.Lock & 0x3
+	if h.Alloc {
+		b1 |= 1 << 2
+	}
+	buf[1] = b1
+	binary.LittleEndian.PutUint16(buf[2:4], h.ID)
+	binary.LittleEndian.PutUint32(buf[4:8], h.Version)
+	binary.LittleEndian.PutUint64(buf[8:16], h.Home)
+}
+
+// decodeHeader parses the first 16 bytes of a slot buffer.
+func decodeHeader(buf []byte) header {
+	return header{
+		Version: binary.LittleEndian.Uint32(buf[4:8]),
+		Lock:    buf[1] & 0x3,
+		Alloc:   buf[1]&(1<<2) != 0,
+		ID:      binary.LittleEndian.Uint16(buf[2:4]),
+		Home:    binary.LittleEndian.Uint64(buf[8:16]),
+	}
+}
+
+// tagLines stamps the low version byte into every cacheline of the slot.
+func tagLines(slot []byte, version uint32) {
+	for off := 0; off < len(slot); off += cacheline {
+		slot[off] = byte(version)
+	}
+}
+
+// versionsConsistent checks that every cacheline carries the same version
+// byte and the object is not locked — the client-side validity check of a
+// one-sided read (§3.2.3).
+func versionsConsistent(slot []byte) bool {
+	h := decodeHeader(slot)
+	if h.Lock != lockFree {
+		return false
+	}
+	want := byte(h.Version)
+	for off := 0; off < len(slot); off += cacheline {
+		if slot[off] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// packPayload scatters payload into the slot buffer around the per-line
+// version bytes.
+func packPayload(slot []byte, payload []byte) {
+	n := copy(slot[headerBytes:cacheline], payload)
+	for off := cacheline; off < len(slot) && n < len(payload); off += cacheline {
+		n += copy(slot[off+1:off+cacheline], payload[n:])
+	}
+}
+
+// unpackPayload gathers size payload bytes from a slot buffer.
+func unpackPayload(slot []byte, size int) []byte {
+	out := make([]byte, 0, size)
+	end := headerBytes + size
+	if end > cacheline {
+		end = cacheline
+	}
+	out = append(out, slot[headerBytes:end]...)
+	for off := cacheline; off < len(slot) && len(out) < size; off += cacheline {
+		take := size - len(out)
+		if take > lineKPayload {
+			take = lineKPayload
+		}
+		out = append(out, slot[off+1:off+1+take]...)
+	}
+	return out
+}
+
+// payloadCapacity is the maximum payload a stride of n lines can hold.
+func payloadCapacity(lines int) int {
+	return line0Payload + (lines-1)*lineKPayload
+}
+
+// --- Checksum layout (§4.2.1's alternative consistency scheme) ---
+//
+// Instead of tagging every cacheline with a version byte, the object
+// stores its payload contiguously followed by a CRC-32 of (payload,
+// version). Readers detect torn or concurrent state by recomputing the
+// checksum. The layout is denser (no per-line byte, 8-byte alignment
+// instead of cacheline alignment) at the cost of hashing the payload on
+// every one-sided read — the trade-off the paper suggests for large
+// records.
+
+const checksumBytes = 4
+
+// checksumStride is the slot stride of a payload class in checksum mode.
+func checksumStride(classSize int) int {
+	n := headerBytes + classSize + checksumBytes
+	return (n + 7) / 8 * 8
+}
+
+// checksumOf hashes the payload region together with the version, so a
+// reader cannot match a stale checksum against fresher payload bytes.
+func checksumOf(payload []byte, version uint32) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(payload)
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], version)
+	h.Write(v[:])
+	return h.Sum32()
+}
+
+// sealChecksum writes payload and its checksum into a checksum-mode slot.
+func sealChecksum(slot []byte, payload []byte, classSize int, version uint32) {
+	copy(slot[headerBytes:headerBytes+classSize], payload)
+	for i := headerBytes + len(payload); i < headerBytes+classSize; i++ {
+		slot[i] = 0
+	}
+	sum := checksumOf(slot[headerBytes:headerBytes+classSize], version)
+	binary.LittleEndian.PutUint32(slot[headerBytes+classSize:], sum)
+}
+
+// checksumConsistent verifies a checksum-mode slot capture.
+func checksumConsistent(slot []byte, classSize int) bool {
+	h := decodeHeader(slot)
+	if h.Lock != lockFree {
+		return false
+	}
+	stored := binary.LittleEndian.Uint32(slot[headerBytes+classSize:])
+	return stored == checksumOf(slot[headerBytes:headerBytes+classSize], h.Version)
+}
+
+// checksumPayload extracts the payload from a checksum-mode slot.
+func checksumPayload(slot []byte, size int) []byte {
+	out := make([]byte, size)
+	copy(out, slot[headerBytes:headerBytes+size])
+	return out
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinesFor(t *testing.T) {
+	cases := map[int]int{
+		8: 1, 32: 1, 48: 1, // fit beside the header in line 0
+		49: 2, 64: 2, 111: 2,
+		112: 3, 128: 3,
+		2048: 33, // 48 + 32*63 = 2064 >= 2048
+	}
+	for size, want := range cases {
+		if got := linesFor(size); got != want {
+			t.Errorf("linesFor(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestStrideCapacityInvariant(t *testing.T) {
+	// Every class must fit its payload in the computed stride, and the
+	// stride must not be a whole line larger than needed.
+	for size := 8; size <= 16384; size += 8 {
+		lines := linesFor(size)
+		if payloadCapacity(lines) < size {
+			t.Fatalf("stride too small for %d B payload", size)
+		}
+		if lines > 1 && payloadCapacity(lines-1) >= size {
+			t.Fatalf("stride wastes a line at %d B payload", size)
+		}
+		if dataStride(size) != lines*cacheline {
+			t.Fatalf("dataStride(%d) inconsistent", size)
+		}
+	}
+}
+
+func TestHeaderRoundtrip(t *testing.T) {
+	f := func(version uint32, lock uint8, alloc bool, id uint16, home uint64) bool {
+		h := header{Version: version, Lock: lock & 0x3, Alloc: alloc, ID: id, Home: home}
+		buf := make([]byte, headerBytes)
+		encodeHeader(buf, h)
+		return decodeHeader(buf) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderVersionByteIsLineTag(t *testing.T) {
+	buf := make([]byte, headerBytes)
+	encodeHeader(buf, header{Version: 0x0403_0201})
+	if buf[0] != 0x01 {
+		t.Fatalf("header byte 0 = %#x, want low version byte", buf[0])
+	}
+}
+
+func TestPayloadRoundtrip(t *testing.T) {
+	f := func(seed uint8, sizeRaw uint16) bool {
+		size := int(sizeRaw)%2048 + 1
+		size = (size + 7) / 8 * 8
+		slot := make([]byte, dataStride(size))
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(int(seed) + i)
+		}
+		encodeHeader(slot, header{Version: 5, Alloc: true, ID: 9})
+		packPayload(slot, payload)
+		tagLines(slot, 5)
+		if !versionsConsistent(slot) {
+			return false
+		}
+		// Header must survive payload packing.
+		h := decodeHeader(slot)
+		if h.Version != 5 || !h.Alloc || h.ID != 9 {
+			return false
+		}
+		return bytes.Equal(unpackPayload(slot, size), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionConsistencyDetectsTornRead(t *testing.T) {
+	size := 256 // multi-line object
+	slot := make([]byte, dataStride(size))
+	encodeHeader(slot, header{Version: 7, Alloc: true})
+	tagLines(slot, 7)
+	if !versionsConsistent(slot) {
+		t.Fatal("clean slot reported inconsistent")
+	}
+	// A torn read: one cacheline still carries the previous version.
+	slot[2*cacheline] = 6
+	if versionsConsistent(slot) {
+		t.Fatal("torn slot reported consistent")
+	}
+}
+
+func TestVersionConsistencyDetectsLock(t *testing.T) {
+	slot := make([]byte, dataStride(64))
+	for _, lock := range []uint8{lockWrite, lockCompaction} {
+		encodeHeader(slot, header{Version: 1, Lock: lock, Alloc: true})
+		tagLines(slot, 1)
+		if versionsConsistent(slot) {
+			t.Fatalf("locked slot (lock=%d) reported consistent", lock)
+		}
+	}
+}
+
+func TestPayloadDoesNotClobberLineTags(t *testing.T) {
+	size := 512
+	slot := make([]byte, dataStride(size))
+	payload := bytes.Repeat([]byte{0xFF}, size)
+	encodeHeader(slot, header{Version: 3, Alloc: true})
+	packPayload(slot, payload)
+	tagLines(slot, 3)
+	for off := 0; off < len(slot); off += cacheline {
+		if slot[off] != 3 {
+			t.Fatalf("payload overwrote version byte at line %d", off/cacheline)
+		}
+	}
+	if !bytes.Equal(unpackPayload(slot, size), payload) {
+		t.Fatal("payload corrupted by tagging")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"corm/internal/mem"
+)
+
+// LocalReader is the fast path for applications co-located with the store
+// (§4.2.1, Fig 11 right). In the real system a local CoRM read is a plain
+// load through the MMU plus the version check; the software layer adds no
+// page-table walk. The reader therefore caches the object's physical
+// location once (like holding a raw pointer) and per-read does only what
+// the paper's client does: capture the slot, verify cacheline versions,
+// and gather the payload.
+//
+// The cached translation is invalidated by compaction exactly as a stale
+// MTT entry would be: reads that fail their ID check must re-Bind.
+type LocalReader struct {
+	store *Store
+	buf   []byte
+}
+
+// NewLocalReader creates a reader with a reusable capture buffer.
+func NewLocalReader(s *Store) *LocalReader {
+	return &LocalReader{store: s}
+}
+
+// boundObj is a resolved local object reference.
+type BoundObj struct {
+	frame  *mem.Frame
+	off    int
+	stride int
+	size   int
+	id     uint16
+	mode   ConsistencyMode
+}
+
+// Bind resolves an object pointer to its physical location. The returned
+// handle stays valid until the object moves (compaction) or is freed.
+func (l *LocalReader) Bind(addr Addr) (BoundObj, error) {
+	if !l.store.cfg.DataBacked {
+		return BoundObj{}, ErrNoData
+	}
+	size := l.store.ClassSize(int(addr.Class()))
+	frame, off, ok := l.store.space.Translate(addr.VAddr())
+	if !ok {
+		return BoundObj{}, ErrInvalidAddr
+	}
+	mode := l.store.cfg.Consistency
+	stride := StrideOf(mode, size)
+	if off+stride > mem.PageSize {
+		// Slots are cacheline aligned and blocks page aligned, so a slot
+		// never straddles pages unless the stride exceeds a page; bind to
+		// the first page and let Read fall back for the rest.
+		return BoundObj{}, ErrShortBuffer
+	}
+	return BoundObj{frame: frame, off: off, stride: stride, size: size, id: addr.ID(), mode: mode}, nil
+}
+
+// Read verifies the object in place and gathers its payload into buf —
+// one pass over the data, like the optimistic load-and-check of a real
+// local FaRM/CoRM read. Versions are checked before and after the gather,
+// mirroring how cache-coherent loads plus the version protocol detect
+// concurrent writers without locks. It returns ErrWrongObject when the
+// slot no longer holds the bound object (stale handle after compaction)
+// and ErrInconsistent on a torn capture.
+func (l *LocalReader) Read(obj BoundObj, buf []byte) (int, error) {
+	if len(buf) < obj.size {
+		return 0, ErrShortBuffer
+	}
+	slot := obj.frame.Data()[obj.off : obj.off+obj.stride]
+	h := decodeHeader(slot)
+	if !h.Alloc || h.ID != obj.id {
+		return 0, ErrWrongObject
+	}
+	if obj.mode == ConsistencyChecksum {
+		if !checksumConsistent(slot, obj.size) {
+			return 0, ErrInconsistent
+		}
+		n := copy(buf, slot[headerBytes:headerBytes+obj.size])
+		if !checksumConsistent(slot, obj.size) {
+			return n, ErrInconsistent
+		}
+		return n, nil
+	}
+	if !versionsConsistent(slot) {
+		return 0, ErrInconsistent
+	}
+	n := copy(buf, slot[headerBytes:cacheline])
+	for off := cacheline; off < len(slot) && n < obj.size; off += cacheline {
+		take := obj.size - n
+		if take > lineKPayload {
+			take = lineKPayload
+		}
+		n += copy(buf[n:], slot[off+1:off+1+take])
+	}
+	// Re-check: a writer may have raced the gather.
+	if !versionsConsistent(slot) || decodeHeader(slot).Version != h.Version {
+		return n, ErrInconsistent
+	}
+	return n, nil
+}

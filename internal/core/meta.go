@@ -1,0 +1,178 @@
+package core
+
+import (
+	"sync"
+
+	"corm/internal/alloc"
+)
+
+// blockMeta is the per-block object metadata the paper keeps thread-local:
+// the mapping between object IDs and slots used for fast pointer correction
+// (§3.1.4), plus each object's home-block address for virtual address reuse
+// (§3.3). In data mode the same information is also serialized into object
+// headers so client-side ScanRead works from raw bytes alone.
+type blockMeta struct {
+	mu       sync.Mutex
+	ids      []uint16 // per slot
+	homes    []uint64 // per slot: block vaddr where the object was allocated
+	idToSlot map[uint16]int
+}
+
+func newBlockMeta(slots int) *blockMeta {
+	return &blockMeta{
+		ids:      make([]uint16, slots),
+		homes:    make([]uint64, slots),
+		idToSlot: make(map[uint16]int, slots),
+	}
+}
+
+// set records an object's metadata at slot.
+func (m *blockMeta) set(slot int, id uint16, home uint64) {
+	m.mu.Lock()
+	m.ids[slot] = id
+	m.homes[slot] = home
+	m.idToSlot[id] = slot
+	m.mu.Unlock()
+}
+
+// clear removes the object at slot, returning its id and home.
+func (m *blockMeta) clear(slot int) (uint16, uint64) {
+	m.mu.Lock()
+	id, home := m.ids[slot], m.homes[slot]
+	if cur, ok := m.idToSlot[id]; ok && cur == slot {
+		delete(m.idToSlot, id)
+	}
+	m.homes[slot] = 0
+	m.mu.Unlock()
+	return id, home
+}
+
+// lookup finds the slot holding an object ID — the messaging-based pointer
+// correction query answered by the owner thread (§3.2.1).
+func (m *blockMeta) lookup(id uint16) (int, bool) {
+	m.mu.Lock()
+	slot, ok := m.idToSlot[id]
+	m.mu.Unlock()
+	return slot, ok
+}
+
+// at returns the metadata stored for slot.
+func (m *blockMeta) at(slot int) (id uint16, home uint64) {
+	m.mu.Lock()
+	id, home = m.ids[slot], m.homes[slot]
+	m.mu.Unlock()
+	return
+}
+
+// setHome updates an object's home address (ReleasePtr rebasing).
+func (m *blockMeta) setHome(slot int, home uint64) {
+	m.mu.Lock()
+	m.homes[slot] = home
+	m.mu.Unlock()
+}
+
+// hasID reports whether an ID is present (uniqueness check at allocation).
+func (m *blockMeta) hasID(id uint16) bool {
+	m.mu.Lock()
+	_, ok := m.idToSlot[id]
+	m.mu.Unlock()
+	return ok
+}
+
+// idSet snapshots the live IDs (conflict check during compaction).
+func (m *blockMeta) idSet() map[uint16]bool {
+	m.mu.Lock()
+	out := make(map[uint16]bool, len(m.idToSlot))
+	for id := range m.idToSlot {
+		out[id] = true
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// blockState bundles a block with its store-level state.
+type blockState struct {
+	*alloc.Block
+	meta *blockMeta
+
+	// mu guards compacting; rw serializes RPC-path object access against
+	// writers (one-sided reads deliberately bypass it).
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	// compacting marks the block's objects as compaction-locked: RPC reads
+	// fail (retry) and one-sided readers see the lock bits (§3.2.3).
+	compacting bool
+
+	// region is the RNIC registration covering this block's vaddr.
+	region regionRef
+}
+
+// regionRef identifies the NIC region of a block (kept small: the rkey is
+// embedded in object pointers).
+type regionRef struct {
+	rkey uint32
+}
+
+// vaddrTracker implements §3.3: per retired source-block address, how many
+// live objects still name it as home. At zero the address is unmapped and
+// returned to the reuse pool.
+type vaddrTracker struct {
+	mu    sync.Mutex
+	count map[uint64]int // home vaddr -> live objects allocated there
+	gone  map[uint64]int // dissolved block vaddr -> page count (await reuse)
+}
+
+func newVaddrTracker() *vaddrTracker {
+	return &vaddrTracker{
+		count: make(map[uint64]int),
+		gone:  make(map[uint64]int),
+	}
+}
+
+// incHome records a live object homed at vaddr.
+func (v *vaddrTracker) incHome(vaddr uint64) {
+	v.mu.Lock()
+	v.count[vaddr]++
+	v.mu.Unlock()
+}
+
+// decHome drops one live object homed at vaddr. If the block at vaddr was
+// dissolved and this was the last reference, it returns (pages, true) to
+// signal the address can be reused.
+func (v *vaddrTracker) decHome(vaddr uint64) (int, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.count[vaddr]--
+	if v.count[vaddr] < 0 {
+		panic("core: home refcount underflow")
+	}
+	if v.count[vaddr] == 0 {
+		delete(v.count, vaddr)
+		if pages, ok := v.gone[vaddr]; ok {
+			delete(v.gone, vaddr)
+			return pages, true
+		}
+	}
+	return 0, false
+}
+
+// dissolve marks a block address as dissolved by compaction. If no live
+// object homes there anymore, it is immediately reusable.
+func (v *vaddrTracker) dissolve(vaddr uint64, pages int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.count[vaddr] == 0 {
+		delete(v.count, vaddr)
+		return true
+	}
+	v.gone[vaddr] = pages
+	return false
+}
+
+// pendingReuse reports how many dissolved addresses still await release.
+func (v *vaddrTracker) pendingReuse() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.gone)
+}

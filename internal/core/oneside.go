@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"corm/internal/rnic"
+	"corm/internal/timing"
+)
+
+// Client-side one-sided operations (§3.2.2). A ClientQP wraps a reliable
+// QP connected to a store's NIC plus the class/stride table the client
+// obtained at connection time. DirectRead and ScanRead never involve the
+// store's CPU path: they read raw bytes through the NIC's MTT and perform
+// all validity checking (ID match, lock bits, cacheline versions) locally.
+var (
+	// ErrWrongObject means the object at the hinted offset has a different
+	// ID: the pointer is indirect and needs correction (RPC read or
+	// ScanRead).
+	ErrWrongObject = errors.New("core: hinted slot holds a different object")
+	// ErrInconsistent means the read raced a write or compaction: the
+	// caller should back off and retry (§3.2.3).
+	ErrInconsistent = errors.New("core: inconsistent read (torn or locked), retry")
+)
+
+// DataStride returns the slot stride (bytes) a one-sided reader must fetch
+// for a payload class under the default (versions) layout; remote clients
+// with a configured mode use StrideOf.
+func DataStride(classSize int) int { return dataStride(classSize) }
+
+// StrideOf returns the slot stride for a class under a consistency mode.
+func StrideOf(mode ConsistencyMode, classSize int) int {
+	if mode == ConsistencyChecksum {
+		return checksumStride(classSize)
+	}
+	return dataStride(classSize)
+}
+
+// ExtractObject performs the client-side validity protocol on a raw slot
+// image read one-sidedly under the versions layout. See ExtractObjectMode.
+func ExtractObject(raw []byte, id uint16, classSize int) ([]byte, error) {
+	return ExtractObjectMode(ConsistencyVersions, raw, id, classSize)
+}
+
+// ExtractObjectMode checks ID match, lock bits, and consistency (cacheline
+// versions or checksum, §3.2.2/§3.2.3/§4.2.1) and returns the payload.
+func ExtractObjectMode(mode ConsistencyMode, raw []byte, id uint16, classSize int) ([]byte, error) {
+	stride := StrideOf(mode, classSize)
+	if len(raw) < stride {
+		return nil, ErrShortBuffer
+	}
+	h := decodeHeader(raw)
+	if !h.Alloc || h.ID != id {
+		return nil, ErrWrongObject
+	}
+	if mode == ConsistencyChecksum {
+		if !checksumConsistent(raw[:stride], classSize) {
+			return nil, ErrInconsistent
+		}
+		return checksumPayload(raw, classSize), nil
+	}
+	if !versionsConsistent(raw[:stride]) {
+		return nil, ErrInconsistent
+	}
+	return unpackPayload(raw, classSize), nil
+}
+
+// ScanBlock searches a raw block image for the object with the given ID
+// under the versions layout. See ScanBlockMode.
+func ScanBlock(raw []byte, id uint16, classSize int) (int, []byte, error) {
+	return ScanBlockMode(ConsistencyVersions, raw, id, classSize)
+}
+
+// ScanBlockMode is the client side of ScanRead: it scans every slot of a
+// block image for the object ID, returning its slot index and payload.
+func ScanBlockMode(mode ConsistencyMode, raw []byte, id uint16, classSize int) (int, []byte, error) {
+	stride := StrideOf(mode, classSize)
+	for idx := 0; (idx+1)*stride <= len(raw); idx++ {
+		slot := raw[idx*stride : (idx+1)*stride]
+		h := decodeHeader(slot)
+		if !h.Alloc || h.ID != id {
+			continue
+		}
+		payload, err := ExtractObjectMode(mode, slot, id, classSize)
+		if err != nil {
+			return idx, nil, err
+		}
+		return idx, payload, nil
+	}
+	return 0, nil, ErrNotFound
+}
+
+// ClientQP is a client's handle for one-sided access to one store.
+type ClientQP struct {
+	qp      *rnic.QP
+	classes []int
+	mode    ConsistencyMode
+	nicMod  timing.NIC
+	cpuMod  timing.CPU
+	block   int // block size, for ScanRead
+
+	// Stats
+	DirectReads, FailedReads, ScanReads int64
+}
+
+// ConnectClient opens a reliable QP to the store's NIC and snapshots the
+// layout parameters a client needs.
+func (s *Store) ConnectClient() *ClientQP {
+	return &ClientQP{
+		qp:      s.nic.Connect(),
+		classes: append([]int(nil), s.cfg.Classes...),
+		mode:    s.cfg.Consistency,
+		nicMod:  s.cfg.Model.NIC,
+		cpuMod:  s.cfg.Model.CPU,
+		block:   s.cfg.BlockBytes,
+	}
+}
+
+// QP exposes the underlying queue pair (reconnection after breaks).
+func (c *ClientQP) QP() *rnic.QP { return c.qp }
+
+// DirectRead performs a lock-free one-sided RDMA read of the object (Table
+// 2). On success the payload is copied into buf and the total modeled cost
+// (wire + NIC engine + client-side version check) is returned.
+//
+// Error cases mirror the paper's protocol: ErrWrongObject means the
+// pointer is indirect (fix with ScanRead or an RPC read); ErrInconsistent
+// means a concurrent write or compaction was observed (retry after
+// backoff); rnic errors surface QP breaks.
+func (c *ClientQP) DirectRead(addr Addr, buf []byte) (rnic.Cost, error) {
+	class := int(addr.Class())
+	if class < 0 || class >= len(c.classes) {
+		return rnic.Cost{}, ErrInvalidAddr
+	}
+	size := c.classes[class]
+	if len(buf) < size {
+		return rnic.Cost{}, ErrShortBuffer
+	}
+	raw := make([]byte, StrideOf(c.mode, size))
+	cost, err := c.qp.Read(addr.RKey(), addr.VAddr(), raw)
+	c.DirectReads++
+	if err != nil {
+		return cost, err
+	}
+	cost.Latency += c.checkCost(size)
+	payload, err := ExtractObjectMode(c.mode, raw, addr.ID(), size)
+	if err != nil {
+		c.FailedReads++
+		return cost, err
+	}
+	copy(buf, payload)
+	return cost, nil
+}
+
+// ScanRead reads the whole block containing the object and scans it for
+// the object's ID (§3.2.2, option 2) — the client-side pointer-correction
+// path for failed DirectReads. On success it updates the pointer's offset
+// hint in place, making it direct again.
+func (c *ClientQP) ScanRead(addr *Addr, buf []byte) (rnic.Cost, error) {
+	class := int(addr.Class())
+	if class < 0 || class >= len(c.classes) {
+		return rnic.Cost{}, ErrInvalidAddr
+	}
+	size := c.classes[class]
+	if len(buf) < size {
+		return rnic.Cost{}, ErrShortBuffer
+	}
+	stride := StrideOf(c.mode, size)
+	base := addr.VAddr() &^ uint64(c.block-1)
+	raw := make([]byte, c.block)
+	cost, err := c.qp.Read(addr.RKey(), base, raw)
+	c.ScanReads++
+	if err != nil {
+		return cost, err
+	}
+	slots := c.block / stride
+	cost.Latency += time.Duration(slots) * c.cpuMod.ScanPerSlot
+	idx, payload, err := ScanBlockMode(c.mode, raw, addr.ID(), size)
+	if err != nil {
+		return cost, err
+	}
+	copy(buf, payload)
+	addr.SetVAddr(base + uint64(idx*stride))
+	addr.SetFlag(FlagIndirectObserved)
+	return cost, nil
+}
+
+// checkCost is the client-side validation cost: per-cacheline version
+// checks, or hashing the payload in checksum mode.
+func (c *ClientQP) checkCost(size int) time.Duration {
+	if c.mode == ConsistencyChecksum {
+		return time.Duration(size) * c.cpuMod.ChecksumPerByte
+	}
+	return c.cpuMod.VersionCheck(size)
+}
+
+// DirectReadRetry runs DirectRead with bounded retries on inconsistent
+// reads, accumulating backoff cost — the client loop of §3.2.3. It does
+// not handle ErrWrongObject (an indirect pointer needs correction, which
+// the caller chooses: ScanRead or RPC).
+func (c *ClientQP) DirectReadRetry(addr Addr, buf []byte, retries int, backoff time.Duration) (rnic.Cost, error) {
+	var total rnic.Cost
+	for i := 0; ; i++ {
+		cost, err := c.DirectRead(addr, buf)
+		total.Latency += cost.Latency
+		total.Engine += cost.Engine
+		total.CacheMiss = total.CacheMiss || cost.CacheMiss
+		total.ODPFault = total.ODPFault || cost.ODPFault
+		if !errors.Is(err, ErrInconsistent) || i >= retries {
+			return total, err
+		}
+		total.Latency += backoff
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"corm/internal/timing"
+)
+
+func TestExtractObjectErrors(t *testing.T) {
+	size := 64
+	slot := make([]byte, dataStride(size))
+	encodeHeader(slot, header{Version: 1, Alloc: true, ID: 42})
+	tagLines(slot, 1)
+
+	if _, err := ExtractObject(slot[:10], 42, size); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("short raw: %v", err)
+	}
+	if _, err := ExtractObject(slot, 43, size); !errors.Is(err, ErrWrongObject) {
+		t.Errorf("wrong id: %v", err)
+	}
+	// Free slot.
+	encodeHeader(slot, header{Version: 1, Alloc: false, ID: 42})
+	if _, err := ExtractObject(slot, 42, size); !errors.Is(err, ErrWrongObject) {
+		t.Errorf("free slot: %v", err)
+	}
+	// Locked slot.
+	encodeHeader(slot, header{Version: 1, Alloc: true, ID: 42, Lock: lockCompaction})
+	tagLines(slot, 1)
+	if _, err := ExtractObject(slot, 42, size); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("locked slot: %v", err)
+	}
+}
+
+func TestScanBlockFindsAmongMany(t *testing.T) {
+	size := 64
+	stride := dataStride(size)
+	block := make([]byte, 8*stride)
+	for i := 0; i < 8; i++ {
+		slot := block[i*stride : (i+1)*stride]
+		encodeHeader(slot, header{Version: 1, Alloc: i%2 == 0, ID: uint16(100 + i)})
+		packPayload(slot, fill(size, byte(i)))
+		tagLines(slot, 1)
+	}
+	idx, payload, err := ScanBlock(block, 104, size)
+	if err != nil || idx != 4 {
+		t.Fatalf("scan = %d %v", idx, err)
+	}
+	if !bytes.Equal(payload, fill(size, 4)) {
+		t.Fatal("scan returned wrong payload")
+	}
+	// Unallocated slot's ID is not found even though bytes match.
+	if _, _, err := ScanBlock(block, 105, size); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("free slot found: %v", err)
+	}
+	if _, _, err := ScanBlock(block, 999, size); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing id: %v", err)
+	}
+}
+
+func TestDirectReadRetryGivesUp(t *testing.T) {
+	s := testStore(t, nil)
+	res, _ := s.AllocOn(0, 64)
+	client := s.ConnectClient()
+	// Lock the object permanently: every read is inconsistent.
+	st, slot, _, err := s.resolve(&res.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.setLockState(st, slot, lockCompaction)
+
+	buf := make([]byte, 64)
+	start := time.Now()
+	_, err = client.DirectReadRetry(res.Addr, buf, 3, time.Microsecond)
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v", err)
+	}
+	if client.FailedReads < 4 { // initial + 3 retries
+		t.Fatalf("failed reads = %d", client.FailedReads)
+	}
+	_ = start
+}
+
+func TestClientQPStats(t *testing.T) {
+	s := testStore(t, nil)
+	res, _ := s.AllocOn(0, 64)
+	client := s.ConnectClient()
+	buf := make([]byte, 64)
+	for i := 0; i < 5; i++ {
+		if _, err := client.DirectRead(res.Addr, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := res.Addr
+	if _, err := client.ScanRead(&a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if client.DirectReads != 5 || client.ScanReads != 1 || client.FailedReads != 0 {
+		t.Fatalf("stats = %d/%d/%d", client.DirectReads, client.ScanReads, client.FailedReads)
+	}
+}
+
+func TestDirectReadInvalidClass(t *testing.T) {
+	s := testStore(t, nil)
+	client := s.ConnectClient()
+	bogus := MakeAddr(0x1000, 1, 1, 200) // class out of range
+	if _, err := client.DirectRead(bogus, make([]byte, 8)); !errors.Is(err, ErrInvalidAddr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := client.ScanRead(&bogus, make([]byte, 8)); !errors.Is(err, ErrInvalidAddr) {
+		t.Fatalf("scan err = %v", err)
+	}
+}
+
+func TestLocalReaderStaleAfterCompaction(t *testing.T) {
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 4, 1)
+	reader := NewLocalReader(s)
+	type bound struct {
+		obj     BoundObj
+		payload []byte
+	}
+	var bounds []bound
+	for addr, payload := range live {
+		obj, err := reader.Bind(*addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, bound{obj, payload})
+	}
+	class := s.Allocator().Config().ClassFor(64)
+	if r := s.CompactClass(CompactOptions{Class: class, Leader: 0}); r.BlocksFreed == 0 {
+		t.Fatal("nothing compacted")
+	}
+	// Every stale handle either still reads its object (offset preserved,
+	// frame shared) or reports ErrWrongObject — never wrong data.
+	buf := make([]byte, 64)
+	for _, b := range bounds {
+		_, err := reader.Read(b.obj, buf)
+		switch {
+		case err == nil:
+			if !bytes.Equal(buf, b.payload) {
+				t.Fatal("stale local handle returned wrong data silently")
+			}
+		case errors.Is(err, ErrWrongObject), errors.Is(err, ErrInconsistent):
+			// expected for moved objects: the recycled frame may hold a
+			// different object, a free slot, or leftover lock bits; the
+			// caller re-binds through a corrected pointer
+		default:
+			t.Fatalf("unexpected: %v", err)
+		}
+	}
+}
+
+func TestLocalReaderAccountingMode(t *testing.T) {
+	s := testStore(t, func(c *Config) {
+		c.DataBacked = false
+		c.Remap = RemapRereg
+		c.Model = timing.Default()
+	})
+	res, _ := s.AllocOn(0, 64)
+	if _, err := NewLocalReader(s).Bind(res.Addr); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+}

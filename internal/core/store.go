@@ -1,0 +1,569 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"corm/internal/alloc"
+	"corm/internal/mem"
+	"corm/internal/rnic"
+)
+
+// Store errors.
+var (
+	ErrNoClass     = errors.New("core: object size exceeds largest size class")
+	ErrInvalidAddr = errors.New("core: address does not belong to any block")
+	ErrNotFound    = errors.New("core: object not found (freed or released)")
+	ErrCompacting  = errors.New("core: object locked by compaction, retry")
+	ErrShortBuffer = errors.New("core: buffer smaller than object payload")
+	ErrNoData      = errors.New("core: store is accounting-only (no data)")
+)
+
+// Stats aggregates store-level counters.
+type Stats struct {
+	Allocs, Frees    int64
+	Reads, Writes    int64
+	Corrections      int64 // pointer corrections performed (§3.2)
+	CorrectionMisses int64 // corrections that found nothing (stale pointer)
+	Releases         int64 // ReleasePtr calls
+	Compactions      int64 // merge operations executed
+	BlocksFreed      int64
+	ObjectsMoved     int64 // objects whose offset changed (indirect pointers)
+	VaddrsReused     int64
+}
+
+// Store is one CoRM node.
+type Store struct {
+	cfg    Config
+	phys   *mem.Phys
+	space  *mem.AddrSpace
+	nic    *rnic.NIC
+	proc   *alloc.ProcWide
+	thread []*alloc.ThreadLocal
+
+	mu      sync.Mutex
+	states  map[*alloc.Block]*blockState
+	aliases map[uint64]*blockState   // any block-base vaddr (live or aliased) -> live block
+	aliasOf map[*blockState][]uint64 // alias bases attached to a live block (excl. primary)
+	regions map[uint64]*rnic.Region  // block-base vaddr -> NIC registration
+	rng     *rand.Rand
+
+	vt    *vaddrTracker
+	stats Stats
+}
+
+// NewStore builds a store from the configuration.
+func NewStore(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	phys := mem.NewPhys(cfg.DataBacked)
+	space := mem.NewAddrSpace(phys)
+	proc, err := alloc.NewProcWide(space, cfg.allocConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:     cfg,
+		phys:    phys,
+		space:   space,
+		nic:     rnic.New(space, cfg.Model.NIC),
+		proc:    proc,
+		states:  make(map[*alloc.Block]*blockState),
+		aliases: make(map[uint64]*blockState),
+		aliasOf: make(map[*blockState][]uint64),
+		regions: make(map[uint64]*rnic.Region),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		vt:      newVaddrTracker(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.thread = append(s.thread, alloc.NewThreadLocal(i, proc))
+	}
+	proc.OnNewBlock = s.onNewBlock
+	proc.OnReleaseBlock = s.onReleaseBlock
+	return s, nil
+}
+
+// Config returns the store configuration (with defaults applied).
+func (s *Store) Config() Config { return s.cfg }
+
+// NIC returns the store's RNIC, which clients connect QPs to.
+func (s *Store) NIC() *rnic.NIC { return s.nic }
+
+// Space returns the store's address space.
+func (s *Store) Space() *mem.AddrSpace { return s.space }
+
+// Alloc reserves the process-wide allocator for tests and experiments.
+func (s *Store) Allocator() *alloc.ProcWide { return s.proc }
+
+// Workers returns the number of worker threads.
+func (s *Store) Workers() int { return s.cfg.Workers }
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ActiveBytes is the store's active physical memory (Figs 17-19).
+func (s *Store) ActiveBytes() int64 { return s.phys.LiveBytes() }
+
+// Stride returns the slot stride of a class index.
+func (s *Store) Stride(class int) int {
+	return s.proc.Config().Stride(s.cfg.Classes[class])
+}
+
+// ClassSize returns the payload size of a class index.
+func (s *Store) ClassSize(class int) int { return s.cfg.Classes[class] }
+
+// onNewBlock wires store-level state to a freshly mapped block.
+func (s *Store) onNewBlock(b *alloc.Block) {
+	st := &blockState{Block: b, meta: newBlockMeta(b.Slots)}
+	if s.cfg.DataBacked {
+		region, err := s.nic.Register(b.VAddr, s.cfg.BlockBytes, s.useODP())
+		if err != nil {
+			panic(fmt.Sprintf("core: block registration failed: %v", err))
+		}
+		st.region = regionRef{rkey: region.RKey}
+		s.mu.Lock()
+		s.regions[b.VAddr] = region
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.states[b] = st
+	s.aliases[b.VAddr] = st
+	s.mu.Unlock()
+}
+
+// onReleaseBlock tears down store state before a block is unmapped.
+func (s *Store) onReleaseBlock(b *alloc.Block) {
+	s.mu.Lock()
+	st := s.states[b]
+	delete(s.states, b)
+	delete(s.aliases, b.VAddr)
+	delete(s.aliasOf, st)
+	region := s.regions[b.VAddr]
+	delete(s.regions, b.VAddr)
+	s.mu.Unlock()
+	if region != nil {
+		s.nic.Deregister(region)
+	}
+}
+
+func (s *Store) useODP() bool { return s.cfg.Remap != RemapRereg }
+
+// stateOf resolves the store state of a block.
+func (s *Store) stateOf(b *alloc.Block) *blockState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.states[b]
+}
+
+// blockBase masks an address down to its block base.
+func (s *Store) blockBase(vaddr uint64) uint64 {
+	return vaddr &^ uint64(s.cfg.BlockBytes-1)
+}
+
+// resolveBase finds the live block serving a block-base vaddr (directly or
+// through a compaction alias).
+func (s *Store) resolveBase(base uint64) (*blockState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.aliases[base]
+	return st, ok
+}
+
+// drawID picks a fresh block-local random object ID (§3.1.2). IDs are
+// drawn uniformly from the 2^IDBits space and redrawn on collision within
+// the block, matching the no-replacement model of §3.4.
+func (s *Store) drawID(st *blockState) uint16 {
+	if !s.cfg.usesIDs() {
+		return 0
+	}
+	if s.cfg.classStrategy(st.Slots) != StrategyCoRM {
+		// Class not managed by ID-based compaction: IDs are unused.
+		return 0
+	}
+	mask := uint16(1<<s.cfg.IDBits - 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		id := uint16(s.rng.Intn(1<<s.cfg.IDBits)) & mask
+		if !st.meta.hasID(id) {
+			return id
+		}
+	}
+}
+
+// AllocResult reports an allocation plus the latency-relevant detail of
+// whether the thread-local allocator had to refill (§4.1: +5 µs).
+type AllocResult struct {
+	Addr     Addr
+	Refilled bool
+}
+
+// AllocOn allocates an object of the given payload size on a worker
+// thread, returning its 128-bit pointer.
+func (s *Store) AllocOn(thread int, size int) (AllocResult, error) {
+	class := s.proc.Config().ClassFor(size)
+	if class < 0 {
+		return AllocResult{}, fmt.Errorf("%w: %d bytes", ErrNoClass, size)
+	}
+	b, slot, refilled := s.thread[thread].Alloc(class)
+	st := s.stateOf(b)
+	id := s.drawID(st)
+	st.meta.set(slot, id, b.VAddr)
+	s.vt.incHome(b.VAddr)
+
+	if s.cfg.DataBacked {
+		raw := make([]byte, b.Stride)
+		encodeHeader(raw, header{Version: 0, Lock: lockFree, Alloc: true, ID: id, Home: b.VAddr})
+		if s.cfg.Consistency == ConsistencyChecksum {
+			sealChecksum(raw, nil, s.cfg.Classes[class], 0)
+		} else {
+			tagLines(raw, 0)
+		}
+		if err := s.space.WriteAt(b.SlotAddr(slot), raw); err != nil {
+			return AllocResult{}, err
+		}
+	}
+
+	s.mu.Lock()
+	s.stats.Allocs++
+	s.mu.Unlock()
+	return AllocResult{
+		Addr:     MakeAddr(b.SlotAddr(slot), id, st.region.rkey, uint8(class)),
+		Refilled: refilled,
+	}, nil
+}
+
+// resolve locates the live block and slot for a pointer, performing
+// pointer correction when the hinted slot does not hold the object
+// (§3.2.1). It reports whether correction was needed.
+func (s *Store) resolve(addr *Addr) (*blockState, int, bool, error) {
+	base := s.blockBase(addr.VAddr())
+	st, ok := s.resolveBase(base)
+	if !ok {
+		return nil, 0, false, fmt.Errorf("%w: %#x", ErrInvalidAddr, addr.VAddr())
+	}
+	// The pointer may reference the block through a compaction alias, so
+	// the slot is derived from the pointer's own block base, not the live
+	// block's primary address (offsets are preserved across the alias).
+	off := int(addr.VAddr() - base)
+	if off%st.Stride != 0 || off >= st.Slots*st.Stride {
+		return nil, 0, false, fmt.Errorf("%w: %#x not slot-aligned", ErrInvalidAddr, addr.VAddr())
+	}
+	slot := off / st.Stride
+	// Optimistic hinted access: check the object at the hinted offset.
+	if st.SlotUsed(slot) {
+		id, _ := st.meta.at(slot)
+		if id == addr.ID() {
+			return st, slot, false, nil
+		}
+	}
+	// Correction: find the object by ID. With messaging the owner answers
+	// from its metadata; with scanning the serving thread walks the block.
+	// Functionally both are a metadata search; their different costs and
+	// availability are modeled by the RPC layer.
+	found, ok := st.meta.lookup(addr.ID())
+	if !ok || !st.SlotUsed(found) {
+		if st.isCompacting() {
+			// Mid-merge the object may already be detached from this
+			// block while its alias still routes here: retryable, not
+			// gone (§3.2.3).
+			return nil, 0, false, ErrCompacting
+		}
+		s.mu.Lock()
+		s.stats.Corrections++
+		s.stats.CorrectionMisses++
+		s.mu.Unlock()
+		return nil, 0, false, fmt.Errorf("%w: id %d in block %#x", ErrNotFound, addr.ID(), base)
+	}
+	addr.SetVAddr(base + uint64(found*st.Stride))
+	addr.SetFlag(FlagIndirectObserved)
+	s.mu.Lock()
+	s.stats.Corrections++
+	s.mu.Unlock()
+	return st, found, true, nil
+}
+
+// Read copies an object's payload into buf via the RPC path, correcting
+// the pointer if needed. It returns the payload length.
+func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
+	st, slot, _, err := s.resolve(addr)
+	if err != nil {
+		return 0, err
+	}
+	if st.isCompacting() {
+		return 0, ErrCompacting
+	}
+	size := s.ClassSize(st.Class)
+	if len(buf) < size {
+		return 0, ErrShortBuffer
+	}
+	s.mu.Lock()
+	s.stats.Reads++
+	s.mu.Unlock()
+	if !s.cfg.DataBacked {
+		return size, nil
+	}
+	st.rw.RLock()
+	defer st.rw.RUnlock()
+	raw := make([]byte, st.Stride)
+	if err := s.space.ReadAt(st.SlotAddr(slot), raw); err != nil {
+		return 0, err
+	}
+	if s.cfg.Consistency == ConsistencyChecksum {
+		copy(buf, checksumPayload(raw, size))
+	} else {
+		copy(buf, unpackPayload(raw, size))
+	}
+	return size, nil
+}
+
+// Write updates an object's payload via the RPC path. The write protocol
+// bumps the version, tags every cacheline, and writes line by line so
+// concurrent one-sided readers can detect torn state (§3.2.3).
+func (s *Store) Write(addr *Addr, payload []byte) error {
+	st, slot, _, err := s.resolve(addr)
+	if err != nil {
+		return err
+	}
+	if st.isCompacting() {
+		return ErrCompacting
+	}
+	size := s.ClassSize(st.Class)
+	if len(payload) > size {
+		return fmt.Errorf("%w: payload %d > class %d", ErrShortBuffer, len(payload), size)
+	}
+	s.mu.Lock()
+	s.stats.Writes++
+	s.mu.Unlock()
+	if !s.cfg.DataBacked {
+		return nil
+	}
+
+	st.rw.Lock()
+	defer st.rw.Unlock()
+	base := st.SlotAddr(slot)
+	raw := make([]byte, st.Stride)
+	if err := s.space.ReadAt(base, raw); err != nil {
+		return err
+	}
+	h := decodeHeader(raw)
+	newVersion := h.Version + 1
+
+	if s.cfg.Consistency == ConsistencyChecksum {
+		return s.writeChecksum(st, base, raw, h, newVersion, payload)
+	}
+
+	// 1. Lock the object: rewrite the header line with the write lock.
+	h.Lock = lockWrite
+	encodeHeader(raw, h)
+	if err := s.space.WriteAt(base, raw[:cacheline]); err != nil {
+		return err
+	}
+	// 2. Rebuild the slot image with the new payload and version tags,
+	// then write the tail lines one by one (readers may interleave).
+	full := make([]byte, len(payload))
+	copy(full, payload)
+	packPayload(raw, full)
+	tagLines(raw, newVersion)
+	for off := cacheline; off < st.Stride; off += cacheline {
+		if err := s.space.WriteAt(base+uint64(off), raw[off:off+cacheline]); err != nil {
+			return err
+		}
+	}
+	// 3. Publish: write the header line with the new version, unlocked.
+	h.Version = newVersion
+	h.Lock = lockFree
+	encodeHeader(raw, h)
+	if err := s.space.WriteAt(base, raw[:cacheline]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeChecksum is the checksum-mode write protocol: lock, stream the new
+// payload in cacheline-sized chunks (so concurrent one-sided readers can
+// genuinely observe torn state), seal with the new checksum, and publish
+// the new version unlocked. A reader racing any step sees either the lock
+// bits or a checksum mismatch.
+func (s *Store) writeChecksum(st *blockState, base uint64, raw []byte, h header, newVersion uint32, payload []byte) error {
+	size := s.ClassSize(st.Class)
+	h.Lock = lockWrite
+	encodeHeader(raw, h)
+	if err := s.space.WriteAt(base, raw[:headerBytes]); err != nil {
+		return err
+	}
+	sealChecksum(raw, payload, size, newVersion)
+	for off := headerBytes; off < st.Stride; off += cacheline {
+		end := off + cacheline
+		if end > st.Stride {
+			end = st.Stride
+		}
+		if err := s.space.WriteAt(base+uint64(off), raw[off:end]); err != nil {
+			return err
+		}
+	}
+	h.Version = newVersion
+	h.Lock = lockFree
+	encodeHeader(raw, h)
+	return s.space.WriteAt(base, raw[:headerBytes])
+}
+
+// Free releases an object (§2, Table 2), correcting the pointer first. The
+// freeing is routed to the owning thread to preserve the block-ownership
+// invariant.
+func (s *Store) Free(addr *Addr) error {
+	st, slot, _, err := s.resolve(addr)
+	if err != nil {
+		return err
+	}
+	if st.isCompacting() {
+		return ErrCompacting
+	}
+	_, home := st.meta.clear(slot)
+	if s.cfg.DataBacked {
+		// Mark the stored slot free so one-sided readers reject it.
+		s.clearAllocBit(st, slot)
+	}
+	owner := st.Owner()
+	if owner < 0 || owner >= len(s.thread) {
+		owner = 0
+	}
+	if err := s.thread[owner].Free(st.Block, slot); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Frees++
+	s.mu.Unlock()
+	if pages, reuse := s.vt.decHome(home); reuse {
+		s.releaseAlias(home, pages)
+	}
+	return nil
+}
+
+// ReleasePtr tells the store that every copy of an old pointer has been
+// corrected: the object is rebased onto its current block address, and the
+// old home address may become reusable (§3.3). It returns the rebased
+// pointer the client should use from now on.
+func (s *Store) ReleasePtr(addr *Addr) (Addr, error) {
+	st, slot, _, err := s.resolve(addr)
+	if err != nil {
+		return Addr{}, err
+	}
+	id, home := st.meta.at(slot)
+	s.mu.Lock()
+	s.stats.Releases++
+	s.mu.Unlock()
+	if home == st.VAddr {
+		// Pointer already references the live block: nothing to release.
+		return MakeAddr(st.SlotAddr(slot), id, st.region.rkey, uint8(st.Class)), nil
+	}
+	st.meta.setHome(slot, st.VAddr)
+	s.vt.incHome(st.VAddr)
+	if s.cfg.DataBacked {
+		s.rewriteHome(st, slot, st.VAddr)
+	}
+	if pages, reuse := s.vt.decHome(home); reuse {
+		s.releaseAlias(home, pages)
+	}
+	return MakeAddr(st.SlotAddr(slot), id, st.region.rkey, uint8(st.Class)), nil
+}
+
+// clearAllocBit rewrites a slot header with the allocated bit cleared.
+func (s *Store) clearAllocBit(st *blockState, slot int) {
+	st.rw.Lock()
+	defer st.rw.Unlock()
+	base := st.SlotAddr(slot)
+	line := make([]byte, headerBytes)
+	if err := s.space.ReadAt(base, line); err != nil {
+		return
+	}
+	h := decodeHeader(line)
+	h.Alloc = false
+	encodeHeader(line, h)
+	s.space.WriteAt(base, line)
+}
+
+// rewriteHome updates the home field inside a stored object header.
+func (s *Store) rewriteHome(st *blockState, slot int, home uint64) {
+	st.rw.Lock()
+	defer st.rw.Unlock()
+	base := st.SlotAddr(slot)
+	line := make([]byte, headerBytes)
+	if err := s.space.ReadAt(base, line); err != nil {
+		return
+	}
+	h := decodeHeader(line)
+	h.Home = home
+	encodeHeader(line, h)
+	s.space.WriteAt(base, line)
+}
+
+// releaseAlias retires a dissolved block address whose last homed object
+// is gone: the alias mapping is unmapped, its NIC region deregistered, and
+// the address returned to the reuse pool.
+func (s *Store) releaseAlias(vaddr uint64, pages int) {
+	s.mu.Lock()
+	st := s.aliases[vaddr]
+	delete(s.aliases, vaddr)
+	if st != nil {
+		list := s.aliasOf[st]
+		for i, a := range list {
+			if a == vaddr {
+				list[i] = list[len(list)-1]
+				s.aliasOf[st] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+	region := s.regions[vaddr]
+	delete(s.regions, vaddr)
+	s.stats.VaddrsReused++
+	s.mu.Unlock()
+	if region != nil {
+		s.nic.Deregister(region)
+	}
+	s.proc.RetireVaddr(vaddr, pages)
+}
+
+// PendingVaddrs reports dissolved block addresses still awaiting release.
+func (s *Store) PendingVaddrs() int { return s.vt.pendingReuse() }
+
+// Fragmentation exposes the per-class policy input (§3.1.3).
+func (s *Store) Fragmentation(class int) alloc.FragStats {
+	return s.proc.Fragmentation(class)
+}
+
+// NeedsCompaction lists classes whose fragmentation ratio exceeds the
+// configured threshold (§3.1.3).
+func (s *Store) NeedsCompaction() []int {
+	var out []int
+	for c := range s.cfg.Classes {
+		f := s.proc.Fragmentation(c)
+		if f.GrantedBytes > 0 && f.Ratio > s.cfg.FragThreshold {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// blockState carries a sync.RWMutex for the RPC read/write path; defined
+// here to keep meta.go focused on metadata.
+func (st *blockState) isCompacting() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.compacting
+}
+
+func (st *blockState) setCompacting(v bool) {
+	st.mu.Lock()
+	st.compacting = v
+	st.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corm/internal/core"
+	"corm/internal/mem"
+	"corm/internal/stats"
+	"corm/internal/timing"
+	"corm/internal/workload"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out:
+//
+//  1. consistency scheme — FaRM-style cacheline versions (CoRM's choice)
+//     vs a trailing checksum (§4.2.1's alternative): wire bytes fetched
+//     per one-sided read and client-side check cost;
+//  2. huge pages — §4.3.1: "the remapping time can be significantly
+//     reduced by using huge pages: a 2 MiB page has the same remapping
+//     and re-registration latency as a 4 KiB page";
+//  3. pairing-attempt budget — the bounded greedy merge search: how much
+//     compaction quality a larger budget buys on a spike workload.
+func Ablations(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+	return []stats.Table{
+		ablConsistency(opts),
+		ablHugePages(),
+		ablMaxAttempts(opts),
+	}
+}
+
+// ablConsistency measures a DirectRead under both validation schemes.
+func ablConsistency(opts Options) stats.Table {
+	t := stats.Table{
+		Title: "Ablation: consistency scheme for one-sided reads",
+		Headers: []string{"size", "stride (ver)", "stride (sum)", "read us (ver)",
+			"read us (sum)", "check us (ver)", "check us (sum)"},
+	}
+	for _, size := range []int{64, 256, 2048, 8192} {
+		var lat [2]float64
+		for i, mode := range []core.ConsistencyMode{core.ConsistencyVersions, core.ConsistencyChecksum} {
+			s, err := core.NewStore(core.Config{
+				Workers: 1, BlockBytes: 1 << 20, Strategy: core.StrategyCoRM,
+				DataBacked: true, Consistency: mode,
+				Remap: core.RemapODPPrefetch,
+				Model: timing.Default().WithNIC(timing.ConnectX5()),
+				Seed:  opts.Seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			r, err := s.AllocOn(0, size)
+			if err != nil {
+				panic(err)
+			}
+			client := s.ConnectClient()
+			buf := make([]byte, size)
+			// Warm the translation cache, then measure.
+			if _, err := client.DirectRead(r.Addr, buf); err != nil {
+				panic(err)
+			}
+			cost, err := client.DirectRead(r.Addr, buf)
+			if err != nil {
+				panic(err)
+			}
+			lat[i] = cost.Latency.Seconds() * 1e6
+		}
+		cpu := timing.IntelXeon()
+		t.AddRow(size,
+			core.StrideOf(core.ConsistencyVersions, size),
+			core.StrideOf(core.ConsistencyChecksum, size),
+			fmt.Sprintf("%.2f", lat[0]), fmt.Sprintf("%.2f", lat[1]),
+			fmt.Sprintf("%.3f", cpu.VersionCheck(size).Seconds()*1e6),
+			fmt.Sprintf("%.3f", (float64(size)*float64(cpu.ChecksumPerByte))/1e3),
+		)
+	}
+	return t
+}
+
+// ablHugePages compares block remap+rereg cost with 4 KiB vs 2 MiB pages.
+func ablHugePages() stats.Table {
+	t := stats.Table{
+		Title:   "Ablation: page size for block remapping (ConnectX-3, rereg)",
+		Headers: []string{"block", "4KiB pages", "cost", "2MiB pages", "cost", "speedup"},
+	}
+	nic := timing.ConnectX3()
+	for _, blockBytes := range []int{1 << 20, 4 << 20, 16 << 20} {
+		small := blockBytes / mem.PageSize
+		huge := (blockBytes + (2 << 20) - 1) / (2 << 20)
+		cSmall := nic.MmapCost(small) + nic.Rereg(small)
+		cHuge := nic.MmapCost(huge) + nic.Rereg(huge)
+		t.AddRow(stats.HumanBytes(int64(blockBytes)), small, cSmall, huge, cHuge,
+			fmt.Sprintf("%.0fx", float64(cSmall)/float64(cHuge)))
+	}
+	return t
+}
+
+// ablMaxAttempts sweeps the merge search budget on a spike workload.
+func ablMaxAttempts(opts Options) stats.Table {
+	t := stats.Table{
+		Title:   "Ablation: merge-candidate attempt budget (spike 2 KiB, 60% freed)",
+		Headers: []string{"max attempts", "active MiB", "blocks freed"},
+	}
+	for _, attempts := range []int{1, 2, 4, 8, 16, 32} {
+		s, err := core.NewStore(core.Config{
+			Workers: 8, BlockBytes: 1 << 20, Strategy: core.StrategyCoRM, IDBits: 16,
+			DataBacked: false, Remap: core.RemapRereg, Model: timing.Default(),
+			Seed: opts.Seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(opts.Seed))
+		tr := workload.NewSpikeTrace(opts.Seed, 2048, int64(opts.pick(100_000, 1_000_000)), 0.6)
+		var addrs []core.Addr
+		for {
+			ev, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if ev.Op == workload.TAlloc {
+				r, err := s.AllocOn(rng.Intn(8), ev.Size)
+				if err != nil {
+					panic(err)
+				}
+				addrs = append(addrs, r.Addr)
+			} else if err := s.Free(&addrs[ev.Index]); err != nil {
+				panic(err)
+			}
+		}
+		freed := 0
+		class := s.Allocator().Config().ClassFor(2048)
+		for round := 0; round < 16; round++ {
+			r := s.CompactClass(core.CompactOptions{
+				Class: class, Leader: 0, MaxOccupancy: 0.95, MaxAttempts: attempts,
+			})
+			freed += r.BlocksFreed
+			if r.BlocksFreed == 0 {
+				break
+			}
+		}
+		t.AddRow(attempts, fmt.Sprintf("%.1f", float64(s.ActiveBytes())/float64(1<<20)), freed)
+	}
+	return t
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/workload"
+)
+
+// Exported wrappers used by the repository's top-level benchmarks, which
+// run scaled-down instances of the experiment harnesses per iteration.
+
+// YCSBBench is an opaque handle over the internal harness.
+type YCSBBench struct {
+	h *ycsbHarness
+	p ycsbParams
+}
+
+// NewYCSBBench builds a small YCSB simulation.
+func NewYCSBBench(objects, clients int, dist workload.Dist, theta float64, mix workload.Mix, oneSided bool, seed int64) (*YCSBBench, ycsbParams) {
+	p := ycsbParams{
+		objects: objects, clients: clients, dist: dist, theta: theta,
+		mix: mix, oneSided: oneSided, seed: seed,
+		measure: 20 * time.Millisecond, warmup: 5 * time.Millisecond,
+	}
+	return &YCSBBench{h: newYCSBHarness(p), p: p}, p
+}
+
+// NewYCSBBenchFrag is NewYCSBBench over a fragmented population (Fig 14).
+func NewYCSBBenchFrag(objects, clients int, dist workload.Dist, theta float64, mix workload.Mix, oneSided bool, seed int64) (*YCSBBench, ycsbParams) {
+	p := ycsbParams{
+		objects: objects, clients: clients, dist: dist, theta: theta,
+		mix: mix, oneSided: oneSided, fragment: true, seed: seed,
+		measure: 20 * time.Millisecond, warmup: 5 * time.Millisecond,
+	}
+	return &YCSBBench{h: newYCSBHarness(p), p: p}, p
+}
+
+// Run executes the simulation, returning (req/s, conflicts/s).
+func (y *YCSBBench) Run(p ycsbParams) (float64, float64) { return y.h.run(p) }
+
+// RunTraceBench replays a trace with the given strategy and returns the
+// post-compaction active memory.
+func RunTraceBench(tr workload.Trace, strategy core.Strategy, idBits, threads int, seed int64) int64 {
+	return runTrace(tr, strategyVariant{"bench", strategy, idBits}, threads, seed)
+}
+
+// TimelineBench runs a miniature Fig 16 and returns the blocks freed.
+func TimelineBench(objects int, seed int64) int {
+	opts := Options{Seed: seed}
+	_ = opts
+	// Reuse fig16Run at a very small scale by temporarily building the
+	// pieces directly: a short run with the messaging mode.
+	t := fig16RunScaled(Options{Seed: seed}, core.CorrectMessaging, objects, 300*time.Millisecond)
+	return t
+}

@@ -1,0 +1,215 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each FigNN function runs the corresponding experiment —
+// over the discrete-event simulation for latency/throughput studies, or
+// functionally for the memory-accounting studies — and returns plain-text
+// tables with the same rows/series the paper plots. cmd/corm-bench and the
+// top-level benchmarks share these harnesses.
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/sim"
+	"corm/internal/timing"
+)
+
+// DESNode wraps a functional CoRM store with the simulated resources that
+// produce realistic queueing: the RPC worker pool (§2.2.2) and the NIC's
+// inbound processing engine. All latency constants come from the store's
+// timing model.
+type DESNode struct {
+	Eng     *sim.Engine
+	Store   *core.Store
+	Workers *sim.Resource // RPC worker threads
+	Engine  *sim.Resource // NIC inbound engine (one-sided ops)
+	Leader  *sim.Resource // the compaction-leader thread's availability
+	Model   timing.Model
+}
+
+// NewDESNode builds the simulation around an existing store.
+func NewDESNode(eng *sim.Engine, store *core.Store) *DESNode {
+	return &DESNode{
+		Eng:     eng,
+		Store:   store,
+		Workers: sim.NewResource(eng, store.Workers()),
+		Engine:  sim.NewResource(eng, 1),
+		Leader:  sim.NewResource(eng, 1),
+		Model:   store.Config().Model,
+	}
+}
+
+// RPC models one RPC round trip: wire out, queue for a worker, handle,
+// store work, wire back — while the worker stays busy for its post-
+// processing share after the reply leaves (this split is what bounds the
+// RPC plateau of Fig 12 without inflating Fig 9 latencies).
+//
+// work runs the functional store operation and returns any extra modeled
+// service time (e.g. a block refill, a correction hop).
+func (n *DESNode) RPC(p *sim.Proc, payload int, work func() (time.Duration, error)) (time.Duration, error) {
+	start := p.Now()
+	rtt := n.Model.NIC.RPCRTT(payload)
+	p.Wait(rtt / 2)
+
+	// The incoming send passes through the same NIC inbound engine as
+	// one-sided operations before landing in the RPC queue (§2.2.2).
+	n.Engine.Use(p, n.Model.NIC.EngineTime(payload))
+
+	n.Workers.Acquire(p)
+	p.Wait(n.Model.CPU.WorkerHandle)
+	var err error
+	var extra time.Duration
+	if work != nil {
+		extra, err = work()
+	}
+	if extra > 0 {
+		p.Wait(extra)
+	}
+	// The reply departs now; the worker remains busy for the post share.
+	n.Eng.Schedule(n.Model.CPU.WorkerPost, n.Workers.Release)
+
+	p.Wait(rtt / 2)
+	return time.Duration(p.Now() - start), err
+}
+
+// OneSided models a one-sided verb: the request transits the wire, queues
+// on the NIC's inbound engine for its occupancy share, and completes after
+// the remaining latency. cost comes from the functional rnic layer (wire,
+// MTT cache misses, ODP faults, client-side checks).
+func (n *DESNode) OneSided(p *sim.Proc, cost time.Duration, engine time.Duration) time.Duration {
+	start := p.Now()
+	pre := (cost - engine) / 2
+	if pre > 0 {
+		p.Wait(pre)
+	}
+	n.Engine.Acquire(p)
+	if engine > 0 {
+		p.Wait(engine)
+	}
+	n.Engine.Release()
+	post := cost - engine - pre
+	if post > 0 {
+		p.Wait(post)
+	}
+	return time.Duration(p.Now() - start)
+}
+
+// DirectRead performs the functional one-sided read and charges its DES
+// cost. The returned error distinguishes indirect pointers and
+// inconsistent reads, as in the client library.
+func (n *DESNode) DirectRead(p *sim.Proc, client *core.ClientQP, addr core.Addr, buf []byte) (time.Duration, error) {
+	cost, err := client.DirectRead(addr, buf)
+	lat := n.OneSided(p, cost.Latency, cost.Engine)
+	return lat, err
+}
+
+// ScanRead performs the functional block-scan read and charges its cost.
+func (n *DESNode) ScanRead(p *sim.Proc, client *core.ClientQP, addr *core.Addr, buf []byte) (time.Duration, error) {
+	cost, err := client.ScanRead(addr, buf)
+	lat := n.OneSided(p, cost.Latency, cost.Engine)
+	return lat, err
+}
+
+// correctionExtra models the server-side pointer-correction cost for RPC
+// operations (§3.2.1): with thread messaging, two inter-thread hops plus
+// possibly waiting for the owner thread (busy during compaction); with
+// block scanning, a scan proportional to the block's slot count.
+func (n *DESNode) correctionExtra(p *sim.Proc, classSize int) time.Duration {
+	cpu := n.Model.CPU
+	switch n.Store.Config().Correction {
+	case core.CorrectScan:
+		slots := n.Store.Config().BlockBytes / core.DataStride(classSize)
+		return time.Duration(slots) * cpu.ScanPerSlot
+	default: // CorrectMessaging
+		// The owner thread must answer; if it is the busy compaction
+		// leader, the request stalls until the leader frees up.
+		n.Leader.Acquire(p)
+		n.Leader.Release()
+		return 2 * cpu.HopLatency
+	}
+}
+
+// RPCReadObj is the full RPC read of an object: store read + correction
+// accounting. addr is corrected in place, as the server would report back.
+func (n *DESNode) RPCReadObj(p *sim.Proc, addr *core.Addr, buf []byte) (time.Duration, error) {
+	size := n.Store.ClassSize(int(addr.Class()))
+	return n.RPC(p, size, func() (time.Duration, error) {
+		before := addr.HasFlag(core.FlagIndirectObserved)
+		_, err := n.Store.Read(addr, buf)
+		var extra time.Duration
+		if !before && addr.HasFlag(core.FlagIndirectObserved) {
+			extra = n.correctionExtra(p, size)
+		}
+		return extra, err
+	})
+}
+
+// RPCWriteObj is the RPC write path.
+func (n *DESNode) RPCWriteObj(p *sim.Proc, addr *core.Addr, payload []byte) (time.Duration, error) {
+	return n.RPC(p, len(payload), func() (time.Duration, error) {
+		before := addr.HasFlag(core.FlagIndirectObserved)
+		err := n.Store.Write(addr, payload)
+		var extra time.Duration
+		if !before && addr.HasFlag(core.FlagIndirectObserved) {
+			extra = n.correctionExtra(p, n.Store.ClassSize(int(addr.Class())))
+		}
+		return extra, err
+	})
+}
+
+// RPCAllocObj models Alloc: base RPC + allocator work (+ refill).
+func (n *DESNode) RPCAllocObj(p *sim.Proc, thread, size int) (core.Addr, time.Duration, error) {
+	var addr core.Addr
+	lat, err := n.RPC(p, 16, func() (time.Duration, error) {
+		res, err := n.Store.AllocOn(thread, size)
+		if err != nil {
+			return 0, err
+		}
+		addr = res.Addr
+		extra := n.Model.CPU.AllocWork
+		if res.Refilled {
+			extra += n.Model.CPU.BlockRefill
+		}
+		return extra, nil
+	})
+	return addr, lat, err
+}
+
+// RPCFreeObj models Free.
+func (n *DESNode) RPCFreeObj(p *sim.Proc, addr *core.Addr) (time.Duration, error) {
+	return n.RPC(p, 16, func() (time.Duration, error) {
+		return n.Model.CPU.AllocWork, n.Store.Free(addr)
+	})
+}
+
+// RPCReleaseObj models ReleasePtr.
+func (n *DESNode) RPCReleaseObj(p *sim.Proc, addr *core.Addr) (core.Addr, time.Duration, error) {
+	var out core.Addr
+	lat, err := n.RPC(p, 16, func() (time.Duration, error) {
+		na, err := n.Store.ReleasePtr(addr)
+		out = na
+		return n.Model.CPU.ReleaseWork, err
+	})
+	return out, lat, err
+}
+
+// RetryableDirectRead keeps retrying inconsistent one-sided reads with a
+// backoff, as CoRM clients do (§3.2.3). Indirect-pointer errors surface.
+func (n *DESNode) RetryableDirectRead(p *sim.Proc, client *core.ClientQP, addr core.Addr, buf []byte, backoff time.Duration) (time.Duration, int, error) {
+	var total time.Duration
+	retries := 0
+	for {
+		lat, err := n.DirectRead(p, client, addr, buf)
+		total += lat
+		if !errors.Is(err, core.ErrInconsistent) {
+			return total, retries, err
+		}
+		retries++
+		if retries > 1000 {
+			return total, retries, err
+		}
+		p.Wait(backoff)
+		total += backoff
+	}
+}

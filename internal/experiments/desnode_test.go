@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/sim"
+	"corm/internal/timing"
+)
+
+func desStore(t *testing.T) *core.Store {
+	t.Helper()
+	s, err := core.NewStore(core.Config{
+		Workers: 8, BlockBytes: 4096, Strategy: core.StrategyCoRM,
+		DataBacked: true, Remap: core.RemapODPPrefetch,
+		Model: timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRPCPlateauMatchesWorkerCapacity validates the queueing behaviour the
+// Fig 12 calibration rests on: many closed-loop clients saturate the RPC
+// path at workers / (handle+post) requests per second.
+func TestRPCPlateauMatchesWorkerCapacity(t *testing.T) {
+	s := desStore(t)
+	eng := sim.NewEngine()
+	node := NewDESNode(eng, s)
+	horizon := sim.Time(50 * time.Millisecond)
+	var ops int64
+	for c := 0; c < 16; c++ {
+		eng.Go(func(p *sim.Proc) {
+			for {
+				if p.Now() >= horizon {
+					return
+				}
+				if _, err := node.RPC(p, 32, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if p.Now() <= horizon {
+					ops++
+				}
+			}
+		})
+	}
+	eng.Run(horizon)
+	eng.Drain()
+
+	cpu := node.Model.CPU
+	capacity := float64(s.Workers()) / (cpu.WorkerHandle + cpu.WorkerPost).Seconds()
+	rate := float64(ops) / sim.Time(horizon).Seconds()
+	if rate < capacity*0.9 || rate > capacity*1.1 {
+		t.Fatalf("plateau %.0f, want ~%.0f (worker capacity)", rate, capacity)
+	}
+}
+
+// TestSingleClientRPCLatencyUnqueued checks the other end of the split:
+// one client sees base RTT + handle, not the post-processing share.
+func TestSingleClientRPCLatencyUnqueued(t *testing.T) {
+	s := desStore(t)
+	eng := sim.NewEngine()
+	node := NewDESNode(eng, s)
+	var lat time.Duration
+	eng.Go(func(p *sim.Proc) {
+		lat, _ = node.RPC(p, 32, nil)
+	})
+	eng.RunAll()
+	want := node.Model.NIC.RPCRTT(32) + node.Model.NIC.EngineTime(32) + node.Model.CPU.WorkerHandle
+	if lat != want {
+		t.Fatalf("latency %v, want %v", lat, want)
+	}
+}
+
+// TestOneSidedEngineBottleneck: aggregate one-sided throughput is bounded
+// by the NIC inbound engine, not by client count.
+func TestOneSidedEngineBottleneck(t *testing.T) {
+	s := desStore(t)
+	r, err := s.AllocOn(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	node := NewDESNode(eng, s)
+	horizon := sim.Time(20 * time.Millisecond)
+	var ops int64
+	for c := 0; c < 16; c++ {
+		eng.Go(func(p *sim.Proc) {
+			client := s.ConnectClient()
+			buf := make([]byte, 32)
+			for {
+				if p.Now() >= horizon {
+					return
+				}
+				if _, err := node.DirectRead(p, client, r.Addr, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if p.Now() <= horizon {
+					ops++
+				}
+			}
+		})
+	}
+	eng.Run(horizon)
+	eng.Drain()
+	rate := float64(ops) / sim.Time(horizon).Seconds()
+	stride := core.DataStride(32)
+	svc := node.Model.NIC.EngineTime(stride) // hot page: no MTT misses
+	capacity := 1 / svc.Seconds()
+	if rate < capacity*0.9 || rate > capacity*1.1 {
+		t.Fatalf("one-sided plateau %.0f, want ~%.0f (engine capacity)", rate, capacity)
+	}
+	if node.Engine.Utilization() < 0.9 {
+		t.Fatalf("engine utilization %.2f, want ~1", node.Engine.Utilization())
+	}
+}
+
+// TestCorrectionBlocksOnBusyLeader: messaging-mode corrections queue on
+// the leader's availability — the Fig 16 unavailability mechanism.
+func TestCorrectionBlocksOnBusyLeader(t *testing.T) {
+	s := desStore(t)
+	eng := sim.NewEngine()
+	node := NewDESNode(eng, s)
+
+	// Occupy the leader for 1ms of virtual time.
+	eng.Go(func(p *sim.Proc) {
+		node.Leader.Acquire(p)
+		p.Wait(time.Millisecond)
+		node.Leader.Release()
+	})
+	var waited time.Duration
+	eng.Go(func(p *sim.Proc) {
+		p.Wait(10 * time.Microsecond) // arrive while the leader is busy
+		start := p.Now()
+		node.correctionExtra(p, 32)
+		waited = time.Duration(p.Now() - start)
+	})
+	eng.RunAll()
+	if waited < 900*time.Microsecond {
+		t.Fatalf("correction waited only %v for the busy leader", waited)
+	}
+}
+
+// TestCorrectionScanModeDoesNotBlock: scan-mode corrections cost CPU but
+// never wait for the leader.
+func TestCorrectionScanModeDoesNotBlock(t *testing.T) {
+	s, err := core.NewStore(core.Config{
+		Workers: 8, BlockBytes: 4096, Strategy: core.StrategyCoRM,
+		Correction: core.CorrectScan,
+		DataBacked: true, Remap: core.RemapODPPrefetch,
+		Model: timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	node := NewDESNode(eng, s)
+	eng.Go(func(p *sim.Proc) {
+		node.Leader.Acquire(p)
+		p.Wait(time.Millisecond)
+		node.Leader.Release()
+	})
+	var extra time.Duration
+	eng.Go(func(p *sim.Proc) {
+		p.Wait(10 * time.Microsecond)
+		start := p.Now()
+		extra = node.correctionExtra(p, 32)
+		if waited := time.Duration(p.Now() - start); waited > time.Microsecond {
+			t.Errorf("scan correction waited %v on the leader", waited)
+		}
+	})
+	eng.RunAll()
+	if extra <= 0 {
+		t.Fatal("scan correction should cost scan time")
+	}
+}

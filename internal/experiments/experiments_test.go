@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/timing"
+	"corm/internal/workload"
+)
+
+func TestTable1Content(t *testing.T) {
+	out := Table1()[0].String()
+	for _, want := range []string{"Mesh", "FaRM", "CoRM", "vaddr reuse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	out := Table3()[0].String()
+	// Mesh 0 bits, CoRM-0 28, CoRM-8 36, CoRM-12 40, CoRM-16 44.
+	for _, want := range []string{"Mesh", "28", "36", "40", "44"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7ProbabilityOrdering(t *testing.T) {
+	tables := Fig7()
+	if len(tables) != 1 || len(tables[0].Rows) != 20 {
+		t.Fatalf("fig7 shape: %d tables", len(tables))
+	}
+	// Columns: occupancy, objsize, Mesh, CoRM-8, CoRM-12, CoRM-16.
+	for _, row := range tables[0].Rows {
+		mesh, _ := strconv.ParseFloat(row[2], 64)
+		c16, _ := strconv.ParseFloat(row[5], 64)
+		if c16 < mesh-1e-9 {
+			t.Errorf("CoRM-16 below Mesh in row %v", row)
+		}
+	}
+}
+
+func TestFig8StrategyProperties(t *testing.T) {
+	for _, remap := range []core.RemapStrategy{core.RemapRereg, core.RemapODP, core.RemapODPPrefetch} {
+		mmapT, fixT, breakW, first, second := remapCosts(remap)
+		if mmapT <= 0 {
+			t.Errorf("%v: no mmap cost", remap)
+		}
+		if second >= first && remap == core.RemapODP {
+			t.Errorf("%v: first read should pay the ODP fault (%v vs %v)", remap, first, second)
+		}
+		switch remap {
+		case core.RemapRereg:
+			if !breakW {
+				t.Error("rereg must open a QP-break window")
+			}
+			if fixT < 8*time.Microsecond {
+				t.Errorf("rereg fix cost %v too low", fixT)
+			}
+		case core.RemapODP:
+			if breakW || fixT != 0 {
+				t.Errorf("ODP should have no explicit fix cost (%v, %v)", fixT, breakW)
+			}
+			if first < 60*time.Microsecond {
+				t.Errorf("ODP first read %v should include the ~63us fault", first)
+			}
+		case core.RemapODPPrefetch:
+			if breakW {
+				t.Error("prefetch must not break QPs")
+			}
+			if first > 10*time.Microsecond {
+				t.Errorf("prefetched first read %v should not fault", first)
+			}
+		}
+	}
+}
+
+func TestYCSBBenchRuns(t *testing.T) {
+	h, p := NewYCSBBench(5000, 2, workload.DistZipf, 0.99, workload.Mix95, true, 1)
+	rate, conflicts := h.Run(p)
+	if rate <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if conflicts < 0 {
+		t.Fatal("negative conflicts")
+	}
+	// RPC reads are slower than one-sided reads (the paper's core claim).
+	h2, p2 := NewYCSBBench(5000, 2, workload.DistZipf, 0.99, workload.Mix95, false, 1)
+	rpcRate, _ := h2.Run(p2)
+	if rpcRate >= rate {
+		t.Fatalf("RPC rate %.0f >= one-sided rate %.0f", rpcRate, rate)
+	}
+}
+
+func TestFragmentedPopulationSlower(t *testing.T) {
+	h, p := NewYCSBBench(30_000, 4, workload.DistZipf, 0.8, workload.Mix100, true, 1)
+	normal, _ := h.Run(p)
+	h2, p2 := NewYCSBBenchFrag(30_000, 4, workload.DistZipf, 0.8, workload.Mix100, true, 1)
+	frag, _ := h2.Run(p2)
+	if frag > normal*1.02 {
+		t.Fatalf("fragmented population faster: %.0f vs %.0f", frag, normal)
+	}
+}
+
+func TestRunTraceBenchStrategies(t *testing.T) {
+	mk := func() workload.Trace { return workload.NewSpikeTrace(1, 2048, 30_000, 0.8) }
+	none := RunTraceBench(mk(), core.StrategyNone, 0, 4, 1)
+	corm16 := RunTraceBench(mk(), core.StrategyCoRM, 16, 4, 1)
+	mesh := RunTraceBench(mk(), core.StrategyMesh, 0, 4, 1)
+	if corm16 >= none {
+		t.Fatalf("CoRM-16 (%d) did not beat no-compaction (%d)", corm16, none)
+	}
+	if corm16 > mesh {
+		t.Fatalf("CoRM-16 (%d) worse than Mesh (%d) at 2 KiB objects", corm16, mesh)
+	}
+}
+
+func TestTimelineBench(t *testing.T) {
+	freed := TimelineBench(20_000, 1)
+	if freed <= 0 {
+		t.Fatal("timeline compaction freed nothing")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "table3", "fig17", "fig18", "fig19", "ablations"}
+	if len(All) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
+	}
+	for _, name := range want {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("lookup of unknown name succeeded")
+	}
+}
+
+func TestFig15ShapesMatchPaper(t *testing.T) {
+	opts := Options{Seed: 1}
+	// Collection: Intel slower than AMD at 2 threads, both growing.
+	intel2 := collectTime(opts, 2, intelCPU())
+	amd2 := collectTime(opts, 2, amdCPU())
+	if intel2 < 3*amd2 {
+		t.Errorf("Intel@2 = %v should be several times AMD@2 = %v", intel2, amd2)
+	}
+	intel16 := collectTime(opts, 16, intelCPU())
+	if intel16 <= intel2 {
+		t.Error("collection time must grow with threads")
+	}
+	// Compaction: CX-3 rereg dominates (~100us/block); ODP cheapest.
+	cx3 := compactTime(opts, 2, 4096, cx3NIC(), core.RemapRereg)
+	cx5 := compactTime(opts, 2, 4096, cx5NIC(), core.RemapRereg)
+	odp := compactTime(opts, 2, 4096, cx5NIC(), core.RemapODPPrefetch)
+	if !(odp < cx5 && cx5 < cx3) {
+		t.Errorf("ordering violated: odp=%v cx5=%v cx3=%v", odp, cx5, cx3)
+	}
+	if cx3 < 80*time.Microsecond || cx3 > 150*time.Microsecond {
+		t.Errorf("CX-3 one-block compaction = %v, want ~100us", cx3)
+	}
+}
+
+// tiny aliases to keep the test above readable.
+func intelCPU() timing.CPU { return timing.IntelXeon() }
+func amdCPU() timing.CPU   { return timing.AMDEpyc() }
+func cx3NIC() timing.NIC   { return timing.ConnectX3() }
+func cx5NIC() timing.NIC   { return timing.ConnectX5() }

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"corm/internal/prob"
+	"corm/internal/stats"
+)
+
+// Fig7 regenerates Figure 7: the analytical probability that two random
+// 4 KiB blocks are compactable, by object size (16–256 B) and occupancy
+// (12.5–50 %), for Mesh (offset conflicts) and CoRM with 8/12/16-bit IDs.
+func Fig7() []stats.Table {
+	t := stats.Table{
+		Title:   "Figure 7: compaction probability of two random 4 KiB blocks",
+		Headers: []string{"occupancy", "objsize", "Mesh", "CoRM-8", "CoRM-12", "CoRM-16"},
+	}
+	for _, occ := range []float64{0.125, 0.25, 0.375, 0.5} {
+		for size := 16; size <= 256; size *= 2 {
+			s := 4096 / size
+			b := prob.BlocksAtOccupancy(s, occ)
+			t.AddRow(
+				fmt.Sprintf("%.1f%%", occ*100),
+				size,
+				prob.Mesh(s, b, b),
+				prob.CoRM(8, s, b, b),
+				prob.CoRM(12, s, b, b),
+				prob.CoRM(16, s, b, b),
+			)
+		}
+	}
+	return []stats.Table{t}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/stats"
+	"corm/internal/timing"
+)
+
+// Fig8 regenerates Figure 8: the latency of the three RDMA remapping
+// strategies on a ConnectX-5 (§3.5). Each strategy is measured by
+// actually compacting two single-page blocks in a store configured for it
+// and capturing the per-phase costs, then issuing the first and second
+// one-sided reads through the remapped address to observe the ODP fault
+// (or its absence).
+func Fig8() []stats.Table {
+	t := stats.Table{
+		Title: "Figure 8: RDMA remapping latencies, ConnectX-5",
+		Headers: []string{"strategy", "mmap", "fix (rereg/advise)", "first read", "second read",
+			"QP-break window"},
+	}
+	for _, remap := range []core.RemapStrategy{core.RemapRereg, core.RemapODP, core.RemapODPPrefetch} {
+		mmapT, fixT, breakW, first, second := remapCosts(remap)
+		t.AddRow(remap.String(), mmapT, fixT, first, second, fmt.Sprintf("%v", breakW))
+	}
+	return []stats.Table{t}
+}
+
+// remapCosts compacts two sparse single-page blocks under one remapping
+// strategy and reports the phase costs plus post-remap read latencies.
+func remapCosts(remap core.RemapStrategy) (mmapT, fixT time.Duration, breakWindow bool, first, second time.Duration) {
+	s, err := core.NewStore(core.Config{
+		Workers:    2,
+		BlockBytes: 4096,
+		Strategy:   core.StrategyCoRM,
+		DataBacked: true,
+		Remap:      remap,
+		Model:      timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Thread 0 keeps one object at slot 0 (block A); thread 1 keeps two
+	// objects at slots 1-2 (block B). A is the least-utilized block, so the
+	// merge moves A's object into B without offset conflicts and remaps
+	// A's virtual address — the pointer a0 stays direct but its page
+	// translation changed.
+	a0, _ := s.AllocOn(0, 32)
+	drop, _ := s.AllocOn(1, 32)
+	s.AllocOn(1, 32)
+	s.AllocOn(1, 32)
+	if err := s.Free(&drop.Addr); err != nil {
+		panic(err)
+	}
+	class := int(a0.Addr.Class())
+
+	r := s.CompactClass(core.CompactOptions{
+		Class: class, Leader: 0,
+		OnPhase: func(p core.Phase, d time.Duration) {
+			switch p {
+			case core.PhaseMmap:
+				mmapT += d
+			case core.PhaseRereg:
+				fixT += d
+				breakWindow = true
+			case core.PhaseAdvise:
+				fixT += d
+			}
+		},
+	})
+	if r.BlocksFreed != 1 || r.ObjectsMoved != 0 {
+		panic(fmt.Sprintf("fig8: expected one conflict-free merge, got %+v", r))
+	}
+
+	// First read through the remapped address pays the ODP fault (if any);
+	// the second is steady state.
+	client := s.ConnectClient()
+	buf := make([]byte, 32)
+	cost, err := client.DirectRead(a0.Addr, buf)
+	if err != nil {
+		panic(err)
+	}
+	first = cost.Latency
+	cost, err = client.DirectRead(a0.Addr, buf)
+	if err != nil {
+		panic(err)
+	}
+	second = cost.Latency
+	return
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/sim"
+	"corm/internal/stats"
+	"corm/internal/timing"
+)
+
+// Fig11 regenerates Figure 11: read throughput of CoRM and FaRM against
+// the raw baselines — one-sided RDMA for remote reads and memcpy for local
+// reads. Remote throughput is simulated (closed-loop client, one
+// outstanding request); local throughput is measured on the host for real,
+// since it only involves CPU and memory.
+func Fig11(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+	remote := stats.Table{
+		Title:   "Figure 11 (left): remote read throughput, 1 client (Kreq/s)",
+		Headers: []string{"size", "CoRM", "FaRM", "raw RDMA", "CoRM/RDMA"},
+	}
+	sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	for _, size := range sizes {
+		corm := remoteReadRate(opts, size, true)
+		farm := remoteReadRate(opts, size, false)
+		raw := rawReadRate(opts, size)
+		remote.AddRow(size, corm/1e3, farm/1e3, raw/1e3, corm/raw)
+	}
+
+	local := stats.Table{
+		Title:   "Figure 11 (right): local read throughput (Mreq/s, wall clock)",
+		Headers: []string{"size", "CoRM", "FaRM", "memcpy", "memcpy/CoRM"},
+	}
+	for _, size := range sizes {
+		corm := localReadRate(size, core.StrategyCoRM)
+		farm := localReadRate(size, core.StrategyNone)
+		raw := memcpyRate(size)
+		local.AddRow(size, corm/1e6, farm/1e6, raw/1e6, raw/corm)
+	}
+	return []stats.Table{remote, local}
+}
+
+// remoteReadRate measures the closed-loop DirectRead rate of one client.
+// CoRM and FaRM share the read path (both check cacheline versions), so
+// withIDs only selects the strategy label.
+func remoteReadRate(opts Options, size int, withIDs bool) float64 {
+	strategy := core.StrategyCoRM
+	if !withIDs {
+		strategy = core.StrategyNone
+	}
+	s, err := core.NewStore(core.Config{
+		Workers:    8,
+		BlockBytes: 4096,
+		Strategy:   strategy,
+		DataBacked: true,
+		Remap:      core.RemapODPPrefetch,
+		Model:      timing.Default().WithNIC(timing.ConnectX5()),
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The paper loads 8 GiB per class; what matters for a single
+	// closed-loop client is a working set larger than trivial.
+	n := opts.pick(2000, 20000)
+	addrs := make([]core.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := s.AllocOn(i%s.Workers(), size)
+		if err != nil {
+			panic(err)
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	eng := sim.NewEngine()
+	node := NewDESNode(eng, s)
+	client := s.ConnectClient()
+	loop := node.Model.CPU.ClientLoop
+
+	var ops int64
+	horizon := sim.Time(200 * time.Millisecond)
+	eng.Go(func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; ; i++ {
+			if p.Now() >= horizon {
+				return
+			}
+			if _, err := node.DirectRead(p, client, addrs[i%len(addrs)], buf); err != nil {
+				panic(err)
+			}
+			p.Wait(loop)
+			ops++
+		}
+	})
+	eng.Run(horizon)
+	eng.Drain()
+	return float64(ops) / sim.Time(horizon).Seconds()
+}
+
+// rawReadRate is the one-sided baseline: exactly size bytes, no checks.
+func rawReadRate(opts Options, size int) float64 {
+	eng := sim.NewEngine()
+	model := timing.Default()
+	engine := sim.NewResource(eng, 1)
+	loop := model.CPU.ClientLoop
+	var ops int64
+	horizon := sim.Time(200 * time.Millisecond)
+	eng.Go(func(p *sim.Proc) {
+		for {
+			if p.Now() >= horizon {
+				return
+			}
+			rtt := model.NIC.ReadRTT(size)
+			svc := model.NIC.EngineTime(size)
+			pre := (rtt - svc) / 2
+			p.Wait(pre)
+			engine.Use(p, svc)
+			p.Wait(rtt - svc - pre)
+			p.Wait(loop)
+			ops++
+		}
+	})
+	eng.Run(horizon)
+	eng.Drain()
+	return float64(ops) / sim.Time(horizon).Seconds()
+}
+
+// localReadRate measures, in real wall-clock time, how fast a local
+// application can read objects through the CoRM API (resolve, lock,
+// translate, gather payload). This is the software-layer overhead the
+// paper compares against a plain memcpy.
+func localReadRate(size int, strategy core.Strategy) float64 {
+	s, err := core.NewStore(core.Config{
+		Workers:    1,
+		BlockBytes: 4096,
+		Strategy:   strategy,
+		DataBacked: true,
+		Remap:      core.RemapRereg,
+		Model:      timing.Default(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	const n = 512
+	reader := core.NewLocalReader(s)
+	objs := make([]core.BoundObj, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := s.AllocOn(0, size)
+		if err != nil {
+			panic(err)
+		}
+		obj, err := reader.Bind(r.Addr)
+		if err != nil {
+			panic(err)
+		}
+		objs = append(objs, obj)
+	}
+	buf := make([]byte, size)
+	// Calibrate the iteration count to ~30ms of work.
+	iters := calibrate(func() {
+		if _, err := reader.Read(objs[0], buf); err != nil {
+			panic(err)
+		}
+	})
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := reader.Read(objs[i%n], buf); err != nil {
+			panic(err)
+		}
+	}
+	return float64(iters) / time.Since(start).Seconds()
+}
+
+// memcpyRate measures plain copy throughput for the same object size.
+func memcpyRate(size int) float64 {
+	src := make([]byte, size*512)
+	buf := make([]byte, size)
+	iters := calibrate(func() {
+		copy(buf, src[:size])
+	})
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		off := (i % 512) * size
+		copy(buf, src[off:off+size])
+	}
+	elapsed := time.Since(start).Seconds()
+	if buf[0] == 1 && buf[len(buf)-1] == 2 {
+		panic("unreachable") // defeat dead-code elimination
+	}
+	return float64(iters) / elapsed
+}
+
+// calibrate returns an iteration count giving roughly 30ms of work.
+func calibrate(f func()) int {
+	const probe = 2000
+	start := time.Now()
+	for i := 0; i < probe; i++ {
+		f()
+	}
+	per := time.Since(start) / probe
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	iters := int(30 * time.Millisecond / per)
+	if iters < probe {
+		iters = probe
+	}
+	if iters > 20_000_000 {
+		iters = 20_000_000
+	}
+	return iters
+}

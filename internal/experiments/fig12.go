@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/sim"
+	"corm/internal/stats"
+	"corm/internal/timing"
+	"corm/internal/workload"
+)
+
+// ycsbHarness drives the YCSB experiments (Figs 12-14): a CoRM node under
+// closed-loop clients issuing reads (RPC or one-sided) and RPC writes over
+// a keyed object population.
+type ycsbHarness struct {
+	store *core.Store
+	addrs []core.Addr
+	node  *DESNode
+	eng   *sim.Engine
+
+	// writeLocked marks keys whose RPC write is in flight: a one-sided
+	// read overlapping the window observes a version conflict (§4.2.3).
+	writeLocked []bool
+
+	ops       int64
+	conflicts int64
+}
+
+// ycsbParams configures one run.
+type ycsbParams struct {
+	objects  int
+	clients  int
+	dist     workload.Dist
+	theta    float64
+	mix      workload.Mix
+	oneSided bool // reads via DirectRead (vs RPC)
+	fragment bool // build the high-fragmentation population (Fig 14)
+	seed     int64
+	measure  time.Duration
+	warmup   time.Duration
+}
+
+// newYCSBHarness loads the population: objects of 32 bytes (§4.2.2). With
+// fragment, twice as many are loaded and half freed at random, doubling
+// the page spread of the survivors (§4.2.4).
+func newYCSBHarness(p ycsbParams) *ycsbHarness {
+	nic := timing.ConnectX5()
+	// Reduced-scale runs shrink the population; shrink the NIC's MTT
+	// cache proportionally so the hit-rate behaviour of the paper-scale
+	// experiment (8 M objects vs 4096 cached translations) is preserved.
+	if p.objects < 8_000_000 {
+		nic.MTTCacheEntries = nic.MTTCacheEntries * p.objects / 8_000_000
+		if nic.MTTCacheEntries < 64 {
+			nic.MTTCacheEntries = 64
+		}
+	}
+	s, err := core.NewStore(core.Config{
+		Workers:    8,
+		BlockBytes: 4096,
+		Strategy:   core.StrategyCoRM,
+		DataBacked: true,
+		Remap:      core.RemapODPPrefetch,
+		Model:      timing.Default().WithNIC(nic),
+		Seed:       p.seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	load := p.objects
+	if p.fragment {
+		load *= 2
+	}
+	all := make([]core.Addr, 0, load)
+	for i := 0; i < load; i++ {
+		r, err := s.AllocOn(i%s.Workers(), 32)
+		if err != nil {
+			panic(err)
+		}
+		all = append(all, r.Addr)
+	}
+	addrs := all
+	if p.fragment {
+		// Free a random half, but keep the survivors in allocation order:
+		// the key-rank -> memory-order correlation must match the no-frag
+		// population so only page *density* differs.
+		rng := rand.New(rand.NewSource(p.seed + 7))
+		perm := rng.Perm(load)
+		freed := make([]bool, load)
+		for _, idx := range perm[:load-p.objects] {
+			freed[idx] = true
+		}
+		addrs = make([]core.Addr, 0, p.objects)
+		for i := range all {
+			if freed[i] {
+				if err := s.Free(&all[i]); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			addrs = append(addrs, all[i])
+		}
+	}
+	eng := sim.NewEngine()
+	return &ycsbHarness{
+		store:       s,
+		addrs:       addrs,
+		node:        NewDESNode(eng, s),
+		eng:         eng,
+		writeLocked: make([]bool, len(addrs)),
+	}
+}
+
+// run executes the workload and returns (throughput req/s, conflicts/s).
+func (h *ycsbHarness) run(p ycsbParams) (float64, float64) {
+	start := sim.Time(p.warmup)
+	end := sim.Time(p.warmup + p.measure)
+	for c := 0; c < p.clients; c++ {
+		gen := workload.NewYCSBUnscrambled(p.seed+int64(c)*101, uint64(len(h.addrs)), p.dist, p.theta, p.mix)
+		h.eng.Go(func(proc *sim.Proc) {
+			client := h.store.ConnectClient()
+			buf := make([]byte, 32)
+			for {
+				if proc.Now() >= end {
+					return
+				}
+				op, key := gen.Next()
+				switch {
+				case op == workload.OpWrite:
+					h.write(proc, int(key), buf)
+				case p.oneSided:
+					h.directRead(proc, int(key), client, buf, start)
+				default:
+					h.rpcRead(proc, int(key), buf)
+				}
+				proc.Wait(h.node.Model.CPU.ClientLoop)
+				if proc.Now() >= start && proc.Now() <= end {
+					h.ops++
+				}
+			}
+		})
+	}
+	h.eng.Run(end)
+	// Resume parked clients so their goroutines exit; otherwise each run's
+	// whole population stays pinned (§sim.Drain).
+	h.eng.Drain()
+	secs := p.measure.Seconds()
+	return float64(h.ops) / secs, float64(h.conflicts) / secs
+}
+
+// writeWindow is how long an object stays write-locked while the worker
+// updates its cachelines (§3.2.3): the span a concurrent one-sided read
+// can observe a conflict.
+const writeWindow = 300 * time.Nanosecond
+
+// write performs an RPC write; the object is locked only for the actual
+// cacheline-update window inside the worker's service time, so
+// overlapping one-sided reads genuinely conflict at a realistic rate.
+func (h *ycsbHarness) write(proc *sim.Proc, key int, buf []byte) {
+	addr := h.addrs[key]
+	n := h.node
+	rtt := n.Model.NIC.RPCRTT(32)
+	proc.Wait(rtt / 2)
+	n.Engine.Use(proc, n.Model.NIC.EngineTime(32))
+	n.Workers.Acquire(proc)
+	proc.Wait(n.Model.CPU.WorkerHandle - writeWindow)
+	h.writeLocked[key] = true
+	proc.Wait(writeWindow)
+	if err := h.store.Write(&addr, buf[:32]); err != nil {
+		panic(err)
+	}
+	h.writeLocked[key] = false
+	n.Eng.Schedule(n.Model.CPU.WorkerPost, n.Workers.Release)
+	proc.Wait(rtt / 2)
+}
+
+// rpcRead is the RPC read path.
+func (h *ycsbHarness) rpcRead(proc *sim.Proc, key int, buf []byte) {
+	addr := h.addrs[key]
+	if _, err := h.node.RPCReadObj(proc, &addr, buf); err != nil {
+		panic(err)
+	}
+}
+
+// directRead is the one-sided path with conflict detection and backoff
+// retry (§3.2.3). Conflicts during the measurement window are counted.
+func (h *ycsbHarness) directRead(proc *sim.Proc, key int, client *core.ClientQP, buf []byte, measureFrom sim.Time) {
+	for {
+		_, err := h.node.DirectRead(proc, client, h.addrs[key], buf)
+		conflict := errors.Is(err, core.ErrInconsistent) || h.writeLocked[key]
+		if err != nil && !errors.Is(err, core.ErrInconsistent) {
+			panic(err)
+		}
+		if !conflict {
+			return
+		}
+		if proc.Now() >= measureFrom {
+			h.conflicts++
+		}
+		proc.Wait(2 * time.Microsecond) // backoff, then retry
+	}
+}
+
+// Fig12 regenerates Figure 12: aggregate YCSB throughput for uniform and
+// Zipf(0.99) key distributions, read:write mixes 100:0 / 95:5 / 50:50,
+// RPC vs one-sided reads, as the client count grows.
+func Fig12(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+	objects := opts.pick(400_000, 8_000_000)
+	measure := time.Duration(opts.pick(int(100*time.Millisecond), int(time.Second)))
+	var tables []stats.Table
+	for _, dist := range []workload.Dist{workload.DistUniform, workload.DistZipf} {
+		t := stats.Table{
+			Title: fmt.Sprintf("Figure 12 (%s): YCSB aggregate throughput (Kreq/s), %d objects x 32 B",
+				dist, objects),
+			Headers: []string{"clients", "100:0 RPC", "95:5 RPC", "50:50 RPC",
+				"100:0 RDMA", "95:5 RDMA", "50:50 RDMA"},
+		}
+		for _, clients := range []int{1, 2, 4, 8, 16, 32} {
+			row := []interface{}{clients}
+			for _, oneSided := range []bool{false, true} {
+				for _, mix := range []workload.Mix{workload.Mix100, workload.Mix95, workload.Mix50} {
+					p := ycsbParams{
+						objects: objects, clients: clients, dist: dist, theta: 0.99,
+						mix: mix, oneSided: oneSided, seed: opts.Seed,
+						measure: measure, warmup: measure / 4,
+					}
+					rate, _ := newYCSBHarness(p).run(p)
+					row = append(row, rate/1e3)
+				}
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig13 regenerates Figure 13: the DirectRead failure (conflict) rate for
+// the 50:50 mix while sweeping Zipf skewness and client count.
+func Fig13(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+	objects := opts.pick(400_000, 8_000_000)
+	measure := time.Duration(opts.pick(int(100*time.Millisecond), int(time.Second)))
+	t := stats.Table{
+		Title:   "Figure 13: DirectRead failure rate (conflicts/s), YCSB 50:50",
+		Headers: []string{"zipf theta", "8 clients", "16 clients", "32 clients"},
+	}
+	for _, theta := range []float64{0.6, 0.7, 0.8, 0.9, 0.99} {
+		row := []interface{}{theta}
+		for _, clients := range []int{8, 16, 32} {
+			p := ycsbParams{
+				objects: objects, clients: clients, dist: workload.DistZipf, theta: theta,
+				mix: workload.Mix50, oneSided: true, seed: opts.Seed,
+				measure: measure, warmup: measure / 4,
+			}
+			_, conflicts := newYCSBHarness(p).run(p)
+			row = append(row, conflicts)
+		}
+		t.AddRow(row...)
+	}
+	return []stats.Table{t}
+}
+
+// Fig14 regenerates Figure 14: DirectRead throughput (100:0) with 8
+// clients over compact vs fragmented populations, sweeping Zipf skewness.
+func Fig14(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+	objects := opts.pick(400_000, 8_000_000)
+	measure := time.Duration(opts.pick(int(100*time.Millisecond), int(time.Second)))
+	t := stats.Table{
+		Title:   "Figure 14: DirectRead throughput (Kreq/s), 8 clients, 100:0",
+		Headers: []string{"zipf theta", "no fragmentation", "high fragmentation", "ratio"},
+	}
+	for _, theta := range []float64{0.6, 0.7, 0.8, 0.9, 0.99} {
+		var rates [2]float64
+		for i, frag := range []bool{false, true} {
+			p := ycsbParams{
+				objects: objects, clients: 8, dist: workload.DistZipf, theta: theta,
+				mix: workload.Mix100, oneSided: true, fragment: frag, seed: opts.Seed,
+				measure: measure, warmup: measure / 4,
+			}
+			rate, _ := newYCSBHarness(p).run(p)
+			rates[i] = rate
+		}
+		t.AddRow(theta, rates[0]/1e3, rates[1]/1e3, rates[0]/rates[1])
+	}
+	return []stats.Table{t}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/stats"
+	"corm/internal/timing"
+)
+
+// Fig15 regenerates Figure 15: the latency of the two compaction stages.
+//
+//   - left: block-collection time vs thread count, Intel vs AMD;
+//   - center: compaction time vs number of 4 KiB blocks, for ConnectX-3,
+//     ConnectX-5 (both ibv_rereg_mr) and ConnectX-5 + ODP;
+//   - right: compaction time of a single merge vs block size (pages).
+//
+// As in the paper, each run allocates one 32-byte object per thread and
+// triggers compaction, so the number of candidate blocks equals the
+// thread count.
+func Fig15(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+
+	left := stats.Table{
+		Title:   "Figure 15 (left): block collection time (us)",
+		Headers: []string{"threads", "Intel Xeon", "AMD EPYC"},
+	}
+	for _, threads := range []int{2, 4, 8, 16} {
+		intel := collectTime(opts, threads, timing.IntelXeon())
+		amd := collectTime(opts, threads, timing.AMDEpyc())
+		left.AddRow(threads, intel, amd)
+	}
+
+	center := stats.Table{
+		Title:   "Figure 15 (center): compaction time of 4 KiB blocks (us)",
+		Headers: []string{"blocks", "ConnectX-3", "ConnectX-5", "ConnectX-5 + ODP"},
+	}
+	for _, blocks := range []int{2, 4, 8, 16} {
+		cx3 := compactTime(opts, blocks, 4096, timing.ConnectX3(), core.RemapRereg)
+		cx5 := compactTime(opts, blocks, 4096, timing.ConnectX5(), core.RemapRereg)
+		odp := compactTime(opts, blocks, 4096, timing.ConnectX5(), core.RemapODPPrefetch)
+		center.AddRow(blocks, cx3, cx5, odp)
+	}
+
+	right := stats.Table{
+		Title:   "Figure 15 (right): compaction time of one block vs size (us)",
+		Headers: []string{"pages", "ConnectX-3", "ConnectX-5", "ConnectX-5 + ODP"},
+	}
+	for _, pages := range []int{1, 4, 16, 64, 256} {
+		blockBytes := pages * 4096
+		cx3 := compactTime(opts, 2, blockBytes, timing.ConnectX3(), core.RemapRereg)
+		cx5 := compactTime(opts, 2, blockBytes, timing.ConnectX5(), core.RemapRereg)
+		odp := compactTime(opts, 2, blockBytes, timing.ConnectX5(), core.RemapODPPrefetch)
+		right.AddRow(pages, cx3, cx5, odp)
+	}
+	return []stats.Table{left, center, right}
+}
+
+// collectTime measures the PhaseCollect duration with the given CPU.
+func collectTime(opts Options, threads int, cpu timing.CPU) time.Duration {
+	s := fig15Store(opts, threads, 4096, timing.ConnectX5(), core.RemapODPPrefetch, cpu)
+	for th := 0; th < threads; th++ {
+		if _, err := s.AllocOn(th, 32); err != nil {
+			panic(err)
+		}
+	}
+	var collect time.Duration
+	s.CompactClass(core.CompactOptions{
+		Class:  s.Allocator().Config().ClassFor(32),
+		Leader: 0,
+		OnPhase: func(p core.Phase, d time.Duration) {
+			if p == core.PhaseCollect {
+				collect += d
+			}
+		},
+	})
+	return collect
+}
+
+// compactTime measures the block-compaction stage (everything after
+// collection) when merging `blocks` candidate blocks of the given size.
+func compactTime(opts Options, blocks, blockBytes int, nic timing.NIC, remap core.RemapStrategy) time.Duration {
+	s := fig15Store(opts, blocks, blockBytes, nic, remap, timing.IntelXeon())
+	for th := 0; th < blocks; th++ {
+		if _, err := s.AllocOn(th, 32); err != nil {
+			panic(err)
+		}
+	}
+	var total time.Duration
+	r := s.CompactClass(core.CompactOptions{
+		Class:  s.Allocator().Config().ClassFor(32),
+		Leader: 0,
+		OnPhase: func(p core.Phase, d time.Duration) {
+			if p != core.PhaseCollect {
+				total += d
+			}
+		},
+	})
+	if r.BlocksFreed != blocks-1 {
+		panic(fmt.Sprintf("fig15: freed %d of %d blocks", r.BlocksFreed, blocks-1))
+	}
+	return total
+}
+
+func fig15Store(opts Options, threads, blockBytes int, nic timing.NIC, remap core.RemapStrategy, cpu timing.CPU) *core.Store {
+	s, err := core.NewStore(core.Config{
+		Workers:    threads,
+		BlockBytes: blockBytes,
+		Strategy:   core.StrategyCoRM,
+		DataBacked: true,
+		Remap:      remap,
+		Model:      timing.Model{NIC: nic, CPU: cpu},
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

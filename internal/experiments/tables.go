@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"corm/internal/core"
+	"corm/internal/stats"
+)
+
+// Table1 reproduces the paper's system-comparison matrix.
+func Table1() []stats.Table {
+	t := stats.Table{
+		Title:   "Table 1: comparison of Mesh, FaRM, and CoRM",
+		Headers: []string{"system", "type", "RDMA", "mem. compaction", "vaddr reuse"},
+	}
+	t.AddRow("Mesh", "Allocator", "no", "yes", "no")
+	t.AddRow("FaRM", "DSM", "yes", "no", "-")
+	t.AddRow("CoRM", "DSM", "yes", "yes", "yes")
+	return []stats.Table{t}
+}
+
+// Table3 reproduces the per-object metadata overheads for 1 MiB blocks:
+// the 28-bit home-block address (48-bit pointers, 20-bit-aligned blocks)
+// plus the object ID bits.
+func Table3() []stats.Table {
+	t := stats.Table{
+		Title:   "Table 3: per-object memory overhead for 1 MiB blocks",
+		Headers: []string{"algorithm", "bits", "stored bytes"},
+	}
+	row := func(name string, cfg core.Config) {
+		cfg.BlockBytes = 1 << 20
+		full := cfg
+		bits := map[core.Strategy]int{
+			core.StrategyMesh:  0,
+			core.StrategyNone:  0,
+			core.StrategyCoRM0: 28,
+			core.StrategyCoRM:  28 + cfg.IDBits,
+		}[cfg.Strategy]
+		_ = full
+		t.AddRow(name, bits, overheadBytes(cfg))
+	}
+	row("Mesh", core.Config{Strategy: core.StrategyMesh})
+	row("CoRM-0", core.Config{Strategy: core.StrategyCoRM0})
+	row("CoRM-8", core.Config{Strategy: core.StrategyCoRM, IDBits: 8})
+	row("CoRM-12", core.Config{Strategy: core.StrategyCoRM, IDBits: 12})
+	row("CoRM-16", core.Config{Strategy: core.StrategyCoRM, IDBits: 16})
+	return []stats.Table{t}
+}
+
+// overheadBytes mirrors the accounting-mode header the store charges.
+func overheadBytes(cfg core.Config) string {
+	switch cfg.Strategy {
+	case core.StrategyMesh, core.StrategyNone:
+		return "0"
+	case core.StrategyCoRM0:
+		return fmt.Sprintf("%d", (28+7)/8)
+	default:
+		return fmt.Sprintf("%d", (28+cfg.IDBits+7)/8)
+	}
+}

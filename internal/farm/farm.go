@@ -1,0 +1,62 @@
+// Package farm provides the FaRM baseline the paper compares against
+// (§4.2, Fig 11). FaRM is not open source; like the authors, we emulate it
+// from public information: the same two-level allocator and FaRM-style
+// per-cacheline version consistency for one-sided reads, but *no* memory
+// compaction, no object IDs, and no virtual-address reuse. Its mitigation
+// for unpopular size classes — pinning them to specific threads (§5) — is
+// modeled by PinClasses.
+package farm
+
+import (
+	"corm/internal/core"
+	"corm/internal/timing"
+)
+
+// Config returns a store configuration that behaves like FaRM: compaction
+// disabled, headers without object IDs. FaRM's defaults in the paper use
+// 1 MiB blocks; latency experiments configure 4 KiB like CoRM's.
+func Config(model timing.Model) core.Config {
+	return core.Config{
+		Workers:    8,
+		BlockBytes: 1 << 20,
+		Strategy:   core.StrategyNone,
+		DataBacked: true,
+		Remap:      core.RemapRereg, // never used: no compaction
+		Model:      model,
+	}
+}
+
+// New builds the FaRM-baseline store.
+func New(model timing.Model, mutate func(*core.Config)) (*core.Store, error) {
+	cfg := Config(model)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return core.NewStore(cfg)
+}
+
+// PinClasses models FaRM's mitigation for unpopular size classes: all
+// allocations of the listed classes are routed to a single thread, so at
+// most one block per class is scarcely used instead of one per thread.
+// It returns the thread to use for a size, given the preferred thread.
+type PinClasses struct {
+	pinned map[int]bool // class size -> pinned
+	target int
+}
+
+// NewPinClasses pins the given payload sizes to thread target.
+func NewPinClasses(sizes []int, target int) *PinClasses {
+	p := &PinClasses{pinned: make(map[int]bool), target: target}
+	for _, s := range sizes {
+		p.pinned[s] = true
+	}
+	return p
+}
+
+// Route returns the thread that should serve an allocation of size.
+func (p *PinClasses) Route(size, preferred int) int {
+	if p.pinned[size] {
+		return p.target
+	}
+	return preferred
+}

@@ -1,0 +1,114 @@
+package farm
+
+import (
+	"bytes"
+	"testing"
+
+	"corm/internal/core"
+	"corm/internal/timing"
+)
+
+func TestFarmNeverCompacts(t *testing.T) {
+	s, err := New(timing.Default(), func(c *core.Config) { c.BlockBytes = 4096 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := s.Allocator().Config().SlotsPerBlock(64)
+	var addrs []core.Addr
+	for i := 0; i < 6*per; i++ {
+		r, err := s.AllocOn(0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	for i := range addrs {
+		if i%per != 0 {
+			if err := s.Free(&addrs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	class := s.Allocator().Config().ClassFor(64)
+	r := s.CompactClass(core.CompactOptions{Class: class, Leader: 0})
+	if r.Collected != 0 || r.BlocksFreed != 0 {
+		t.Fatalf("FaRM compacted: %+v", r)
+	}
+}
+
+func TestFarmConsistencyCheckStillWorks(t *testing.T) {
+	// FaRM shares CoRM's cacheline-version consistency for one-sided reads.
+	s, err := New(timing.Default(), func(c *core.Config) { c.BlockBytes = 4096 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.AllocOn(0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := r.Addr
+	payload := bytes.Repeat([]byte{9}, 128)
+	if err := s.Write(&addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	client := s.ConnectClient()
+	buf := make([]byte, 128)
+	if _, err := client.DirectRead(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("FaRM one-sided read mismatch")
+	}
+}
+
+func TestFarmPointersNeverIndirect(t *testing.T) {
+	s, _ := New(timing.Default(), func(c *core.Config) { c.BlockBytes = 4096 })
+	r, _ := s.AllocOn(0, 64)
+	addr := r.Addr
+	buf := make([]byte, 64)
+	if _, err := s.Read(&addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if addr.HasFlag(core.FlagIndirectObserved) {
+		t.Fatal("FaRM pointer went indirect")
+	}
+	if s.Stats().Corrections != 0 {
+		t.Fatal("FaRM performed pointer correction")
+	}
+}
+
+func TestPinClasses(t *testing.T) {
+	p := NewPinClasses([]int{24, 384}, 0)
+	if p.Route(24, 5) != 0 || p.Route(384, 7) != 0 {
+		t.Fatal("pinned classes not routed to target")
+	}
+	if p.Route(64, 5) != 5 {
+		t.Fatal("unpinned class rerouted")
+	}
+}
+
+func TestPinClassesReduceFragmentation(t *testing.T) {
+	// The §5 scenario: T threads each allocate one object of an unpopular
+	// class. Unpinned: T blocks; pinned: 1 block.
+	build := func(pin *PinClasses) int64 {
+		s, _ := New(timing.Default(), func(c *core.Config) {
+			c.BlockBytes = 4096
+			c.Workers = 8
+		})
+		for th := 0; th < 8; th++ {
+			target := th
+			if pin != nil {
+				target = pin.Route(384, th)
+			}
+			if _, err := s.AllocOn(target, 384); err != nil {
+				panic(err)
+			}
+		}
+		return s.ActiveBytes()
+	}
+	unpinned := build(nil)
+	pinned := build(NewPinClasses([]int{384}, 0))
+	if pinned >= unpinned {
+		t.Fatalf("pinning did not reduce memory: %d vs %d", pinned, unpinned)
+	}
+}

@@ -1,0 +1,207 @@
+// Package mem simulates the physical-memory substrate CoRM builds on.
+//
+// The real system allocates physical pages with memfd_create (anonymous
+// 16 MiB in-RAM files), identifies a physical block by (file descriptor,
+// page offset), and maps/remaps virtual pages onto those physical pages
+// with mmap. This package reproduces that model in software:
+//
+//   - Frame: one 4 KiB physical page, identified by (FD, offset), with a
+//     reference count. Two virtual blocks aliasing the same frames — the
+//     essence of CoRM/Mesh compaction — is simply two page-table entries
+//     holding the same *Frame.
+//   - Phys: the frame allocator (the memfd_create model). It tracks live
+//     frames, which is exactly the "active memory" metric of Figs 17-19.
+//   - AddrSpace: a per-process virtual address space with a page table,
+//     bump allocation of block-aligned virtual ranges, remapping, and a
+//     per-page generation counter that lets the simulated RNIC detect
+//     stale translations (ODP).
+//
+// Frames optionally carry real bytes (Backed). The accounting-only mode
+// runs the 8-GiB-scale allocation traces of the paper without touching
+// that much host memory.
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+const (
+	// PageSize is the size of one physical page, as in the paper.
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// FileSize is the size of one simulated memfd file (§3.1.1).
+	FileSize = 16 << 20
+	// PagesPerFile is how many frames one memfd file provides.
+	PagesPerFile = FileSize / PageSize
+)
+
+// FrameID uniquely identifies a physical page as (file descriptor, byte
+// offset inside the file), mirroring the paper's physical block naming.
+type FrameID struct {
+	FD  int
+	Off int64
+}
+
+func (id FrameID) String() string { return fmt.Sprintf("fd%d+%#x", id.FD, id.Off) }
+
+// Frame is one simulated physical page.
+type Frame struct {
+	ID   FrameID
+	refs int
+	data []byte // nil when the allocator is not byte-backed
+	phys *Phys
+
+	// dataMu serializes byte access at page granularity. This mirrors DMA
+	// atomicity: single-cacheline (and in our model, single-page) accesses
+	// are atomic, while multi-page or multi-access sequences can observe
+	// torn state — exactly the hazard CoRM's cacheline versioning detects.
+	dataMu sync.Mutex
+}
+
+// Data returns the page's bytes, or nil in accounting-only mode. Callers
+// that may race with writers must use ReadBytes/WriteBytes instead.
+func (f *Frame) Data() []byte { return f.data }
+
+// ReadBytes copies from the page at off under the page lock.
+func (f *Frame) ReadBytes(off int, buf []byte) {
+	f.dataMu.Lock()
+	copy(buf, f.data[off:off+len(buf)])
+	f.dataMu.Unlock()
+}
+
+// WriteBytes copies into the page at off under the page lock.
+func (f *Frame) WriteBytes(off int, buf []byte) {
+	f.dataMu.Lock()
+	copy(f.data[off:off+len(buf)], buf)
+	f.dataMu.Unlock()
+}
+
+// Refs returns the current mapping count (for tests and invariant checks).
+func (f *Frame) Refs() int {
+	f.phys.mu.Lock()
+	defer f.phys.mu.Unlock()
+	return f.refs
+}
+
+// Phys allocates and recycles physical frames.
+type Phys struct {
+	mu      sync.Mutex
+	backed  bool
+	nextFD  int
+	nextOff int64
+	free    []*Frame
+	live    int
+	peak    int
+	files   int
+}
+
+// NewPhys creates a frame allocator. If backed is true every frame carries
+// a real 4 KiB buffer; otherwise frames are metadata-only.
+func NewPhys(backed bool) *Phys {
+	return &Phys{backed: backed, nextFD: 1}
+}
+
+// Backed reports whether frames carry real bytes.
+func (p *Phys) Backed() bool { return p.backed }
+
+// Alloc returns n frames. Frames are handed out with a reference count of
+// zero; mapping them into an AddrSpace takes references.
+func (p *Phys) Alloc(n int) []*Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Frame, 0, n)
+	for len(p.free) > 0 && len(out) < n {
+		f := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		if p.backed {
+			for i := range f.data {
+				f.data[i] = 0
+			}
+		}
+		out = append(out, f)
+	}
+	for len(out) < n {
+		// Open a new 16 MiB memfd file when the current one is exhausted
+		// (or on first use).
+		if p.files == 0 || p.nextOff >= FileSize {
+			p.files++
+			p.nextFD = p.files
+			p.nextOff = 0
+		}
+		f := &Frame{ID: FrameID{FD: p.nextFD, Off: p.nextOff}, phys: p}
+		if p.backed {
+			f.data = make([]byte, PageSize)
+		}
+		p.nextOff += PageSize
+		out = append(out, f)
+	}
+	p.live += n
+	if p.live > p.peak {
+		p.peak = p.live
+	}
+	return out
+}
+
+// release returns a frame to the free list once its refcount drops to zero.
+// Callers hold p.mu.
+func (p *Phys) release(f *Frame) {
+	p.free = append(p.free, f)
+	p.live--
+}
+
+// incRef takes a mapping reference on f.
+func (p *Phys) incRef(f *Frame) {
+	p.mu.Lock()
+	f.refs++
+	p.mu.Unlock()
+}
+
+// decRef drops a mapping reference; at zero the frame is recycled.
+func (p *Phys) decRef(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f.refs--
+	if f.refs < 0 {
+		panic("mem: frame refcount underflow " + f.ID.String())
+	}
+	if f.refs == 0 {
+		p.release(f)
+	}
+}
+
+// DropUnmapped recycles frames that were allocated but never mapped.
+func (p *Phys) DropUnmapped(frames []*Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range frames {
+		if f.refs == 0 {
+			p.release(f)
+		}
+	}
+}
+
+// LivePages reports frames currently in use (mapped or allocated-unmapped).
+func (p *Phys) LivePages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+// LiveBytes is LivePages in bytes — the paper's "active memory".
+func (p *Phys) LiveBytes() int64 { return int64(p.LivePages()) * PageSize }
+
+// PeakPages reports the high-water mark of live frames.
+func (p *Phys) PeakPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// Files reports how many simulated memfd files were created.
+func (p *Phys) Files() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.files
+}

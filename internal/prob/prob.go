@@ -1,0 +1,106 @@
+// Package prob computes CoRM's analytical compaction probability (§3.4).
+//
+// Two blocks B1 and B2 of the same size class, holding b1 and b2 objects
+// with identifiers drawn uniformly at random from an ID space of size n,
+// can be compacted iff their ID sets are disjoint and the objects fit in a
+// single block (b1+b2 <= s). The probability of no collision is
+//
+//	p(B1,B2) = C(n-b1, b2) / C(n, b2)
+//
+// For Mesh the "identifier" of an object is its slot offset, so n = s (the
+// block's slot capacity). For CoRM-x, n = 2^x independent of the class, so
+// large classes — where Mesh's offset space collapses — retain a high
+// compaction probability.
+package prob
+
+import "math"
+
+// lnChoose returns ln C(n, k) using the log-gamma function, valid for large
+// n (ID spaces up to 2^20 and beyond).
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// NoCollision returns the probability that b2 IDs drawn uniformly without
+// replacement from an n-sized space avoid b1 occupied IDs, with s the slot
+// capacity of the merged block. It returns 0 when the merged objects cannot
+// fit (b1+b2 > s) or the ID space is too small.
+func NoCollision(n, s, b1, b2 int) float64 {
+	if b1 < 0 || b2 < 0 {
+		panic("prob: negative object count")
+	}
+	if b1+b2 > s {
+		return 0
+	}
+	if b1+b2 > n {
+		return 0
+	}
+	if b1 == 0 || b2 == 0 {
+		return 1
+	}
+	return math.Exp(lnChoose(n-b1, b2) - lnChoose(n, b2))
+}
+
+// Mesh returns the probability that two blocks with b1 and b2 objects can
+// be compacted under Mesh's offset-conflict rule: IDs are the s possible
+// slot offsets.
+func Mesh(s, b1, b2 int) float64 {
+	return NoCollision(s, s, b1, b2)
+}
+
+// CoRM returns the probability that two blocks compact under CoRM with
+// idBits-bit random object identifiers and slot capacity s. Blocks whose
+// capacity exceeds the ID space cannot be managed by CoRM-idBits at all
+// (§4.4.1), so the probability is 0.
+func CoRM(idBits, s, b1, b2 int) float64 {
+	n := 1 << idBits
+	if s > n {
+		return 0
+	}
+	return NoCollision(n, s, b1, b2)
+}
+
+// BlocksAtOccupancy converts an occupancy fraction to an object count for a
+// block holding s slots, rounding to nearest.
+func BlocksAtOccupancy(s int, occ float64) int {
+	return int(occ*float64(s) + 0.5)
+}
+
+// Point is one Fig 7 sample.
+type Point struct {
+	ObjectSize int
+	Occupancy  float64
+	Mesh       float64
+	CoRM8      float64
+	CoRM16     float64
+}
+
+// Figure7 reproduces the paper's Fig 7 grid: 4 KiB blocks, object sizes
+// 16–256 B (powers of two), occupancies 12.5–50 %.
+func Figure7() []Point {
+	var out []Point
+	for _, occ := range []float64{0.125, 0.25, 0.375, 0.5} {
+		for size := 16; size <= 256; size *= 2 {
+			s := 4096 / size
+			b := BlocksAtOccupancy(s, occ)
+			out = append(out, Point{
+				ObjectSize: size,
+				Occupancy:  occ,
+				Mesh:       Mesh(s, b, b),
+				CoRM8:      CoRM(8, s, b, b),
+				CoRM16:     CoRM(16, s, b, b),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestExactSmallCases(t *testing.T) {
+	// n=4, b1=1, b2=1: second ID avoids 1 of 4 -> 3/4.
+	if p := NoCollision(4, 10, 1, 1); !almost(p, 0.75, 1e-12) {
+		t.Errorf("p = %v, want 0.75", p)
+	}
+	// n=4, b1=2, b2=2: C(2,2)/C(4,2) = 1/6.
+	if p := NoCollision(4, 10, 2, 2); !almost(p, 1.0/6, 1e-12) {
+		t.Errorf("p = %v, want 1/6", p)
+	}
+	// Empty blocks always compact.
+	if NoCollision(16, 16, 0, 5) != 1 || NoCollision(16, 16, 5, 0) != 1 {
+		t.Error("empty block should compact with probability 1")
+	}
+}
+
+func TestCapacityCutoff(t *testing.T) {
+	// b1+b2 > s: not compactable regardless of ID space.
+	if NoCollision(1<<16, 8, 5, 4) != 0 {
+		t.Error("over-capacity merge must have probability 0")
+	}
+	if NoCollision(1<<16, 9, 5, 4) <= 0 {
+		t.Error("exact-capacity merge must be possible")
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	// p(B1,B2) = p(B2,B1) (§3.4).
+	f := func(b1, b2 uint8) bool {
+		n, s := 1<<12, 256
+		x, y := int(b1)%120, int(b2)%120
+		return almost(NoCollision(n, s, x, y), NoCollision(n, s, y, x), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// More bits -> higher probability; fuller blocks -> lower probability.
+	s := 256
+	for b := 1; b <= 120; b += 7 {
+		p8, p12, p16 := CoRM(8, s, b, b), CoRM(12, s, b, b), CoRM(16, s, b, b)
+		if p8 > p12+1e-12 || p12 > p16+1e-12 {
+			t.Fatalf("bits monotonicity violated at b=%d: %v %v %v", b, p8, p12, p16)
+		}
+	}
+	prev := 1.0
+	for b := 0; b <= 128; b += 8 {
+		p := CoRM(16, s, b, b)
+		if p > prev+1e-12 {
+			t.Fatalf("occupancy monotonicity violated at b=%d", b)
+		}
+		prev = p
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	f := func(bits, b1, b2 uint8) bool {
+		x := int(bits)%13 + 4 // 4..16 bits
+		s := 256
+		p := CoRM(x, s, int(b1), int(b2))
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoRM8EqualsMeshFor16ByteObjects(t *testing.T) {
+	// §3.4: 4 KiB block of 16 B objects holds 256 slots; with 8-bit IDs
+	// CoRM's ID space equals Mesh's offset space, so probabilities match.
+	s := 4096 / 16
+	for b := 8; b <= 100; b += 9 {
+		if !almost(CoRM(8, s, b, b), Mesh(s, b, b), 1e-9) {
+			t.Fatalf("CoRM-8 != Mesh at b=%d", b)
+		}
+	}
+}
+
+func TestCoRMBeatsMeshForLargeObjects(t *testing.T) {
+	// §3.4/Fig 7: for 128 B objects (s=32) at 50% occupancy Mesh is near
+	// zero while CoRM-8 succeeds often.
+	s := 4096 / 128
+	b := BlocksAtOccupancy(s, 0.5)
+	mesh, corm8 := Mesh(s, b, b), CoRM(8, s, b, b)
+	if mesh > 0.01 {
+		t.Errorf("Mesh at 50%% of 128B = %v, want near zero", mesh)
+	}
+	if corm8 < 0.3 {
+		t.Errorf("CoRM-8 at 50%% of 128B = %v, want substantial", corm8)
+	}
+}
+
+func TestCoRMCapacityExceedsIDSpace(t *testing.T) {
+	// §4.4.1: CoRM-8 cannot manage blocks holding more than 256 objects.
+	if CoRM(8, 512, 1, 1) != 0 {
+		t.Error("CoRM-8 must refuse blocks with 512 slots")
+	}
+	if CoRM(16, 512, 1, 1) <= 0 {
+		t.Error("CoRM-16 handles 512-slot blocks")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	pts := Figure7()
+	if len(pts) != 4*5 {
+		t.Fatalf("points = %d, want 20", len(pts))
+	}
+	for _, p := range pts {
+		// CoRM-16 dominates CoRM-8 dominates (for >=16B-but-large classes)...
+		if p.CoRM16 < p.CoRM8-1e-9 {
+			t.Errorf("CoRM16 < CoRM8 at size=%d occ=%v", p.ObjectSize, p.Occupancy)
+		}
+		// Paper: "CoRM performs better than Mesh in all situations".
+		if p.CoRM16 < p.Mesh-1e-9 {
+			t.Errorf("CoRM16 < Mesh at size=%d occ=%v", p.ObjectSize, p.Occupancy)
+		}
+		// "With 16-bit IDs, CoRM consistently provides a higher chance of
+		// compaction regardless of block occupancy": stay well above Mesh
+		// at 50% occupancy for 256B objects.
+		if p.Occupancy == 0.5 && p.ObjectSize == 256 {
+			if p.CoRM16 < 0.9 {
+				t.Errorf("CoRM16 at 256B/50%% = %v, want ~1", p.CoRM16)
+			}
+			if p.Mesh > 0.05 {
+				t.Errorf("Mesh at 256B/50%% = %v, want ~0", p.Mesh)
+			}
+		}
+	}
+}

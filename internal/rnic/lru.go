@@ -1,0 +1,61 @@
+package rnic
+
+import "container/list"
+
+// lruCache models the NIC's bounded on-chip cache of MTT entries. Real
+// RNICs keep the full MTT in host memory and cache recently used
+// translations; a miss costs an extra PCIe round trip. Capacity 0 disables
+// the model (every access hits).
+type lruCache struct {
+	cap   int
+	order *list.List
+	items map[uint64]*list.Element
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[uint64]*list.Element),
+	}
+}
+
+// touch reports whether vp is cached, refreshing its recency.
+func (c *lruCache) touch(vp uint64) bool {
+	if c.cap <= 0 {
+		return true
+	}
+	e, ok := c.items[vp]
+	if !ok {
+		return false
+	}
+	c.order.MoveToFront(e)
+	return true
+}
+
+// insert adds vp, evicting the least recently used entry when full.
+func (c *lruCache) insert(vp uint64) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.items[vp]; ok {
+		c.order.MoveToFront(e)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(uint64))
+	}
+	c.items[vp] = c.order.PushFront(vp)
+}
+
+// remove drops vp from the cache (entry invalidated).
+func (c *lruCache) remove(vp uint64) {
+	if e, ok := c.items[vp]; ok {
+		c.order.Remove(e)
+		delete(c.items, vp)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,75 @@
+package rnic
+
+import "testing"
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(2)
+	if c.touch(1) {
+		t.Fatal("empty cache hit")
+	}
+	c.insert(1)
+	c.insert(2)
+	if !c.touch(1) || !c.touch(2) {
+		t.Fatal("miss on resident entries")
+	}
+	// Insert 3: evicts the LRU, which is 1 (2 touched last)... touch order
+	// above: 1 then 2, so 1 is LRU.
+	c.insert(3)
+	if c.touch(1) {
+		t.Fatal("LRU entry not evicted")
+	}
+	if !c.touch(2) || !c.touch(3) {
+		t.Fatal("resident entries evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestLRUTouchRefreshesRecency(t *testing.T) {
+	c := newLRU(2)
+	c.insert(1)
+	c.insert(2)
+	c.touch(1)  // 2 becomes LRU
+	c.insert(3) // evicts 2
+	if c.touch(2) {
+		t.Fatal("recently-touched order ignored")
+	}
+	if !c.touch(1) {
+		t.Fatal("refreshed entry evicted")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := newLRU(4)
+	c.insert(1)
+	c.insert(2)
+	c.remove(1)
+	c.remove(99) // no-op
+	if c.touch(1) {
+		t.Fatal("removed entry still present")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(0)
+	if !c.touch(42) {
+		t.Fatal("disabled cache must always hit")
+	}
+	c.insert(42)
+	if c.len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestLRUDoubleInsert(t *testing.T) {
+	c := newLRU(2)
+	c.insert(1)
+	c.insert(1)
+	if c.len() != 1 {
+		t.Fatalf("duplicate insert grew the cache: %d", c.len())
+	}
+}

@@ -1,0 +1,178 @@
+package rnic
+
+import (
+	"fmt"
+	"time"
+
+	"corm/internal/mem"
+)
+
+// QP is a reliable queue pair connected to a NIC. The paper uses reliable
+// QPs exclusively, since they are the only type supporting one-sided reads.
+// A QP enters the error state when it accesses an invalid key or touches a
+// region during re-registration; it must be reconnected before further use,
+// which costs milliseconds (§3.5).
+type QP struct {
+	nic    *NIC
+	id     uint64
+	broken bool
+
+	// recvQ models two-sided Send/Recv delivery into this QP.
+	recvQ [][]byte
+}
+
+// ReconnectLatency is the recovery cost after a QP break (§3.5: "can take
+// few milliseconds").
+const ReconnectLatency = 3 * time.Millisecond
+
+// Connect creates a reliable QP attached to the NIC.
+func (n *NIC) Connect() *QP {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextQP++
+	return &QP{nic: n, id: n.nextQP}
+}
+
+// Broken reports whether the QP is in the error state.
+func (qp *QP) Broken() bool {
+	qp.nic.mu.Lock()
+	defer qp.nic.mu.Unlock()
+	return qp.broken
+}
+
+// Reconnect restores a broken QP. The returned cost reflects connection
+// re-establishment.
+func (qp *QP) Reconnect() Cost {
+	qp.nic.mu.Lock()
+	defer qp.nic.mu.Unlock()
+	qp.broken = false
+	return Cost{Latency: ReconnectLatency}
+}
+
+func (qp *QP) breakLocked() {
+	qp.broken = true
+	qp.nic.stats.QPBreaks++
+}
+
+// checkAccessLocked validates the key and region state, breaking the QP on
+// violation per the InfiniBand error semantics.
+func (qp *QP) checkAccessLocked(rkey uint32, vaddr uint64, length int) (*Region, error) {
+	if qp.broken {
+		return nil, ErrQPBroken
+	}
+	r, ok := qp.nic.regions[rkey]
+	if !ok || !r.valid {
+		qp.breakLocked()
+		return nil, ErrInvalidKey
+	}
+	if !r.Contains(vaddr, length) {
+		qp.breakLocked()
+		return nil, ErrOutOfBounds
+	}
+	if r.reregging {
+		// Access during ibv_rereg_mr: connection breaks (§3.5).
+		qp.breakLocked()
+		return nil, fmt.Errorf("%w: region under re-registration", ErrQPBroken)
+	}
+	return r, nil
+}
+
+// Read performs a one-sided RDMA read of len(buf) bytes at vaddr through
+// the NIC's MTT, bypassing the host CPU and OS page tables entirely. The
+// returned cost includes wire, engine, cache and ODP components.
+func (qp *QP) Read(rkey uint32, vaddr uint64, buf []byte) (Cost, error) {
+	return qp.access(rkey, vaddr, buf, false)
+}
+
+// Write performs a one-sided RDMA write of buf at vaddr.
+func (qp *QP) Write(rkey uint32, vaddr uint64, buf []byte) (Cost, error) {
+	return qp.access(rkey, vaddr, buf, true)
+}
+
+func (qp *QP) access(rkey uint32, vaddr uint64, buf []byte, write bool) (Cost, error) {
+	n := qp.nic
+	n.mu.Lock()
+	r, err := qp.checkAccessLocked(rkey, vaddr, len(buf))
+	if err != nil {
+		n.mu.Unlock()
+		return Cost{}, err
+	}
+	cost := Cost{
+		Latency: n.Model.ReadRTT(len(buf)),
+		Engine:  n.Model.EngineTime(len(buf)),
+	}
+	if write {
+		cost.Latency += n.Model.WritePerOp
+		n.stats.Writes++
+		n.stats.BytesWritten += int64(len(buf))
+	} else {
+		n.stats.Reads++
+		n.stats.BytesRead += int64(len(buf))
+	}
+
+	// Resolve frames page by page while holding the NIC lock, then do the
+	// DMA copies outside it (frame access has its own page locks).
+	type chunk struct {
+		frame *mem.Frame
+		off   int
+		lo    int
+		n     int
+	}
+	var chunks []chunk
+	done := 0
+	for done < len(buf) {
+		addr := vaddr + uint64(done)
+		vp := addr >> mem.PageShift
+		off := int(addr & (mem.PageSize - 1))
+		f, c, terr := n.translateLocked(vp, r)
+		cost = cost.add(c)
+		if terr != nil {
+			n.mu.Unlock()
+			return cost, terr
+		}
+		sz := mem.PageSize - off
+		if sz > len(buf)-done {
+			sz = len(buf) - done
+		}
+		chunks = append(chunks, chunk{frame: f, off: off, lo: done, n: sz})
+		done += sz
+	}
+	n.mu.Unlock()
+
+	for _, c := range chunks {
+		if write {
+			c.frame.WriteBytes(c.off, buf[c.lo:c.lo+c.n])
+		} else {
+			c.frame.ReadBytes(c.off, buf[c.lo:c.lo+c.n])
+		}
+	}
+	return cost, nil
+}
+
+// Send delivers a message to the peer QP's receive queue (two-sided verb).
+// The RPC layer of the simulation uses this to model Send/Recv transport.
+func (qp *QP) Send(peer *QP, msg []byte) (Cost, error) {
+	n := qp.nic
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if qp.broken {
+		return Cost{}, ErrQPBroken
+	}
+	m := make([]byte, len(msg))
+	copy(m, msg)
+	peer.recvQ = append(peer.recvQ, m)
+	return Cost{Latency: n.Model.SendRecvBase / 2}, nil
+}
+
+// Recv pops the oldest delivered message, if any.
+func (qp *QP) Recv() ([]byte, bool) {
+	n := qp.nic
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(qp.recvQ) == 0 {
+		return nil, false
+	}
+	m := qp.recvQ[0]
+	qp.recvQ = qp.recvQ[1:]
+	return m, true
+}

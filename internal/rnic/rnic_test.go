@@ -1,0 +1,368 @@
+package rnic
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"corm/internal/mem"
+	"corm/internal/timing"
+)
+
+func newHost(t *testing.T, model timing.NIC) (*mem.Phys, *mem.AddrSpace, *NIC) {
+	t.Helper()
+	p := mem.NewPhys(true)
+	s := mem.NewAddrSpace(p)
+	return p, s, New(s, model)
+}
+
+// mapBlock reserves, maps, and fills a block; returns its vaddr.
+func mapBlock(p *mem.Phys, s *mem.AddrSpace, pages int, fill byte) uint64 {
+	v := s.ReserveBlock(pages)
+	frames := p.Alloc(pages)
+	s.Map(v, frames)
+	buf := make([]byte, pages*mem.PageSize)
+	for i := range buf {
+		buf[i] = fill
+	}
+	if err := s.WriteAt(v, buf); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestRegisterAndRead(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 1, 0x5A)
+	r, err := n.Register(v, mem.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LKey == 0 || r.RKey == 0 || r.LKey == r.RKey {
+		t.Fatalf("bad keys: l=%d r=%d", r.LKey, r.RKey)
+	}
+	qp := n.Connect()
+	buf := make([]byte, 64)
+	cost, err := qp.Read(r.RKey, v+128, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0x5A {
+			t.Fatal("read wrong data")
+		}
+	}
+	if cost.Latency < n.Model.ReadBase {
+		t.Fatalf("cost.Latency = %v below base", cost.Latency)
+	}
+	st := n.Stats()
+	if st.Reads != 1 || st.BytesRead != 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadCrossPage(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 2, 0)
+	want := make([]byte, 256)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	if err := s.WriteAt(v+mem.PageSize-100, want); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := n.Register(v, 2*mem.PageSize, false)
+	qp := n.Connect()
+	got := make([]byte, 256)
+	if _, err := qp.Read(r.RKey, v+mem.PageSize-100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cross-page one-sided read mismatch")
+	}
+}
+
+func TestOneSidedWrite(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 1, 0)
+	r, _ := n.Register(v, mem.PageSize, false)
+	qp := n.Connect()
+	if _, err := qp.Write(r.RKey, v+8, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := s.ReadAt(v+8, got); err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("host does not see one-sided write: %v %v", got, err)
+	}
+}
+
+func TestInvalidKeyBreaksQP(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 1, 0)
+	n.Register(v, mem.PageSize, false)
+	qp := n.Connect()
+	if _, err := qp.Read(0xDEAD, v, make([]byte, 8)); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("err = %v, want ErrInvalidKey", err)
+	}
+	if !qp.Broken() {
+		t.Fatal("QP must break on invalid key")
+	}
+	// Further access fails until reconnect.
+	r2, _ := n.Register(v, mem.PageSize, false)
+	if _, err := qp.Read(r2.RKey, v, make([]byte, 8)); !errors.Is(err, ErrQPBroken) {
+		t.Fatalf("broken QP accepted work: %v", err)
+	}
+	c := qp.Reconnect()
+	if c.Latency < ReconnectLatency {
+		t.Fatal("reconnect should cost milliseconds")
+	}
+	if _, err := qp.Read(r2.RKey, v, make([]byte, 8)); err != nil {
+		t.Fatalf("read after reconnect: %v", err)
+	}
+	if n.Stats().QPBreaks != 1 {
+		t.Fatalf("QPBreaks = %d", n.Stats().QPBreaks)
+	}
+}
+
+func TestOutOfBoundsBreaksQP(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 1, 0)
+	r, _ := n.Register(v, mem.PageSize, false)
+	qp := n.Connect()
+	if _, err := qp.Read(r.RKey, v+mem.PageSize-4, make([]byte, 8)); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("err = %v, want ErrOutOfBounds", err)
+	}
+	if !qp.Broken() {
+		t.Fatal("QP must break on out-of-bounds access")
+	}
+}
+
+// The core hazard of §2.2.1: remapping a page without telling the NIC makes
+// one-sided reads return data from the *old* physical frame.
+func TestStaleMTTReadsOldFrame(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	vSrc := mapBlock(p, s, 1, 0xAA)
+	vDst := mapBlock(p, s, 1, 0xBB)
+	rSrc, _ := n.Register(vSrc, mem.PageSize, false)
+	n.Register(vDst, mem.PageSize, false)
+
+	// Compaction: source vaddr now aliases the destination frame.
+	dstFrame, _, _ := s.Translate(vDst)
+	s.Remap(vSrc, []*mem.Frame{dstFrame})
+
+	qp := n.Connect()
+	buf := make([]byte, 8)
+	if _, err := qp.Read(rSrc.RKey, vSrc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA {
+		t.Fatalf("expected stale data 0xAA from old frame, got %#x", buf[0])
+	}
+	if n.Stats().StaleReads == 0 {
+		t.Fatal("stale read not accounted")
+	}
+
+	// After an explicit rereg, reads see the new frame.
+	n.BeginRereg(rSrc)
+	if err := n.EndRereg(rSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qp.Read(rSrc.RKey, vSrc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xBB {
+		t.Fatalf("expected fresh data 0xBB after rereg, got %#x", buf[0])
+	}
+}
+
+func TestAccessDuringReregBreaksQP(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 1, 1)
+	r, _ := n.Register(v, mem.PageSize, false)
+	qp := n.Connect()
+	n.BeginRereg(r)
+	if _, err := qp.Read(r.RKey, v, make([]byte, 8)); !errors.Is(err, ErrQPBroken) {
+		t.Fatalf("err = %v, want QP break during rereg", err)
+	}
+	if !qp.Broken() {
+		t.Fatal("QP should be broken")
+	}
+	n.EndRereg(r)
+	qp.Reconnect()
+	if _, err := qp.Read(r.RKey, v, make([]byte, 8)); err != nil {
+		t.Fatalf("read after rereg window: %v", err)
+	}
+}
+
+func TestODPFaultAfterRemap(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX5())
+	vSrc := mapBlock(p, s, 1, 0xAA)
+	vDst := mapBlock(p, s, 1, 0xBB)
+	r, err := n.Register(vSrc, mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := n.Connect()
+	buf := make([]byte, 8)
+
+	// Warm access: no fault.
+	c, err := qp.Read(r.RKey, vSrc, buf)
+	if err != nil || c.ODPFault {
+		t.Fatalf("unexpected fault on first read: %+v %v", c, err)
+	}
+
+	dstFrame, _, _ := s.Translate(vDst)
+	s.Remap(vSrc, []*mem.Frame{dstFrame})
+
+	// ODP keeps the NIC coherent: the read faults, then returns new data.
+	c, err = qp.Read(r.RKey, vSrc, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.ODPFault {
+		t.Fatal("expected ODP fault after remap")
+	}
+	if c.Latency < n.Model.ODPMiss {
+		t.Fatalf("fault cost %v < ODPMiss %v", c.Latency, n.Model.ODPMiss)
+	}
+	if buf[0] != 0xBB {
+		t.Fatalf("ODP read returned stale data %#x", buf[0])
+	}
+	// Subsequent reads are cheap again.
+	c, err = qp.Read(r.RKey, vSrc, buf)
+	if err != nil || c.ODPFault {
+		t.Fatalf("second read should not fault: %+v %v", c, err)
+	}
+	if n.Stats().ODPFaults != 1 {
+		t.Fatalf("ODPFaults = %d", n.Stats().ODPFaults)
+	}
+}
+
+func TestAdvisePrefetchAvoidsFault(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX5())
+	vSrc := mapBlock(p, s, 1, 0xAA)
+	vDst := mapBlock(p, s, 1, 0xBB)
+	r, _ := n.Register(vSrc, mem.PageSize, true)
+	qp := n.Connect()
+
+	dstFrame, _, _ := s.Translate(vDst)
+	s.Remap(vSrc, []*mem.Frame{dstFrame})
+	n.Invalidate(vSrc, mem.PageSize)
+
+	c, err := n.AdviseMR(vSrc, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Latency != n.Model.AdviseMR {
+		t.Fatalf("advise cost = %v", c.Latency)
+	}
+	buf := make([]byte, 8)
+	c, err = qp.Read(r.RKey, vSrc, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ODPFault {
+		t.Fatal("prefetched access must not fault")
+	}
+	if buf[0] != 0xBB {
+		t.Fatalf("prefetched read stale: %#x", buf[0])
+	}
+}
+
+func TestODPRequiresCapability(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 1, 0)
+	if _, err := n.Register(v, mem.PageSize, true); !errors.Is(err, ErrNoODP) {
+		t.Fatalf("CX-3 accepted ODP registration: %v", err)
+	}
+	r, _ := n.Register(v, mem.PageSize, false)
+	if _, err := n.AdviseMR(v, mem.PageSize); !errors.Is(err, ErrNoODP) {
+		t.Fatalf("advise on non-ODP region: %v", err)
+	}
+	_ = r
+}
+
+func TestTranslationCacheMisses(t *testing.T) {
+	model := timing.ConnectX3()
+	model.MTTCacheEntries = 2
+	p, s, n := newHost(t, model)
+	v := mapBlock(p, s, 4, 0)
+	r, _ := n.Register(v, 4*mem.PageSize, false)
+	qp := n.Connect()
+	buf := make([]byte, 8)
+
+	// Touch 3 distinct pages round-robin: with capacity 2 every access
+	// misses after the first round.
+	for round := 0; round < 3; round++ {
+		for pg := 0; pg < 3; pg++ {
+			if _, err := qp.Read(r.RKey, v+uint64(pg)*mem.PageSize, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := n.Stats()
+	if st.CacheHits != 0 {
+		t.Fatalf("LRU thrash should have 0 hits, got %d", st.CacheHits)
+	}
+	if st.CacheMisses != 9 {
+		t.Fatalf("misses = %d, want 9", st.CacheMisses)
+	}
+
+	// Repeated access to one page hits.
+	n.ResetStats()
+	for i := 0; i < 5; i++ {
+		qp.Read(r.RKey, v, buf)
+	}
+	st = n.Stats()
+	if st.CacheHits < 4 {
+		t.Fatalf("hits = %d, want >=4", st.CacheHits)
+	}
+}
+
+func TestDeregisterInvalidatesKey(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 1, 0)
+	r, _ := n.Register(v, mem.PageSize, false)
+	n.Deregister(r)
+	qp := n.Connect()
+	if _, err := qp.Read(r.RKey, v, make([]byte, 8)); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("read through deregistered key: %v", err)
+	}
+}
+
+func TestRegisterUnmappedFails(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	_ = p
+	v := s.ReserveBlock(1) // reserved but never mapped
+	if _, err := n.Register(v, mem.PageSize, false); err == nil {
+		t.Fatal("registering unmapped memory should fail")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	_, _ = p, s
+	a, b := n.Connect(), n.Connect()
+	if _, err := a.Send(b, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	msg, ok := b.Recv()
+	if !ok || string(msg) != "ping" {
+		t.Fatalf("recv = %q %v", msg, ok)
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestEngineCostGrowsWithSize(t *testing.T) {
+	p, s, n := newHost(t, timing.ConnectX3())
+	v := mapBlock(p, s, 2, 0)
+	r, _ := n.Register(v, 2*mem.PageSize, false)
+	qp := n.Connect()
+	small, _ := qp.Read(r.RKey, v, make([]byte, 8))
+	large, _ := qp.Read(r.RKey, v, make([]byte, 4096))
+	if large.Engine <= small.Engine || large.Latency <= small.Latency {
+		t.Fatalf("costs must grow with size: %+v vs %+v", small, large)
+	}
+}

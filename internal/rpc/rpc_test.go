@@ -1,0 +1,227 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"corm/internal/core"
+	"corm/internal/timing"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	store, err := core.NewStore(core.Config{
+		Workers:    4,
+		Strategy:   core.StrategyCoRM,
+		DataBacked: true,
+		Remap:      core.RemapODPPrefetch,
+		Model:      timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(store)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestRequestWireRoundtrip(t *testing.T) {
+	f := func(op uint8, lo, hi uint64, size uint32, payload []byte) bool {
+		req := Request{
+			Op:      OpCode(op),
+			Addr:    core.Addr{Lo: lo, Hi: hi},
+			Size:    size,
+			Payload: payload,
+		}
+		got, err := UnmarshalRequest(req.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Op == req.Op && got.Addr == req.Addr && got.Size == req.Size &&
+			bytes.Equal(got.Payload, req.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseWireRoundtrip(t *testing.T) {
+	f := func(status uint8, lo, hi uint64, payload []byte) bool {
+		resp := Response{Status: Status(status), Addr: core.Addr{Lo: lo, Hi: hi}, Payload: payload}
+		got, err := UnmarshalResponse(resp.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Status == resp.Status && got.Addr == resp.Addr &&
+			bytes.Equal(got.Payload, resp.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireRejectsCorruptFrames(t *testing.T) {
+	if _, err := UnmarshalRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("short request accepted")
+	}
+	req := Request{Op: OpRead, Payload: []byte("hello")}
+	raw := req.Marshal()
+	if _, err := UnmarshalRequest(raw[:len(raw)-2]); err == nil {
+		t.Error("truncated request accepted")
+	}
+	if _, err := UnmarshalResponse([]byte{0}); err == nil {
+		t.Error("short response accepted")
+	}
+}
+
+func TestInfoRoundtrip(t *testing.T) {
+	info := Info{BlockBytes: 1 << 20, Classes: []int{8, 16, 32}}
+	got, err := UnmarshalInfo(info.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockBytes != info.BlockBytes || len(got.Classes) != 3 || got.Classes[2] != 32 {
+		t.Fatalf("info = %+v", got)
+	}
+	if _, err := UnmarshalInfo([]byte{1}); err == nil {
+		t.Error("short info accepted")
+	}
+}
+
+func TestStatusErrMapping(t *testing.T) {
+	cases := []error{nil, core.ErrNotFound, core.ErrCompacting, core.ErrInvalidAddr, core.ErrNoClass}
+	for _, want := range cases {
+		got := StatusOf(want).Err()
+		if want == nil {
+			if got != nil {
+				t.Errorf("nil -> %v", got)
+			}
+			continue
+		}
+		if !errors.Is(got, want) {
+			t.Errorf("roundtrip of %v = %v", want, got)
+		}
+	}
+}
+
+func TestServerAllocReadWriteFree(t *testing.T) {
+	s := testServer(t)
+
+	resp := s.Submit(Request{Op: OpAlloc, Size: 128})
+	if resp.Status != StatusOK {
+		t.Fatalf("alloc: %v", resp.Status)
+	}
+	addr := resp.Addr
+
+	payload := bytes.Repeat([]byte{0xAB}, 128)
+	if resp = s.Submit(Request{Op: OpWrite, Addr: addr, Payload: payload}); resp.Status != StatusOK {
+		t.Fatalf("write: %v", resp.Status)
+	}
+	resp = s.Submit(Request{Op: OpRead, Addr: addr})
+	if resp.Status != StatusOK || !bytes.Equal(resp.Payload, payload) {
+		t.Fatalf("read: %v (%d bytes)", resp.Status, len(resp.Payload))
+	}
+	if resp = s.Submit(Request{Op: OpFree, Addr: addr}); resp.Status != StatusOK {
+		t.Fatalf("free: %v", resp.Status)
+	}
+	if resp = s.Submit(Request{Op: OpRead, Addr: addr}); resp.Status != StatusNotFound {
+		t.Fatalf("read-after-free: %v", resp.Status)
+	}
+}
+
+func TestServerInfo(t *testing.T) {
+	s := testServer(t)
+	resp := s.Submit(Request{Op: OpInfo})
+	if resp.Status != StatusOK {
+		t.Fatal(resp.Status)
+	}
+	info, err := UnmarshalInfo(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BlockBytes != 4096 || len(info.Classes) == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	s := testServer(t)
+	if resp := s.Submit(Request{Op: OpAlloc, Size: 1 << 30}); resp.Status != StatusNoClass {
+		t.Errorf("oversized alloc: %v", resp.Status)
+	}
+	bogus := core.MakeAddr(0xbeef00, 1, 1, 1)
+	if resp := s.Submit(Request{Op: OpRead, Addr: bogus}); resp.Status != StatusInvalid {
+		t.Errorf("bogus read: %v", resp.Status)
+	}
+	if resp := s.Submit(Request{Op: OpCode(200)}); resp.Status != StatusInvalid {
+		t.Errorf("unknown op: %v", resp.Status)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	s := testServer(t)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var addrs []core.Addr
+			for i := 0; i < 100; i++ {
+				resp := s.Submit(Request{Op: OpAlloc, Size: 64})
+				if resp.Status != StatusOK {
+					t.Errorf("client %d alloc: %v", c, resp.Status)
+					return
+				}
+				addrs = append(addrs, resp.Addr)
+			}
+			buf := bytes.Repeat([]byte{byte(c)}, 64)
+			for _, a := range addrs {
+				if resp := s.Submit(Request{Op: OpWrite, Addr: a, Payload: buf}); resp.Status != StatusOK {
+					t.Errorf("write: %v", resp.Status)
+					return
+				}
+			}
+			for _, a := range addrs {
+				resp := s.Submit(Request{Op: OpRead, Addr: a})
+				if resp.Status != StatusOK || !bytes.Equal(resp.Payload, buf) {
+					t.Errorf("read: %v", resp.Status)
+					return
+				}
+				if resp := s.Submit(Request{Op: OpFree, Addr: a}); resp.Status != StatusOK {
+					t.Errorf("free: %v", resp.Status)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerReleasePtr(t *testing.T) {
+	s := testServer(t)
+	resp := s.Submit(Request{Op: OpAlloc, Size: 64})
+	addr := resp.Addr
+	resp = s.Submit(Request{Op: OpRelease, Addr: addr})
+	if resp.Status != StatusOK {
+		t.Fatalf("release: %v", resp.Status)
+	}
+	// Released-in-place pointer still reads.
+	if resp = s.Submit(Request{Op: OpRead, Addr: resp.Addr}); resp.Status != StatusOK {
+		t.Fatalf("read after release: %v", resp.Status)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	store, _ := core.NewStore(core.Config{DataBacked: true, Strategy: core.StrategyCoRM,
+		Remap: core.RemapODPPrefetch, Model: timing.Default().WithNIC(timing.ConnectX5())})
+	s := NewServer(store)
+	s.Close()
+	if resp := s.Submit(Request{Op: OpInfo}); resp.Status != StatusError {
+		t.Fatalf("submit after close: %v", resp.Status)
+	}
+	s.Close() // idempotent
+}

@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"sync"
+
+	"corm/internal/core"
+)
+
+// Server drains a shared RPC queue with a pool of worker goroutines, one
+// per store worker thread — the architecture of §2.2.2: requests are
+// pushed into the queue and any worker picks them up. Allocation requests
+// are served from the executing worker's thread-local allocator.
+type Server struct {
+	store *core.Store
+	queue chan task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type task struct {
+	req   Request
+	reply chan Response
+}
+
+// NewServer starts the worker pool over the store.
+func NewServer(store *core.Store) *Server {
+	s := &Server{
+		store: store,
+		queue: make(chan task, 1024),
+	}
+	for i := 0; i < store.Workers(); i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// Store exposes the underlying store.
+func (s *Server) Store() *core.Store { return s.store }
+
+// Close stops the workers after the queue drains.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit enqueues a request and waits for its response.
+func (s *Server) Submit(req Request) Response {
+	reply := make(chan Response, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Response{Status: StatusError}
+	}
+	s.queue <- task{req: req, reply: reply}
+	s.mu.Unlock()
+	return <-reply
+}
+
+func (s *Server) worker(thread int) {
+	defer s.wg.Done()
+	for t := range s.queue {
+		t.reply <- s.execute(thread, t.req)
+	}
+}
+
+// execute dispatches one request against the store on behalf of a worker
+// thread. The (possibly corrected) pointer travels back in the response so
+// clients can fix their copies (§3.2).
+func (s *Server) execute(thread int, req Request) Response {
+	switch req.Op {
+	case OpInfo:
+		cfg := s.store.Config()
+		info := Info{BlockBytes: cfg.BlockBytes, Consistency: cfg.Consistency, Classes: cfg.Classes}
+		return Response{Status: StatusOK, Payload: info.Marshal()}
+
+	case OpAlloc:
+		res, err := s.store.AllocOn(thread, int(req.Size))
+		if err != nil {
+			return Response{Status: StatusOf(err)}
+		}
+		return Response{Status: StatusOK, Addr: res.Addr}
+
+	case OpFree:
+		addr := req.Addr
+		err := s.store.Free(&addr)
+		return Response{Status: StatusOf(err), Addr: addr}
+
+	case OpRead:
+		addr := req.Addr
+		size := s.store.ClassSize(int(addr.Class()))
+		if int(req.Size) > 0 && int(req.Size) < size {
+			size = int(req.Size)
+		}
+		buf := make([]byte, s.store.ClassSize(int(addr.Class())))
+		if _, err := s.store.Read(&addr, buf); err != nil {
+			return Response{Status: StatusOf(err), Addr: addr}
+		}
+		return Response{Status: StatusOK, Addr: addr, Payload: buf[:size]}
+
+	case OpWrite:
+		addr := req.Addr
+		err := s.store.Write(&addr, req.Payload)
+		return Response{Status: StatusOf(err), Addr: addr}
+
+	case OpRelease:
+		addr := req.Addr
+		na, err := s.store.ReleasePtr(&addr)
+		if err != nil {
+			return Response{Status: StatusOf(err), Addr: addr}
+		}
+		return Response{Status: StatusOK, Addr: na}
+	}
+	return Response{Status: StatusInvalid}
+}

@@ -1,0 +1,208 @@
+// Package rpc implements CoRM's RPC layer (§2.2.2): the wire protocol for
+// memory-management operations and the worker pool that drains the shared
+// RPC queue. One-sided reads never pass through here — that is the point
+// of the paper — but every other Table 2 operation does.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"corm/internal/core"
+)
+
+// OpCode identifies an RPC operation.
+type OpCode uint8
+
+const (
+	OpAlloc OpCode = iota + 1
+	OpFree
+	OpRead
+	OpWrite
+	OpRelease
+	OpInfo // fetch store parameters (classes, block size) at connect time
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpAlloc:
+		return "alloc"
+	case OpFree:
+		return "free"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRelease:
+		return "release"
+	case OpInfo:
+		return "info"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status is an RPC result code.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusCompacting
+	StatusInvalid
+	StatusNoClass
+	StatusError
+)
+
+// StatusOf maps store errors onto wire codes.
+func StatusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, core.ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, core.ErrCompacting):
+		return StatusCompacting
+	case errors.Is(err, core.ErrInvalidAddr):
+		return StatusInvalid
+	case errors.Is(err, core.ErrNoClass):
+		return StatusNoClass
+	}
+	return StatusError
+}
+
+// Err converts a non-OK status back into a sentinel error.
+func (s Status) Err() error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return core.ErrNotFound
+	case StatusCompacting:
+		return core.ErrCompacting
+	case StatusInvalid:
+		return core.ErrInvalidAddr
+	case StatusNoClass:
+		return core.ErrNoClass
+	}
+	return errors.New("rpc: remote error")
+}
+
+// Request is one RPC call.
+type Request struct {
+	Op      OpCode
+	Addr    core.Addr
+	Size    uint32 // Alloc: object size; Read: buffer size
+	Payload []byte // Write: object contents
+}
+
+// Response is the reply.
+type Response struct {
+	Status  Status
+	Addr    core.Addr // corrected/new pointer (Alloc, Release, corrected ops)
+	Payload []byte    // Read results; Info: encoded parameters
+}
+
+const reqHeader = 1 + 16 + 4 + 4 // op + addr + size + payload len
+
+// Marshal encodes the request.
+func (r *Request) Marshal() []byte {
+	buf := make([]byte, reqHeader+len(r.Payload))
+	buf[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(buf[1:], r.Addr.Lo)
+	binary.LittleEndian.PutUint64(buf[9:], r.Addr.Hi)
+	binary.LittleEndian.PutUint32(buf[17:], r.Size)
+	binary.LittleEndian.PutUint32(buf[21:], uint32(len(r.Payload)))
+	copy(buf[25:], r.Payload)
+	return buf
+}
+
+// UnmarshalRequest decodes a request frame.
+func UnmarshalRequest(buf []byte) (Request, error) {
+	if len(buf) < reqHeader {
+		return Request{}, fmt.Errorf("rpc: short request (%d bytes)", len(buf))
+	}
+	r := Request{
+		Op:   OpCode(buf[0]),
+		Addr: core.Addr{Lo: binary.LittleEndian.Uint64(buf[1:]), Hi: binary.LittleEndian.Uint64(buf[9:])},
+		Size: binary.LittleEndian.Uint32(buf[17:]),
+	}
+	n := binary.LittleEndian.Uint32(buf[21:])
+	if int(n) != len(buf)-reqHeader {
+		return Request{}, fmt.Errorf("rpc: payload length mismatch (%d vs %d)", n, len(buf)-reqHeader)
+	}
+	if n > 0 {
+		r.Payload = append([]byte(nil), buf[25:]...)
+	}
+	return r, nil
+}
+
+const respHeader = 1 + 16 + 4
+
+// Marshal encodes the response.
+func (r *Response) Marshal() []byte {
+	buf := make([]byte, respHeader+len(r.Payload))
+	buf[0] = byte(r.Status)
+	binary.LittleEndian.PutUint64(buf[1:], r.Addr.Lo)
+	binary.LittleEndian.PutUint64(buf[9:], r.Addr.Hi)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(len(r.Payload)))
+	copy(buf[21:], r.Payload)
+	return buf
+}
+
+// UnmarshalResponse decodes a response frame.
+func UnmarshalResponse(buf []byte) (Response, error) {
+	if len(buf) < respHeader {
+		return Response{}, fmt.Errorf("rpc: short response (%d bytes)", len(buf))
+	}
+	r := Response{
+		Status: Status(buf[0]),
+		Addr:   core.Addr{Lo: binary.LittleEndian.Uint64(buf[1:]), Hi: binary.LittleEndian.Uint64(buf[9:])},
+	}
+	n := binary.LittleEndian.Uint32(buf[17:])
+	if int(n) != len(buf)-respHeader {
+		return Response{}, fmt.Errorf("rpc: payload length mismatch")
+	}
+	if n > 0 {
+		r.Payload = append([]byte(nil), buf[21:]...)
+	}
+	return r, nil
+}
+
+// Info carries store parameters to clients at connect time.
+type Info struct {
+	BlockBytes  int
+	Consistency core.ConsistencyMode
+	Classes     []int
+}
+
+// Marshal encodes the info payload.
+func (i *Info) Marshal() []byte {
+	buf := make([]byte, 12+4*len(i.Classes))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(i.BlockBytes))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(i.Consistency))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(i.Classes)))
+	for k, c := range i.Classes {
+		binary.LittleEndian.PutUint32(buf[12+4*k:], uint32(c))
+	}
+	return buf
+}
+
+// UnmarshalInfo decodes the info payload.
+func UnmarshalInfo(buf []byte) (Info, error) {
+	if len(buf) < 12 {
+		return Info{}, errors.New("rpc: short info")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	if len(buf) != 12+4*n {
+		return Info{}, errors.New("rpc: info length mismatch")
+	}
+	info := Info{
+		BlockBytes:  int(binary.LittleEndian.Uint32(buf[0:])),
+		Consistency: core.ConsistencyMode(binary.LittleEndian.Uint32(buf[4:])),
+	}
+	for k := 0; k < n; k++ {
+		info.Classes = append(info.Classes, int(binary.LittleEndian.Uint32(buf[12+4*k:])))
+	}
+	return info, nil
+}

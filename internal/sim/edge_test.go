@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+func TestResourceReleaseWithoutAcquirePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release without acquire did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity resource accepted")
+		}
+	}()
+	NewResource(NewEngine(), 0)
+}
+
+func TestEngineRunTwice(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(us(10), func() { n++ })
+	e.RunAll()
+	e.Schedule(us(10), func() { n++ })
+	e.RunAll()
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	if e.Now() != Time(us(20)) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestProcSpawnsProc(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go(func(p *Proc) {
+		order = append(order, "parent-start")
+		p.Engine().Go(func(c *Proc) {
+			order = append(order, "child-start")
+			c.Wait(us(5))
+			order = append(order, "child-end")
+		})
+		p.Wait(us(10))
+		order = append(order, "parent-end")
+	})
+	e.RunAll()
+	want := []string{"parent-start", "child-start", "child-end", "parent-end"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcYield(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Go(func(p *Proc) {
+		order = append(order, 1)
+		p.Yield()
+		order = append(order, 3)
+	})
+	e.Schedule(0, func() { order = append(order, 2) })
+	e.RunAll()
+	// The proc starts (event 1), schedules a same-instant wake behind the
+	// plain event, so 2 runs between 1 and 3.
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestUseConvenience(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var at Time
+	e.Go(func(p *Proc) {
+		r.Use(p, us(7))
+		at = p.Now()
+	})
+	e.RunAll()
+	if at != Time(us(7)) {
+		t.Fatalf("at = %v", at)
+	}
+	if r.InUse() != 0 {
+		t.Fatal("resource leaked")
+	}
+}

@@ -1,0 +1,147 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine models virtual time at nanosecond resolution. Simulation logic
+// runs either as plain scheduled callbacks or as coroutine-style processes
+// (Proc) that can sleep on virtual time and queue on FIFO resources, similar
+// to SimPy. Exactly one process executes at a time, so simulations are fully
+// deterministic regardless of the host's core count.
+//
+// CoRM uses the engine to reproduce the paper's cluster experiments: closed-
+// loop clients, RNIC inbound/outbound engines, and RPC worker pools are all
+// processes contending on resources, with service times drawn from the
+// calibrated timing models in internal/timing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts trivially
+// to and from time.Duration.
+type Duration = time.Duration
+
+// Infinity is a time later than any event the engine will ever process.
+const Infinity Time = math.MaxInt64
+
+// Microseconds renders a Time as a float64 microsecond count, the unit used
+// throughout the paper's figures.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// Seconds renders a Time as seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq), which keeps runs reproducible.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// all interaction must happen from the goroutine calling Run (or from
+// processes started with Go, which the engine serializes).
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   int // live processes, for leak detection
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after the given virtual delay. A negative delay is
+// treated as zero. Scheduling is allowed from event callbacks and from
+// processes (which the engine serializes), but not from foreign goroutines.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.scheduleAt(e.now+Time(d), fn)
+}
+
+func (e *Engine) scheduleAt(at Time, fn func()) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events in time order until the queue drains, the horizon is
+// passed, or Stop is called. It returns the virtual time at which it
+// stopped. Events scheduled beyond the horizon remain queued.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.at < e.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past: %d < %d", next.at, e.now))
+		}
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < horizon && horizon != Infinity {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// RunAll processes events until none remain.
+func (e *Engine) RunAll() Time { return e.Run(Infinity) }
+
+// Drain resumes every still-parked process by running the remaining event
+// queue to exhaustion. Simulations that stop at a horizon MUST drain (or
+// run their processes to natural completion): a parked process is a live
+// goroutine whose closure pins the whole simulated world, which otherwise
+// leaks across experiment runs. Process loops should check their own end
+// condition on wake-up so draining terminates them promptly.
+func (e *Engine) Drain() {
+	e.RunAll()
+	if e.procs != 0 {
+		panic(fmt.Sprintf("sim: %d processes still parked after drain (deadlocked on a resource?)", e.procs))
+	}
+}
+
+// Pending reports the number of queued events, useful in tests.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// LiveProcs reports how many processes have been started and not finished.
+func (e *Engine) LiveProcs() int { return e.procs }

@@ -1,0 +1,63 @@
+package sim
+
+// Proc is a coroutine-style simulation process. A process runs in its own
+// goroutine but the engine guarantees only one process (or event callback)
+// executes at a time: the process parks whenever it waits on virtual time or
+// on a resource, and the engine resumes it when the corresponding event
+// fires. This gives SimPy-style sequential-looking workload code with fully
+// deterministic interleaving.
+type Proc struct {
+	eng    *Engine
+	resume chan struct{}
+	done   bool
+}
+
+// Go starts fn as a simulation process. fn receives the Proc handle it must
+// use for all waiting. The process begins at the current virtual time.
+func (e *Engine) Go(fn func(p *Proc)) {
+	p := &Proc{eng: e, resume: make(chan struct{})}
+	e.procs++
+	e.Schedule(0, func() {
+		go func() {
+			fn(p)
+			p.done = true
+			p.eng.procs--
+			p.resume <- struct{}{} // hand control back to the engine
+		}()
+		<-p.resume // wait until the process parks or finishes
+	})
+}
+
+// park suspends the process and returns control to the engine. The matching
+// wake comes from a scheduled event sending on resume.
+func (p *Proc) park() {
+	p.resume <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules the process to resume after d of virtual time. It must be
+// paired with a park on the process side.
+func (p *Proc) wakeAfter(d Duration) {
+	p.eng.Schedule(d, func() {
+		p.resume <- struct{}{}
+		<-p.resume // regain control once the process parks again or ends
+	})
+}
+
+// Wait suspends the process for d of virtual time.
+func (p *Proc) Wait(d Duration) {
+	if p.done {
+		panic("sim: Wait on finished process")
+	}
+	p.wakeAfter(d)
+	p.park()
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Yield lets all other events scheduled for the current instant run first.
+func (p *Proc) Yield() { p.Wait(0) }

@@ -1,0 +1,209 @@
+// Package stats provides the small measurement toolkit used by the
+// experiment harnesses: latency samples with percentiles, time-bucketed
+// throughput series (Fig 16), and plain-text table rendering for the
+// figure/table regenerators.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates duration observations.
+type Sample struct {
+	vals []time.Duration
+}
+
+// Add appends an observation.
+func (s *Sample) Add(d time.Duration) { s.vals = append(s.vals, d) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Median returns the 50th percentile, the paper's reported statistic.
+func (s *Sample) Median() time.Duration { return s.Percentile(50) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / time.Duration(len(s.vals))
+}
+
+// Min and Max return the extremes.
+func (s *Sample) Min() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (s *Sample) Max() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Series is a time-bucketed event counter: the throughput-over-time plot
+// of Fig 16.
+type Series struct {
+	bucket time.Duration
+	counts []int64
+}
+
+// NewSeries creates a series with the given bucket width.
+func NewSeries(bucket time.Duration) *Series {
+	if bucket <= 0 {
+		panic("stats: non-positive bucket")
+	}
+	return &Series{bucket: bucket}
+}
+
+// Record counts one event at time t (from series start).
+func (s *Series) Record(t time.Duration) {
+	idx := int(t / s.bucket)
+	for len(s.counts) <= idx {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[idx]++
+}
+
+// Buckets returns per-bucket rates in events/second.
+func (s *Series) Buckets() []float64 {
+	out := make([]float64, len(s.counts))
+	for i, c := range s.counts {
+		out[i] = float64(c) / s.bucket.Seconds()
+	}
+	return out
+}
+
+// BucketWidth returns the bucket duration.
+func (s *Series) BucketWidth() time.Duration { return s.bucket }
+
+// Table renders aligned plain-text tables for the figure regenerators.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.2fus", float64(v)/float64(time.Microsecond))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100 || v == float64(int64(v)):
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// HumanBytes renders byte counts as GiB/MiB/KiB like the paper's figures.
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/float64(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// KReqPerSec renders a rate the way the paper's axes do (Kreq/sec).
+func KReqPerSec(rate float64) string {
+	return fmt.Sprintf("%.0f Kreq/s", rate/1000)
+}

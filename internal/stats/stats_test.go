@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Microsecond)
+	}
+	if m := s.Median(); m < 50*time.Microsecond || m > 51*time.Microsecond {
+		t.Errorf("median = %v", m)
+	}
+	if p99 := s.Percentile(99); p99 != 100*time.Microsecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	if s.Min() != time.Microsecond || s.Max() != 100*time.Microsecond {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if mean := s.Mean(); mean != 50500*time.Nanosecond {
+		t.Errorf("mean = %v", mean)
+	}
+	if s.N() != 100 {
+		t.Errorf("n = %d", s.N())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Median() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should return zeros")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	var s Sample
+	s.Add(3 * time.Microsecond)
+	s.Add(1 * time.Microsecond)
+	s.Add(2 * time.Microsecond)
+	s.Median()
+	if s.vals[0] != 3*time.Microsecond {
+		t.Error("Percentile sorted the underlying sample")
+	}
+}
+
+func TestSeriesBuckets(t *testing.T) {
+	s := NewSeries(100 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		s.Record(time.Duration(i) * 10 * time.Millisecond) // 0..490ms
+	}
+	b := s.Buckets()
+	if len(b) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(b))
+	}
+	for i, rate := range b {
+		if rate != 100 { // 10 events per 100ms bucket = 100/s
+			t.Errorf("bucket %d rate = %v, want 100", i, rate)
+		}
+	}
+}
+
+func TestSeriesSparse(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Record(0)
+	s.Record(3 * time.Second)
+	b := s.Buckets()
+	if len(b) != 4 || b[0] != 1 || b[1] != 0 || b[3] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Fig X", Headers: []string{"size", "latency", "ratio"}}
+	tb.AddRow(64, 1700*time.Nanosecond, 0.5)
+	tb.AddRow(2048, 3800*time.Nanosecond, 1.0)
+	out := tb.String()
+	for _, want := range []string{"Fig X", "size", "1.70us", "3.80us", "0.5000", "2048"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2 << 10: "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		5 << 30: "5.00 GiB",
+	}
+	for n, want := range cases {
+		if got := HumanBytes(n); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestKReqPerSec(t *testing.T) {
+	if got := KReqPerSec(380000); got != "380 Kreq/s" {
+		t.Errorf("got %q", got)
+	}
+}

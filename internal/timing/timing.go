@@ -1,0 +1,214 @@
+// Package timing defines the latency models used by the CoRM simulations.
+//
+// The reproduction has no InfiniBand hardware, so every component cost is a
+// model constant calibrated against the values the paper reports directly
+// (Fig 8, Fig 9, Fig 15, §4.1–§4.3): RDMA read RTT ≈1.7 µs, RPC RTT ≈3 µs,
+// mmap ≈2.1 µs, ibv_rereg_mr ≈9 µs (ConnectX-5) / ≈70 µs (ConnectX-3), ODP
+// miss ≈63 µs, ibv_advise_mr ≈4.5 µs, IPoIB TCP RTT 17 µs, thread-collection
+// 10 µs@2/31 µs@16 threads on Intel and 2 µs@2 on AMD. Queueing behaviour
+// (saturation, plateaus, crossovers) emerges from the discrete-event
+// simulation; only these point costs are taken from the paper.
+package timing
+
+import "time"
+
+// Duration aliases time.Duration; virtual nanoseconds.
+type Duration = time.Duration
+
+func us(f float64) Duration { return Duration(f * float64(time.Microsecond)) }
+
+// NIC models an RDMA network card and its link.
+type NIC struct {
+	Name string
+
+	// One-sided verbs.
+	ReadBase    Duration // RTT of a small one-sided READ
+	WritePerOp  Duration // extra for one-sided WRITE vs READ
+	WirePerByte Duration // RTT increase per payload byte (FDR link + PCIe)
+
+	// Two-sided verbs (Send/Recv), transport part of an RPC.
+	SendRecvBase Duration
+
+	// Inbound processing engine: occupancy per request, limits aggregate
+	// one-sided throughput (Fig 12's RDMA plateau).
+	EngineSvc     Duration
+	EnginePerByte Duration
+
+	// Memory translation table cache on the NIC. Uniform access over many
+	// pages thrashes it (Fig 12 zipf>uniform, Fig 14 fragmentation gap).
+	MTTCacheEntries int
+	MTTMissLatency  Duration // added to the request RTT on a miss
+	MTTMissEngine   Duration // added engine occupancy on a miss
+
+	// Remapping-related host/NIC costs (Fig 8, Fig 15).
+	Mmap         Duration // mmap of a remapped virtual block (per call)
+	MmapPerPage  Duration // additional per page
+	ReregBase    Duration // fixed part of ibv_rereg_mr
+	ReregPerPage Duration
+	ODPMiss      Duration // first access to an ODP-invalidated page
+	AdviseMR     Duration // ibv_advise_mr prefetch per call
+	HasODP       bool     // ConnectX-3 has no ODP support
+}
+
+// CPU models the host processor for worker/allocator activity.
+type CPU struct {
+	Name string
+
+	// Inter-thread messaging: block-collection broadcast (Fig 15 left) and
+	// pointer-correction hops (§3.2.1). Collection(n) = CollectBase +
+	// CollectPerThread*(n-1).
+	CollectBase      Duration
+	CollectPerThread Duration
+	HopLatency       Duration // one inter-thread message hop
+
+	// RPC worker costs: Handle is on the request's critical path, Post is
+	// the remaining busy time (polling, batching, reply bookkeeping) that
+	// bounds worker-pool capacity but not single-request latency.
+	WorkerHandle Duration
+	WorkerPost   Duration
+
+	// Memory work.
+	ScanPerSlot     Duration // block scan, per slot inspected
+	MergePerObject  Duration // metadata hash merge during compaction
+	LockPerObject   Duration // lock/unlock objects under compaction
+	VersionPerLine  Duration // client-side cacheline version check
+	ChecksumPerByte Duration // client-side CRC check (checksum mode)
+	AllocWork       Duration // Alloc/Free handler work beyond base RPC
+	BlockRefill     Duration // extra when the thread-local allocator refills
+	ReleaseWork     Duration // ReleasePtr handler work
+	ClientLoop      Duration // client-side per-op loop overhead (Fig 11)
+}
+
+// Model bundles one NIC and one CPU plus system-wide constants.
+type Model struct {
+	NIC NIC
+	CPU CPU
+
+	// TCPBase is the IPoIB TCP RTT the paper quotes for reference.
+	TCPBase Duration
+}
+
+// ConnectX3 reflects the evaluation cluster's default card.
+func ConnectX3() NIC {
+	return NIC{
+		Name:            "ConnectX-3",
+		ReadBase:        us(1.7),
+		WritePerOp:      us(0.1),
+		WirePerByte:     Duration(1), // ~1 ns/B RTT: 2 KiB reads stay under 4 µs (Fig 9)
+		SendRecvBase:    us(2.8),
+		EngineSvc:       us(0.45),
+		EnginePerByte:   1, // 1 ns/B engine occupancy
+		MTTCacheEntries: 4096,
+		MTTMissLatency:  us(1.2),
+		MTTMissEngine:   us(0.12),
+		Mmap:            us(2.1),
+		MmapPerPage:     us(0.25),
+		ReregBase:       us(55),
+		ReregPerPage:    us(45),
+		ODPMiss:         0,
+		AdviseMR:        0,
+		HasODP:          false,
+	}
+}
+
+// ConnectX5 is the newer card used for the Fig 8 remapping study.
+func ConnectX5() NIC {
+	n := ConnectX3()
+	n.Name = "ConnectX-5"
+	n.ReregBase = us(2.0)
+	n.ReregPerPage = us(7.0)
+	n.ODPMiss = us(63)
+	n.AdviseMR = us(4.5)
+	n.HasODP = true
+	return n
+}
+
+// IntelXeon matches the E5-2630 v3 cluster nodes.
+func IntelXeon() CPU {
+	return CPU{
+		Name:             "Intel Xeon E5-2630 v3",
+		CollectBase:      us(7.0),
+		CollectPerThread: us(1.6),
+		HopLatency:       us(1.5),
+		WorkerHandle:     us(0.7),
+		WorkerPost:       us(10.7),
+		ScanPerSlot:      Duration(12),
+		MergePerObject:   Duration(60),
+		LockPerObject:    Duration(30),
+		VersionPerLine:   Duration(4),
+		ChecksumPerByte:  1, // ~1 ns/B software CRC-32
+		AllocWork:        us(0.5),
+		BlockRefill:      us(5.0),
+		ReleaseWork:      us(0.3),
+		ClientLoop:       us(0.9),
+	}
+}
+
+// AMDEpyc matches the EPYC 7742 nodes used in Fig 15 (left).
+func AMDEpyc() CPU {
+	c := IntelXeon()
+	c.Name = "AMD EPYC 7742"
+	c.CollectBase = us(0.5)
+	c.CollectPerThread = us(1.9)
+	c.HopLatency = us(0.4)
+	return c
+}
+
+// Default is the paper's main configuration: ConnectX-3 + Intel Xeon.
+func Default() Model {
+	return Model{NIC: ConnectX3(), CPU: IntelXeon(), TCPBase: us(17)}
+}
+
+// WithNIC returns a copy of m using the given NIC.
+func (m Model) WithNIC(n NIC) Model { m.NIC = n; return m }
+
+// WithCPU returns a copy of m using the given CPU.
+func (m Model) WithCPU(c CPU) Model { m.CPU = c; return m }
+
+// ReadRTT is the round-trip latency of a one-sided READ of size bytes,
+// excluding MTT effects and consistency checks.
+func (n NIC) ReadRTT(size int) Duration {
+	return n.ReadBase + Duration(size)*n.WirePerByte
+}
+
+// RPCRTT is the transport round-trip of an RPC carrying size payload bytes.
+func (n NIC) RPCRTT(size int) Duration {
+	return n.SendRecvBase + Duration(size)*n.WirePerByte
+}
+
+// EngineTime is the inbound-engine occupancy of a one-sided op.
+func (n NIC) EngineTime(size int) Duration {
+	return n.EngineSvc + Duration(size)*n.EnginePerByte
+}
+
+// Rereg is the latency of re-registering a region of pages pages.
+func (n NIC) Rereg(pages int) Duration {
+	return n.ReregBase + Duration(pages)*n.ReregPerPage
+}
+
+// MmapCost is the latency of (re)mapping a virtual region of pages pages.
+func (n NIC) MmapCost(pages int) Duration {
+	return n.Mmap + Duration(pages-1)*n.MmapPerPage
+}
+
+// Collection returns the block-collection broadcast latency across threads
+// worker threads (Fig 15, left).
+func (c CPU) Collection(threads int) Duration {
+	if threads <= 1 {
+		return 0
+	}
+	return c.CollectBase + Duration(threads-1)*c.CollectPerThread
+}
+
+// VersionCheck is the client-side cost of verifying cacheline versions for
+// an object of size bytes (64-byte cachelines).
+func (c CPU) VersionCheck(size int) Duration {
+	lines := (size + 63) / 64
+	return Duration(lines) * c.VersionPerLine
+}
+
+// Copy is the cost of copying size bytes during compaction.
+func (c CPU) Copy(size int) Duration {
+	// ~10 GB/s effective copy bandwidth.
+	return Duration(size) / 10
+}

@@ -1,0 +1,156 @@
+package timing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperCalibration(t *testing.T) {
+	cx3, cx5 := ConnectX3(), ConnectX5()
+
+	// §4.1: "round trip latencies of RDMA requests are under 4 us".
+	for _, size := range []int{8, 64, 256, 1024, 2048} {
+		if rtt := cx3.ReadRTT(size); rtt >= 4*time.Microsecond {
+			t.Errorf("ReadRTT(%d) = %v, want < 4us", size, rtt)
+		}
+	}
+	if cx3.ReadRTT(8) < 1500*time.Nanosecond || cx3.ReadRTT(8) > 2000*time.Nanosecond {
+		t.Errorf("small read RTT = %v, want ~1.7us", cx3.ReadRTT(8))
+	}
+
+	// Fig 8: mmap 1.9-2.3us, rereg (CX-5) 8.5-9.6us, ODP miss 62-65us,
+	// advise 4.5-4.6us.
+	if cx5.Mmap < 1900*time.Nanosecond || cx5.Mmap > 2300*time.Nanosecond {
+		t.Errorf("mmap = %v, want ~2.1us", cx5.Mmap)
+	}
+	if r := cx5.Rereg(1); r < 8500*time.Nanosecond || r > 9600*time.Nanosecond {
+		t.Errorf("CX-5 rereg(1 page) = %v, want 8.5-9.6us", r)
+	}
+	if cx5.ODPMiss < 62*time.Microsecond || cx5.ODPMiss > 65*time.Microsecond {
+		t.Errorf("ODP miss = %v, want 62-65us", cx5.ODPMiss)
+	}
+	if cx5.AdviseMR < 4500*time.Nanosecond || cx5.AdviseMR > 4600*time.Nanosecond {
+		t.Errorf("advise = %v, want 4.5-4.6us", cx5.AdviseMR)
+	}
+
+	// Fig 15: CX-3 rereg of one page ~70us dominates the ~100us block
+	// compaction; 256-page block ~12ms.
+	if r := cx3.Rereg(1); r < 60*time.Microsecond || r > 110*time.Microsecond {
+		t.Errorf("CX-3 rereg(1) = %v, want ~70-100us", r)
+	}
+	if r := cx3.Rereg(256); r < 9*time.Millisecond || r > 15*time.Millisecond {
+		t.Errorf("CX-3 rereg(256) = %v, want ~12ms", r)
+	}
+	if !cx5.HasODP || cx3.HasODP {
+		t.Error("ODP support flags wrong: only ConnectX-5 has ODP")
+	}
+}
+
+func TestCollectionLatency(t *testing.T) {
+	intel, amd := IntelXeon(), AMDEpyc()
+
+	// Fig 15 left: Intel ~10us at 2 threads, ~31us at 16; AMD ~2us at 2
+	// threads and similar to Intel at 16.
+	if c := intel.Collection(2); c < 8*time.Microsecond || c > 12*time.Microsecond {
+		t.Errorf("Intel Collection(2) = %v, want ~10us", c)
+	}
+	if c := intel.Collection(16); c < 28*time.Microsecond || c > 34*time.Microsecond {
+		t.Errorf("Intel Collection(16) = %v, want ~31us", c)
+	}
+	if c := amd.Collection(2); c < 1*time.Microsecond || c > 4*time.Microsecond {
+		t.Errorf("AMD Collection(2) = %v, want ~2us", c)
+	}
+	if intel.Collection(2) <= amd.Collection(2)*3 {
+		t.Errorf("Intel should be ~5x slower than AMD at 2 threads: %v vs %v",
+			intel.Collection(2), amd.Collection(2))
+	}
+	if amd.Collection(1) != 0 || intel.Collection(0) != 0 {
+		t.Error("collection with <=1 thread should be free")
+	}
+}
+
+func TestRTTMonotonicity(t *testing.T) {
+	n := ConnectX3()
+	prev := Duration(0)
+	for _, size := range []int{8, 16, 64, 512, 2048, 8192} {
+		rtt := n.ReadRTT(size)
+		if rtt < prev {
+			t.Fatalf("ReadRTT not monotonic at %d", size)
+		}
+		prev = rtt
+		if n.RPCRTT(size) <= rtt-n.ReadBase+n.SendRecvBase-1 {
+			t.Fatalf("RPC RTT should track wire size at %d", size)
+		}
+	}
+}
+
+func TestRPCSlowerThanRDMA(t *testing.T) {
+	m := Default()
+	// §4.1/Fig 9: one-sided reads beat Send/Recv RPC at every size.
+	for _, size := range []int{8, 256, 2048} {
+		if m.NIC.ReadRTT(size) >= m.NIC.RPCRTT(size) {
+			t.Errorf("RDMA read should be faster than RPC at %d bytes", size)
+		}
+	}
+	// §4.1: IPoIB TCP is ~17us, much slower than both.
+	if m.TCPBase < 4*m.NIC.ReadRTT(8) {
+		t.Error("TCP baseline should be several times slower than RDMA")
+	}
+}
+
+func TestVersionCheckScalesWithCachelines(t *testing.T) {
+	c := IntelXeon()
+	if c.VersionCheck(8) != c.VersionCheck(64) {
+		t.Error("objects within one cacheline should cost one check")
+	}
+	if c.VersionCheck(2048) != 32*c.VersionPerLine {
+		t.Errorf("2KiB object = 32 cachelines, got %v", c.VersionCheck(2048))
+	}
+	// Fig 11: consistency check costs <= ~2% of a large read's RTT... it is
+	// visible but small.
+	n := ConnectX3()
+	if float64(c.VersionCheck(2048)) > 0.25*float64(n.ReadRTT(2048)) {
+		t.Errorf("version check too expensive: %v vs RTT %v",
+			c.VersionCheck(2048), n.ReadRTT(2048))
+	}
+}
+
+func TestWorkerCapacityCalibration(t *testing.T) {
+	c := IntelXeon()
+	// Fig 12: 8 workers saturate at ~700 Kreq/s -> per-request busy time
+	// ~11.4us split between Handle (latency-visible) and Post.
+	busy := c.WorkerHandle + c.WorkerPost
+	capacity := 8.0 / busy.Seconds()
+	if capacity < 600e3 || capacity > 800e3 {
+		t.Errorf("8-worker RPC capacity = %.0f req/s, want ~700K", capacity)
+	}
+	// Fig 9: single-request RPC latency stays ~3-4us, so Handle must be
+	// small compared to Post.
+	if c.WorkerHandle > 2*time.Microsecond {
+		t.Errorf("WorkerHandle = %v too large for Fig 9 latencies", c.WorkerHandle)
+	}
+}
+
+func TestEngineCapacityCalibration(t *testing.T) {
+	n := ConnectX3()
+	// Fig 12: one-sided reads reach ~2.2 Mreq/s under zipf (hot MTT cache).
+	peak := 1.0 / n.EngineTime(32).Seconds()
+	if peak < 1.8e6 || peak > 2.6e6 {
+		t.Errorf("engine peak = %.0f req/s, want ~2.2M", peak)
+	}
+	// Uniform access misses the MTT cache; plateau drops to ~1.75M.
+	miss := 1.0 / (n.EngineTime(32) + n.MTTMissEngine).Seconds()
+	if miss < 1.4e6 || miss > 1.9e6 {
+		t.Errorf("engine miss-rate peak = %.0f req/s, want ~1.75M", miss)
+	}
+}
+
+func TestModelWith(t *testing.T) {
+	m := Default().WithNIC(ConnectX5()).WithCPU(AMDEpyc())
+	if m.NIC.Name != "ConnectX-5" || m.CPU.Name != "AMD EPYC 7742" {
+		t.Fatalf("WithNIC/WithCPU did not apply: %+v", m)
+	}
+	if Default().NIC.Name != "ConnectX-3" {
+		t.Fatal("Default must remain ConnectX-3 (value semantics)")
+	}
+}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"corm/internal/rpc"
+)
+
+// Transport errors.
+var (
+	ErrDMABadKey = errors.New("transport: invalid rkey")
+	ErrDMABroken = errors.New("transport: queue pair broken")
+	ErrDMABounds = errors.New("transport: access out of bounds")
+)
+
+// Conn is a client's connection bundle to one CoRM node: one RPC channel
+// and one DMA (emulated one-sided) channel.
+type Conn struct {
+	mu  sync.Mutex // serializes request/response on the RPC channel
+	rpc net.Conn
+
+	dmaMu sync.Mutex
+	dma   net.Conn
+	addr  string
+}
+
+// Dial connects both channels to a CoRM server.
+func Dial(addr string) (*Conn, error) {
+	rpcConn, err := dialChannel(addr, chanRPC)
+	if err != nil {
+		return nil, err
+	}
+	dmaConn, err := dialChannel(addr, chanDMA)
+	if err != nil {
+		rpcConn.Close()
+		return nil, err
+	}
+	return &Conn{rpc: rpcConn, dma: dmaConn, addr: addr}, nil
+}
+
+func dialChannel(addr string, kind byte) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Write([]byte{kind}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down both channels.
+func (c *Conn) Close() error {
+	c.rpc.Close()
+	return c.dma.Close()
+}
+
+// Call performs one RPC round trip.
+func (c *Conn) Call(req rpc.Request) (rpc.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.rpc, req.Marshal()); err != nil {
+		return rpc.Response{}, err
+	}
+	frame, err := readFrame(c.rpc)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+	return rpc.UnmarshalResponse(frame)
+}
+
+// DirectRead performs an emulated one-sided read of len(buf) bytes at the
+// remote virtual address. All validity checking is up to the caller, as
+// with a real RDMA read. A broken QP is repaired by redialing the DMA
+// channel (the "reconnect" the paper prices at milliseconds).
+func (c *Conn) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
+	c.dmaMu.Lock()
+	defer c.dmaMu.Unlock()
+	var req [16]byte
+	binary.LittleEndian.PutUint32(req[0:], rkey)
+	binary.LittleEndian.PutUint64(req[4:], vaddr)
+	binary.LittleEndian.PutUint32(req[12:], uint32(len(buf)))
+	if err := writeFrame(c.dma, req[:]); err != nil {
+		return err
+	}
+	frame, err := readFrame(c.dma)
+	if err != nil {
+		return err
+	}
+	if len(frame) < 1 {
+		return fmt.Errorf("transport: empty DMA response")
+	}
+	switch frame[0] {
+	case dmaOK:
+		if len(frame)-1 != len(buf) {
+			return fmt.Errorf("transport: DMA short read (%d of %d)", len(frame)-1, len(buf))
+		}
+		copy(buf, frame[1:])
+		return nil
+	case dmaBadKey:
+		return ErrDMABadKey
+	case dmaBroken:
+		return ErrDMABroken
+	case dmaBounds:
+		return ErrDMABounds
+	}
+	return fmt.Errorf("transport: DMA error %d", frame[0])
+}
+
+// ReconnectDMA re-establishes the one-sided channel after a QP break.
+func (c *Conn) ReconnectDMA() error {
+	c.dmaMu.Lock()
+	defer c.dmaMu.Unlock()
+	c.dma.Close()
+	nc, err := dialChannel(c.addr, chanDMA)
+	if err != nil {
+		return err
+	}
+	c.dma = nc
+	return nil
+}

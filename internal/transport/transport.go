@@ -1,0 +1,222 @@
+// Package transport carries the CoRM protocol over TCP, so the system runs
+// as genuinely distributed processes. Two channel types exist, mirroring
+// the hardware split the paper relies on:
+//
+//   - RPC channels feed the store's shared RPC queue; worker threads serve
+//     them (§2.2.2).
+//   - DMA channels emulate one-sided RDMA: a dedicated per-connection
+//     goroutine reads block memory directly through a simulated QP, never
+//     touching the worker pool or taking object locks. Consistency
+//     checking stays on the client, exactly as with real one-sided reads.
+//
+// Framing is length-prefixed: 4-byte little-endian length, then payload.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"corm/internal/rnic"
+	"corm/internal/rpc"
+)
+
+// Channel handshake bytes.
+const (
+	chanRPC = 'R'
+	chanDMA = 'D'
+)
+
+// maxFrame bounds a frame (blocks are at most 1 MiB; allow headroom).
+const maxFrame = 8 << 20
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Server exposes an rpc.Server over a TCP listener.
+type Server struct {
+	rpc *rpc.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, srv *rpc.Server) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{rpc: srv, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = true
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	var kind [1]byte
+	if _, err := io.ReadFull(conn, kind[:]); err != nil {
+		return
+	}
+	switch kind[0] {
+	case chanRPC:
+		s.serveRPC(conn)
+	case chanDMA:
+		s.serveDMA(conn)
+	}
+}
+
+func (s *Server) serveRPC(conn net.Conn) {
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := rpc.UnmarshalRequest(frame)
+		if err != nil {
+			return
+		}
+		resp := s.rpc.Submit(req)
+		if err := writeFrame(conn, resp.Marshal()); err != nil {
+			return
+		}
+	}
+}
+
+// DMA request: rkey(4) vaddr(8) length(4). Response: status(1) + data.
+const (
+	dmaOK      = 0
+	dmaBadKey  = 1
+	dmaBroken  = 2
+	dmaBounds  = 3
+	dmaUnknown = 4
+)
+
+func (s *Server) serveDMA(conn net.Conn) {
+	// Each DMA channel gets its own QP, like a real RDMA connection; a QP
+	// break persists until the client reconnects the channel.
+	qp := s.rpc.Store().NIC().Connect()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(frame) != 16 {
+			return
+		}
+		rkey := binary.LittleEndian.Uint32(frame[0:])
+		vaddr := binary.LittleEndian.Uint64(frame[4:])
+		length := binary.LittleEndian.Uint32(frame[12:])
+		if length > maxFrame-1 {
+			return
+		}
+		buf := make([]byte, int(length)+1)
+		_, rerr := qp.Read(rkey, vaddr, buf[1:])
+		switch {
+		case rerr == nil:
+			buf[0] = dmaOK
+		case errors.Is(rerr, rnic.ErrInvalidKey):
+			buf = buf[:1]
+			buf[0] = dmaBadKey
+		case errors.Is(rerr, rnic.ErrQPBroken):
+			buf = buf[:1]
+			buf[0] = dmaBroken
+		case errors.Is(rerr, rnic.ErrOutOfBounds):
+			buf = buf[:1]
+			buf[0] = dmaBounds
+		default:
+			buf = buf[:1]
+			buf[0] = dmaUnknown
+		}
+		if err := writeFrame(conn, buf); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"corm/internal/core"
+	"corm/internal/rpc"
+	"corm/internal/timing"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello framing")
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("roundtrip mismatch: %q", got)
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, nil)
+	got, err := readFrame(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %q %v", got, err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB length
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, []byte("full payload"))
+	raw := buf.Bytes()[:buf.Len()-4]
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	store, err := core.NewStore(core.Config{
+		Workers: 2, Strategy: core.StrategyCoRM, DataBacked: true,
+		Remap: core.RemapODPPrefetch,
+		Model: timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestServerRejectsGarbageHandshake(t *testing.T) {
+	ts := newServer(t)
+	conn, err := net.Dial("tcp", ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte{'X'}) // unknown channel type: server closes
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); err == nil {
+		t.Fatal("server kept an unknown channel open")
+	}
+}
+
+func TestServerSurvivesMalformedRPCFrame(t *testing.T) {
+	ts := newServer(t)
+	conn, err := net.Dial("tcp", ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{chanRPC})
+	writeFrame(conn, []byte{1, 2}) // too short to be a request
+	one := make([]byte, 1)
+	conn.Read(one) // connection is dropped
+	conn.Close()
+
+	// The server still accepts fresh, valid connections.
+	c2, err := Dial(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	resp, err := c2.Call(rpc.Request{Op: rpc.OpInfo})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("info after bad peer: %v %v", resp.Status, err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	ts := newServer(t)
+	ts.Close()
+	ts.Close()
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestDMALengthLimit(t *testing.T) {
+	ts := newServer(t)
+	conn, err := Dial(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A read of absurd length is rejected (connection closed).
+	err = conn.DirectRead(1, 0x1000, make([]byte, maxFrame))
+	if err == nil {
+		t.Fatal("oversized DMA accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace record/replay: a compact binary format so captured allocation
+// traces (e.g. from an instrumented application) can be replayed through
+// the §4.4 harnesses. Each event is one byte of opcode plus a varint:
+// allocations carry the size, frees the allocation index.
+
+const (
+	recAlloc = 0x01
+	recFree  = 0x02
+)
+
+// WriteTrace serializes a trace.
+func WriteTrace(w io.Writer, tr Trace) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var events int64
+	var scratch [binary.MaxVarintLen64 + 1]byte
+	for {
+		ev, ok := tr.Next()
+		if !ok {
+			break
+		}
+		switch ev.Op {
+		case TAlloc:
+			scratch[0] = recAlloc
+			n := binary.PutUvarint(scratch[1:], uint64(ev.Size))
+			if _, err := bw.Write(scratch[:1+n]); err != nil {
+				return events, err
+			}
+		case TFree:
+			scratch[0] = recFree
+			n := binary.PutUvarint(scratch[1:], uint64(ev.Index))
+			if _, err := bw.Write(scratch[:1+n]); err != nil {
+				return events, err
+			}
+		default:
+			return events, fmt.Errorf("workload: unknown op %d", ev.Op)
+		}
+		events++
+	}
+	return events, bw.Flush()
+}
+
+// recordedTrace replays a serialized trace.
+type recordedTrace struct {
+	r    *bufio.Reader
+	err  error
+	done bool
+}
+
+// ReadTrace returns a Trace streaming events from r. Read errors terminate
+// the stream; check Err afterwards.
+func ReadTrace(r io.Reader) *recordedTrace {
+	return &recordedTrace{r: bufio.NewReader(r)}
+}
+
+// Next implements Trace.
+func (t *recordedTrace) Next() (TraceEvent, bool) {
+	if t.done {
+		return TraceEvent{}, false
+	}
+	op, err := t.r.ReadByte()
+	if err == io.EOF {
+		t.done = true
+		return TraceEvent{}, false
+	}
+	if err != nil {
+		t.fail(err)
+		return TraceEvent{}, false
+	}
+	v, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.fail(fmt.Errorf("workload: truncated trace: %w", err))
+		return TraceEvent{}, false
+	}
+	switch op {
+	case recAlloc:
+		return TraceEvent{Op: TAlloc, Size: int(v)}, true
+	case recFree:
+		return TraceEvent{Op: TFree, Index: int64(v)}, true
+	}
+	t.fail(fmt.Errorf("workload: bad opcode %#x", op))
+	return TraceEvent{}, false
+}
+
+func (t *recordedTrace) fail(err error) {
+	t.err = err
+	t.done = true
+}
+
+// Err reports the first decode error, if any.
+func (t *recordedTrace) Err() error { return t.err }

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRecordReplay(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSpikeTrace(3, 512, 1000, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1700 { // 1000 allocs + 700 frees
+		t.Fatalf("events = %d", n)
+	}
+	replayed := ReadTrace(&buf)
+	reference := NewSpikeTrace(3, 512, 1000, 0.7)
+	for {
+		a, okA := reference.Next()
+		b, okB := replayed.Next()
+		if okA != okB || a != b {
+			t.Fatalf("replay diverged: %+v/%v vs %+v/%v", a, okA, b, okB)
+		}
+		if !okA {
+			break
+		}
+	}
+	if replayed.Err() != nil {
+		t.Fatal(replayed.Err())
+	}
+}
+
+func TestTraceReplayRedis(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, RedisT3(1)); err != nil {
+		t.Fatal(err)
+	}
+	live, bytesLive := replay(t, ReadTrace(&buf))
+	if live != 5+50000 {
+		t.Fatalf("live = %d", live)
+	}
+	if bytesLive != int64(5*160*1024+25000*(8+150)) {
+		t.Fatalf("bytes = %d", bytesLive)
+	}
+}
+
+func TestTraceReplayTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTrace(&buf, NewSpikeTrace(1, 64, 10, 0.5))
+	raw := buf.Bytes()[:buf.Len()-1]
+	tr := ReadTrace(bytes.NewReader(raw))
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+	}
+	if tr.Err() == nil {
+		t.Fatal("truncated trace decoded cleanly")
+	}
+}
+
+func TestTraceReplayGarbage(t *testing.T) {
+	tr := ReadTrace(bytes.NewReader([]byte{0xFF, 0x01}))
+	if _, ok := tr.Next(); ok {
+		t.Fatal("garbage opcode accepted")
+	}
+	if tr.Err() == nil {
+		t.Fatal("no error reported")
+	}
+}

@@ -1,0 +1,180 @@
+package workload
+
+import "math/rand"
+
+// TraceOp is an allocation-trace event kind.
+type TraceOp int
+
+const (
+	// TAlloc allocates an object of Size bytes.
+	TAlloc TraceOp = iota
+	// TFree frees the Index-th successful allocation of the trace.
+	TFree
+)
+
+// TraceEvent is one step of an allocation trace.
+type TraceEvent struct {
+	Op    TraceOp
+	Size  int   // TAlloc: payload bytes
+	Index int64 // TFree: which allocation to free (0-based alloc order)
+}
+
+// Trace streams allocation/deallocation events. Traces are deterministic
+// given their seed.
+type Trace interface {
+	// Next returns the next event; ok is false at end of trace.
+	Next() (ev TraceEvent, ok bool)
+}
+
+// --- Synthetic spike trace (Fig 17) ---
+
+// SpikeTrace allocates count objects of a fixed size, then frees a random
+// fraction of them in random order — the paper's allocation-spike workload
+// (§4.4.2): "first allocate 8M objects of a given size and then randomly
+// deallocate a fixed portion of them".
+type SpikeTrace struct {
+	size    int
+	count   int64
+	free    []int64
+	pos     int64
+	freePos int
+}
+
+// NewSpikeTrace builds the trace. rate is the deallocation fraction (0..1).
+func NewSpikeTrace(seed int64, size int, count int64, rate float64) *SpikeTrace {
+	rng := rand.New(rand.NewSource(seed))
+	nFree := int64(rate * float64(count))
+	perm := rng.Perm(int(count))
+	free := make([]int64, nFree)
+	for i := range free {
+		free[i] = int64(perm[i])
+	}
+	return &SpikeTrace{size: size, count: count, free: free}
+}
+
+// Next implements Trace.
+func (s *SpikeTrace) Next() (TraceEvent, bool) {
+	if s.pos < s.count {
+		s.pos++
+		return TraceEvent{Op: TAlloc, Size: s.size}, true
+	}
+	if s.freePos < len(s.free) {
+		ev := TraceEvent{Op: TFree, Index: s.free[s.freePos]}
+		s.freePos++
+		return ev, true
+	}
+	return TraceEvent{}, false
+}
+
+// --- Redis memefficiency traces (Fig 18/19, §4.4.3) ---
+
+// program is a simple scripted trace: a slice of closures produces events.
+type program struct {
+	events []TraceEvent
+	pos    int
+}
+
+func (p *program) Next() (TraceEvent, bool) {
+	if p.pos >= len(p.events) {
+		return TraceEvent{}, false
+	}
+	ev := p.events[p.pos]
+	p.pos++
+	return ev, true
+}
+
+// RedisT1 models redis-mem-t1: default Redis allocating 10,000 8-byte keys
+// with values of sizes ranging from 1 B to 16 KiB. The wide size spread
+// touches many size classes, which is exactly the low-class-usage
+// fragmentation source of §2.1.2.
+func RedisT1(seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	p := &program{}
+	for i := 0; i < 10000; i++ {
+		p.events = append(p.events, TraceEvent{Op: TAlloc, Size: 8})
+		p.events = append(p.events, TraceEvent{Op: TAlloc, Size: 1 + rng.Intn(16*1024)})
+	}
+	return p
+}
+
+// RedisT2 models redis-mem-t2: Redis as a 100 MiB LRU cache, allocating
+// 700,000 8-byte keys with 150-byte values, then 170,000 8-byte keys with
+// 300-byte values. When the cache exceeds its capacity the oldest entries
+// are evicted (freed), producing the interleaved alloc/free churn of an
+// LRU cache.
+func RedisT2(seed int64) Trace {
+	const capacity = 100 << 20
+	p := &program{}
+	var allocIdx int64
+	var liveBytes int64
+	type entry struct {
+		keyIdx, valIdx int64
+		bytes          int64
+	}
+	var queue []entry
+	head := 0
+	add := func(valSize int) {
+		p.events = append(p.events, TraceEvent{Op: TAlloc, Size: 8})
+		keyIdx := allocIdx
+		allocIdx++
+		p.events = append(p.events, TraceEvent{Op: TAlloc, Size: valSize})
+		valIdx := allocIdx
+		allocIdx++
+		e := entry{keyIdx: keyIdx, valIdx: valIdx, bytes: int64(8 + valSize)}
+		queue = append(queue, e)
+		liveBytes += e.bytes
+		for liveBytes > capacity && head < len(queue) {
+			old := queue[head]
+			head++
+			liveBytes -= old.bytes
+			p.events = append(p.events, TraceEvent{Op: TFree, Index: old.keyIdx})
+			p.events = append(p.events, TraceEvent{Op: TFree, Index: old.valIdx})
+		}
+	}
+	for i := 0; i < 700000; i++ {
+		add(150)
+	}
+	for i := 0; i < 170000; i++ {
+		add(300)
+	}
+	return p
+}
+
+// RedisT3 models redis-mem-t3: 5 keys holding 160 KiB data structures,
+// then 50,000 keys with 150-byte values, then removal of 25,000 keys from
+// the last batch.
+func RedisT3(seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	p := &program{}
+	var allocIdx int64
+	for i := 0; i < 5; i++ {
+		p.events = append(p.events, TraceEvent{Op: TAlloc, Size: 160 * 1024})
+		allocIdx++
+	}
+	type pair struct{ keyIdx, valIdx int64 }
+	var batch []pair
+	for i := 0; i < 50000; i++ {
+		p.events = append(p.events, TraceEvent{Op: TAlloc, Size: 8})
+		k := allocIdx
+		allocIdx++
+		p.events = append(p.events, TraceEvent{Op: TAlloc, Size: 150})
+		v := allocIdx
+		allocIdx++
+		batch = append(batch, pair{k, v})
+	}
+	for _, i := range rng.Perm(len(batch))[:25000] {
+		p.events = append(p.events, TraceEvent{Op: TFree, Index: batch[i].keyIdx})
+		p.events = append(p.events, TraceEvent{Op: TFree, Index: batch[i].valIdx})
+	}
+	return p
+}
+
+// RedisTraces names the three traces for experiment drivers.
+var RedisTraces = []struct {
+	Name string
+	Make func(seed int64) Trace
+}{
+	{"redis-mem-t1", RedisT1},
+	{"redis-mem-t2", RedisT2},
+	{"redis-mem-t3", RedisT3},
+}

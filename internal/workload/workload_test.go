@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	f := func(seed int64, raw uint16) bool {
+		n := uint64(raw)%1000 + 2
+		a := NewZipf(rand.New(rand.NewSource(seed)), n, 0.99, true)
+		b := NewZipf(rand.New(rand.NewSource(seed)), n, 0.99, true)
+		for i := 0; i < 50; i++ {
+			x, y := a.Next(), b.Next()
+			if x != y || x >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkewConcentration(t *testing.T) {
+	// Higher theta concentrates more mass on fewer keys: the fraction of
+	// accesses hitting the hottest 1% of keys should grow with theta.
+	n := uint64(10000)
+	hot := func(theta float64) float64 {
+		rng := rand.New(rand.NewSource(7))
+		z := NewZipf(rng, n, theta, false) // unscrambled: key 0 is hottest
+		count := 0
+		total := 200000
+		for i := 0; i < total; i++ {
+			if z.Next() < n/100 {
+				count++
+			}
+		}
+		return float64(count) / float64(total)
+	}
+	h6, h99 := hot(0.6), hot(0.99)
+	if h99 <= h6 {
+		t.Fatalf("skew broken: hot1%%(0.99)=%v <= hot1%%(0.6)=%v", h99, h6)
+	}
+	if h99 < 0.3 {
+		t.Fatalf("zipf 0.99 hot-1%% share = %v, want > 0.3", h99)
+	}
+	// Uniform reference: ~1%.
+	rng := rand.New(rand.NewSource(7))
+	u := NewUniform(rng, n)
+	count := 0
+	for i := 0; i < 200000; i++ {
+		if u.Next() < n/100 {
+			count++
+		}
+	}
+	if share := float64(count) / 200000; share > 0.02 {
+		t.Fatalf("uniform hot share = %v", share)
+	}
+}
+
+func TestZipfScrambleSpreadsKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 1<<20, 0.99, true)
+	lowHalf := 0
+	for i := 0; i < 10000; i++ {
+		if z.Next() < 1<<19 {
+			lowHalf++
+		}
+	}
+	// Scrambled keys should land in both halves of the key space.
+	if lowHalf < 3000 || lowHalf > 7000 {
+		t.Fatalf("scrambled keys skewed to one half: %d/10000", lowHalf)
+	}
+}
+
+func TestYCSBMixRatios(t *testing.T) {
+	for _, mix := range []Mix{Mix100, Mix95, Mix50} {
+		y := NewYCSB(3, 1000, DistUniform, 0, mix)
+		writes := 0
+		total := 100000
+		for i := 0; i < total; i++ {
+			op, key := y.Next()
+			if key >= 1000 {
+				t.Fatal("key out of range")
+			}
+			if op == OpWrite {
+				writes++
+			}
+		}
+		want := float64(mix.Write) / float64(mix.Read+mix.Write)
+		got := float64(writes) / float64(total)
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("mix %v: write share %v, want ~%v", mix, got, want)
+		}
+	}
+}
+
+func TestSpikeTraceShape(t *testing.T) {
+	tr := NewSpikeTrace(5, 256, 1000, 0.7)
+	allocs, frees := 0, 0
+	seen := make(map[int64]bool)
+	for {
+		ev, ok := tr.Next()
+		if !ok {
+			break
+		}
+		switch ev.Op {
+		case TAlloc:
+			if frees > 0 {
+				t.Fatal("alloc after frees started: spike trace is two-phase")
+			}
+			if ev.Size != 256 {
+				t.Fatal("wrong size")
+			}
+			allocs++
+		case TFree:
+			if ev.Index < 0 || ev.Index >= 1000 || seen[ev.Index] {
+				t.Fatalf("bad free index %d", ev.Index)
+			}
+			seen[ev.Index] = true
+			frees++
+		}
+	}
+	if allocs != 1000 || frees != 700 {
+		t.Fatalf("allocs=%d frees=%d, want 1000/700", allocs, frees)
+	}
+}
+
+// replay validates a trace is well-formed: frees reference prior allocs,
+// no double frees. Returns live object count and byte total.
+func replay(t *testing.T, tr Trace) (live int64, bytes int64) {
+	t.Helper()
+	var sizes []int
+	freed := make(map[int64]bool)
+	for {
+		ev, ok := tr.Next()
+		if !ok {
+			break
+		}
+		switch ev.Op {
+		case TAlloc:
+			if ev.Size <= 0 {
+				t.Fatalf("bad alloc size %d", ev.Size)
+			}
+			sizes = append(sizes, ev.Size)
+			live++
+			bytes += int64(ev.Size)
+		case TFree:
+			if ev.Index < 0 || ev.Index >= int64(len(sizes)) {
+				t.Fatalf("free of future alloc %d", ev.Index)
+			}
+			if freed[ev.Index] {
+				t.Fatalf("double free of %d", ev.Index)
+			}
+			freed[ev.Index] = true
+			live--
+			bytes -= int64(sizes[ev.Index])
+		}
+	}
+	return live, bytes
+}
+
+func TestRedisT1WellFormed(t *testing.T) {
+	live, bytes := replay(t, RedisT1(1))
+	if live != 20000 { // 10k keys + 10k values
+		t.Fatalf("live = %d", live)
+	}
+	// Expected ~10k * (8 + ~8KiB avg).
+	if bytes < 60<<20 || bytes > 110<<20 {
+		t.Fatalf("t1 bytes = %d MiB", bytes>>20)
+	}
+}
+
+func TestRedisT2LRUCapacity(t *testing.T) {
+	live, bytes := replay(t, RedisT2(1))
+	if bytes > 100<<20 {
+		t.Fatalf("t2 exceeded LRU capacity: %d MiB live", bytes>>20)
+	}
+	if bytes < 90<<20 {
+		t.Fatalf("t2 cache underfull: %d MiB", bytes>>20)
+	}
+	if live == 0 {
+		t.Fatal("t2 evicted everything")
+	}
+}
+
+func TestRedisT3Shape(t *testing.T) {
+	live, bytes := replay(t, RedisT3(1))
+	// 5 big + 50k pairs - 25k pairs removed = 5 + 50000*2 - 25000*2.
+	if live != 5+50000 {
+		t.Fatalf("live = %d, want %d", live, 5+50000)
+	}
+	want := int64(5*160*1024 + 25000*(8+150))
+	if bytes != want {
+		t.Fatalf("bytes = %d, want %d", bytes, want)
+	}
+}
+
+func TestTracesDeterministic(t *testing.T) {
+	for _, tc := range RedisTraces {
+		a, b := tc.Make(9), tc.Make(9)
+		for {
+			ea, oka := a.Next()
+			eb, okb := b.Next()
+			if oka != okb || ea != eb {
+				t.Fatalf("%s not deterministic", tc.Name)
+			}
+			if !oka {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a YCSB operation type.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Mix is a read:write ratio, e.g. 95:5.
+type Mix struct {
+	Read, Write int
+}
+
+// Common mixes from the paper's Fig 12.
+var (
+	Mix100 = Mix{100, 0}
+	Mix95  = Mix{95, 5}
+	Mix50  = Mix{50, 50}
+)
+
+func (m Mix) String() string { return fmt.Sprintf("%d:%d", m.Read, m.Write) }
+
+// YCSB generates a stream of (operation, key) pairs over a key space with
+// a configurable distribution and read:write mix (§4.2.2).
+type YCSB struct {
+	keys KeyGen
+	mix  Mix
+	rng  *rand.Rand
+}
+
+// Dist selects the key distribution.
+type Dist int
+
+const (
+	DistUniform Dist = iota
+	DistZipf
+)
+
+func (d Dist) String() string {
+	if d == DistZipf {
+		return "zipf"
+	}
+	return "uniform"
+}
+
+// NewYCSB builds a generator. theta is only used with DistZipf. Keys are
+// scrambled over the key space, as YCSB does.
+func NewYCSB(seed int64, n uint64, dist Dist, theta float64, mix Mix) *YCSB {
+	return newYCSB(seed, n, dist, theta, mix, true)
+}
+
+// NewYCSBUnscrambled keeps zipf ranks as raw key indices, so hot keys are
+// adjacent in the key space. Experiments use it when the population's
+// allocation order correlates with key rank (hot objects share memory
+// pages, which is what gives the NIC translation cache its locality).
+func NewYCSBUnscrambled(seed int64, n uint64, dist Dist, theta float64, mix Mix) *YCSB {
+	return newYCSB(seed, n, dist, theta, mix, false)
+}
+
+func newYCSB(seed int64, n uint64, dist Dist, theta float64, mix Mix, scramble bool) *YCSB {
+	rng := rand.New(rand.NewSource(seed))
+	var keys KeyGen
+	if dist == DistZipf {
+		keys = NewZipf(rng, n, theta, scramble)
+	} else {
+		keys = NewUniform(rng, n)
+	}
+	return &YCSB{keys: keys, mix: mix, rng: rng}
+}
+
+// Next draws the next operation.
+func (y *YCSB) Next() (OpKind, uint64) {
+	op := OpRead
+	if y.mix.Write > 0 && y.rng.Intn(y.mix.Read+y.mix.Write) >= y.mix.Read {
+		op = OpWrite
+	}
+	return op, y.keys.Next()
+}

@@ -1,0 +1,104 @@
+// Package workload provides the request and allocation-trace generators
+// used by the paper's evaluation: YCSB-style key access under uniform and
+// Zipf distributions (§4.2.2), synthetic allocate-then-deallocate spike
+// traces (§4.4.2), and the three Redis memefficiency traces (§4.4.3).
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws keys in [0, n) with P(k) ∝ 1/(k+1)^theta, matching YCSB's
+// scrambled-Zipf parameterization (theta 0.99 is YCSB's default). Keys are
+// scrambled with a multiplicative hash so popular keys spread over the key
+// space, as YCSB does.
+type Zipf struct {
+	rng      *rand.Rand
+	n        uint64
+	theta    float64
+	alpha    float64
+	zetan    float64
+	eta      float64
+	zeta2    float64
+	scramble bool
+}
+
+// NewZipf builds a generator over n keys with the given skew.
+func NewZipf(rng *rand.Rand, n uint64, theta float64, scramble bool) *Zipf {
+	if n == 0 {
+		panic("workload: zipf over empty key space")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: zipf theta must be in (0,1)")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta, scramble: scramble}
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2 = zetaStatic(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number sum_{i=1..n} 1/i^t.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var k uint64
+	switch {
+	case uz < 1.0:
+		k = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		k = 1
+	default:
+		k = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if k >= z.n {
+		k = z.n - 1
+	}
+	if z.scramble {
+		k = scramble(k) % z.n
+	}
+	return k
+}
+
+// scramble is a Fibonacci-hash style mix (YCSB's FNV-alike purpose).
+func scramble(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Uniform draws keys uniformly over [0, n).
+type Uniform struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+// NewUniform builds a uniform key generator.
+func NewUniform(rng *rand.Rand, n uint64) *Uniform {
+	if n == 0 {
+		panic("workload: uniform over empty key space")
+	}
+	return &Uniform{rng: rng, n: n}
+}
+
+// Next draws the next key.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// KeyGen is the common interface of key generators.
+type KeyGen interface {
+	Next() uint64
+}
