@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"corm/internal/core"
+	"corm/internal/rnic"
 	"corm/internal/rpc"
 	"corm/internal/transport"
 )
@@ -29,6 +30,13 @@ type Backend interface {
 	Call(req rpc.Request) (rpc.Response, error)
 	DirectRead(rkey uint32, vaddr uint64, buf []byte) error
 	Close() error
+}
+
+// dmaReconnector is the optional Backend facet that repairs a broken QP by
+// re-establishing the one-sided channel (transport.Conn implements it; the
+// local backend reconnects its simulated QP).
+type dmaReconnector interface {
+	ReconnectDMA() error
 }
 
 // Ctx is a client context bound to one CoRM node.
@@ -42,6 +50,13 @@ type Ctx struct {
 	// (§3.2.3); Retries bounds them.
 	RetryBackoff time.Duration
 	Retries      int
+
+	// ConnRetries bounds how many times an *idempotent* operation (Read,
+	// DirectRead, ScanRead, Info) is transparently re-issued across
+	// transport reconnects and QP repairs. Non-idempotent operations
+	// (Alloc, Write, Free, ReleasePtr) are never re-issued: a broken
+	// channel cannot tell whether the server executed the lost request.
+	ConnRetries int
 }
 
 // CreateCtx connects to a remote CoRM node over TCP (Table 2's
@@ -51,16 +66,28 @@ func CreateCtx(addr string) (*Ctx, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newCtx(conn)
+	return New(conn)
+}
+
+// CreateCtxOptions connects over TCP with explicit transport options
+// (deadlines, redial backoff, fault-injecting dialer).
+func CreateCtxOptions(addr string, opts transport.Options) (*Ctx, error) {
+	conn, err := transport.DialOptions(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return New(conn)
 }
 
 // NewLocal builds a context over an in-process RPC server. One-sided reads
 // go through a simulated QP on the store's NIC.
 func NewLocal(srv *rpc.Server) (*Ctx, error) {
-	return newCtx(&localBackend{srv: srv, qp: srv.Store().ConnectClient()})
+	return New(&localBackend{srv: srv, qp: srv.Store().ConnectClient()})
 }
 
-func newCtx(b Backend) (*Ctx, error) {
+// New builds a context over any backend, fetching the store parameters.
+// On failure the backend is closed.
+func New(b Backend) (*Ctx, error) {
 	resp, err := b.Call(rpc.Request{Op: rpc.OpInfo})
 	if err != nil {
 		b.Close()
@@ -82,11 +109,68 @@ func newCtx(b Backend) (*Ctx, error) {
 		mode:         info.Consistency,
 		RetryBackoff: 2 * time.Microsecond,
 		Retries:      64,
+		ConnRetries:  3,
 	}, nil
 }
 
 // Close releases the context.
 func (c *Ctx) Close() error { return c.backend.Close() }
+
+// callIdempotent re-issues an idempotent RPC across transport reconnects,
+// up to ConnRetries extra attempts. The transport re-dials broken channels
+// itself (with backoff); this loop only re-submits the lost request.
+func (c *Ctx) callIdempotent(req rpc.Request) (rpc.Response, error) {
+	var resp rpc.Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = c.backend.Call(req)
+		if err == nil || attempt >= c.ConnRetries || !transport.IsRetryable(err) {
+			return resp, err
+		}
+	}
+}
+
+// isQPBroken matches a broken queue pair from either backend flavour.
+func isQPBroken(err error) bool {
+	return errors.Is(err, transport.ErrDMABroken) || errors.Is(err, rnic.ErrQPBroken)
+}
+
+// directRead issues one one-sided read, transparently repairing broken QPs
+// (via ReconnectDMA — the milliseconds-priced reconnect of §3.2.3) and
+// retrying across transport reconnects, within the ConnRetries budget.
+func (c *Ctx) directRead(rkey uint32, vaddr uint64, raw []byte) error {
+	for attempt := 0; ; attempt++ {
+		err := c.backend.DirectRead(rkey, vaddr, raw)
+		switch {
+		case err == nil:
+			return nil
+		case attempt >= c.ConnRetries:
+			return err
+		case isQPBroken(err):
+			r, ok := c.backend.(dmaReconnector)
+			if !ok {
+				return err
+			}
+			if rerr := r.ReconnectDMA(); rerr != nil && !transport.IsRetryable(rerr) {
+				return rerr
+			}
+		case !transport.IsRetryable(err):
+			return err
+		}
+	}
+}
+
+// Info re-fetches the store parameters; it doubles as a health probe.
+func (c *Ctx) Info() (rpc.Info, error) {
+	resp, err := c.callIdempotent(rpc.Request{Op: rpc.OpInfo})
+	if err != nil {
+		return rpc.Info{}, err
+	}
+	if resp.Status != rpc.StatusOK {
+		return rpc.Info{}, fmt.Errorf("client: info failed: %v", resp.Status)
+	}
+	return rpc.UnmarshalInfo(resp.Payload)
+}
 
 // ClassSize returns the payload capacity of a pointer's size class.
 func (c *Ctx) ClassSize(addr core.Addr) (int, error) {
@@ -120,9 +204,10 @@ func (c *Ctx) Free(addr *core.Addr) error {
 	return resp.Status.Err()
 }
 
-// Read reads the object via RPC; pointer correction is transparent.
+// Read reads the object via RPC; pointer correction is transparent. Reads
+// are idempotent, so they are re-issued across transport reconnects.
 func (c *Ctx) Read(addr *core.Addr, buf []byte) (int, error) {
-	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpRead, Addr: *addr, Size: uint32(len(buf))})
+	resp, err := c.callIdempotent(rpc.Request{Op: rpc.OpRead, Addr: *addr, Size: uint32(len(buf))})
 	if err != nil {
 		return 0, err
 	}
@@ -171,7 +256,7 @@ func (c *Ctx) DirectRead(addr *core.Addr, buf []byte) (int, error) {
 	}
 	raw := make([]byte, core.StrideOf(c.mode, size))
 	for attempt := 0; ; attempt++ {
-		if err := c.backend.DirectRead(addr.RKey(), addr.VAddr(), raw); err != nil {
+		if err := c.directRead(addr.RKey(), addr.VAddr(), raw); err != nil {
 			return 0, err
 		}
 		payload, err := core.ExtractObjectMode(c.mode, raw, addr.ID(), size)
@@ -200,7 +285,7 @@ func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
 	base := addr.VAddr() &^ uint64(c.blockBytes-1)
 	raw := make([]byte, c.blockBytes)
 	for attempt := 0; ; attempt++ {
-		if err := c.backend.DirectRead(addr.RKey(), base, raw); err != nil {
+		if err := c.directRead(addr.RKey(), base, raw); err != nil {
 			return 0, err
 		}
 		idx, payload, err := core.ScanBlockMode(c.mode, raw, addr.ID(), size)
@@ -252,4 +337,13 @@ func (l *localBackend) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
 	return err
 }
 
-func (l *localBackend) Close() error { return nil }
+// ReconnectDMA repairs the simulated QP after an error-state transition.
+func (l *localBackend) ReconnectDMA() error {
+	l.qp.QP().Reconnect()
+	return nil
+}
+
+func (l *localBackend) Close() error {
+	l.qp.Close()
+	return nil
+}

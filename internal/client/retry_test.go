@@ -1,0 +1,191 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/fault"
+	"corm/internal/rpc"
+	"corm/internal/timing"
+	"corm/internal/transport"
+)
+
+func newRetryServer(t *testing.T) (*rpc.Server, *transport.Server) {
+	t.Helper()
+	store, err := core.NewStore(core.Config{
+		Workers: 2, Strategy: core.StrategyCoRM, DataBacked: true,
+		Remap: core.RemapODPPrefetch,
+		Model: timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	ts, err := transport.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func fastOpts() transport.Options {
+	return transport.Options{
+		CallTimeout:    2 * time.Second,
+		RedialAttempts: 3,
+		RedialBase:     time.Millisecond,
+		RedialMax:      10 * time.Millisecond,
+		Seed:           1,
+	}
+}
+
+// TestReadRetriesAcrossConnReset: an injected mid-frame reset on the RPC
+// channel is invisible to Read — the context re-issues the idempotent
+// request over a re-dialed channel.
+func TestReadRetriesAcrossConnReset(t *testing.T) {
+	_, ts := newRetryServer(t)
+	inj := fault.NewInjector(21, fault.Plan{})
+	opts := fastOpts()
+	opts.Dialer = inj.Dial
+	ctx, err := CreateCtxOptions(ts.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	addr, err := ctx.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x5A}, 64)
+	if err := ctx.Write(&addr, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm a one-shot reset for the next write op on the (already dialed)
+	// RPC channel; the re-dialed connection starts a fresh counter, and
+	// SetPlan{} below disarms it for that connection anyway.
+	inj.SetPlan(fault.Plan{ResetAfterWrites: 1})
+	resetPlanAfterFirstUse := func() {
+		time.Sleep(5 * time.Millisecond)
+		inj.SetPlan(fault.Plan{})
+	}
+	go resetPlanAfterFirstUse()
+
+	buf := make([]byte, 64)
+	n, err := ctx.Read(&addr, buf)
+	if err != nil {
+		t.Fatalf("read across reset failed: %v", err)
+	}
+	if n != 64 || !bytes.Equal(buf, want) {
+		t.Fatalf("read returned wrong data after retry")
+	}
+	if inj.Stats().Resets == 0 {
+		t.Fatal("scenario fired no reset — test exercised nothing")
+	}
+}
+
+// TestWriteIsNotRetried: non-idempotent operations surface the typed error
+// instead of being silently re-issued.
+func TestWriteIsNotRetried(t *testing.T) {
+	_, ts := newRetryServer(t)
+	inj := fault.NewInjector(23, fault.Plan{})
+	opts := fastOpts()
+	opts.Dialer = inj.Dial
+	ctx, err := CreateCtxOptions(ts.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	addr, err := ctx.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.SetPlan(fault.Plan{ResetAfterWrites: 1})
+	err = ctx.Write(&addr, bytes.Repeat([]byte{1}, 64))
+	if !errors.Is(err, transport.ErrConnBroken) {
+		t.Fatalf("write during reset = %v, want ErrConnBroken surfaced", err)
+	}
+}
+
+// TestDirectReadAutoReconnectsQP: a QP break (fabric event) is repaired
+// transparently — DirectRead re-establishes the DMA channel itself instead
+// of pushing ReconnectDMA onto every caller.
+func TestDirectReadAutoReconnectsQP(t *testing.T) {
+	srv, ts := newRetryServer(t)
+	ctx, err := CreateCtxOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	addr, err := ctx.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x3C}, 64)
+	if err := ctx.Write(&addr, want); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := fault.NewInjector(25, fault.Plan{})
+	inj.BreakQPs(srv.Store().NIC())
+
+	buf := make([]byte, 64)
+	n, err := ctx.DirectRead(&addr, buf)
+	if err != nil {
+		t.Fatalf("direct read across QP break failed: %v", err)
+	}
+	if n != 64 || !bytes.Equal(buf, want) {
+		t.Fatal("direct read returned wrong data after QP repair")
+	}
+}
+
+// TestLocalBackendAutoReconnectsQP: the in-process backend heals its
+// simulated QP the same way.
+func TestLocalBackendAutoReconnectsQP(t *testing.T) {
+	srv, _ := newRetryServer(t)
+	ctx, err := NewLocal(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	addr, err := ctx.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x77}, 64)
+	if err := ctx.Write(&addr, want); err != nil {
+		t.Fatal(err)
+	}
+	srv.Store().NIC().BreakAllQPs()
+	buf := make([]byte, 64)
+	if _, err := ctx.DirectRead(&addr, buf); err != nil {
+		t.Fatalf("local direct read across QP break failed: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("local direct read returned wrong data after QP repair")
+	}
+}
+
+// TestInfoProbe: Info is exported, idempotent, and usable as a liveness
+// probe.
+func TestInfoProbe(t *testing.T) {
+	_, ts := newRetryServer(t)
+	ctx, err := CreateCtxOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	info, err := ctx.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BlockBytes == 0 || len(info.Classes) == 0 {
+		t.Fatalf("info = %+v, want populated parameters", info)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"corm/internal/client"
 	"corm/internal/core"
@@ -32,12 +33,22 @@ type GlobalAddr struct {
 
 func (g GlobalAddr) String() string { return fmt.Sprintf("node%d/%v", g.Node, g.Addr) }
 
-// Pool is a client-side view over several CoRM nodes.
+// Pool is a client-side view over several CoRM nodes. Each node carries a
+// consecutive-failure circuit breaker (health.go): transport-level faults
+// open it, open breakers fail fast with ErrNodeDown and are skipped by
+// Alloc, and a half-open probe (after ProbeCooldown, or an explicit
+// ProbeNode) restores nodes that recover.
 type Pool struct {
+	// FailThreshold and ProbeCooldown tune the per-node breaker; set them
+	// before issuing traffic.
+	FailThreshold int
+	ProbeCooldown time.Duration
+
 	mu     sync.Mutex
 	nodes  []*client.Ctx
 	labels []string
 	allocs []int64 // live allocations per node, for least-loaded placement
+	health []nodeHealth
 }
 
 // Dial connects to every node address.
@@ -45,7 +56,7 @@ func Dial(addrs []string) (*Pool, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
-	p := &Pool{}
+	p := newPool()
 	for _, a := range addrs {
 		ctx, err := client.CreateCtx(a)
 		if err != nil {
@@ -56,16 +67,28 @@ func Dial(addrs []string) (*Pool, error) {
 		p.labels = append(p.labels, a)
 	}
 	p.allocs = make([]int64, len(p.nodes))
+	p.health = make([]nodeHealth, len(p.nodes))
 	return p, nil
 }
 
 // NewFromClients builds a pool over existing contexts (in-process tests).
 func NewFromClients(ctxs []*client.Ctx) *Pool {
-	labels := make([]string, len(ctxs))
-	for i := range labels {
-		labels[i] = fmt.Sprintf("node%d", i)
+	p := newPool()
+	p.nodes = ctxs
+	p.labels = make([]string, len(ctxs))
+	for i := range p.labels {
+		p.labels[i] = fmt.Sprintf("node%d", i)
 	}
-	return &Pool{nodes: ctxs, labels: labels, allocs: make([]int64, len(ctxs))}
+	p.allocs = make([]int64, len(ctxs))
+	p.health = make([]nodeHealth, len(ctxs))
+	return p
+}
+
+func newPool() *Pool {
+	return &Pool{
+		FailThreshold: DefaultFailThreshold,
+		ProbeCooldown: DefaultProbeCooldown,
+	}
 }
 
 // Close tears down every connection.
@@ -83,18 +106,32 @@ func (p *Pool) Nodes() int { return len(p.nodes) }
 // Node exposes one node's client context.
 func (p *Pool) Node(i int) *client.Ctx { return p.nodes[i] }
 
-// Alloc places an object on the least-allocated node.
+// Alloc places an object on the least-allocated healthy node. Nodes whose
+// breaker is open are skipped until their cooldown elapses (then one Alloc
+// may probe them); if every node is down, Alloc fails fast.
 func (p *Pool) Alloc(size int) (GlobalAddr, error) {
 	p.mu.Lock()
-	best := 0
-	for i := 1; i < len(p.allocs); i++ {
-		if p.allocs[i] < p.allocs[best] {
+	best := -1
+	for i := range p.nodes {
+		h := &p.health[i]
+		if h.open && (h.probing || time.Since(h.openedAt) < p.ProbeCooldown) {
+			continue
+		}
+		if best == -1 || p.allocs[i] < p.allocs[best] {
 			best = i
 		}
+	}
+	if best == -1 {
+		p.mu.Unlock()
+		return GlobalAddr{}, fmt.Errorf("%w: all %d nodes", ErrNodeDown, len(p.nodes))
+	}
+	if h := &p.health[best]; h.open {
+		h.probing = true // half-open: this Alloc doubles as the probe
 	}
 	p.allocs[best]++
 	p.mu.Unlock()
 	addr, err := p.nodes[best].Alloc(size)
+	p.observe(best, err)
 	if err != nil {
 		p.mu.Lock()
 		p.allocs[best]--
@@ -109,7 +146,11 @@ func (p *Pool) AllocOn(node, size int) (GlobalAddr, error) {
 	if node < 0 || node >= len(p.nodes) {
 		return GlobalAddr{}, fmt.Errorf("cluster: node %d out of range", node)
 	}
+	if err := p.gate(node); err != nil {
+		return GlobalAddr{}, err
+	}
 	addr, err := p.nodes[node].Alloc(size)
+	p.observe(node, err)
 	if err != nil {
 		return GlobalAddr{}, err
 	}
@@ -119,9 +160,14 @@ func (p *Pool) AllocOn(node, size int) (GlobalAddr, error) {
 	return GlobalAddr{Node: node, Addr: addr}, nil
 }
 
+// ctxOf resolves the owning node and passes its circuit breaker: an open
+// breaker fails the operation fast with ErrNodeDown.
 func (p *Pool) ctxOf(g GlobalAddr) (*client.Ctx, error) {
 	if g.Node < 0 || g.Node >= len(p.nodes) {
 		return nil, fmt.Errorf("cluster: node %d out of range", g.Node)
+	}
+	if err := p.gate(g.Node); err != nil {
+		return nil, err
 	}
 	return p.nodes[g.Node], nil
 }
@@ -132,7 +178,9 @@ func (p *Pool) Write(g *GlobalAddr, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	return ctx.Write(&g.Addr, payload)
+	err = ctx.Write(&g.Addr, payload)
+	p.observe(g.Node, err)
+	return err
 }
 
 // Read reads via RPC with transparent correction.
@@ -141,7 +189,9 @@ func (p *Pool) Read(g *GlobalAddr, buf []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return ctx.Read(&g.Addr, buf)
+	n, err := ctx.Read(&g.Addr, buf)
+	p.observe(g.Node, err)
+	return n, err
 }
 
 // SmartRead reads one-sidedly, repairing indirect pointers with ScanRead.
@@ -150,7 +200,9 @@ func (p *Pool) SmartRead(g *GlobalAddr, buf []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return ctx.SmartRead(&g.Addr, buf)
+	n, err := ctx.SmartRead(&g.Addr, buf)
+	p.observe(g.Node, err)
+	return n, err
 }
 
 // Free releases the object.
@@ -159,7 +211,9 @@ func (p *Pool) Free(g *GlobalAddr) error {
 	if err != nil {
 		return err
 	}
-	if err := ctx.Free(&g.Addr); err != nil {
+	err = ctx.Free(&g.Addr)
+	p.observe(g.Node, err)
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -174,16 +228,19 @@ func (p *Pool) ReleasePtr(g *GlobalAddr) error {
 	if err != nil {
 		return err
 	}
-	return ctx.ReleasePtr(&g.Addr)
+	err = ctx.ReleasePtr(&g.Addr)
+	p.observe(g.Node, err)
+	return err
 }
 
-// ClassSize reports the payload capacity behind a global pointer.
+// ClassSize reports the payload capacity behind a global pointer. It is a
+// local lookup (classes are cached at connect time), so it bypasses the
+// breaker gate: it must not consume a half-open probe slot.
 func (p *Pool) ClassSize(g GlobalAddr) (int, error) {
-	ctx, err := p.ctxOf(g)
-	if err != nil {
-		return 0, err
+	if g.Node < 0 || g.Node >= len(p.nodes) {
+		return 0, fmt.Errorf("cluster: node %d out of range", g.Node)
 	}
-	return ctx.ClassSize(g.Addr)
+	return p.nodes[g.Node].ClassSize(g.Addr)
 }
 
 // --- Keyed facade ---
@@ -249,6 +306,10 @@ func (kv *KV) Put(key string, value []byte) error {
 		return err
 	}
 	if err := kv.pool.Write(&g, value); err != nil {
+		// Don't leak the fresh allocation when the write fails; the free
+		// is best-effort — if the node just died it will fail too, and
+		// the node's store is gone with it.
+		kv.pool.Free(&g)
 		return err
 	}
 	kv.mu.Lock()

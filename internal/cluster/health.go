@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"corm/internal/transport"
+)
+
+// ErrNodeDown is returned (wrapped, with the node index) for operations
+// routed to a node whose circuit breaker is open: the pool fails fast
+// instead of paying a dial timeout per call.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// Breaker defaults.
+const (
+	// DefaultFailThreshold is how many consecutive transport-level
+	// failures open a node's breaker.
+	DefaultFailThreshold = 3
+	// DefaultProbeCooldown is how long an open breaker rejects traffic
+	// before letting one probe operation through (half-open).
+	DefaultProbeCooldown = 500 * time.Millisecond
+)
+
+// nodeHealth is one node's consecutive-failure circuit breaker.
+//
+// States: closed (healthy, all traffic) → open (down, fail fast) →
+// half-open (cooldown elapsed: one operation probes the node; success
+// closes the breaker, failure re-opens it and restarts the cooldown).
+type nodeHealth struct {
+	consecFails int
+	open        bool
+	openedAt    time.Time
+	probing     bool
+}
+
+// gate decides, under p.mu, whether an operation may proceed against the
+// node. It returns nil (proceed — possibly as the half-open probe) or a
+// fail-fast ErrNodeDown.
+func (p *Pool) gate(node int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := &p.health[node]
+	if !h.open {
+		return nil
+	}
+	if !h.probing && time.Since(h.openedAt) >= p.ProbeCooldown {
+		// Half-open: let exactly one operation through as the probe.
+		h.probing = true
+		return nil
+	}
+	return fmt.Errorf("%w: node %d (%s)", ErrNodeDown, node, p.labels[node])
+}
+
+// observe records an operation's outcome against the node's breaker. Only
+// transport-level faults count as node failures; store-level results (not
+// found, compacting, …) prove the node is alive.
+func (p *Pool) observe(node int, err error) {
+	fail := transport.IsTransportError(err)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := &p.health[node]
+	h.probing = false
+	if !fail {
+		h.consecFails = 0
+		h.open = false
+		return
+	}
+	h.consecFails++
+	if h.consecFails >= p.FailThreshold && !h.open {
+		h.open = true
+	}
+	if h.open {
+		// Re-arm the cooldown on every failure, including failed probes.
+		h.openedAt = time.Now()
+	}
+}
+
+// NodeDown reports whether the node's breaker is currently open.
+func (p *Pool) NodeDown(node int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.health[node].open
+}
+
+// ProbeNode actively probes a node with an idempotent Info call and feeds
+// the result to its breaker, restoring a recovered node immediately
+// instead of waiting for the probe-on-use cooldown. A background prober is
+// just this in a loop:
+//
+//	go func() {
+//		for range time.Tick(interval) {
+//			for i := 0; i < pool.Nodes(); i++ {
+//				pool.ProbeNode(i)
+//			}
+//		}
+//	}()
+func (p *Pool) ProbeNode(node int) error {
+	if node < 0 || node >= len(p.nodes) {
+		return fmt.Errorf("cluster: node %d out of range", node)
+	}
+	_, err := p.nodes[node].Info()
+	p.observe(node, err)
+	return err
+}

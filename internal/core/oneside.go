@@ -119,6 +119,9 @@ func (s *Store) ConnectClient() *ClientQP {
 // QP exposes the underlying queue pair (reconnection after breaks).
 func (c *ClientQP) QP() *rnic.QP { return c.qp }
 
+// Close destroys the client's queue pair, releasing its NIC slot.
+func (c *ClientQP) Close() { c.qp.Close() }
+
 // DirectRead performs a lock-free one-sided RDMA read of the object (Table
 // 2). On success the payload is copied into buf and the total modeled cost
 // (wire + NIC engine + client-side version check) is returned.

@@ -1,0 +1,297 @@
+// Package fault is a deterministic, seedable fault-injection layer for the
+// TCP transport and the simulated RNIC. It wraps net.Conn / net.Listener
+// with scriptable failure scenarios — connection resets after N operations,
+// byte truncation, frame corruption, added latency — and forces QP breaks
+// through the rnic error-state machinery. All randomness comes from one
+// seeded RNG, so a failing scenario replays exactly from its seed.
+//
+// The unit of scripting is one Read or Write call on the wrapped
+// connection. The transport's length-prefixed framing issues two writes per
+// frame (header, then payload) and two reads (header, then payload), so
+// "reset after frame N" is expressed as reset after 2N write ops.
+//
+// Typical use, client side:
+//
+//	inj := fault.NewInjector(42, fault.Plan{ResetAfterWrites: 6})
+//	conn, _ := transport.DialOptions(addr, transport.Options{Dialer: inj.Dial})
+//
+// and server side:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	srv := transport.Serve(inj.WrapListener(ln), rpcSrv)
+package fault
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"corm/internal/rnic"
+)
+
+// Plan scripts the failure behaviour of every connection wrapped by one
+// Injector. Counter-based triggers fire once per connection; rate-based
+// triggers draw from the injector's seeded RNG on every operation. The zero
+// value injects nothing.
+type Plan struct {
+	// ResetAfterWrites closes the connection with an error on the Nth
+	// Write call (1-based). 0 disables.
+	ResetAfterWrites int
+	// ResetAfterReads closes the connection with an error on the Nth
+	// Read call. 0 disables.
+	ResetAfterReads int
+	// TruncateWrite makes the Nth Write send only half its bytes and then
+	// close the connection — the mid-frame partial write that poisons
+	// unframed peers. 0 disables.
+	TruncateWrite int
+	// CorruptWrite flips one RNG-chosen byte in the Nth Write. 0 disables.
+	CorruptWrite int
+	// WriteResetRate / ReadResetRate reset the connection with the given
+	// per-operation probability.
+	WriteResetRate float64
+	ReadResetRate  float64
+	// Latency delays every operation by Latency plus a uniform random
+	// fraction of Jitter.
+	Latency time.Duration
+	Jitter  time.Duration
+}
+
+// Stats counts the faults an injector has fired, for assertions and for
+// verifying that two runs with the same seed replay the same trace.
+type Stats struct {
+	Resets      int
+	Truncations int
+	Corruptions int
+	Delays      int
+}
+
+// Injector hands out fault-wrapped connections that follow one Plan. The
+// seeded RNG is shared (and locked) across all wrapped connections, so a
+// single-goroutine workload replays exactly; concurrent workloads replay
+// fault *kinds* deterministically but may interleave differently.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plan  Plan
+	stats Stats
+
+	disabled bool
+}
+
+// NewInjector builds an injector whose randomness derives only from seed.
+func NewInjector(seed int64, plan Plan) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), plan: plan}
+}
+
+// SetPlan swaps the scenario for subsequently wrapped connections (already
+// wrapped connections keep their per-connection counters but see the new
+// plan's triggers).
+func (in *Injector) SetPlan(p Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan = p
+}
+
+// Disable stops all injection (existing and future connections pass
+// through untouched) — used to end a chaos window.
+func (in *Injector) Disable() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.disabled = true
+}
+
+// Enable re-arms the injector after Disable.
+func (in *Injector) Enable() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.disabled = false
+}
+
+// Stats snapshots the fired-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Dial is a transport.Options.Dialer that wraps the dialed connection.
+func (in *Injector) Dial(network, addr string) (net.Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c), nil
+}
+
+// WrapConn wraps one connection with this injector's plan.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, in: in}
+}
+
+// WrapListener wraps a listener so every accepted connection is wrapped.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, in: in}
+}
+
+// BreakQPs forces every live QP on the NIC into the error state via the
+// rnic fault hook — a fabric event. The transport maps subsequent one-sided
+// reads through those QPs to ErrDMABroken until clients reconnect.
+func (in *Injector) BreakQPs(n *rnic.NIC) {
+	in.mu.Lock()
+	disabled := in.disabled
+	in.mu.Unlock()
+	if disabled {
+		return
+	}
+	n.BreakAllQPs()
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c), nil
+}
+
+// faultConn applies the plan around a real connection. Counters are
+// per-connection; randomness and stats live on the shared injector.
+type faultConn struct {
+	net.Conn
+	in *Injector
+
+	mu     sync.Mutex
+	writes int
+	reads  int
+	dead   bool
+}
+
+// errInjected is what a scripted reset surfaces as. It deliberately looks
+// like a peer reset, not a special error: production code must classify it
+// by behaviour, not by type.
+type errInjected struct{}
+
+func (errInjected) Error() string { return "fault: injected connection reset" }
+
+// decideWrite consults the plan for the current write op. It returns the
+// possibly modified buffer, a delay to apply, and whether to kill the
+// connection (and after how many bytes, -1 meaning write everything first).
+func (c *faultConn) decideWrite(b []byte) (out []byte, delay time.Duration, kill bool, keep int) {
+	in := c.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c.writes++
+	keep = -1
+	if in.disabled {
+		return b, 0, false, keep
+	}
+	plan := in.plan
+	delay = plan.delay(in)
+	if delay > 0 {
+		in.stats.Delays++
+	}
+	if plan.TruncateWrite > 0 && c.writes == plan.TruncateWrite && len(b) > 0 {
+		in.stats.Truncations++
+		return b, delay, true, len(b) / 2
+	}
+	if plan.ResetAfterWrites > 0 && c.writes >= plan.ResetAfterWrites {
+		in.stats.Resets++
+		return b, delay, true, 0
+	}
+	if plan.WriteResetRate > 0 && in.rng.Float64() < plan.WriteResetRate {
+		in.stats.Resets++
+		return b, delay, true, 0
+	}
+	if plan.CorruptWrite > 0 && c.writes == plan.CorruptWrite && len(b) > 0 {
+		in.stats.Corruptions++
+		out = append([]byte(nil), b...)
+		out[in.rng.Intn(len(out))] ^= 0xFF
+		return out, delay, false, keep
+	}
+	return b, delay, false, keep
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, errInjected{}
+	}
+	out, delay, kill, keep := c.decideWrite(b)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if kill {
+		n := 0
+		if keep > 0 {
+			n, _ = c.Conn.Write(out[:keep])
+		}
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		c.Conn.Close()
+		return n, errInjected{}
+	}
+	return c.Conn.Write(out)
+}
+
+func (c *faultConn) decideRead() (delay time.Duration, kill bool) {
+	in := c.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c.reads++
+	if in.disabled {
+		return 0, false
+	}
+	plan := in.plan
+	delay = plan.delay(in)
+	if delay > 0 {
+		in.stats.Delays++
+	}
+	if plan.ResetAfterReads > 0 && c.reads >= plan.ResetAfterReads {
+		in.stats.Resets++
+		return delay, true
+	}
+	if plan.ReadResetRate > 0 && in.rng.Float64() < plan.ReadResetRate {
+		in.stats.Resets++
+		return delay, true
+	}
+	return delay, false
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, errInjected{}
+	}
+	delay, kill := c.decideRead()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if kill {
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		c.Conn.Close()
+		return 0, errInjected{}
+	}
+	return c.Conn.Read(b)
+}
+
+// delay computes the per-op latency under the injector lock.
+func (p Plan) delay(in *Injector) time.Duration {
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(in.rng.Int63n(int64(p.Jitter)))
+	}
+	return d
+}

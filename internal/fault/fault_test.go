@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client end and the raw server end of a TCP
+// loopback connection.
+func pipePair(t *testing.T, in *Injector) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { cli.Close(); r.c.Close() })
+	return in.WrapConn(cli), r.c
+}
+
+func TestResetAfterWrites(t *testing.T) {
+	in := NewInjector(1, Plan{ResetAfterWrites: 3})
+	cli, _ := pipePair(t, in)
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	if _, err := cli.Write([]byte("boom")); err == nil {
+		t.Fatal("third write survived a scripted reset")
+	}
+	// The connection stays dead.
+	if _, err := cli.Write([]byte("x")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+	if got := in.Stats().Resets; got < 1 {
+		t.Fatalf("resets = %d, want >= 1", got)
+	}
+}
+
+func TestCorruptWriteFlipsOneByte(t *testing.T) {
+	in := NewInjector(7, Plan{CorruptWrite: 1})
+	cli, srv := pipePair(t, in)
+	payload := []byte("all good here")
+	if _, err := cli.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range payload {
+		if payload[i] != got[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupted %d bytes, want exactly 1 (%q vs %q)", diff, payload, got)
+	}
+	// The caller's buffer must not be mutated.
+	if !bytes.Equal(payload, []byte("all good here")) {
+		t.Fatal("injector mutated the caller's buffer")
+	}
+}
+
+func TestTruncateWrite(t *testing.T) {
+	in := NewInjector(3, Plan{TruncateWrite: 1})
+	cli, srv := pipePair(t, in)
+	if _, err := cli.Write(bytes.Repeat([]byte{0xAA}, 10)); err == nil {
+		t.Fatal("truncated write reported success")
+	}
+	got, _ := io.ReadAll(srv)
+	if len(got) != 5 {
+		t.Fatalf("server saw %d bytes, want the truncated 5", len(got))
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (Stats, []int) {
+		in := NewInjector(99, Plan{WriteResetRate: 0.2})
+		cli, _ := pipePair(t, in)
+		var failedAt []int
+		for i := 0; i < 50; i++ {
+			if _, err := cli.Write([]byte("frame")); err != nil {
+				failedAt = append(failedAt, i)
+				break // connection is dead after a reset
+			}
+		}
+		return in.Stats(), failedAt
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged across seeded runs: %+v vs %+v", s1, s2)
+	}
+	if len(f1) != len(f2) || (len(f1) > 0 && f1[0] != f2[0]) {
+		t.Fatalf("fault positions diverged: %v vs %v", f1, f2)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	in := NewInjector(1, Plan{ResetAfterWrites: 1})
+	in.Disable()
+	cli, _ := pipePair(t, in)
+	if _, err := cli.Write([]byte("x")); err != nil {
+		t.Fatalf("disabled injector still injected: %v", err)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	in := NewInjector(5, Plan{Latency: 20 * time.Millisecond})
+	cli, _ := pipePair(t, in)
+	start := time.Now()
+	if _, err := cli.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("write took %v, want >= ~20ms of injected latency", d)
+	}
+}

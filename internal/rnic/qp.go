@@ -16,6 +16,7 @@ type QP struct {
 	nic    *NIC
 	id     uint64
 	broken bool
+	closed bool
 
 	// recvQ models two-sided Send/Recv delivery into this QP.
 	recvQ [][]byte
@@ -25,12 +26,25 @@ type QP struct {
 // few milliseconds").
 const ReconnectLatency = 3 * time.Millisecond
 
-// Connect creates a reliable QP attached to the NIC.
+// Connect creates a reliable QP attached to the NIC. The QP occupies a
+// slot in the NIC's QP table until Close is called.
 func (n *NIC) Connect() *QP {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.nextQP++
-	return &QP{nic: n, id: n.nextQP}
+	qp := &QP{nic: n, id: n.nextQP}
+	n.qps[qp.id] = qp
+	return qp
+}
+
+// Close destroys the QP, releasing its slot in the NIC's QP table
+// (ibv_destroy_qp). A closed QP is permanently in the error state.
+func (qp *QP) Close() {
+	qp.nic.mu.Lock()
+	defer qp.nic.mu.Unlock()
+	qp.broken = true
+	qp.closed = true
+	delete(qp.nic.qps, qp.id)
 }
 
 // Broken reports whether the QP is in the error state.
@@ -41,11 +55,13 @@ func (qp *QP) Broken() bool {
 }
 
 // Reconnect restores a broken QP. The returned cost reflects connection
-// re-establishment.
+// re-establishment. A closed QP cannot be reconnected.
 func (qp *QP) Reconnect() Cost {
 	qp.nic.mu.Lock()
 	defer qp.nic.mu.Unlock()
-	qp.broken = false
+	if !qp.closed {
+		qp.broken = false
+	}
 	return Cost{Latency: ReconnectLatency}
 }
 

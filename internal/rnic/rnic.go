@@ -109,6 +109,7 @@ type NIC struct {
 	cache   *lruCache
 	nextKey uint32
 	nextQP  uint64
+	qps     map[uint64]*QP // live (connected, unclosed) queue pairs
 	stats   Stats
 }
 
@@ -120,6 +121,28 @@ func New(space *mem.AddrSpace, model timing.NIC) *NIC {
 		regions: make(map[uint32]*Region),
 		mtt:     make(map[uint64]mttEntry),
 		cache:   newLRU(model.MTTCacheEntries),
+		qps:     make(map[uint64]*QP),
+	}
+}
+
+// LiveQPs reports how many connected queue pairs have not been closed —
+// a real RNIC has a bounded QP table, so leaked QPs are a resource bug.
+func (n *NIC) LiveQPs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.qps)
+}
+
+// BreakAllQPs forces every live QP into the error state, modeling a fabric
+// event (link flap, switch reset) that kills all connections at once. Fault
+// injection uses this to exercise reconnect paths deterministically.
+func (n *NIC) BreakAllQPs() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, qp := range n.qps {
+		if !qp.broken {
+			qp.breakLocked()
+		}
 	}
 }
 

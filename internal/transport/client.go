@@ -2,103 +2,266 @@ package transport
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"corm/internal/rpc"
 )
 
-// Transport errors.
-var (
-	ErrDMABadKey = errors.New("transport: invalid rkey")
-	ErrDMABroken = errors.New("transport: queue pair broken")
-	ErrDMABounds = errors.New("transport: access out of bounds")
-)
-
-// Conn is a client's connection bundle to one CoRM node: one RPC channel
-// and one DMA (emulated one-sided) channel.
-type Conn struct {
-	mu  sync.Mutex // serializes request/response on the RPC channel
-	rpc net.Conn
-
-	dmaMu sync.Mutex
-	dma   net.Conn
-	addr  string
+// Options tunes a client connection's failure behaviour. The zero value
+// gets sane defaults (see withDefaults).
+type Options struct {
+	// CallTimeout bounds one round trip on either channel via SetDeadline;
+	// an expired deadline breaks the channel (framing state is unknown).
+	// <0 disables deadlines.
+	CallTimeout time.Duration
+	// RedialAttempts bounds how many dials one repair of a broken channel
+	// performs before giving up (the operation then fails with
+	// ErrConnBroken and the next use tries again).
+	RedialAttempts int
+	// RedialBase / RedialMax shape the exponential backoff between redial
+	// attempts; actual sleeps are jittered uniformly in [base/2, base).
+	RedialBase time.Duration
+	RedialMax  time.Duration
+	// Seed drives the backoff jitter RNG, for reproducible schedules.
+	Seed int64
+	// Dialer opens the raw TCP connection; fault injection hooks in here.
+	Dialer func(network, addr string) (net.Conn, error)
 }
 
-// Dial connects both channels to a CoRM server.
+func (o Options) withDefaults() Options {
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.RedialAttempts <= 0 {
+		o.RedialAttempts = 3
+	}
+	if o.RedialBase <= 0 {
+		o.RedialBase = 2 * time.Millisecond
+	}
+	if o.RedialMax <= 0 {
+		o.RedialMax = 200 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Dialer == nil {
+		o.Dialer = net.Dial
+	}
+	return o
+}
+
+// channel is one framed stream to the server. A channel whose write or read
+// failed mid-frame is marked broken — its framing state is undefined, so it
+// must never be reused — and is re-dialed on next use.
+type channel struct {
+	kind byte
+
+	mu     sync.Mutex
+	nc     net.Conn
+	broken bool
+	closed bool
+}
+
+// Conn is a client's connection bundle to one CoRM node: one RPC channel
+// and one DMA (emulated one-sided) channel. Both channels self-heal:
+// transport faults mark them broken, and the next operation transparently
+// re-dials with exponential backoff. Conn does not re-issue operations —
+// that is the client layer's job, and only for idempotent ones.
+type Conn struct {
+	addr string
+	opts Options
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	rpc channel
+	dma channel
+}
+
+// Dial connects both channels to a CoRM server with default options.
 func Dial(addr string) (*Conn, error) {
-	rpcConn, err := dialChannel(addr, chanRPC)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects with explicit failure-handling options.
+func DialOptions(addr string, opts Options) (*Conn, error) {
+	opts = opts.withDefaults()
+	c := &Conn{
+		addr: addr,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	c.rpc.kind = chanRPC
+	c.dma.kind = chanDMA
+	rpcConn, err := c.dialChannel(chanRPC)
 	if err != nil {
 		return nil, err
 	}
-	dmaConn, err := dialChannel(addr, chanDMA)
+	dmaConn, err := c.dialChannel(chanDMA)
 	if err != nil {
 		rpcConn.Close()
 		return nil, err
 	}
-	return &Conn{rpc: rpcConn, dma: dmaConn, addr: addr}, nil
+	c.rpc.nc = rpcConn
+	c.dma.nc = dmaConn
+	return c, nil
 }
 
-func dialChannel(addr string, kind byte) (net.Conn, error) {
-	c, err := net.Dial("tcp", addr)
+func (c *Conn) dialChannel(kind byte) (net.Conn, error) {
+	nc, err := c.opts.Dialer("tcp", c.addr)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.Write([]byte{kind}); err != nil {
-		c.Close()
+	if _, err := nc.Write([]byte{kind}); err != nil {
+		nc.Close()
 		return nil, err
 	}
-	return c, nil
+	return nc, nil
 }
 
 // Close tears down both channels.
 func (c *Conn) Close() error {
-	c.rpc.Close()
-	return c.dma.Close()
+	c.rpc.mu.Lock()
+	c.rpc.closed = true
+	if c.rpc.nc != nil {
+		c.rpc.nc.Close()
+	}
+	c.rpc.mu.Unlock()
+	c.dma.mu.Lock()
+	c.dma.closed = true
+	var err error
+	if c.dma.nc != nil {
+		err = c.dma.nc.Close()
+	}
+	c.dma.mu.Unlock()
+	return err
 }
 
-// Call performs one RPC round trip.
-func (c *Conn) Call(req rpc.Request) (rpc.Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.rpc, req.Marshal()); err != nil {
-		return rpc.Response{}, err
+// jitterSleep sleeps a uniformly jittered [d/2, d).
+func (c *Conn) jitterSleep(d time.Duration) {
+	c.rngMu.Lock()
+	j := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rngMu.Unlock()
+	time.Sleep(j)
+}
+
+// ensureLocked repairs a broken or missing channel, re-dialing with
+// exponential backoff + jitter. Caller holds ch.mu.
+func (c *Conn) ensureLocked(ch *channel) error {
+	if ch.closed {
+		return ErrConnClosed
 	}
-	frame, err := readFrame(c.rpc)
+	if ch.nc != nil && !ch.broken {
+		return nil
+	}
+	if ch.nc != nil {
+		ch.nc.Close()
+		ch.nc = nil
+	}
+	backoff := c.opts.RedialBase
+	var last error
+	for i := 0; i < c.opts.RedialAttempts; i++ {
+		if i > 0 {
+			c.jitterSleep(backoff)
+			if backoff *= 2; backoff > c.opts.RedialMax {
+				backoff = c.opts.RedialMax
+			}
+		}
+		nc, err := c.dialChannel(ch.kind)
+		if err != nil {
+			last = err
+			continue
+		}
+		ch.nc = nc
+		ch.broken = false
+		return nil
+	}
+	return fmt.Errorf("%w: redial %s failed: %v", ErrConnBroken, c.addr, last)
+}
+
+// breakLocked poisons the channel after a mid-frame fault: the stream's
+// framing state is undefined, so the connection is closed and the next use
+// re-dials instead of desynchronizing. Caller holds ch.mu.
+func (c *Conn) breakLocked(ch *channel, stage string, err error) error {
+	ch.broken = true
+	if ch.nc != nil {
+		ch.nc.Close()
+	}
+	return fmt.Errorf("%w: %s: %v", ErrConnBroken, stage, err)
+}
+
+// exchangeLocked performs one framed round trip under the per-call
+// deadline. Any failure poisons the channel. Caller holds ch.mu.
+func (c *Conn) exchangeLocked(ch *channel, payload []byte) ([]byte, error) {
+	if err := c.ensureLocked(ch); err != nil {
+		return nil, err
+	}
+	if c.opts.CallTimeout > 0 {
+		ch.nc.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+	}
+	if err := writeFrame(ch.nc, payload); err != nil {
+		return nil, c.breakLocked(ch, "write", err)
+	}
+	frame, err := readFrame(ch.nc)
+	if err != nil {
+		return nil, c.breakLocked(ch, "read", err)
+	}
+	if c.opts.CallTimeout > 0 {
+		ch.nc.SetDeadline(time.Time{})
+	}
+	return frame, nil
+}
+
+// Call performs one RPC round trip. On transport faults the RPC channel is
+// marked broken and the error wraps ErrConnBroken; the next Call re-dials.
+func (c *Conn) Call(req rpc.Request) (rpc.Response, error) {
+	c.rpc.mu.Lock()
+	defer c.rpc.mu.Unlock()
+	frame, err := c.exchangeLocked(&c.rpc, req.Marshal())
 	if err != nil {
 		return rpc.Response{}, err
 	}
-	return rpc.UnmarshalResponse(frame)
+	resp, err := rpc.UnmarshalResponse(frame)
+	if err != nil {
+		// A frame that does not decode means the stream is corrupt or
+		// desynchronized; the channel cannot be trusted any further.
+		return rpc.Response{}, c.breakLocked(&c.rpc, "decode", err)
+	}
+	return resp, nil
 }
 
 // DirectRead performs an emulated one-sided read of len(buf) bytes at the
 // remote virtual address. All validity checking is up to the caller, as
-// with a real RDMA read. A broken QP is repaired by redialing the DMA
-// channel (the "reconnect" the paper prices at milliseconds).
+// with a real RDMA read. A broken QP (ErrDMABroken) persists server-side
+// until ReconnectDMA re-dials the channel — the reconnect the paper prices
+// at milliseconds; transport faults heal automatically like Call's.
 func (c *Conn) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
-	c.dmaMu.Lock()
-	defer c.dmaMu.Unlock()
+	if len(buf)+1 > maxFrame {
+		return fmt.Errorf("%w: DMA read of %d bytes", ErrFrameTooLarge, len(buf))
+	}
+	c.dma.mu.Lock()
+	defer c.dma.mu.Unlock()
 	var req [16]byte
 	binary.LittleEndian.PutUint32(req[0:], rkey)
 	binary.LittleEndian.PutUint64(req[4:], vaddr)
 	binary.LittleEndian.PutUint32(req[12:], uint32(len(buf)))
-	if err := writeFrame(c.dma, req[:]); err != nil {
-		return err
-	}
-	frame, err := readFrame(c.dma)
+	frame, err := c.exchangeLocked(&c.dma, req[:])
 	if err != nil {
 		return err
 	}
 	if len(frame) < 1 {
-		return fmt.Errorf("transport: empty DMA response")
+		return c.breakLocked(&c.dma, "decode", fmt.Errorf("empty DMA response"))
 	}
 	switch frame[0] {
 	case dmaOK:
 		if len(frame)-1 != len(buf) {
-			return fmt.Errorf("transport: DMA short read (%d of %d)", len(frame)-1, len(buf))
+			// A short payload means we are reading someone else's frame.
+			return c.breakLocked(&c.dma, "decode",
+				fmt.Errorf("DMA short read (%d of %d)", len(frame)-1, len(buf)))
 		}
 		copy(buf, frame[1:])
 		return nil
@@ -109,18 +272,17 @@ func (c *Conn) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
 	case dmaBounds:
 		return ErrDMABounds
 	}
-	return fmt.Errorf("transport: DMA error %d", frame[0])
+	return c.breakLocked(&c.dma, "decode", fmt.Errorf("DMA error %d", frame[0]))
 }
 
-// ReconnectDMA re-establishes the one-sided channel after a QP break.
+// ReconnectDMA re-establishes the one-sided channel after a QP break,
+// using the same backoff policy as automatic repair.
 func (c *Conn) ReconnectDMA() error {
-	c.dmaMu.Lock()
-	defer c.dmaMu.Unlock()
-	c.dma.Close()
-	nc, err := dialChannel(c.addr, chanDMA)
-	if err != nil {
-		return err
+	c.dma.mu.Lock()
+	defer c.dma.mu.Unlock()
+	if c.dma.nc != nil {
+		c.dma.nc.Close()
 	}
-	c.dma = nc
-	return nil
+	c.dma.broken = true
+	return c.ensureLocked(&c.dma)
 }

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"errors"
+	"net"
+)
+
+// Transport errors, classified for the layers above:
+//
+//   - ErrConnBroken is retryable: the channel failed mid-frame (or could
+//     not be re-established yet). The Conn has already marked the channel
+//     broken and will re-dial it with backoff on the next use, so an
+//     idempotent operation may simply be re-issued.
+//   - ErrDMABroken is retryable after ReconnectDMA: the server-side QP is
+//     in the error state and stays there until the DMA channel is re-dialed
+//     (the reconnect the paper prices at milliseconds, §3.5).
+//   - ErrDMABadKey / ErrDMABounds / ErrFrameTooLarge are fatal: retrying
+//     the same operation can only fail the same way.
+var (
+	ErrDMABadKey     = errors.New("transport: invalid rkey")
+	ErrDMABroken     = errors.New("transport: queue pair broken")
+	ErrDMABounds     = errors.New("transport: access out of bounds")
+	ErrConnBroken    = errors.New("transport: connection broken")
+	ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
+	ErrConnClosed    = errors.New("transport: connection closed")
+)
+
+// IsRetryable reports whether re-issuing the operation on the same Conn can
+// succeed without any other repair action. Callers must only re-issue
+// idempotent operations: a broken channel cannot tell whether the server
+// executed the lost request.
+func IsRetryable(err error) bool {
+	if errors.Is(err, ErrConnBroken) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
+}
+
+// IsTransportError reports whether the error indicates a transport- or
+// fabric-level fault (as opposed to a store-level result like "not found").
+// The cluster layer counts these against a node's health.
+func IsTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrConnBroken) || errors.Is(err, ErrDMABroken) || errors.Is(err, ErrConnClosed) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}

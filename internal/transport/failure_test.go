@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"corm/internal/core"
+	"corm/internal/fault"
+	"corm/internal/rpc"
+	"corm/internal/timing"
+)
+
+// newNode builds a store + RPC server without a listener (failure tests
+// choose how to serve it).
+func newNode(t *testing.T) *rpc.Server {
+	t.Helper()
+	store, err := core.NewStore(core.Config{
+		Workers: 2, Strategy: core.StrategyCoRM, DataBacked: true,
+		Remap: core.RemapODPPrefetch,
+		Model: timing.Default().WithNIC(timing.ConnectX5()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(store)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// fastOpts are client options tuned so tests fail fast instead of pacing
+// real-world backoff.
+func fastOpts() Options {
+	return Options{
+		CallTimeout:    2 * time.Second,
+		RedialAttempts: 3,
+		RedialBase:     time.Millisecond,
+		RedialMax:      10 * time.Millisecond,
+		Seed:           1,
+	}
+}
+
+func TestOversizedDMAFailsWithoutPoisoningConn(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	conn, err := DialOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.DirectRead(1, 0x1000, make([]byte, maxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized DMA: %v, want ErrFrameTooLarge", err)
+	}
+	// The request never hit the wire, so the channel is still healthy.
+	if resp, err := conn.Call(rpc.Request{Op: rpc.OpInfo}); err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("conn poisoned by rejected oversized read: %v %v", resp.Status, err)
+	}
+}
+
+func TestCallHealsAfterInjectedReset(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+
+	// Reset the RPC channel mid-frame: op 1 is the handshake byte, op 2 the
+	// frame header — so the kill lands inside the first Call's frame.
+	inj := fault.NewInjector(11, fault.Plan{ResetAfterWrites: 2})
+	conn, err := DialOptions(ts.Addr(), Options{Dialer: inj.Dial, RedialBase: time.Millisecond, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	_, err = conn.Call(rpc.Request{Op: rpc.OpInfo})
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("reset call error = %v, want ErrConnBroken", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("ErrConnBroken not classified retryable")
+	}
+	// The broken channel must not be reused in a desynchronized state: the
+	// next Call transparently re-dials (the injector resets each fresh
+	// connection after 2 writes, so disable it first).
+	inj.Disable()
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpInfo})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("call after reconnect: %v %v", resp.Status, err)
+	}
+}
+
+func TestTruncatedResponsePoisonsAndHeals(t *testing.T) {
+	srv := newNode(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the server's first response payload mid-frame.
+	inj := fault.NewInjector(13, fault.Plan{TruncateWrite: 2})
+	ts := Serve(inj.WrapListener(ln), srv)
+	t.Cleanup(ts.Close)
+
+	conn, err := DialOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call(rpc.Request{Op: rpc.OpInfo}); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("truncated response error = %v, want ErrConnBroken", err)
+	}
+	inj.Disable()
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpInfo})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("call after truncation recovery: %v %v", resp.Status, err)
+	}
+}
+
+func TestServerCloseMidCallSurfacesBrokenConn(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := DialOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call(rpc.Request{Op: rpc.OpInfo}); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	// With the server gone, calls fail with the retryable typed error (the
+	// redial inside also fails — nothing is listening).
+	_, err = conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("call against closed server = %v, want ErrConnBroken", err)
+	}
+}
+
+func TestQPBreakTeardownAndReconnect(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	nic := srv.Store().NIC()
+
+	conn, err := DialOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("alloc: %v %v", resp.Status, err)
+	}
+	addr := resp.Addr
+
+	// Each DMA channel owns one QP.
+	if got := nic.LiveQPs(); got != 1 {
+		t.Fatalf("live QPs = %d, want 1", got)
+	}
+
+	// A fabric event breaks the QP; reads report it until reconnect.
+	nic.BreakAllQPs()
+	buf := make([]byte, core.DataStride(64))
+	if err := conn.DirectRead(addr.RKey(), addr.VAddr(), buf); !errors.Is(err, ErrDMABroken) {
+		t.Fatalf("read on broken QP = %v, want ErrDMABroken", err)
+	}
+	if err := conn.ReconnectDMA(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.DirectRead(addr.RKey(), addr.VAddr(), buf); err != nil {
+		t.Fatalf("read after reconnect: %v", err)
+	}
+
+	// The replaced channel's QP was torn down: still exactly one live QP.
+	deadline := time.Now().Add(2 * time.Second)
+	for nic.LiveQPs() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := nic.LiveQPs(); got != 1 {
+		t.Fatalf("live QPs after reconnect = %d, want 1 (old QP leaked)", got)
+	}
+
+	// Closing the client releases the last QP.
+	conn.Close()
+	deadline = time.Now().Add(2 * time.Second)
+	for nic.LiveQPs() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := nic.LiveQPs(); got != 0 {
+		t.Fatalf("live QPs after close = %d, want 0 (DMA QP leaked)", got)
+	}
+}
+
+func TestConcurrentCallAndDirectReadDuringReconnect(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	conn, err := DialOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("alloc: %v %v", resp.Status, err)
+	}
+	addr := resp.Addr
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	stop := make(chan struct{})
+	wg.Add(3)
+	go func() { // RPC traffic
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := conn.Call(rpc.Request{Op: rpc.OpInfo}); err != nil {
+				errs <- fmt.Errorf("call %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() { // one-sided traffic, tolerating in-flight QP breaks
+		defer wg.Done()
+		buf := make([]byte, core.DataStride(64))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := conn.DirectRead(addr.RKey(), addr.VAddr(), buf)
+			if err != nil && !errors.Is(err, ErrDMABroken) && !errors.Is(err, ErrConnBroken) {
+				errs <- fmt.Errorf("direct read %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() { // concurrent reconnect storm
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := conn.ReconnectDMA(); err != nil {
+				errs <- fmt.Errorf("reconnect %d: %w", i, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

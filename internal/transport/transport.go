@@ -78,10 +78,16 @@ func Listen(addr string, srv *rpc.Server) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Serve(ln, srv), nil
+}
+
+// Serve starts serving on an existing listener — the hook the fault
+// injector uses to wrap accepted connections.
+func Serve(ln net.Listener, srv *rpc.Server) *Server {
 	s := &Server{rpc: srv, ln: ln, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound address.
@@ -181,8 +187,10 @@ const (
 
 func (s *Server) serveDMA(conn net.Conn) {
 	// Each DMA channel gets its own QP, like a real RDMA connection; a QP
-	// break persists until the client reconnects the channel.
+	// break persists until the client reconnects the channel. The QP slot
+	// is released when the channel closes (ibv_destroy_qp).
 	qp := s.rpc.Store().NIC().Connect()
+	defer qp.Close()
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
