@@ -42,8 +42,27 @@ func NewThreadLocal(id int, proc *ProcWide) *ThreadLocal {
 // Alloc claims a slot of the given class, refilling from the process-wide
 // allocator if needed. refilled reports whether a new block was fetched.
 func (t *ThreadLocal) Alloc(class int) (b *Block, slot int, refilled bool) {
+	return t.AllocAnd(class, nil)
+}
+
+// AllocAnd claims a slot and, still inside the allocator's critical
+// section, runs post to initialize it. A compaction leader collecting this
+// thread's blocks serializes on the same lock, so it can never observe (or
+// merge away) a slot whose object metadata is not yet written.
+func (t *ThreadLocal) AllocAnd(class int, post func(b *Block, slot int, refilled bool) error) (b *Block, slot int, refilled bool) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	defer func() {
+		if post != nil {
+			if err := post(b, slot, refilled); err != nil {
+				// Initialization failed: give the slot back before anyone
+				// can see it.
+				b.FreeSlot(slot)
+				t.proc.CountAlloc(class, -1)
+				b = nil
+			}
+		}
+		t.mu.Unlock()
+	}()
 	if cur := t.current[class]; cur != nil {
 		if s, ok := cur.AllocSlot(); ok {
 			t.proc.CountAlloc(class, 1)
@@ -76,6 +95,11 @@ func (t *ThreadLocal) Alloc(class int) (b *Block, slot int, refilled bool) {
 	return cur, s, true
 }
 
+// ErrWrongOwner reports a free routed to a thread that no longer owns the
+// block — compaction collection moves ownership concurrently, so callers
+// re-read the owner and re-route.
+var ErrWrongOwner = fmt.Errorf("alloc: block owned by another thread")
+
 // Free releases a slot in a block owned by this thread. Empty non-current
 // blocks are returned to the process-wide allocator, which is what the
 // paper notes cannot happen while a single object remains — the root cause
@@ -84,15 +108,21 @@ func (t *ThreadLocal) Free(b *Block, slot int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if owner := b.Owner(); owner != t.ID {
-		return fmt.Errorf("alloc: thread %d freeing slot in block owned by %d", t.ID, owner)
+		return fmt.Errorf("%w: thread %d freeing slot in block owned by %d", ErrWrongOwner, t.ID, owner)
 	}
 	if err := b.FreeSlot(slot); err != nil {
 		return err
 	}
 	t.proc.CountAlloc(b.Class, -1)
 	if b.Empty() && t.current[b.Class] != b {
-		t.removeOwned(b)
-		t.proc.ReleaseBlock(b, true)
+		// Only release blocks this thread actually holds: a block collected
+		// by a compaction leader is in no thread's lists, and yanking it out
+		// of the process-wide allocator mid-compaction would leave the
+		// leader holding a dissolved block. The leader re-homes it (empty)
+		// via AdoptBlock when compaction finishes.
+		if t.removeOwned(b) {
+			t.proc.ReleaseBlock(b, true)
+		}
 	} else if wasFull := t.inFull(b); wasFull {
 		t.moveFullToPartial(b)
 	}
@@ -120,27 +150,29 @@ func (t *ThreadLocal) moveFullToPartial(b *Block) {
 	}
 }
 
-// removeOwned detaches b from whichever list holds it.
-func (t *ThreadLocal) removeOwned(b *Block) {
+// removeOwned detaches b from whichever list holds it, reporting whether
+// the thread held it at all.
+func (t *ThreadLocal) removeOwned(b *Block) bool {
 	c := b.Class
 	if t.current[c] == b {
 		t.current[c] = nil
-		return
+		return true
 	}
 	for i, x := range t.partial[c] {
 		if x == b {
 			t.partial[c][i] = t.partial[c][len(t.partial[c])-1]
 			t.partial[c] = t.partial[c][:len(t.partial[c])-1]
-			return
+			return true
 		}
 	}
 	for i, x := range t.full[c] {
 		if x == b {
 			t.full[c][i] = t.full[c][len(t.full[c])-1]
 			t.full[c] = t.full[c][:len(t.full[c])-1]
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // Owned returns every block currently owned by the thread for a class.
@@ -162,7 +194,10 @@ func (t *ThreadLocal) ownedLocked(class int) []*Block {
 
 // CollectBelow detaches and returns owned blocks of the class with
 // occupancy <= maxOcc — the collection stage of compaction (§3.1.4). The
-// blocks' ownership moves to the requesting leader thread.
+// blocks' ownership moves to the requesting leader thread. Holding t.mu
+// here is what makes collection safe against in-flight allocations: the
+// store initializes new objects inside AllocAnd's critical section, so a
+// collected block never carries a claimed-but-uninitialized slot.
 func (t *ThreadLocal) CollectBelow(class int, maxOcc float64, leader int) []*Block {
 	t.mu.Lock()
 	defer t.mu.Unlock()

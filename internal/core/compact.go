@@ -231,11 +231,9 @@ func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 	}
 	s.returnBlocks(opts.Leader, leftovers)
 
-	s.mu.Lock()
-	s.stats.Compactions += int64(r.Merges)
-	s.stats.BlocksFreed += int64(r.BlocksFreed)
-	s.stats.ObjectsMoved += int64(r.ObjectsMoved)
-	s.mu.Unlock()
+	s.stats.compactions.Add(int64(r.Merges))
+	s.stats.blocksFreed.Add(int64(r.BlocksFreed))
+	s.stats.objectsMoved.Add(int64(r.ObjectsMoved))
 	return r
 }
 
@@ -288,10 +286,18 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 	cpu := s.cfg.Model.CPU
 
 	// Lock the objects under compaction (§3.2.3): RPC calls back off and
-	// one-sided readers observe the lock bits.
+	// one-sided readers observe the lock bits. Flipping the flag while
+	// holding each block's rw exclusively is the barrier that makes the
+	// RPC-path check sound: any Free/Write/ReleasePtr that passed the check
+	// has drained by the time the lock is acquired, and later ones observe
+	// the flag. The slot set is therefore stable once read below.
+	stSrc.rw.Lock()
 	stSrc.setCompacting(true)
-	stDst.setCompacting(true)
 	srcSlots := src.UsedSlots()
+	stSrc.rw.Unlock()
+	stDst.rw.Lock()
+	stDst.setCompacting(true)
+	stDst.rw.Unlock()
 	if s.cfg.DataBacked {
 		for _, idx := range srcSlots {
 			s.setLockState(stSrc, idx, lockCompaction)
@@ -340,10 +346,7 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 	dstFrames := dst.FrameList(s.space)
 	pages := src.Pages
 
-	s.mu.Lock()
-	aliasList := append([]uint64{src.VAddr}, s.aliasOf[stSrc]...)
-	delete(s.aliasOf, stSrc)
-	s.mu.Unlock()
+	aliasList := append([]uint64{src.VAddr}, stSrc.takeAliases()...)
 
 	for _, vaddr := range aliasList {
 		s.remapOne(vaddr, pages, dstFrames, opts, r)
@@ -351,14 +354,21 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 	}
 
 	// Bookkeeping: src is dissolved; its vaddr (and aliases) now resolve
-	// to dst. The physical frames of src were released by the remap.
-	s.mu.Lock()
-	delete(s.states, src)
+	// to dst. The physical frames of src were released by the remap. Each
+	// base's stripe is updated independently — safe because both blocks are
+	// still compaction-locked, so a resolve racing these updates lands on a
+	// retryable block whichever side of the swing it observes.
+	sh := s.shard(src.VAddr)
+	sh.mu.Lock()
+	delete(sh.states, src)
+	sh.mu.Unlock()
 	for _, vaddr := range aliasList {
-		s.aliases[vaddr] = stDst
+		ash := s.shard(vaddr)
+		ash.mu.Lock()
+		ash.aliases[vaddr] = stDst
+		ash.mu.Unlock()
 	}
-	s.aliasOf[stDst] = append(s.aliasOf[stDst], aliasList...)
-	s.mu.Unlock()
+	stDst.addAliases(aliasList)
 	s.proc.DropBlockKeepMapping(src)
 
 	// Addresses with no live homed objects become reusable immediately.
@@ -372,12 +382,15 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 		// and remain tracked until their homed objects disappear.
 	}
 
-	// Unlock.
+	// Unlock. src is flagged dissolved before its compacting flag drops, so
+	// an operation holding a stale stSrc reference always observes one of
+	// the two and retries against the destination.
 	if s.cfg.DataBacked {
 		for _, idx := range dst.UsedSlots() {
 			s.setLockState(stDst, idx, lockFree)
 		}
 	}
+	stSrc.markDissolved()
 	stSrc.setCompacting(false)
 	stDst.setCompacting(false)
 	s.phase(opts, r, PhaseUnlock, time.Duration(len(srcSlots))*cpu.LockPerObject)
@@ -387,9 +400,10 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 // new frames and restores NIC access per the configured strategy (§3.5).
 func (s *Store) remapOne(vaddr uint64, pages int, frames []*mem.Frame, opts *CompactOptions, r *CompactReport) {
 	nic := s.cfg.Model.NIC
-	s.mu.Lock()
-	region := s.regions[vaddr]
-	s.mu.Unlock()
+	sh := s.shard(vaddr)
+	sh.mu.RLock()
+	region := sh.regions[vaddr]
+	sh.mu.RUnlock()
 
 	switch s.cfg.Remap {
 	case RemapRereg:

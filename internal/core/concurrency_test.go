@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStoreOpsUnderCompaction drives the striped store from many
+// goroutines at once — allocs, writes, reads, frees on per-worker objects
+// while a compactor merges the class in a loop — and then audits the atomic
+// stat totals against per-goroutine counts. Run under -race this covers the
+// shard stripes, the per-block locks, and the alias handoff in merge.
+func TestConcurrentStoreOpsUnderCompaction(t *testing.T) {
+	const workers = 8
+	s := testStore(t, func(cfg *Config) { cfg.Workers = workers })
+
+	const (
+		size          = 64
+		iters         = 60
+		objsPerWorker = 12
+	)
+	class := s.Allocator().Config().ClassFor(size)
+
+	stop := make(chan struct{})
+	var compactWG sync.WaitGroup
+	compactWG.Add(1)
+	go func() {
+		defer compactWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxOccupancy: 1.0})
+		}
+	}()
+
+	type tally struct{ allocs, frees, reads, writes int64 }
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			tl := &tallies[w]
+			buf := make([]byte, s.ClassSize(class))
+			for i := 0; i < iters; i++ {
+				addrs := make([]Addr, 0, objsPerWorker)
+				for k := 0; k < objsPerWorker; k++ {
+					res, err := s.AllocOn(w, size)
+					if err != nil {
+						errs <- err
+						return
+					}
+					tl.allocs++
+					addrs = append(addrs, res.Addr)
+				}
+				for k := range addrs {
+					payload := fill(size, byte(w<<4|k))
+					// Compaction may lock the object mid-operation: retry the
+					// op, exactly like a remote client would (§3.2.3).
+					for {
+						if err := s.Write(&addrs[k], payload); err == nil {
+							tl.writes++
+							break
+						} else if !errors.Is(err, ErrCompacting) {
+							errs <- err
+							return
+						}
+					}
+					for {
+						if _, err := s.Read(&addrs[k], buf); err == nil {
+							tl.reads++
+							break
+						} else if !errors.Is(err, ErrCompacting) {
+							errs <- err
+							return
+						}
+					}
+					if !bytes.Equal(buf[:size], payload) {
+						errs <- errors.New("read returned another object's payload")
+						return
+					}
+				}
+				for k := range addrs {
+					for {
+						if err := s.Free(&addrs[k]); err == nil {
+							tl.frees++
+							break
+						} else if !errors.Is(err, ErrCompacting) {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	compactWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	var want tally
+	for _, tl := range tallies {
+		want.allocs += tl.allocs
+		want.frees += tl.frees
+		want.reads += tl.reads
+		want.writes += tl.writes
+	}
+	st := s.Stats()
+	if st.Allocs != want.allocs || st.Frees != want.frees {
+		t.Fatalf("alloc/free totals drifted: stats %d/%d, counted %d/%d",
+			st.Allocs, st.Frees, want.allocs, want.frees)
+	}
+	if st.Reads != want.reads || st.Writes != want.writes {
+		t.Fatalf("read/write totals drifted: stats %d/%d, counted %d/%d",
+			st.Reads, st.Writes, want.reads, want.writes)
+	}
+	if st.Allocs != st.Frees {
+		t.Fatalf("leaked objects: %d allocs vs %d frees", st.Allocs, st.Frees)
+	}
+}
+
+// TestStatsSnapshotDuringTraffic reads Stats concurrently with mutations —
+// with atomic counters the snapshot must never tear (no counter can exceed
+// the final settled value).
+func TestStatsSnapshotDuringTraffic(t *testing.T) {
+	s := testStore(t, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := s.AllocOn(0, 64)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Free(&res.Addr); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		st := s.Stats()
+		if st.Frees > st.Allocs {
+			t.Fatalf("snapshot tore: %d frees > %d allocs", st.Frees, st.Allocs)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -95,8 +95,8 @@ type blockState struct {
 	*alloc.Block
 	meta *blockMeta
 
-	// mu guards compacting; rw serializes RPC-path object access against
-	// writers (one-sided reads deliberately bypass it).
+	// mu guards compacting and aliasList; rw serializes RPC-path object
+	// access against writers (one-sided reads deliberately bypass it).
 	mu sync.Mutex
 	rw sync.RWMutex
 
@@ -104,8 +104,54 @@ type blockState struct {
 	// fail (retry) and one-sided readers see the lock bits (§3.2.3).
 	compacting bool
 
+	// dissolved marks a block merged away by compaction: its objects now
+	// live in the merge destination and the base resolves there. Set while
+	// compacting is still true, so an RPC operation holding a stale
+	// *blockState observes at least one of the two flags and retries.
+	dissolved bool
+
+	// dead marks a block released back to the process-wide allocator (its
+	// vaddr may be unmapped). Operations holding a stale reference must not
+	// touch its memory; every object it held was freed.
+	dead bool
+
+	// aliasList holds the dissolved block-base vaddrs attached to this live
+	// block by compaction (excluding its primary base). Keeping the list on
+	// the block — instead of a store-global aliasOf map — lets the striped
+	// store index update each alias's own stripe independently.
+	aliasList []uint64
+
 	// region is the RNIC registration covering this block's vaddr.
 	region regionRef
+}
+
+// addAliases attaches dissolved bases to this live block.
+func (st *blockState) addAliases(list []uint64) {
+	st.mu.Lock()
+	st.aliasList = append(st.aliasList, list...)
+	st.mu.Unlock()
+}
+
+// takeAliases drains and returns the attached alias bases.
+func (st *blockState) takeAliases() []uint64 {
+	st.mu.Lock()
+	list := st.aliasList
+	st.aliasList = nil
+	st.mu.Unlock()
+	return list
+}
+
+// removeAlias detaches one alias base (its last homed object is gone).
+func (st *blockState) removeAlias(vaddr uint64) {
+	st.mu.Lock()
+	for i, a := range st.aliasList {
+		if a == vaddr {
+			st.aliasList[i] = st.aliasList[len(st.aliasList)-1]
+			st.aliasList = st.aliasList[:len(st.aliasList)-1]
+			break
+		}
+	}
+	st.mu.Unlock()
 }
 
 // regionRef identifies the NIC region of a block (kept small: the rkey is

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"corm/internal/alloc"
 	"corm/internal/mem"
@@ -34,7 +35,60 @@ type Stats struct {
 	VaddrsReused     int64
 }
 
+// counters is the store's live tally. Every field is atomic so hot-path
+// operations (Read, Write, resolve) never rendezvous on a stats lock; Stats
+// snapshots them into the exported plain-int64 Stats.
+type counters struct {
+	allocs, frees    atomic.Int64
+	reads, writes    atomic.Int64
+	corrections      atomic.Int64
+	correctionMisses atomic.Int64
+	releases         atomic.Int64
+	compactions      atomic.Int64
+	blocksFreed      atomic.Int64
+	objectsMoved     atomic.Int64
+	vaddrsReused     atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Allocs: c.allocs.Load(), Frees: c.frees.Load(),
+		Reads: c.reads.Load(), Writes: c.writes.Load(),
+		Corrections:      c.corrections.Load(),
+		CorrectionMisses: c.correctionMisses.Load(),
+		Releases:         c.releases.Load(),
+		Compactions:      c.compactions.Load(),
+		BlocksFreed:      c.blocksFreed.Load(),
+		ObjectsMoved:     c.objectsMoved.Load(),
+		VaddrsReused:     c.vaddrsReused.Load(),
+	}
+}
+
+// storeShards stripes the block-index maps. Each block-base vaddr hashes to
+// one stripe, so operations on different blocks take different locks; the
+// per-operation heavy lifting rides the per-block blockState locks anyway,
+// leaving the stripes with only map lookups.
+const storeShards = 64
+
+// storeShard is one stripe of the block index. All three maps are keyed (or
+// keyable) by block-base vaddr: states by the block's primary base, aliases
+// and regions by any base (live or dissolved-and-aliased).
+type storeShard struct {
+	mu      sync.RWMutex
+	states  map[*alloc.Block]*blockState
+	aliases map[uint64]*blockState  // block-base vaddr (live or aliased) -> live block
+	regions map[uint64]*rnic.Region // block-base vaddr -> NIC registration
+}
+
 // Store is one CoRM node.
+//
+// Lock hierarchy (documented order; all are leaves of each other — no code
+// path holds two of them except shard.mu strictly before nothing):
+//
+//	shard.mu > { blockState.mu, blockState.rw, blockMeta.mu, vt.mu, rngMu }
+//
+// In practice shard critical sections only touch the maps; per-block work
+// happens outside them under the blockState locks.
 type Store struct {
 	cfg    Config
 	phys   *mem.Phys
@@ -43,15 +97,18 @@ type Store struct {
 	proc   *alloc.ProcWide
 	thread []*alloc.ThreadLocal
 
-	mu      sync.Mutex
-	states  map[*alloc.Block]*blockState
-	aliases map[uint64]*blockState   // any block-base vaddr (live or aliased) -> live block
-	aliasOf map[*blockState][]uint64 // alias bases attached to a live block (excl. primary)
-	regions map[uint64]*rnic.Region  // block-base vaddr -> NIC registration
-	rng     *rand.Rand
+	shards [storeShards]storeShard
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	vt    *vaddrTracker
-	stats Stats
+	stats counters
+}
+
+// shard returns the stripe owning a block-base vaddr.
+func (s *Store) shard(base uint64) *storeShard {
+	return &s.shards[(base/uint64(s.cfg.BlockBytes))%storeShards]
 }
 
 // NewStore builds a store from the configuration.
@@ -67,17 +124,19 @@ func NewStore(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		cfg:     cfg,
-		phys:    phys,
-		space:   space,
-		nic:     rnic.New(space, cfg.Model.NIC),
-		proc:    proc,
-		states:  make(map[*alloc.Block]*blockState),
-		aliases: make(map[uint64]*blockState),
-		aliasOf: make(map[*blockState][]uint64),
-		regions: make(map[uint64]*rnic.Region),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		vt:      newVaddrTracker(),
+		cfg:   cfg,
+		phys:  phys,
+		space: space,
+		nic:   rnic.New(space, cfg.Model.NIC),
+		proc:  proc,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		vt:    newVaddrTracker(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.states = make(map[*alloc.Block]*blockState)
+		sh.aliases = make(map[uint64]*blockState)
+		sh.regions = make(map[uint64]*rnic.Region)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.thread = append(s.thread, alloc.NewThreadLocal(i, proc))
@@ -103,11 +162,7 @@ func (s *Store) Allocator() *alloc.ProcWide { return s.proc }
 func (s *Store) Workers() int { return s.cfg.Workers }
 
 // Stats snapshots the counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
 // ActiveBytes is the store's active physical memory (Figs 17-19).
 func (s *Store) ActiveBytes() int64 { return s.phys.LiveBytes() }
@@ -123,32 +178,39 @@ func (s *Store) ClassSize(class int) int { return s.cfg.Classes[class] }
 // onNewBlock wires store-level state to a freshly mapped block.
 func (s *Store) onNewBlock(b *alloc.Block) {
 	st := &blockState{Block: b, meta: newBlockMeta(b.Slots)}
+	var region *rnic.Region
 	if s.cfg.DataBacked {
-		region, err := s.nic.Register(b.VAddr, s.cfg.BlockBytes, s.useODP())
+		var err error
+		region, err = s.nic.Register(b.VAddr, s.cfg.BlockBytes, s.useODP())
 		if err != nil {
 			panic(fmt.Sprintf("core: block registration failed: %v", err))
 		}
 		st.region = regionRef{rkey: region.RKey}
-		s.mu.Lock()
-		s.regions[b.VAddr] = region
-		s.mu.Unlock()
 	}
-	s.mu.Lock()
-	s.states[b] = st
-	s.aliases[b.VAddr] = st
-	s.mu.Unlock()
+	sh := s.shard(b.VAddr)
+	sh.mu.Lock()
+	if region != nil {
+		sh.regions[b.VAddr] = region
+	}
+	sh.states[b] = st
+	sh.aliases[b.VAddr] = st
+	sh.mu.Unlock()
 }
 
 // onReleaseBlock tears down store state before a block is unmapped.
 func (s *Store) onReleaseBlock(b *alloc.Block) {
-	s.mu.Lock()
-	st := s.states[b]
-	delete(s.states, b)
-	delete(s.aliases, b.VAddr)
-	delete(s.aliasOf, st)
-	region := s.regions[b.VAddr]
-	delete(s.regions, b.VAddr)
-	s.mu.Unlock()
+	sh := s.shard(b.VAddr)
+	sh.mu.Lock()
+	st := sh.states[b]
+	delete(sh.states, b)
+	delete(sh.aliases, b.VAddr)
+	region := sh.regions[b.VAddr]
+	delete(sh.regions, b.VAddr)
+	sh.mu.Unlock()
+	if st != nil {
+		st.markDead() // stale references must not touch the unmapped vaddr
+		st.takeAliases()
+	}
 	if region != nil {
 		s.nic.Deregister(region)
 	}
@@ -158,9 +220,10 @@ func (s *Store) useODP() bool { return s.cfg.Remap != RemapRereg }
 
 // stateOf resolves the store state of a block.
 func (s *Store) stateOf(b *alloc.Block) *blockState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.states[b]
+	sh := s.shard(b.VAddr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.states[b]
 }
 
 // blockBase masks an address down to its block base.
@@ -169,11 +232,14 @@ func (s *Store) blockBase(vaddr uint64) uint64 {
 }
 
 // resolveBase finds the live block serving a block-base vaddr (directly or
-// through a compaction alias).
+// through a compaction alias). This is the hottest store lookup — one
+// shared-mode stripe lock, so concurrent resolves on different (and mostly
+// even on the same) blocks proceed in parallel.
 func (s *Store) resolveBase(base uint64) (*blockState, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.aliases[base]
+	sh := s.shard(base)
+	sh.mu.RLock()
+	st, ok := sh.aliases[base]
+	sh.mu.RUnlock()
 	return st, ok
 }
 
@@ -189,8 +255,8 @@ func (s *Store) drawID(st *blockState) uint16 {
 		return 0
 	}
 	mask := uint16(1<<s.cfg.IDBits - 1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
 	for {
 		id := uint16(s.rng.Intn(1<<s.cfg.IDBits)) & mask
 		if !st.meta.hasID(id) {
@@ -213,38 +279,64 @@ func (s *Store) AllocOn(thread int, size int) (AllocResult, error) {
 	if class < 0 {
 		return AllocResult{}, fmt.Errorf("%w: %d bytes", ErrNoClass, size)
 	}
-	b, slot, refilled := s.thread[thread].Alloc(class)
-	st := s.stateOf(b)
-	id := s.drawID(st)
-	st.meta.set(slot, id, b.VAddr)
-	s.vt.incHome(b.VAddr)
+	// Slot claim and object initialization happen inside the thread-local
+	// allocator's critical section (AllocAnd): a compaction leader collecting
+	// this thread's blocks serializes on the same lock, so it can never merge
+	// away a slot whose metadata and header are not yet written.
+	var (
+		addr    Addr
+		postErr error
+	)
+	b, _, refilled := s.thread[thread].AllocAnd(class, func(b *alloc.Block, slot int, _ bool) error {
+		st := s.stateOf(b)
+		id := s.drawID(st)
+		st.meta.set(slot, id, b.VAddr)
+		s.vt.incHome(b.VAddr)
 
-	if s.cfg.DataBacked {
-		raw := make([]byte, b.Stride)
-		encodeHeader(raw, header{Version: 0, Lock: lockFree, Alloc: true, ID: id, Home: b.VAddr})
-		if s.cfg.Consistency == ConsistencyChecksum {
-			sealChecksum(raw, nil, s.cfg.Classes[class], 0)
-		} else {
-			tagLines(raw, 0)
+		if s.cfg.DataBacked {
+			raw := make([]byte, b.Stride)
+			encodeHeader(raw, header{Version: 0, Lock: lockFree, Alloc: true, ID: id, Home: b.VAddr})
+			if s.cfg.Consistency == ConsistencyChecksum {
+				sealChecksum(raw, nil, s.cfg.Classes[class], 0)
+			} else {
+				tagLines(raw, 0)
+			}
+			if err := s.space.WriteAt(b.SlotAddr(slot), raw); err != nil {
+				st.meta.clear(slot)
+				s.vt.decHome(b.VAddr)
+				postErr = err
+				return err
+			}
 		}
-		if err := s.space.WriteAt(b.SlotAddr(slot), raw); err != nil {
-			return AllocResult{}, err
-		}
+		addr = MakeAddr(b.SlotAddr(slot), id, st.region.rkey, uint8(class))
+		return nil
+	})
+	if b == nil {
+		return AllocResult{}, postErr
 	}
 
-	s.mu.Lock()
-	s.stats.Allocs++
-	s.mu.Unlock()
-	return AllocResult{
-		Addr:     MakeAddr(b.SlotAddr(slot), id, st.region.rkey, uint8(class)),
-		Refilled: refilled,
-	}, nil
+	s.stats.allocs.Add(1)
+	return AllocResult{Addr: addr, Refilled: refilled}, nil
 }
 
 // resolve locates the live block and slot for a pointer, performing
 // pointer correction when the hinted slot does not hold the object
 // (§3.2.1). It reports whether correction was needed.
 func (s *Store) resolve(addr *Addr) (*blockState, int, bool, error) {
+	for {
+		st, slot, corrected, err := s.resolveOnce(addr)
+		if err == errStaleResolve {
+			continue
+		}
+		return st, slot, corrected, err
+	}
+}
+
+// errStaleResolve signals that a lookup raced a completing merge and the
+// base now resolves to a different live block: try again.
+var errStaleResolve = errors.New("core: stale resolve")
+
+func (s *Store) resolveOnce(addr *Addr) (*blockState, int, bool, error) {
 	base := s.blockBase(addr.VAddr())
 	st, ok := s.resolveBase(base)
 	if !ok {
@@ -277,17 +369,20 @@ func (s *Store) resolve(addr *Addr) (*blockState, int, bool, error) {
 			// gone (§3.2.3).
 			return nil, 0, false, ErrCompacting
 		}
-		s.mu.Lock()
-		s.stats.Corrections++
-		s.stats.CorrectionMisses++
-		s.mu.Unlock()
+		// The lookup may have observed a merge's transient gap (object
+		// detached from src, base not yet rerouted) that completed before
+		// the compacting check above. If the base resolves elsewhere now,
+		// the miss was stale — retry against the merge destination.
+		if cur, ok2 := s.resolveBase(base); !ok2 || cur != st {
+			return nil, 0, false, errStaleResolve
+		}
+		s.stats.corrections.Add(1)
+		s.stats.correctionMisses.Add(1)
 		return nil, 0, false, fmt.Errorf("%w: id %d in block %#x", ErrNotFound, addr.ID(), base)
 	}
 	addr.SetVAddr(base + uint64(found*st.Stride))
 	addr.SetFlag(FlagIndirectObserved)
-	s.mu.Lock()
-	s.stats.Corrections++
-	s.mu.Unlock()
+	s.stats.corrections.Add(1)
 	return st, found, true, nil
 }
 
@@ -298,21 +393,28 @@ func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if st.isCompacting() {
-		return 0, ErrCompacting
-	}
 	size := s.ClassSize(st.Class)
 	if len(buf) < size {
 		return 0, ErrShortBuffer
 	}
-	s.mu.Lock()
-	s.stats.Reads++
-	s.mu.Unlock()
 	if !s.cfg.DataBacked {
+		if err := st.gone(); err != nil {
+			return 0, err
+		}
+		s.stats.reads.Add(1)
 		return size, nil
 	}
+	// The liveness check lives under rw: merge flips the compacting flag
+	// while holding rw exclusively, so an operation that passed the check
+	// cannot still be in flight when the merge's copy phase begins — and a
+	// stale reference to a dissolved or released block is caught here
+	// before any memory access.
 	st.rw.RLock()
 	defer st.rw.RUnlock()
+	if err := st.gone(); err != nil {
+		return 0, err
+	}
+	s.stats.reads.Add(1)
 	raw := make([]byte, st.Stride)
 	if err := s.space.ReadAt(st.SlotAddr(slot), raw); err != nil {
 		return 0, err
@@ -333,22 +435,24 @@ func (s *Store) Write(addr *Addr, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	if st.isCompacting() {
-		return ErrCompacting
-	}
 	size := s.ClassSize(st.Class)
 	if len(payload) > size {
 		return fmt.Errorf("%w: payload %d > class %d", ErrShortBuffer, len(payload), size)
 	}
-	s.mu.Lock()
-	s.stats.Writes++
-	s.mu.Unlock()
 	if !s.cfg.DataBacked {
+		if err := st.gone(); err != nil {
+			return err
+		}
+		s.stats.writes.Add(1)
 		return nil
 	}
 
 	st.rw.Lock()
 	defer st.rw.Unlock()
+	if err := st.gone(); err != nil {
+		return err
+	}
+	s.stats.writes.Add(1)
 	base := st.SlotAddr(slot)
 	raw := make([]byte, st.Stride)
 	if err := s.space.ReadAt(base, raw); err != nil {
@@ -424,24 +528,37 @@ func (s *Store) Free(addr *Addr) error {
 	if err != nil {
 		return err
 	}
-	if st.isCompacting() {
-		return ErrCompacting
+	// Held across the whole mutation so a merge that starts concurrently
+	// (its lock phase takes rw exclusively) either waits for this free or
+	// is observed by the compacting check.
+	st.rw.Lock()
+	if err := st.gone(); err != nil {
+		st.rw.Unlock()
+		return err
 	}
 	_, home := st.meta.clear(slot)
 	if s.cfg.DataBacked {
 		// Mark the stored slot free so one-sided readers reject it.
 		s.clearAllocBit(st, slot)
 	}
-	owner := st.Owner()
-	if owner < 0 || owner >= len(s.thread) {
-		owner = 0
+	// Route to the owner thread, re-reading ownership if a compaction
+	// leader collected the block between the read and the free.
+	for {
+		owner := st.Owner()
+		if owner < 0 || owner >= len(s.thread) {
+			owner = 0
+		}
+		err := s.thread[owner].Free(st.Block, slot)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, alloc.ErrWrongOwner) {
+			st.rw.Unlock()
+			return err
+		}
 	}
-	if err := s.thread[owner].Free(st.Block, slot); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.stats.Frees++
-	s.mu.Unlock()
+	st.rw.Unlock()
+	s.stats.frees.Add(1)
 	if pages, reuse := s.vt.decHome(home); reuse {
 		s.releaseAlias(home, pages)
 	}
@@ -457,12 +574,16 @@ func (s *Store) ReleasePtr(addr *Addr) (Addr, error) {
 	if err != nil {
 		return Addr{}, err
 	}
+	st.rw.Lock()
+	if err := st.gone(); err != nil {
+		st.rw.Unlock()
+		return Addr{}, err
+	}
+	s.stats.releases.Add(1)
 	id, home := st.meta.at(slot)
-	s.mu.Lock()
-	s.stats.Releases++
-	s.mu.Unlock()
 	if home == st.VAddr {
 		// Pointer already references the live block: nothing to release.
+		st.rw.Unlock()
 		return MakeAddr(st.SlotAddr(slot), id, st.region.rkey, uint8(st.Class)), nil
 	}
 	st.meta.setHome(slot, st.VAddr)
@@ -470,16 +591,16 @@ func (s *Store) ReleasePtr(addr *Addr) (Addr, error) {
 	if s.cfg.DataBacked {
 		s.rewriteHome(st, slot, st.VAddr)
 	}
+	st.rw.Unlock()
 	if pages, reuse := s.vt.decHome(home); reuse {
 		s.releaseAlias(home, pages)
 	}
 	return MakeAddr(st.SlotAddr(slot), id, st.region.rkey, uint8(st.Class)), nil
 }
 
-// clearAllocBit rewrites a slot header with the allocated bit cleared.
+// clearAllocBit rewrites a slot header with the allocated bit cleared. The
+// caller holds st.rw exclusively.
 func (s *Store) clearAllocBit(st *blockState, slot int) {
-	st.rw.Lock()
-	defer st.rw.Unlock()
 	base := st.SlotAddr(slot)
 	line := make([]byte, headerBytes)
 	if err := s.space.ReadAt(base, line); err != nil {
@@ -491,10 +612,9 @@ func (s *Store) clearAllocBit(st *blockState, slot int) {
 	s.space.WriteAt(base, line)
 }
 
-// rewriteHome updates the home field inside a stored object header.
+// rewriteHome updates the home field inside a stored object header. The
+// caller holds st.rw exclusively.
 func (s *Store) rewriteHome(st *blockState, slot int, home uint64) {
-	st.rw.Lock()
-	defer st.rw.Unlock()
 	base := st.SlotAddr(slot)
 	line := make([]byte, headerBytes)
 	if err := s.space.ReadAt(base, line); err != nil {
@@ -510,23 +630,17 @@ func (s *Store) rewriteHome(st *blockState, slot int, home uint64) {
 // is gone: the alias mapping is unmapped, its NIC region deregistered, and
 // the address returned to the reuse pool.
 func (s *Store) releaseAlias(vaddr uint64, pages int) {
-	s.mu.Lock()
-	st := s.aliases[vaddr]
-	delete(s.aliases, vaddr)
+	sh := s.shard(vaddr)
+	sh.mu.Lock()
+	st := sh.aliases[vaddr]
+	delete(sh.aliases, vaddr)
+	region := sh.regions[vaddr]
+	delete(sh.regions, vaddr)
+	sh.mu.Unlock()
 	if st != nil {
-		list := s.aliasOf[st]
-		for i, a := range list {
-			if a == vaddr {
-				list[i] = list[len(list)-1]
-				s.aliasOf[st] = list[:len(list)-1]
-				break
-			}
-		}
+		st.removeAlias(vaddr)
 	}
-	region := s.regions[vaddr]
-	delete(s.regions, vaddr)
-	s.stats.VaddrsReused++
-	s.mu.Unlock()
+	s.stats.vaddrsReused.Add(1)
 	if region != nil {
 		s.nic.Deregister(region)
 	}
@@ -566,4 +680,37 @@ func (st *blockState) setCompacting(v bool) {
 	st.mu.Lock()
 	st.compacting = v
 	st.mu.Unlock()
+}
+
+// markDissolved flags a merged-away block. Called while compacting is still
+// set, so concurrent operations cannot observe neither flag.
+func (st *blockState) markDissolved() {
+	st.mu.Lock()
+	st.dissolved = true
+	st.mu.Unlock()
+}
+
+// markDead flags a block released back to the process-wide allocator.
+func (st *blockState) markDead() {
+	st.mu.Lock()
+	st.dead = true
+	st.mu.Unlock()
+}
+
+// gone classifies a stale blockState reference: err is ErrCompacting when
+// the block is compaction-locked or was dissolved since resolve (the caller
+// retries and re-resolves to the merge destination), ErrNotFound when the
+// block was released entirely (every object it held was freed). The caller
+// holds st.rw in either mode, which orders this check against the merge
+// lock phase and against Free's release path.
+func (st *blockState) gone() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case st.dead:
+		return ErrNotFound
+	case st.compacting, st.dissolved:
+		return ErrCompacting
+	}
+	return nil
 }

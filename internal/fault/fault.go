@@ -6,9 +6,12 @@
 // seeded RNG, so a failing scenario replays exactly from its seed.
 //
 // The unit of scripting is one Read or Write call on the wrapped
-// connection. The transport's length-prefixed framing issues two writes per
-// frame (header, then payload) and two reads (header, then payload), so
-// "reset after frame N" is expressed as reset after 2N write ops.
+// connection. The transport writes each frame (12-byte header + body) as
+// one Write call — concurrent frames may coalesce into a single Write —
+// and reads through a buffered reader, so one Read call may deliver many
+// frames. In a single-request-at-a-time scenario, "reset after frame N" is
+// therefore expressed as reset after N write ops (plus one for the
+// client's channel handshake byte on client-side injection).
 //
 // Typical use, client side:
 //

@@ -6,33 +6,33 @@ import (
 	"corm/internal/core"
 )
 
-// Server drains a shared RPC queue with a pool of worker goroutines, one
-// per store worker thread — the architecture of §2.2.2: requests are
-// pushed into the queue and any worker picks them up. Allocation requests
-// are served from the executing worker's thread-local allocator.
+// Server executes requests against the store on behalf of a bounded set of
+// worker threads — the architecture of §2.2.2: requests enter a shared
+// queue and any worker picks them up. The "queue" is a pool of worker
+// tokens: a Submit borrows a thread ID (blocking while all workers are
+// busy, exactly like sitting in the shared queue) and executes on the
+// calling goroutine. This keeps the paper's invariant — at most one
+// in-flight request per worker thread, so thread-local allocators are
+// never used concurrently — without paying two goroutine handoffs per
+// request, which dominates the RPC hot path once the transport pipelines.
 type Server struct {
-	store *core.Store
-	queue chan task
-	wg    sync.WaitGroup
+	store  *core.Store
+	tokens chan int // thread IDs 0..Workers-1; ownership = execution right
 
-	mu     sync.Mutex
+	// mu is held shared by Submit and exclusively by Close, so concurrent
+	// submissions never serialize on each other — only against shutdown.
+	mu     sync.RWMutex
 	closed bool
 }
 
-type task struct {
-	req   Request
-	reply chan Response
-}
-
-// NewServer starts the worker pool over the store.
+// NewServer builds the worker-token pool over the store.
 func NewServer(store *core.Store) *Server {
 	s := &Server{
-		store: store,
-		queue: make(chan task, 1024),
+		store:  store,
+		tokens: make(chan int, store.Workers()),
 	}
 	for i := 0; i < store.Workers(); i++ {
-		s.wg.Add(1)
-		go s.worker(i)
+		s.tokens <- i
 	}
 	return s
 }
@@ -40,37 +40,27 @@ func NewServer(store *core.Store) *Server {
 // Store exposes the underlying store.
 func (s *Server) Store() *core.Store { return s.store }
 
-// Close stops the workers after the queue drains.
+// Close stops accepting requests and waits for in-flight ones to drain.
 func (s *Server) Close() {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
+	defer s.mu.Unlock()
 	s.closed = true
-	close(s.queue)
-	s.mu.Unlock()
-	s.wg.Wait()
 }
 
-// Submit enqueues a request and waits for its response.
+// Submit executes a request on a borrowed worker thread and returns its
+// response. Concurrent Submits proceed in parallel up to the worker count;
+// beyond that they wait their turn, like requests queued in §2.2.2's
+// shared RPC queue.
 func (s *Server) Submit(req Request) Response {
-	reply := make(chan Response, 1)
-	s.mu.Lock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
-		s.mu.Unlock()
 		return Response{Status: StatusError}
 	}
-	s.queue <- task{req: req, reply: reply}
-	s.mu.Unlock()
-	return <-reply
-}
-
-func (s *Server) worker(thread int) {
-	defer s.wg.Done()
-	for t := range s.queue {
-		t.reply <- s.execute(thread, t.req)
-	}
+	thread := <-s.tokens
+	resp := s.execute(thread, req)
+	s.tokens <- thread
+	return resp
 }
 
 // execute dispatches one request against the store on behalf of a worker

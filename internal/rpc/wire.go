@@ -107,14 +107,22 @@ const reqHeader = 1 + 16 + 4 + 4 // op + addr + size + payload len
 
 // Marshal encodes the request.
 func (r *Request) Marshal() []byte {
-	buf := make([]byte, reqHeader+len(r.Payload))
+	return r.MarshalAppend(make([]byte, 0, reqHeader+len(r.Payload)))
+}
+
+// MarshalAppend encodes the request onto dst — the allocation-free variant
+// the transport hot path uses with pooled buffers.
+func (r *Request) MarshalAppend(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, reqHeader+len(r.Payload))...)
+	buf := dst[off:]
 	buf[0] = byte(r.Op)
 	binary.LittleEndian.PutUint64(buf[1:], r.Addr.Lo)
 	binary.LittleEndian.PutUint64(buf[9:], r.Addr.Hi)
 	binary.LittleEndian.PutUint32(buf[17:], r.Size)
 	binary.LittleEndian.PutUint32(buf[21:], uint32(len(r.Payload)))
 	copy(buf[25:], r.Payload)
-	return buf
+	return dst
 }
 
 // UnmarshalRequest decodes a request frame.
@@ -141,13 +149,21 @@ const respHeader = 1 + 16 + 4
 
 // Marshal encodes the response.
 func (r *Response) Marshal() []byte {
-	buf := make([]byte, respHeader+len(r.Payload))
+	return r.MarshalAppend(make([]byte, 0, respHeader+len(r.Payload)))
+}
+
+// MarshalAppend encodes the response onto dst — the allocation-free variant
+// the transport hot path uses with pooled buffers.
+func (r *Response) MarshalAppend(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, respHeader+len(r.Payload))...)
+	buf := dst[off:]
 	buf[0] = byte(r.Status)
 	binary.LittleEndian.PutUint64(buf[1:], r.Addr.Lo)
 	binary.LittleEndian.PutUint64(buf[9:], r.Addr.Hi)
 	binary.LittleEndian.PutUint32(buf[17:], uint32(len(r.Payload)))
 	copy(buf[21:], r.Payload)
-	return buf
+	return dst
 }
 
 // UnmarshalResponse decodes a response frame.

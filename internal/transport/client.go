@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -14,9 +15,10 @@ import (
 // Options tunes a client connection's failure behaviour. The zero value
 // gets sane defaults (see withDefaults).
 type Options struct {
-	// CallTimeout bounds one round trip on either channel via SetDeadline;
-	// an expired deadline breaks the channel (framing state is unknown).
-	// <0 disables deadlines.
+	// CallTimeout bounds one round trip on either channel; a call that
+	// expires breaks the channel (responses can no longer be matched to
+	// waiters reliably) and fails every pending call on it. <0 disables
+	// timeouts.
 	CallTimeout time.Duration
 	// RedialAttempts bounds how many dials one repair of a broken channel
 	// performs before giving up (the operation then fails with
@@ -54,23 +56,48 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// channel is one framed stream to the server. A channel whose write or read
-// failed mid-frame is marked broken — its framing state is undefined, so it
-// must never be reused — and is re-dialed on next use.
+// callResult is what the demux reader (or the failure path) delivers to a
+// waiting caller. The body is a pooled frame buffer; the waiter returns it
+// with putFrameBuf after decoding.
+type callResult struct {
+	body []byte
+	err  error
+}
+
+// channel is one multiplexed framed stream to the server. Many calls may be
+// in flight at once: each registers a sequence ID in pending, writes its
+// frame under wmu, and waits for the demux reader goroutine (one per dialed
+// connection) to deliver the matching response. A channel whose read or
+// write failed mid-frame is marked broken — its framing state is undefined,
+// so it must never be reused — every pending call fails with ErrConnBroken,
+// and the next use re-dials.
 type channel struct {
 	kind byte
 
-	mu     sync.Mutex
-	nc     net.Conn
-	broken bool
-	closed bool
+	mu      sync.Mutex // guards nc, fw, broken, closed, seq, pending
+	nc      net.Conn
+	fw      *frameWriter // coalescing writer for the current nc
+	broken  bool
+	closed  bool
+	seq     uint64
+	pending map[uint64]chan callResult
+}
+
+// failPendingLocked delivers err to every pending call. Caller holds ch.mu.
+func (ch *channel) failPendingLocked(err error) {
+	for seq, done := range ch.pending {
+		delete(ch.pending, seq)
+		done <- callResult{err: err}
+	}
 }
 
 // Conn is a client's connection bundle to one CoRM node: one RPC channel
-// and one DMA (emulated one-sided) channel. Both channels self-heal:
-// transport faults mark them broken, and the next operation transparently
-// re-dials with exponential backoff. Conn does not re-issue operations —
-// that is the client layer's job, and only for idempotent ones.
+// and one DMA (emulated one-sided) channel. Both channels are multiplexed
+// (concurrent calls pipeline on the wire) and self-heal: transport faults
+// mark them broken, fail all in-flight calls with ErrConnBroken, and the
+// next operation transparently re-dials with exponential backoff. Conn does
+// not re-issue operations — that is the client layer's job, and only for
+// idempotent ones.
 type Conn struct {
 	addr string
 	opts Options
@@ -106,9 +133,28 @@ func DialOptions(addr string, opts Options) (*Conn, error) {
 		rpcConn.Close()
 		return nil, err
 	}
-	c.rpc.nc = rpcConn
-	c.dma.nc = dmaConn
+	c.attach(&c.rpc, rpcConn)
+	c.attach(&c.dma, dmaConn)
 	return c, nil
+}
+
+// attach installs a freshly dialed connection on a channel and starts its
+// demux reader.
+func (c *Conn) attach(ch *channel, nc net.Conn) {
+	ch.mu.Lock()
+	c.attachLocked(ch, nc)
+	ch.mu.Unlock()
+}
+
+// attachLocked is attach with ch.mu already held.
+func (c *Conn) attachLocked(ch *channel, nc net.Conn) {
+	ch.nc = nc
+	ch.fw = newFrameWriter(nc, func(err error) {
+		c.failChannel(ch, nc, "write", err)
+	})
+	ch.broken = false
+	ch.pending = make(map[uint64]chan callResult)
+	go c.readLoop(ch, nc)
 }
 
 func (c *Conn) dialChannel(kind byte) (net.Conn, error) {
@@ -123,21 +169,20 @@ func (c *Conn) dialChannel(kind byte) (net.Conn, error) {
 	return nc, nil
 }
 
-// Close tears down both channels.
+// Close tears down both channels, failing any in-flight calls.
 func (c *Conn) Close() error {
-	c.rpc.mu.Lock()
-	c.rpc.closed = true
-	if c.rpc.nc != nil {
-		c.rpc.nc.Close()
-	}
-	c.rpc.mu.Unlock()
-	c.dma.mu.Lock()
-	c.dma.closed = true
 	var err error
-	if c.dma.nc != nil {
-		err = c.dma.nc.Close()
+	for _, ch := range []*channel{&c.rpc, &c.dma} {
+		ch.mu.Lock()
+		ch.closed = true
+		ch.failPendingLocked(ErrConnClosed)
+		if ch.nc != nil {
+			if e := ch.nc.Close(); e != nil {
+				err = e
+			}
+		}
+		ch.mu.Unlock()
 	}
-	c.dma.mu.Unlock()
 	return err
 }
 
@@ -150,7 +195,8 @@ func (c *Conn) jitterSleep(d time.Duration) {
 }
 
 // ensureLocked repairs a broken or missing channel, re-dialing with
-// exponential backoff + jitter. Caller holds ch.mu.
+// exponential backoff + jitter and restarting the demux reader. Caller
+// holds ch.mu.
 func (c *Conn) ensureLocked(ch *channel) error {
 	if ch.closed {
 		return ErrConnClosed
@@ -176,92 +222,189 @@ func (c *Conn) ensureLocked(ch *channel) error {
 			last = err
 			continue
 		}
-		ch.nc = nc
-		ch.broken = false
+		c.attachLocked(ch, nc)
 		return nil
 	}
 	return fmt.Errorf("%w: redial %s failed: %v", ErrConnBroken, c.addr, last)
 }
 
-// breakLocked poisons the channel after a mid-frame fault: the stream's
-// framing state is undefined, so the connection is closed and the next use
-// re-dials instead of desynchronizing. Caller holds ch.mu.
-func (c *Conn) breakLocked(ch *channel, stage string, err error) error {
-	ch.broken = true
-	if ch.nc != nil {
-		ch.nc.Close()
+// failChannel poisons the channel after a fault on the given connection
+// incarnation: the stream's framing state is undefined, so the connection
+// is closed, every pending call fails with ErrConnBroken, and the next use
+// re-dials instead of desynchronizing. If the channel has already moved on
+// to a newer connection (or is closed), this is a no-op — the fault belongs
+// to a previous incarnation whose pending calls were already failed.
+func (c *Conn) failChannel(ch *channel, nc net.Conn, stage string, cause error) error {
+	err := fmt.Errorf("%w: %s: %v", ErrConnBroken, stage, cause)
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.nc != nc || ch.closed {
+		return err
 	}
-	return fmt.Errorf("%w: %s: %v", ErrConnBroken, stage, err)
+	ch.broken = true
+	nc.Close()
+	ch.failPendingLocked(err)
+	return err
 }
 
-// exchangeLocked performs one framed round trip under the per-call
-// deadline. Any failure poisons the channel. Caller holds ch.mu.
-func (c *Conn) exchangeLocked(ch *channel, payload []byte) ([]byte, error) {
+// readLoop is the demux reader: it pulls response frames off one connection
+// incarnation and delivers each to the pending call whose sequence ID it
+// echoes. Any read fault — including an unsolicited sequence ID, which
+// means the stream is desynchronized — poisons the channel and fails all
+// pending calls.
+func (c *Conn) readLoop(ch *channel, nc net.Conn) {
+	br := bufio.NewReaderSize(nc, readBufBytes)
+	for {
+		seq, body, err := readFrame(br)
+		if err != nil {
+			c.failChannel(ch, nc, "read", err)
+			return
+		}
+		ch.mu.Lock()
+		if ch.nc != nc {
+			ch.mu.Unlock()
+			putFrameBuf(body)
+			return
+		}
+		done, ok := ch.pending[seq]
+		if ok {
+			delete(ch.pending, seq)
+		}
+		ch.mu.Unlock()
+		if !ok {
+			putFrameBuf(body)
+			c.failChannel(ch, nc, "decode", fmt.Errorf("unsolicited response seq %d", seq))
+			return
+		}
+		done <- callResult{body: body}
+	}
+}
+
+// errCallTimeout marks a round trip that outlived CallTimeout; it surfaces
+// wrapped in ErrConnBroken and satisfies net.Error's Timeout.
+type errCallTimeout struct{ d time.Duration }
+
+func (e errCallTimeout) Error() string { return fmt.Sprintf("call exceeded %v", e.d) }
+func (e errCallTimeout) Timeout() bool { return true }
+
+// timerPool recycles call-timeout timers; a fresh time.NewTimer costs three
+// allocations per round trip, which shows up at pipelined call rates.
+var timerPool = sync.Pool{}
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops and drains a timer obtained from getTimer. The caller must
+// no longer be selecting on t.C.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// roundTrip performs one multiplexed exchange: register a pending call,
+// write the request frame, wait for the demux reader to deliver the
+// response. The returned body is a pooled frame buffer — decode it and hand
+// it back with putFrameBuf. Transport faults (including timeout) poison the
+// channel and fail all its pending calls.
+func (c *Conn) roundTrip(ch *channel, body []byte) ([]byte, error) {
+	ch.mu.Lock()
 	if err := c.ensureLocked(ch); err != nil {
+		ch.mu.Unlock()
 		return nil, err
 	}
-	if c.opts.CallTimeout > 0 {
-		ch.nc.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+	nc := ch.nc
+	fw := ch.fw
+	ch.seq++
+	seq := ch.seq
+	done := make(chan callResult, 1)
+	ch.pending[seq] = done
+	ch.mu.Unlock()
+
+	if werr := fw.send(seq, body); werr != nil {
+		// Fails every pending call on this incarnation — including ours,
+		// unless a concurrent fault already did; either way done fires.
+		// (An asynchronous flush fault reaches the same path through the
+		// frameWriter's onErr hook.)
+		c.failChannel(ch, nc, "write", werr)
 	}
-	if err := writeFrame(ch.nc, payload); err != nil {
-		return nil, c.breakLocked(ch, "write", err)
+
+	if c.opts.CallTimeout <= 0 {
+		r := <-done
+		return r.body, r.err
 	}
-	frame, err := readFrame(ch.nc)
-	if err != nil {
-		return nil, c.breakLocked(ch, "read", err)
+	t := getTimer(c.opts.CallTimeout)
+	select {
+	case r := <-done:
+		putTimer(t)
+		return r.body, r.err
+	case <-t.C:
+		timerPool.Put(t) // already fired and drained
+		c.failChannel(ch, nc, "timeout", errCallTimeout{c.opts.CallTimeout})
+		r := <-done // failChannel (ours or a concurrent one) delivered
+		return r.body, r.err
 	}
-	if c.opts.CallTimeout > 0 {
-		ch.nc.SetDeadline(time.Time{})
-	}
-	return frame, nil
 }
 
-// Call performs one RPC round trip. On transport faults the RPC channel is
-// marked broken and the error wraps ErrConnBroken; the next Call re-dials.
+// Call performs one RPC round trip. Concurrent Calls on one Conn pipeline
+// on the wire. On transport faults the RPC channel is marked broken and the
+// error wraps ErrConnBroken; the next Call re-dials.
 func (c *Conn) Call(req rpc.Request) (rpc.Response, error) {
-	c.rpc.mu.Lock()
-	defer c.rpc.mu.Unlock()
-	frame, err := c.exchangeLocked(&c.rpc, req.Marshal())
+	body := req.MarshalAppend(getFrameBuf(0))
+	frame, err := c.roundTrip(&c.rpc, body)
+	putFrameBuf(body)
 	if err != nil {
 		return rpc.Response{}, err
 	}
 	resp, err := rpc.UnmarshalResponse(frame)
+	putFrameBuf(frame)
 	if err != nil {
-		// A frame that does not decode means the stream is corrupt or
-		// desynchronized; the channel cannot be trusted any further.
-		return rpc.Response{}, c.breakLocked(&c.rpc, "decode", err)
+		// A frame that does not decode means the stream is corrupt; the
+		// channel cannot be trusted any further.
+		c.rpc.mu.Lock()
+		nc := c.rpc.nc
+		c.rpc.mu.Unlock()
+		return rpc.Response{}, c.failChannel(&c.rpc, nc, "decode", err)
 	}
 	return resp, nil
 }
 
 // DirectRead performs an emulated one-sided read of len(buf) bytes at the
-// remote virtual address. All validity checking is up to the caller, as
-// with a real RDMA read. A broken QP (ErrDMABroken) persists server-side
-// until ReconnectDMA re-dials the channel — the reconnect the paper prices
-// at milliseconds; transport faults heal automatically like Call's.
+// remote virtual address; concurrent reads pipeline on the DMA channel. All
+// validity checking is up to the caller, as with a real RDMA read. A broken
+// QP (ErrDMABroken) persists server-side until ReconnectDMA re-dials the
+// channel — the reconnect the paper prices at milliseconds; transport
+// faults heal automatically like Call's.
 func (c *Conn) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
 	if len(buf)+1 > maxFrame {
 		return fmt.Errorf("%w: DMA read of %d bytes", ErrFrameTooLarge, len(buf))
 	}
-	c.dma.mu.Lock()
-	defer c.dma.mu.Unlock()
 	var req [16]byte
 	binary.LittleEndian.PutUint32(req[0:], rkey)
 	binary.LittleEndian.PutUint64(req[4:], vaddr)
 	binary.LittleEndian.PutUint32(req[12:], uint32(len(buf)))
-	frame, err := c.exchangeLocked(&c.dma, req[:])
+	frame, err := c.roundTrip(&c.dma, req[:])
 	if err != nil {
 		return err
 	}
+	defer putFrameBuf(frame)
 	if len(frame) < 1 {
-		return c.breakLocked(&c.dma, "decode", fmt.Errorf("empty DMA response"))
+		return c.failDMADecode(fmt.Errorf("empty DMA response"))
 	}
 	switch frame[0] {
 	case dmaOK:
 		if len(frame)-1 != len(buf) {
 			// A short payload means we are reading someone else's frame.
-			return c.breakLocked(&c.dma, "decode",
-				fmt.Errorf("DMA short read (%d of %d)", len(frame)-1, len(buf)))
+			return c.failDMADecode(fmt.Errorf("DMA short read (%d of %d)", len(frame)-1, len(buf)))
 		}
 		copy(buf, frame[1:])
 		return nil
@@ -272,11 +415,20 @@ func (c *Conn) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
 	case dmaBounds:
 		return ErrDMABounds
 	}
-	return c.breakLocked(&c.dma, "decode", fmt.Errorf("DMA error %d", frame[0]))
+	return c.failDMADecode(fmt.Errorf("DMA error %d", frame[0]))
+}
+
+// failDMADecode poisons the DMA channel after an undecodable response.
+func (c *Conn) failDMADecode(cause error) error {
+	c.dma.mu.Lock()
+	nc := c.dma.nc
+	c.dma.mu.Unlock()
+	return c.failChannel(&c.dma, nc, "decode", cause)
 }
 
 // ReconnectDMA re-establishes the one-sided channel after a QP break,
-// using the same backoff policy as automatic repair.
+// failing any in-flight reads and using the same backoff policy as
+// automatic repair.
 func (c *Conn) ReconnectDMA() error {
 	c.dma.mu.Lock()
 	defer c.dma.mu.Unlock()
@@ -284,5 +436,6 @@ func (c *Conn) ReconnectDMA() error {
 		c.dma.nc.Close()
 	}
 	c.dma.broken = true
+	c.dma.failPendingLocked(fmt.Errorf("%w: reconnect", ErrConnBroken))
 	return c.ensureLocked(&c.dma)
 }

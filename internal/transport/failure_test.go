@@ -104,8 +104,9 @@ func TestTruncatedResponsePoisonsAndHeals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Truncate the server's first response payload mid-frame.
-	inj := fault.NewInjector(13, fault.Plan{TruncateWrite: 2})
+	// Truncate the server's first response frame mid-write (each coalesced
+	// response batch is one write; the first one carries frame 1).
+	inj := fault.NewInjector(13, fault.Plan{TruncateWrite: 1})
 	ts := Serve(inj.WrapListener(ln), srv)
 	t.Cleanup(ts.Close)
 
@@ -202,6 +203,105 @@ func TestQPBreakTeardownAndReconnect(t *testing.T) {
 	}
 	if got := nic.LiveQPs(); got != 0 {
 		t.Fatalf("live QPs after close = %d, want 0 (DMA QP leaked)", got)
+	}
+}
+
+// TestPipelinedStormSurvivesMidFrameFaults hammers one Conn from 16
+// goroutines of mixed Call and DirectRead traffic while the injector
+// repeatedly resets connections mid-storm. Every in-flight call on a broken
+// channel must fail with the typed retryable error — never hang, never
+// return a mismatched response — and once the chaos window closes the same
+// Conn must heal and serve both channels again.
+func TestPipelinedStormSurvivesMidFrameFaults(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+
+	// Reset roughly one write in fifty on every connection, client side, so
+	// faults land mid-pipeline with many calls outstanding.
+	inj := fault.NewInjector(17, fault.Plan{WriteResetRate: 0.02})
+	conn, err := DialOptions(ts.Addr(), Options{
+		Dialer:         inj.Dial,
+		CallTimeout:    2 * time.Second,
+		RedialAttempts: 10,
+		RedialBase:     time.Millisecond,
+		RedialMax:      5 * time.Millisecond,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// One object for the DirectRead half of the storm. Allocation itself may
+	// need a few attempts under injection.
+	var addr core.Addr
+	for i := 0; ; i++ {
+		resp, err := conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+		if err == nil && resp.Status == rpc.StatusOK {
+			addr = resp.Addr
+			break
+		}
+		if err != nil && !errors.Is(err, ErrConnBroken) {
+			t.Fatalf("alloc error not typed: %v", err)
+		}
+		if i > 100 {
+			t.Fatalf("alloc never succeeded under injection: %v %v", resp.Status, err)
+		}
+	}
+
+	const goroutines = 16
+	const opsPerG = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, core.DataStride(64))
+			for i := 0; i < opsPerG; i++ {
+				if g%2 == 0 {
+					_, err := conn.Call(rpc.Request{Op: rpc.OpInfo})
+					// Only transport faults are possible, and they must be
+					// typed retryable; anything else is a demux bug.
+					if err != nil && !errors.Is(err, ErrConnBroken) {
+						errs <- fmt.Errorf("goroutine %d call %d: untyped error %v", g, i, err)
+						return
+					}
+				} else {
+					err := conn.DirectRead(addr.RKey(), addr.VAddr(), buf)
+					if err != nil && !errors.Is(err, ErrConnBroken) && !errors.Is(err, ErrDMABroken) {
+						errs <- fmt.Errorf("goroutine %d read %d: untyped error %v", g, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if inj.Stats().Resets == 0 {
+		t.Fatal("storm finished without a single injected fault — test proves nothing")
+	}
+
+	// Chaos over: the Conn heals on both channels.
+	inj.Disable()
+	if resp, err := conn.Call(rpc.Request{Op: rpc.OpInfo}); err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("RPC after storm: %v %v", resp.Status, err)
+	}
+	if err := conn.ReconnectDMA(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, core.DataStride(64))
+	if err := conn.DirectRead(addr.RKey(), addr.VAddr(), buf); err != nil {
+		t.Fatalf("DMA after storm: %v", err)
 	}
 }
 

@@ -13,12 +13,15 @@ import (
 func TestFrameRoundtrip(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte("hello framing")
-	if err := writeFrame(&buf, payload); err != nil {
+	if err := writeFrame(&buf, 42, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(&buf)
+	seq, got, err := readFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("seq = %d, want 42", seq)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("roundtrip mismatch: %q", got)
@@ -27,26 +30,36 @@ func TestFrameRoundtrip(t *testing.T) {
 
 func TestFrameEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	writeFrame(&buf, nil)
-	got, err := readFrame(&buf)
-	if err != nil || len(got) != 0 {
-		t.Fatalf("empty frame: %q %v", got, err)
+	writeFrame(&buf, 7, nil)
+	seq, got, err := readFrame(&buf)
+	if err != nil || seq != 7 || len(got) != 0 {
+		t.Fatalf("empty frame: seq=%d %q %v", seq, got, err)
 	}
 }
 
 func TestFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB length
-	if _, err := readFrame(&buf); err == nil {
+	buf.Write(make([]byte, frameSeqBytes))    // seq portion of the header
+	if _, _, err := readFrame(&buf); err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFrameMissingSeq(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{2, 0, 0, 0}) // length too short to hold a sequence ID
+	buf.Write(make([]byte, frameSeqBytes))
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("frame without sequence ID accepted")
 	}
 }
 
 func TestFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	writeFrame(&buf, []byte("full payload"))
+	writeFrame(&buf, 1, []byte("full payload"))
 	raw := buf.Bytes()[:buf.Len()-4]
-	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+	if _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
 		t.Fatal("truncated frame accepted")
 	}
 }
@@ -92,7 +105,7 @@ func TestServerSurvivesMalformedRPCFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn.Write([]byte{chanRPC})
-	writeFrame(conn, []byte{1, 2}) // too short to be a request
+	writeFrame(conn, 1, []byte{1, 2}) // too short to be a request
 	one := make([]byte, 1)
 	conn.Read(one) // connection is dropped
 	conn.Close()
