@@ -1,0 +1,115 @@
+// Batched-operation benchmarks: the same TCP read hot path as
+// BenchmarkRPCThroughputParallel, but issued through Client.MultiRead so N
+// sub-reads share one frame, one syscall pair, and one pending-call entry.
+// b.N counts sub-reads (the loop advances by the batch width), so ops/s and
+// allocs/op are directly comparable with the single-op numbers in
+// bench_results.txt.
+package corm
+
+import (
+	"fmt"
+	"testing"
+
+	"corm/internal/core"
+)
+
+// benchBatchClient starts a TCP node and a full client context against it
+// with `count` written 64-byte objects.
+func benchBatchClient(b *testing.B, count int) (*Client, []*core.Addr) {
+	b.Helper()
+	srv, err := NewServer(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli, err := Connect(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	payload := make([]byte, 64)
+	addrs := make([]*core.Addr, count)
+	for i := range addrs {
+		a, err := cli.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cli.Write(&a, payload); err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = &a
+	}
+	return cli, addrs
+}
+
+// BenchmarkMultiReadBatch measures batched RPC reads over TCP at increasing
+// batch widths. batch=1 pays the full per-frame cost per read (the
+// single-op baseline plus batch framing); wider batches amortize it.
+func BenchmarkMultiReadBatch(b *testing.B) {
+	for _, batch := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			cli, addrs := benchBatchClient(b, batch)
+			bufs := make([][]byte, batch)
+			for i := range bufs {
+				bufs[i] = make([]byte, 64)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				n := batch
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				results, err := cli.MultiRead(addrs[:n], bufs[:n])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := range results {
+					if results[k].Err != nil {
+						b.Fatal(results[k].Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkReadAsyncPipelined measures the future-based facade: a window of
+// in-flight ReadAsync calls that the client-side batcher coalesces into
+// OpBatch frames, waited in issue order.
+func BenchmarkReadAsyncPipelined(b *testing.B) {
+	const window = 64
+	cli, addrs := benchBatchClient(b, window)
+	bufs := make([][]byte, window)
+	futs := make([]*Future, window)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += window {
+		n := window
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for k := 0; k < n; k++ {
+			futs[k] = cli.ReadAsync(addrs[k], bufs[k])
+		}
+		cli.Flush()
+		for k := 0; k < n; k++ {
+			if _, err := futs[k].Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

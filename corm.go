@@ -168,8 +168,17 @@ func (s *Server) Close() {
 	s.rpc.Close()
 }
 
-// Client is a CoRM client context implementing the Table 2 API.
+// Client is a CoRM client context implementing the Table 2 API, plus the
+// batched extensions: MultiRead/MultiWrite/MultiAlloc/MultiFree pack many
+// operations into one round trip, and ReadAsync returns a Future whose
+// reads coalesce automatically.
 type Client = client.Ctx
+
+// OpResult is the per-sub-operation outcome of a batched (Multi*) call.
+type OpResult = client.OpResult
+
+// Future resolves to the outcome of one asynchronous read (Client.ReadAsync).
+type Future = client.Future
 
 // Connect opens a client context to a remote CoRM node over TCP.
 func Connect(addr string) (*Client, error) {

@@ -1,0 +1,130 @@
+// Asynchronous reads with transparent coalescing. ReadAsync returns a
+// Future immediately; an internal batcher gathers every read issued within
+// a small window (AsyncWindow) — or until AsyncMaxBatch reads are pending —
+// and flushes them as one OpBatch frame. Callers that naturally issue
+// bursts of independent reads (index probes, scatter-gather KV lookups) get
+// doorbell-style batching without restructuring their code around Multi*
+// calls; the futures resolve individually, each with its own status and
+// corrected pointer.
+package client
+
+import (
+	"sync"
+	"time"
+
+	"corm/internal/core"
+)
+
+// Future resolves to the outcome of one asynchronous read.
+type Future struct {
+	done chan struct{}
+	n    int
+	err  error
+}
+
+// Wait blocks until the read completes, returning the bytes copied into
+// the caller's buffer and the read's status.
+func (f *Future) Wait() (int, error) {
+	<-f.done
+	return f.n, f.err
+}
+
+// resolve delivers the outcome exactly once.
+func (f *Future) resolve(n int, err error) {
+	f.n = n
+	f.err = err
+	close(f.done)
+}
+
+// asyncRead is one pending future awaiting the next flush.
+type asyncRead struct {
+	addr *core.Addr
+	buf  []byte
+	fut  *Future
+}
+
+// batcher coalesces asynchronous reads into OpBatch flushes.
+type batcher struct {
+	mu      sync.Mutex
+	pending []asyncRead
+	timer   *time.Timer // armed while pending is non-empty
+}
+
+// take removes and returns the pending set, disarming the window timer.
+func (b *batcher) take() []asyncRead {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.takeLocked()
+}
+
+func (b *batcher) takeLocked() []asyncRead {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// ReadAsync enqueues an RPC read and returns a future for its completion.
+// The read is dispatched when either AsyncWindow elapses or AsyncMaxBatch
+// reads are pending, whichever comes first — coalesced with every other
+// read enqueued meanwhile into a single OpBatch round trip. Like Read, the
+// batch is idempotent and re-issued across transport reconnects, and the
+// pointer is corrected in place before the future resolves.
+func (c *Ctx) ReadAsync(addr *core.Addr, buf []byte) *Future {
+	f := &Future{done: make(chan struct{})}
+	b := &c.batch
+	b.mu.Lock()
+	b.pending = append(b.pending, asyncRead{addr: addr, buf: buf, fut: f})
+	switch {
+	case len(b.pending) >= c.AsyncMaxBatch:
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		go c.flushBatch(batch)
+	case len(b.pending) == 1:
+		b.timer = time.AfterFunc(c.AsyncWindow, func() { c.flushBatch(c.batch.take()) })
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	return f
+}
+
+// Flush dispatches any pending asynchronous reads immediately, without
+// waiting for the coalescing window. It does not wait for their futures.
+func (c *Ctx) Flush() {
+	if batch := c.batch.take(); len(batch) > 0 {
+		go c.flushBatch(batch)
+	}
+}
+
+// flushBatch issues one coalesced MultiRead and resolves every future.
+func (c *Ctx) flushBatch(batch []asyncRead) {
+	if len(batch) == 0 {
+		return
+	}
+	addrs := make([]*core.Addr, len(batch))
+	bufs := make([][]byte, len(batch))
+	for i, r := range batch {
+		addrs[i] = r.addr
+		bufs[i] = r.buf
+	}
+	results, err := c.MultiRead(addrs, bufs)
+	for i, r := range batch {
+		if err != nil {
+			r.fut.resolve(0, err)
+			continue
+		}
+		r.fut.resolve(results[i].N, results[i].Err)
+	}
+}
+
+// drainAsync resolves all pending futures with err without issuing I/O;
+// Close uses it so no future ever hangs on a closed context.
+func (c *Ctx) drainAsync(err error) {
+	for _, r := range c.batch.take() {
+		r.fut.resolve(0, err)
+	}
+}

@@ -17,6 +17,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"corm/internal/core"
@@ -57,6 +58,14 @@ type Ctx struct {
 	// (Alloc, Write, Free, ReleasePtr) are never re-issued: a broken
 	// channel cannot tell whether the server executed the lost request.
 	ConnRetries int
+
+	// AsyncWindow and AsyncMaxBatch tune ReadAsync coalescing: pending
+	// asynchronous reads flush as one OpBatch when the window elapses or
+	// the batch fills, whichever is first.
+	AsyncWindow   time.Duration
+	AsyncMaxBatch int
+
+	batch batcher
 }
 
 // CreateCtx connects to a remote CoRM node over TCP (Table 2's
@@ -103,18 +112,43 @@ func New(b Backend) (*Ctx, error) {
 		return nil, err
 	}
 	return &Ctx{
-		backend:      b,
-		classes:      info.Classes,
-		blockBytes:   info.BlockBytes,
-		mode:         info.Consistency,
-		RetryBackoff: 2 * time.Microsecond,
-		Retries:      64,
-		ConnRetries:  3,
+		backend:       b,
+		classes:       info.Classes,
+		blockBytes:    info.BlockBytes,
+		mode:          info.Consistency,
+		RetryBackoff:  2 * time.Microsecond,
+		Retries:       64,
+		ConnRetries:   3,
+		AsyncWindow:   50 * time.Microsecond,
+		AsyncMaxBatch: 64,
 	}, nil
 }
 
-// Close releases the context.
-func (c *Ctx) Close() error { return c.backend.Close() }
+// Close releases the context. Pending asynchronous reads resolve with an
+// error instead of hanging their futures.
+func (c *Ctx) Close() error {
+	c.drainAsync(errors.New("client: context closed"))
+	return c.backend.Close()
+}
+
+// scratchPool recycles the client's one-sided read buffers (stride- and
+// block-sized) and batch marshalling scratch; allocating them per call
+// costs an allocation per operation on the hottest paths.
+var scratchPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// getScratch returns a pooled buffer of length n.
+func getScratch(n int) []byte {
+	b := scratchPool.Get().([]byte)
+	if cap(b) < n {
+		return append(b[:0], make([]byte, n)...)
+	}
+	return b[:n]
+}
+
+// putScratch recycles a buffer obtained from getScratch.
+func putScratch(b []byte) {
+	scratchPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped here
+}
 
 // callIdempotent re-issues an idempotent RPC across transport reconnects,
 // up to ConnRetries extra attempts. The transport re-dials broken channels
@@ -254,7 +288,8 @@ func (c *Ctx) DirectRead(addr *core.Addr, buf []byte) (int, error) {
 	if len(buf) < size {
 		return 0, core.ErrShortBuffer
 	}
-	raw := make([]byte, core.StrideOf(c.mode, size))
+	raw := getScratch(core.StrideOf(c.mode, size))
+	defer putScratch(raw)
 	for attempt := 0; ; attempt++ {
 		if err := c.directRead(addr.RKey(), addr.VAddr(), raw); err != nil {
 			return 0, err
@@ -283,7 +318,8 @@ func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
 		return 0, core.ErrShortBuffer
 	}
 	base := addr.VAddr() &^ uint64(c.blockBytes-1)
-	raw := make([]byte, c.blockBytes)
+	raw := getScratch(c.blockBytes)
+	defer putScratch(raw)
 	for attempt := 0; ; attempt++ {
 		if err := c.directRead(addr.RKey(), base, raw); err != nil {
 			return 0, err

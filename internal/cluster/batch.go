@@ -1,0 +1,376 @@
+// Batched cluster operations: scatter-gather over the pool. A Multi* call
+// groups its operations by owning node (explicit for Pool, rendezvous-
+// hashed for KV), fans out one OpBatch frame per node in parallel, and
+// reassembles the results in input order — N operations cost one round
+// trip per *node touched*, not one per operation. Per-node circuit
+// breakers apply per group: a node whose breaker is open fails only its
+// own operations, and the rest of the batch proceeds.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"corm/internal/client"
+	"corm/internal/core"
+)
+
+// OpResult re-exports the client's per-sub-operation outcome.
+type OpResult = client.OpResult
+
+// errNodeRange builds the out-of-range error every routed call uses.
+func (p *Pool) errNodeRange(node int) error {
+	return fmt.Errorf("cluster: node %d out of range", node)
+}
+
+// groupByNode buckets operation indices by owning node, preserving input
+// order inside each bucket.
+func groupByNode(n int, nodeOf func(i int) int) map[int][]int {
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		node := nodeOf(i)
+		groups[node] = append(groups[node], i)
+	}
+	return groups
+}
+
+// fanOut runs one function per node group, in parallel when more than one
+// node is involved (the single-node case stays on the caller's goroutine —
+// no handoff for the common locality-friendly batch).
+func fanOut(groups map[int][]int, run func(node int, idxs []int)) {
+	if len(groups) == 1 {
+		for node, idxs := range groups {
+			run(node, idxs)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for node, idxs := range groups {
+		wg.Add(1)
+		go func(node int, idxs []int) {
+			defer wg.Done()
+			run(node, idxs)
+		}(node, idxs)
+	}
+	wg.Wait()
+}
+
+// MultiRead reads len(gs) objects in one batched round trip per owning
+// node; bufs[i] receives object i and corrections are folded into gs[i]
+// in place. Results are in input order; node-level failures (open breaker,
+// transport fault) surface in each affected OpResult.Err.
+func (p *Pool) MultiRead(gs []*GlobalAddr, bufs [][]byte) ([]OpResult, error) {
+	if len(gs) != len(bufs) {
+		return nil, fmt.Errorf("cluster: MultiRead: %d addrs, %d bufs", len(gs), len(bufs))
+	}
+	results := make([]OpResult, len(gs))
+	groups := groupByNode(len(gs), func(i int) int { return gs[i].Node })
+	fanOut(groups, func(node int, idxs []int) {
+		if node < 0 || node >= len(p.nodes) {
+			fillErr(results, idxs, p.errNodeRange(node))
+			return
+		}
+		if err := p.gate(node); err != nil {
+			fillErr(results, idxs, err)
+			return
+		}
+		addrs := make([]*core.Addr, len(idxs))
+		nb := make([][]byte, len(idxs))
+		for k, i := range idxs {
+			addrs[k] = &gs[i].Addr
+			nb[k] = bufs[i]
+		}
+		rs, err := p.nodes[node].MultiRead(addrs, nb)
+		p.observe(node, err)
+		if err != nil {
+			fillErr(results, idxs, err)
+			return
+		}
+		for k, i := range idxs {
+			results[i] = rs[k]
+		}
+	})
+	return results, nil
+}
+
+// MultiAllocOn allocates len(sizes) objects on one node in one round trip.
+// Successful sub-allocations are counted toward the node's load; their
+// pointers are in the results' Addr fields.
+func (p *Pool) MultiAllocOn(node int, sizes []int) ([]OpResult, error) {
+	if node < 0 || node >= len(p.nodes) {
+		return nil, p.errNodeRange(node)
+	}
+	if err := p.gate(node); err != nil {
+		return nil, err
+	}
+	rs, err := p.nodes[node].MultiAlloc(sizes)
+	p.observe(node, err)
+	if err != nil {
+		return nil, err
+	}
+	live := 0
+	for i := range rs {
+		if rs[i].Err == nil {
+			live++
+		}
+	}
+	if live > 0 {
+		p.mu.Lock()
+		p.allocs[node] += int64(live)
+		p.mu.Unlock()
+	}
+	return rs, nil
+}
+
+// MultiFree releases len(gs) objects in one batched round trip per owning
+// node, folding pointer corrections into each gs[i] first and decrementing
+// the owning node's load per successful free.
+func (p *Pool) MultiFree(gs []*GlobalAddr) ([]OpResult, error) {
+	results := make([]OpResult, len(gs))
+	groups := groupByNode(len(gs), func(i int) int { return gs[i].Node })
+	fanOut(groups, func(node int, idxs []int) {
+		if node < 0 || node >= len(p.nodes) {
+			fillErr(results, idxs, p.errNodeRange(node))
+			return
+		}
+		if err := p.gate(node); err != nil {
+			fillErr(results, idxs, err)
+			return
+		}
+		addrs := make([]*core.Addr, len(idxs))
+		for k, i := range idxs {
+			addrs[k] = &gs[i].Addr
+		}
+		rs, err := p.nodes[node].MultiFree(addrs)
+		p.observe(node, err)
+		if err != nil {
+			fillErr(results, idxs, err)
+			return
+		}
+		freed := 0
+		for k, i := range idxs {
+			results[i] = rs[k]
+			if rs[k].Err == nil {
+				freed++
+			}
+		}
+		if freed > 0 {
+			p.mu.Lock()
+			p.allocs[node] -= int64(freed)
+			p.mu.Unlock()
+		}
+	})
+	return results, nil
+}
+
+// fillErr marks every index in idxs with err.
+func fillErr(results []OpResult, idxs []int, err error) {
+	for _, i := range idxs {
+		results[i] = OpResult{Err: err}
+	}
+}
+
+// --- Keyed scatter-gather ---
+
+// MultiGet fetches len(keys) values with one batched RPC round trip per
+// owning node, reassembled in input order. Missing keys (never put, or
+// freed meanwhile) report found[i]=false; pointers corrected by compaction
+// are repaired back into the index. The error is the first per-key or
+// node-level failure; other keys still complete.
+func (kv *KV) MultiGet(keys []string) (vals [][]byte, found []bool, err error) {
+	n := len(keys)
+	vals = make([][]byte, n)
+	found = make([]bool, n)
+	if n == 0 {
+		return vals, found, nil
+	}
+	// Snapshot the entries under the lock: reads operate on private copies
+	// of each pointer (entries are shared across concurrent operations) and
+	// corrections are folded back only if the entry is still current.
+	type ref struct {
+		e         *kvEntry
+		g         GlobalAddr
+		size      int
+		classSize int
+	}
+	refs := make([]ref, n)
+	live := 0
+	kv.mu.Lock()
+	for i, k := range keys {
+		if e := kv.entries[k]; e != nil {
+			refs[i] = ref{e: e, g: e.addr, size: e.size, classSize: e.classSize}
+			live++
+		}
+	}
+	kv.mu.Unlock()
+	if live == 0 {
+		return vals, found, nil
+	}
+	gaddrs := make([]*GlobalAddr, 0, live)
+	bufs := make([][]byte, 0, live)
+	idx := make([]int, 0, live)
+	for i := range refs {
+		if refs[i].e == nil {
+			continue
+		}
+		if refs[i].classSize == 0 {
+			cs, cerr := kv.pool.ClassSize(refs[i].g)
+			if cerr != nil {
+				if err == nil {
+					err = cerr
+				}
+				continue
+			}
+			refs[i].classSize = cs
+		}
+		gaddrs = append(gaddrs, &refs[i].g)
+		bufs = append(bufs, make([]byte, refs[i].classSize))
+		idx = append(idx, i)
+	}
+	results, rerr := kv.pool.MultiRead(gaddrs, bufs)
+	if rerr != nil {
+		return vals, found, rerr
+	}
+	for k, i := range idx {
+		switch {
+		case results[k].Err == nil:
+			vals[i] = bufs[k][:refs[i].size]
+			found[i] = true
+			kv.repair(keys[i], refs[i].e, refs[i].g, refs[i].classSize)
+		case isMissing(results[k].Err):
+			// The object vanished under us (freed or released elsewhere):
+			// an honest miss, not a failure.
+		default:
+			if err == nil {
+				err = fmt.Errorf("cluster: MultiGet %q: %w", keys[i], results[k].Err)
+			}
+		}
+	}
+	return vals, found, err
+}
+
+// isMissing classifies per-key failures that mean "no such object".
+func isMissing(err error) bool {
+	return errors.Is(err, core.ErrNotFound) || errors.Is(err, core.ErrInvalidAddr)
+}
+
+// MultiPut stores len(keys) values, grouped by rendezvous node: per node,
+// one batched alloc round trip and one batched write round trip. Existing
+// entries are freed first (batched as well). Results are per key, in input
+// order; err reports malformed input only. When a key appears more than
+// once, the last occurrence wins and earlier ones share its outcome.
+func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("cluster: MultiPut: %d keys, %d values", len(keys), len(values))
+	}
+	n := len(keys)
+	errs = make([]error, n)
+	if n == 0 {
+		return errs, nil
+	}
+	// Last occurrence of each key wins; earlier duplicates alias its slot.
+	last := make(map[string]int, n)
+	for i, k := range keys {
+		last[k] = i
+	}
+	// Free the entries being replaced, batched by owning node. A key whose
+	// old object cannot be freed fails (Put parity: never leak the old
+	// object silently) and drops out of the alloc/write phases.
+	var oldGs []*GlobalAddr
+	var oldIdx []int
+	kv.mu.Lock()
+	for k, i := range last {
+		if e := kv.entries[k]; e != nil {
+			g := e.addr
+			oldGs = append(oldGs, &g)
+			oldIdx = append(oldIdx, i)
+		}
+	}
+	kv.mu.Unlock()
+	failed := make(map[int]bool)
+	if len(oldGs) > 0 {
+		rs, ferr := kv.pool.MultiFree(oldGs)
+		if ferr != nil {
+			return nil, ferr
+		}
+		for k, i := range oldIdx {
+			if rs[k].Err != nil && !isMissing(rs[k].Err) {
+				errs[i] = rs[k].Err
+				failed[i] = true
+			}
+		}
+	}
+	// Alloc + write per rendezvous node.
+	groups := groupByNode(n, func(i int) int { return kv.NodeFor(keys[i]) })
+	fanOut(groups, func(node int, idxs []int) {
+		// Only the surviving last occurrences execute.
+		act := idxs[:0:0]
+		for _, i := range idxs {
+			if last[keys[i]] == i && !failed[i] {
+				act = append(act, i)
+			}
+		}
+		if len(act) == 0 {
+			return
+		}
+		sizes := make([]int, len(act))
+		for k, i := range act {
+			sizes[k] = len(values[i])
+		}
+		allocs, aerr := kv.pool.MultiAllocOn(node, sizes)
+		if aerr != nil {
+			for _, i := range act {
+				errs[i] = aerr
+			}
+			return
+		}
+		addrs := make([]*core.Addr, 0, len(act))
+		payloads := make([][]byte, 0, len(act))
+		wIdx := make([]int, 0, len(act))
+		for k, i := range act {
+			if allocs[k].Err != nil {
+				errs[i] = allocs[k].Err
+				continue
+			}
+			addrs = append(addrs, &allocs[k].Addr)
+			payloads = append(payloads, values[i])
+			wIdx = append(wIdx, k)
+		}
+		if len(addrs) == 0 {
+			return
+		}
+		ws, werr := kv.pool.Node(node).MultiWrite(addrs, payloads)
+		kv.pool.observe(node, werr)
+		var undo []*GlobalAddr
+		for w, k := range wIdx {
+			i := act[k] // original position of this write's key
+			g := GlobalAddr{Node: node, Addr: allocs[k].Addr}
+			subErr := werr
+			if subErr == nil {
+				subErr = ws[w].Err
+			}
+			if subErr != nil {
+				errs[i] = subErr
+				undo = append(undo, &g)
+				continue
+			}
+			classSize, _ := kv.pool.ClassSize(g)
+			kv.mu.Lock()
+			kv.entries[keys[i]] = &kvEntry{addr: g, size: len(values[i]), classSize: classSize}
+			kv.mu.Unlock()
+		}
+		if len(undo) > 0 {
+			// Best-effort: don't leak allocations whose writes failed.
+			kv.pool.MultiFree(undo)
+		}
+	})
+	// Earlier duplicates share the winning occurrence's outcome.
+	for i, k := range keys {
+		if last[k] != i {
+			errs[i] = errs[last[k]]
+		}
+	}
+	return errs, nil
+}
+

@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPoolMultiReadAcrossNodes: one MultiRead over objects scattered on
+// every node returns all payloads in input order, one round trip per node.
+func TestPoolMultiReadAcrossNodes(t *testing.T) {
+	pool, _ := spinCluster(t, 3)
+	const n = 18
+	gs := make([]*GlobalAddr, n)
+	want := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		g, err := pool.AllocOn(i%3, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = bytes.Repeat([]byte{byte(i + 1)}, 64)
+		if err := pool.Write(&g, want[i]); err != nil {
+			t.Fatal(err)
+		}
+		gg := g
+		gs[i] = &gg
+	}
+	bufs := make([][]byte, n)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	results, err := pool.MultiRead(gs, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("sub %d: %v", i, r.Err)
+		}
+		if !bytes.Equal(bufs[i], want[i]) {
+			t.Fatalf("sub %d: payload mismatch", i)
+		}
+	}
+	// A bogus node among valid ones fails only its own sub-ops.
+	gs[4] = &GlobalAddr{Node: 9}
+	results, err = pool.MultiRead(gs, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[4].Err == nil {
+		t.Fatal("read from bogus node succeeded")
+	}
+	if results[3].Err != nil || results[5].Err != nil {
+		t.Fatalf("siblings poisoned: %v %v", results[3].Err, results[5].Err)
+	}
+}
+
+// TestPoolMultiAllocFree: batched alloc/free keeps the pool's per-node
+// load accounting consistent with single-op Alloc/Free.
+func TestPoolMultiAllocFree(t *testing.T) {
+	pool, stores := spinCluster(t, 2)
+	sizes := make([]int, 10)
+	for i := range sizes {
+		sizes[i] = 64
+	}
+	rs, err := pool.MultiAllocOn(1, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := make([]*GlobalAddr, len(rs))
+	for i := range rs {
+		if rs[i].Err != nil {
+			t.Fatalf("alloc %d: %v", i, rs[i].Err)
+		}
+		gs[i] = &GlobalAddr{Node: 1, Addr: rs[i].Addr}
+	}
+	if got := stores[1].Stats().Allocs; got != 10 {
+		t.Fatalf("node 1 allocs = %d, want 10", got)
+	}
+	frees, err := pool.MultiFree(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range frees {
+		if r.Err != nil {
+			t.Fatalf("free %d: %v", i, r.Err)
+		}
+	}
+	// Least-loaded placement sees node 1 back at zero: the next single
+	// alloc may land anywhere, proving the ledger went down with the frees.
+	pool.mu.Lock()
+	load := pool.allocs[1]
+	pool.mu.Unlock()
+	if load != 0 {
+		t.Fatalf("node 1 load after MultiFree = %d, want 0", load)
+	}
+}
+
+// TestKVMultiPutGet: scatter-gather put/get across rendezvous nodes with
+// missing keys, overwrites, and duplicate keys in one batch.
+func TestKVMultiPutGet(t *testing.T) {
+	pool, _ := spinCluster(t, 3)
+	kv := NewKV(pool)
+	const n = 30
+	keys := make([]string, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user:%d", i)
+		vals[i] = []byte(fmt.Sprintf("value-%d", i))
+	}
+	errs, err := kv.MultiPut(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("put %d: %v", i, e)
+		}
+	}
+	if kv.Len() != n {
+		t.Fatalf("len = %d, want %d", kv.Len(), n)
+	}
+
+	// Get a mix of present and absent keys, out of put order.
+	ask := []string{"user:7", "nope", "user:0", "user:29", "also-nope", "user:7"}
+	got, found, err := kv.MultiGet(ask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFound := []bool{true, false, true, true, false, true}
+	for i := range ask {
+		if found[i] != wantFound[i] {
+			t.Fatalf("key %q: found=%v, want %v", ask[i], found[i], wantFound[i])
+		}
+	}
+	for _, i := range []int{0, 5} {
+		if string(got[i]) != "value-7" {
+			t.Fatalf("key %q = %q", ask[i], got[i])
+		}
+	}
+	if string(got[2]) != "value-0" || string(got[3]) != "value-29" {
+		t.Fatalf("out-of-order reassembly: %q %q", got[2], got[3])
+	}
+
+	// Batched overwrite with a duplicate key: last occurrence wins and both
+	// occurrences share its outcome.
+	errs, err = kv.MultiPut(
+		[]string{"user:7", "user:8", "user:7"},
+		[][]byte{[]byte("stale"), []byte("fresh-8"), []byte("fresh-7")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("overwrite %d: %v", i, e)
+		}
+	}
+	v, ok, _ := kv.Get("user:7")
+	if !ok || string(v) != "fresh-7" {
+		t.Fatalf("after duplicate put: %q", v)
+	}
+	if v, ok, _ := kv.Get("user:8"); !ok || string(v) != "fresh-8" {
+		t.Fatalf("sibling overwrite: %q", v)
+	}
+	// Overwrites freed the old objects rather than leaking them: total live
+	// allocations still equal the number of distinct keys.
+	var live int64
+	pool.mu.Lock()
+	for _, a := range pool.allocs {
+		live += a
+	}
+	pool.mu.Unlock()
+	if live != n {
+		t.Fatalf("live allocations = %d, want %d (overwrite leaked)", live, n)
+	}
+}
+
+// TestKVMultiGetAfterCompaction: compaction moves objects between Put and
+// MultiGet; every key still resolves and the corrected pointers are
+// repaired into the index (a second MultiGet reads clean).
+func TestKVMultiGetAfterCompaction(t *testing.T) {
+	pool, stores := spinCluster(t, 2)
+	kv := NewKV(pool)
+	const n = 1024
+	keys := make([]string, 0, n)
+	valFor := func(i int) []byte { return bytes.Repeat([]byte{byte(i%250 + 1)}, 64) }
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := kv.Put(key, valFor(i)); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	// Fragment: delete 15 of every 16 keys, then compact both nodes.
+	var kept []string
+	var keptIdx []int
+	for i, key := range keys {
+		if i%16 == 0 {
+			kept = append(kept, key)
+			keptIdx = append(keptIdx, i)
+			continue
+		}
+		if err := kv.Delete(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := 0
+	for _, s := range stores {
+		moved += s.CompactAll(0, nil).ObjectsMoved
+	}
+	if moved == 0 {
+		t.Fatal("compaction moved nothing — test exercised nothing")
+	}
+	for pass := 0; pass < 2; pass++ {
+		vals, found, err := kv.MultiGet(kept)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		for i, key := range kept {
+			if !found[i] {
+				t.Fatalf("pass %d: key %q lost after compaction", pass, key)
+			}
+			if !bytes.Equal(vals[i], valFor(keptIdx[i])) {
+				t.Fatalf("pass %d: key %q payload mismatch", pass, key)
+			}
+		}
+	}
+}
+
+// TestKVGetRaceWithCompaction: many goroutines Get the same keys while
+// compaction relocates their objects. Under -race this proves Get never
+// mutates a shared kvEntry outside kv.mu (corrections go through repair).
+func TestKVGetRaceWithCompaction(t *testing.T) {
+	pool, stores := spinCluster(t, 2)
+	kv := NewKV(pool)
+	const hot = 8
+	keys := make([]string, hot)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hot%d", i)
+		if err := kv.Put(keys[i], []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn allocations so every compaction round has something to move.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("churn%d", i%64)
+			kv.Put(key, bytes.Repeat([]byte{byte(i)}, 64))
+			if i%2 == 1 {
+				kv.Delete(key)
+			}
+			i++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % hot
+				v, ok, err := kv.Get(keys[k])
+				if err != nil {
+					t.Errorf("g%d i%d: %v", g, i, err)
+					return
+				}
+				if !ok || string(v) != fmt.Sprintf("val%d", k) {
+					t.Errorf("g%d i%d: got %q ok=%v", g, i, v, ok)
+					return
+				}
+				if i%5 == 0 {
+					// Batched reads race the same entries.
+					if _, _, err := kv.MultiGet(keys); err != nil {
+						t.Errorf("g%d i%d multiget: %v", g, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	compactDone := make(chan struct{})
+	go func() {
+		defer close(compactDone)
+		for i := 0; i < 40; i++ {
+			for _, s := range stores {
+				s.CompactAll(0, nil)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	<-compactDone
+}

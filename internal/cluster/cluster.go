@@ -256,6 +256,10 @@ type KV struct {
 type kvEntry struct {
 	addr GlobalAddr
 	size int
+	// classSize caches the size-class capacity at Put time so Get never
+	// pays a per-read class lookup; 0 means unknown (fall back to the
+	// pool's lookup once, then cache).
+	classSize int
 }
 
 // NewKV builds a keyed store over the pool.
@@ -312,30 +316,56 @@ func (kv *KV) Put(key string, value []byte) error {
 		kv.pool.Free(&g)
 		return err
 	}
+	// Cache the size class now so every Get skips the class lookup; a
+	// lookup failure is impossible here (the pointer was just minted), but
+	// a 0 cache falls back gracefully in Get anyway.
+	classSize, _ := kv.pool.ClassSize(g)
 	kv.mu.Lock()
-	kv.entries[key] = &kvEntry{addr: g, size: len(value)}
+	kv.entries[key] = &kvEntry{addr: g, size: len(value), classSize: classSize}
 	kv.mu.Unlock()
 	return nil
 }
 
 // Get fetches a value with a one-sided read; pointers corrected by
-// compaction are repaired in place.
+// compaction are repaired back into the index. The read operates on a
+// private copy of the entry's pointer — entries are shared across
+// concurrent Gets, so SmartRead must never mutate them in place — and the
+// correction is folded back under the lock only if the entry still maps
+// this key.
 func (kv *KV) Get(key string) ([]byte, bool, error) {
 	kv.mu.Lock()
 	e := kv.entries[key]
-	kv.mu.Unlock()
 	if e == nil {
+		kv.mu.Unlock()
 		return nil, false, nil
 	}
-	classSize, err := kv.pool.ClassSize(e.addr)
-	if err != nil {
-		return nil, false, err
+	g := e.addr
+	size := e.size
+	classSize := e.classSize
+	kv.mu.Unlock()
+	if classSize == 0 {
+		var err error
+		if classSize, err = kv.pool.ClassSize(g); err != nil {
+			return nil, false, err
+		}
 	}
 	buf := make([]byte, classSize)
-	if _, err := kv.pool.SmartRead(&e.addr, buf); err != nil {
+	if _, err := kv.pool.SmartRead(&g, buf); err != nil {
 		return nil, false, err
 	}
-	return buf[:e.size], true, nil
+	kv.repair(key, e, g, classSize)
+	return buf[:size], true, nil
+}
+
+// repair folds a corrected pointer (and a freshly learned class size) back
+// into the index, unless the entry was concurrently replaced or deleted.
+func (kv *KV) repair(key string, e *kvEntry, g GlobalAddr, classSize int) {
+	kv.mu.Lock()
+	if kv.entries[key] == e {
+		e.addr = g
+		e.classSize = classSize
+	}
+	kv.mu.Unlock()
 }
 
 // Delete frees a key's object.

@@ -129,6 +129,25 @@ func unpackPayload(slot []byte, size int) []byte {
 	return out
 }
 
+// unpackPayloadInto is unpackPayload without the allocation: it copies the
+// payload straight into dst (which must hold size bytes) and reports the
+// byte count.
+func unpackPayloadInto(dst, slot []byte, size int) int {
+	end := headerBytes + size
+	if end > cacheline {
+		end = cacheline
+	}
+	n := copy(dst, slot[headerBytes:end])
+	for off := cacheline; off < len(slot) && n < size; off += cacheline {
+		take := size - n
+		if take > lineKPayload {
+			take = lineKPayload
+		}
+		n += copy(dst[n:], slot[off+1:off+1+take])
+	}
+	return n
+}
+
 // payloadCapacity is the maximum payload a stride of n lines can hold.
 func payloadCapacity(lines int) int {
 	return line0Payload + (lines-1)*lineKPayload

@@ -415,17 +415,31 @@ func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
 		return 0, err
 	}
 	s.stats.reads.Add(1)
-	raw := make([]byte, st.Stride)
+	sc := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(sc)
+	if cap(sc.b) < st.Stride {
+		sc.b = make([]byte, st.Stride)
+	}
+	raw := sc.b[:st.Stride]
 	if err := s.space.ReadAt(st.SlotAddr(slot), raw); err != nil {
 		return 0, err
 	}
 	if s.cfg.Consistency == ConsistencyChecksum {
-		copy(buf, checksumPayload(raw, size))
+		copy(buf, raw[headerBytes:headerBytes+size])
 	} else {
-		copy(buf, unpackPayload(raw, size))
+		unpackPayloadInto(buf, raw, size)
 	}
 	return size, nil
 }
+
+// readScratch wraps Read's stride-sized staging buffer so the sync.Pool
+// round trip is a pointer (a bare []byte boxed into interface{} costs a
+// heap-allocated slice header on every Put — exactly the per-read
+// allocation the pool exists to remove). The payload is copied out before
+// release, so reads cost zero marginal heap allocations on the hot path.
+type readScratch struct{ b []byte }
+
+var readScratchPool = sync.Pool{New: func() any { return &readScratch{make([]byte, 0, 4096)} }}
 
 // Write updates an object's payload via the RPC path. The write protocol
 // bumps the version, tags every cacheline, and writes line by line so

@@ -1,0 +1,212 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"corm/internal/core"
+)
+
+// batchCall submits a packed OpBatch built from subs and decodes the
+// sub-responses.
+func batchCall(t *testing.T, s *Server, subs []Request) []Response {
+	t.Helper()
+	payload := MarshalBatchRequests(nil, subs)
+	resp := s.Submit(Request{Op: OpBatch, Payload: payload})
+	if resp.Status != StatusOK {
+		t.Fatalf("batch status %v", resp.Status)
+	}
+	out, err := DecodeBatchResponses(resp.Payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(subs) {
+		t.Fatalf("%d sub-responses for %d sub-requests", len(out), len(subs))
+	}
+	return out
+}
+
+// TestBatchWireRoundtrip: batch encode/decode preserves every sub-record,
+// including zero-length and aliased payloads.
+func TestBatchWireRoundtrip(t *testing.T) {
+	subs := []Request{
+		{Op: OpAlloc, Size: 64},
+		{Op: OpWrite, Addr: core.Addr{Lo: 7, Hi: 9}, Payload: []byte("hello")},
+		{Op: OpRead, Addr: core.Addr{Lo: 1}, Size: 32},
+		{Op: OpFree, Addr: core.Addr{Lo: 2, Hi: 3}},
+	}
+	buf := MarshalBatchRequests(nil, subs)
+	got, err := DecodeBatchRequests(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(subs) {
+		t.Fatalf("decoded %d subs, want %d", len(got), len(subs))
+	}
+	for i := range subs {
+		if got[i].Op != subs[i].Op || got[i].Addr != subs[i].Addr || got[i].Size != subs[i].Size ||
+			!bytes.Equal(got[i].Payload, subs[i].Payload) {
+			t.Fatalf("sub %d mismatch: %+v vs %+v", i, got[i], subs[i])
+		}
+	}
+
+	resps := []Response{
+		{Status: StatusOK, Addr: core.Addr{Lo: 11}, Payload: []byte{1, 2, 3}},
+		{Status: StatusNotFound},
+	}
+	rbuf := MarshalBatchResponses(nil, resps)
+	rgot, err := DecodeBatchResponses(rbuf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resps {
+		if rgot[i].Status != resps[i].Status || rgot[i].Addr != resps[i].Addr ||
+			!bytes.Equal(rgot[i].Payload, resps[i].Payload) {
+			t.Fatalf("sub-response %d mismatch", i)
+		}
+	}
+}
+
+// TestBatchEmpty: a zero-sub-op batch is legal and returns zero
+// sub-responses.
+func TestBatchEmpty(t *testing.T) {
+	s := testServer(t)
+	out := batchCall(t, s, nil)
+	if len(out) != 0 {
+		t.Fatalf("want 0 sub-responses, got %d", len(out))
+	}
+}
+
+// TestBatchCorruptPayloads: truncated or trailing-garbage batch payloads
+// fail decoding and the server answers StatusInvalid instead of panicking.
+func TestBatchCorruptPayloads(t *testing.T) {
+	full := MarshalBatchRequests(nil, []Request{{Op: OpAlloc, Size: 64}})
+	bad := [][]byte{
+		nil,                                     // no count
+		{1, 0, 0},                               // short count
+		full[:len(full)-3],                      // truncated record
+		append(append([]byte{}, full...), 0xFF), // trailing bytes
+	}
+	for i, b := range bad {
+		if _, err := DecodeBatchRequests(b, nil); !errors.Is(err, ErrBatchCorrupt) {
+			t.Fatalf("case %d: want ErrBatchCorrupt, got %v", i, err)
+		}
+	}
+	s := testServer(t)
+	resp := s.Submit(Request{Op: OpBatch, Payload: []byte{1, 0}})
+	if resp.Status != StatusInvalid {
+		t.Fatalf("corrupt batch: want StatusInvalid, got %v", resp.Status)
+	}
+}
+
+// TestBatchNestedRejected: a batch sub-op may not itself be a batch; the
+// sub-response reports StatusInvalid while siblings still execute.
+func TestBatchNestedRejected(t *testing.T) {
+	s := testServer(t)
+	out := batchCall(t, s, []Request{
+		{Op: OpAlloc, Size: 64},
+		{Op: OpBatch},
+		{Op: OpAlloc, Size: 64},
+	})
+	if out[0].Status != StatusOK || out[2].Status != StatusOK {
+		t.Fatalf("sibling sub-ops failed: %v %v", out[0].Status, out[2].Status)
+	}
+	if out[1].Status != StatusInvalid {
+		t.Fatalf("nested batch: want StatusInvalid, got %v", out[1].Status)
+	}
+}
+
+// TestBatchLifecycle: alloc, write, read, free through one batch each,
+// with pointer-corrected Addr and payload data surviving the round trip.
+func TestBatchLifecycle(t *testing.T) {
+	s := testServer(t)
+	const n = 48 // > minBatchChunk * workers: exercises token-pool sharding
+	allocs := make([]Request, n)
+	for i := range allocs {
+		allocs[i] = Request{Op: OpAlloc, Size: 64}
+	}
+	ars := batchCall(t, s, allocs)
+	addrs := make([]core.Addr, n)
+	seen := make(map[core.Addr]bool)
+	for i, r := range ars {
+		if r.Status != StatusOK {
+			t.Fatalf("alloc %d: %v", i, r.Status)
+		}
+		if seen[r.Addr] {
+			t.Fatalf("alloc %d: duplicate address %v", i, r.Addr)
+		}
+		seen[r.Addr] = true
+		addrs[i] = r.Addr
+	}
+
+	writes := make([]Request, n)
+	for i := range writes {
+		writes[i] = Request{Op: OpWrite, Addr: addrs[i], Payload: bytes.Repeat([]byte{byte(i + 1)}, 64)}
+	}
+	for i, r := range batchCall(t, s, writes) {
+		if r.Status != StatusOK {
+			t.Fatalf("write %d: %v", i, r.Status)
+		}
+	}
+
+	reads := make([]Request, n)
+	for i := range reads {
+		reads[i] = Request{Op: OpRead, Addr: addrs[i], Size: 64}
+	}
+	for i, r := range batchCall(t, s, reads) {
+		if r.Status != StatusOK {
+			t.Fatalf("read %d: %v", i, r.Status)
+		}
+		if want := bytes.Repeat([]byte{byte(i + 1)}, 64); !bytes.Equal(r.Payload, want) {
+			t.Fatalf("read %d: payload %v", i, r.Payload[:4])
+		}
+	}
+
+	frees := make([]Request, n)
+	for i := range frees {
+		frees[i] = Request{Op: OpFree, Addr: addrs[i]}
+	}
+	for i, r := range batchCall(t, s, frees) {
+		if r.Status != StatusOK {
+			t.Fatalf("free %d: %v", i, r.Status)
+		}
+	}
+}
+
+// TestBatchMixedFailures: one failing sub-op (a read of a freed object)
+// among successes carries its own status without poisoning the batch.
+func TestBatchMixedFailures(t *testing.T) {
+	s := testServer(t)
+	live := batchCall(t, s, []Request{{Op: OpAlloc, Size: 64}})[0].Addr
+	dead := batchCall(t, s, []Request{{Op: OpAlloc, Size: 64}})[0].Addr
+	if r := batchCall(t, s, []Request{{Op: OpFree, Addr: dead}})[0]; r.Status != StatusOK {
+		t.Fatalf("free: %v", r.Status)
+	}
+	out := batchCall(t, s, []Request{
+		{Op: OpRead, Addr: live, Size: 64},
+		{Op: OpRead, Addr: dead, Size: 64},
+		{Op: OpRead, Addr: live, Size: 64},
+	})
+	if out[0].Status != StatusOK || out[2].Status != StatusOK {
+		t.Fatalf("live reads failed: %v %v", out[0].Status, out[2].Status)
+	}
+	if !errors.Is(out[1].Status.Err(), core.ErrNotFound) {
+		t.Fatalf("dead read: want ErrNotFound, got %v", out[1].Status.Err())
+	}
+}
+
+// TestBatchGarbageAddrClass: a sub-read whose pointer encodes an
+// out-of-range size class answers StatusInvalid rather than panicking the
+// worker.
+func TestBatchGarbageAddrClass(t *testing.T) {
+	s := testServer(t)
+	garbage := core.Addr{Hi: uint64(250) << 32} // class 250: out of range
+	out := batchCall(t, s, []Request{{Op: OpRead, Addr: garbage, Size: 64}})
+	if out[0].Status != StatusInvalid {
+		t.Fatalf("want StatusInvalid, got %v", out[0].Status)
+	}
+	if resp := s.Submit(Request{Op: OpRead, Addr: garbage, Size: 64}); resp.Status != StatusInvalid {
+		t.Fatalf("single-op: want StatusInvalid, got %v", resp.Status)
+	}
+}

@@ -50,7 +50,8 @@ func (s *Server) Close() {
 // Submit executes a request on a borrowed worker thread and returns its
 // response. Concurrent Submits proceed in parallel up to the worker count;
 // beyond that they wait their turn, like requests queued in §2.2.2's
-// shared RPC queue.
+// shared RPC queue. An OpBatch request may additionally borrow idle worker
+// tokens and shard its sub-operations across them.
 func (s *Server) Submit(req Request) Response {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -58,9 +59,149 @@ func (s *Server) Submit(req Request) Response {
 		return Response{Status: StatusError}
 	}
 	thread := <-s.tokens
-	resp := s.execute(thread, req)
+	var resp Response
+	if req.Op == OpBatch {
+		resp = s.executeBatch(thread, req)
+	} else {
+		resp = s.execute(thread, req)
+	}
 	s.tokens <- thread
 	return resp
+}
+
+// maxBatchResp caps the packed size of one batch response so it still fits
+// the transport frame limit (8 MiB) with header headroom; a batch that
+// would overflow is rejected whole with StatusTooLarge.
+const maxBatchResp = (8 << 20) - 1024
+
+// minBatchChunk is the smallest sub-op range worth a worker handoff: below
+// it, the goroutine + token traffic costs more than the parallelism pays,
+// especially on small hosts.
+const minBatchChunk = 8
+
+// executeBatch unpacks an OpBatch request and dispatches its sub-operations
+// across the worker-token pool: the borrowed thread always executes, and if
+// the batch is large enough, idle worker tokens are grabbed (non-blocking,
+// so a batch never stalls behind the queue it is part of) and the sub-op
+// range is sharded across them. Each chunk packs its sub-responses — every
+// one with its own Status and corrected Addr — into its own buffer as it
+// executes, so the input order is preserved by concatenation and no
+// per-sub-op response structs are allocated.
+func (s *Server) executeBatch(thread int, req Request) Response {
+	subs, err := DecodeBatchRequests(req.Payload, GetSubRequests())
+	if err != nil {
+		PutSubRequests(subs)
+		return Response{Status: StatusInvalid}
+	}
+	n := len(subs)
+	if n == 0 {
+		PutSubRequests(subs)
+		return Response{Status: StatusOK, Payload: AppendBatchHeader(nil, 0)}
+	}
+
+	// Borrow extra idle workers, one per additional minBatchChunk of subs.
+	var extra []int
+	for (len(extra)+1)*minBatchChunk < n && len(extra)+1 < cap(s.tokens) {
+		select {
+		case t := <-s.tokens:
+			extra = append(extra, t)
+		default:
+			goto sized
+		}
+	}
+sized:
+	chunks := len(extra) + 1
+	outs := make([][]byte, chunks)
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		wg.Add(1)
+		go func(c, tok, lo, hi int) {
+			defer wg.Done()
+			outs[c] = s.executeChunk(tok, subs[lo:hi])
+		}(c, extra[c-1], lo, hi)
+	}
+	outs[0] = s.executeChunk(thread, subs[:n/chunks])
+	wg.Wait()
+	for _, t := range extra {
+		s.tokens <- t
+	}
+	PutSubRequests(subs)
+
+	total := batchCountBytes
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total > maxBatchResp {
+		for _, o := range outs {
+			putPackBuf(o)
+		}
+		return Response{Status: StatusTooLarge}
+	}
+	payload := AppendBatchHeader(make([]byte, 0, total), n)
+	for _, o := range outs {
+		payload = append(payload, o...)
+		putPackBuf(o)
+	}
+	return Response{Status: StatusOK, Payload: payload}
+}
+
+// executeChunk runs a contiguous sub-op range on one worker token,
+// returning the packed sub-response records (from the pack pool). Reads
+// land in a shared scratch buffer that is re-encoded into the packed output
+// immediately, so a chunk costs O(1) buffers regardless of length.
+func (s *Server) executeChunk(thread int, subs []Request) []byte {
+	out := getPackBuf()
+	scratch := getPackBuf()
+	for i := range subs {
+		out, scratch = s.executeSub(thread, &subs[i], out, scratch)
+	}
+	putPackBuf(scratch)
+	return out
+}
+
+// executeSub runs one batched sub-operation and appends its packed
+// sub-response record onto out. Nested batches are rejected per sub-op.
+func (s *Server) executeSub(thread int, sub *Request, out, scratch []byte) (o, sc []byte) {
+	var resp Response
+	switch sub.Op {
+	case OpRead:
+		addr := sub.Addr
+		size, ok := s.classSize(addr)
+		if !ok {
+			resp = Response{Status: StatusInvalid, Addr: addr}
+			break
+		}
+		want := size
+		if int(sub.Size) > 0 && int(sub.Size) < size {
+			want = int(sub.Size)
+		}
+		if cap(scratch) < size {
+			putPackBuf(scratch)
+			scratch = make([]byte, size)
+		}
+		scratch = scratch[:size]
+		if _, err := s.store.Read(&addr, scratch); err != nil {
+			resp = Response{Status: StatusOf(err), Addr: addr}
+		} else {
+			resp = Response{Status: StatusOK, Addr: addr, Payload: scratch[:want]}
+		}
+	case OpBatch:
+		resp = Response{Status: StatusInvalid}
+	default:
+		resp = s.execute(thread, *sub)
+	}
+	return AppendSubResponse(out, &resp), scratch
+}
+
+// classSize bounds-checks a pointer's size class before indexing the class
+// table, so a garbage address yields StatusInvalid instead of a panic.
+func (s *Server) classSize(addr core.Addr) (int, bool) {
+	cls := int(addr.Class())
+	if cls < 0 || cls >= len(s.store.Config().Classes) {
+		return 0, false
+	}
+	return s.store.ClassSize(cls), true
 }
 
 // execute dispatches one request against the store on behalf of a worker
@@ -87,11 +228,15 @@ func (s *Server) execute(thread int, req Request) Response {
 
 	case OpRead:
 		addr := req.Addr
-		size := s.store.ClassSize(int(addr.Class()))
+		classSize, ok := s.classSize(addr)
+		if !ok {
+			return Response{Status: StatusInvalid, Addr: addr}
+		}
+		size := classSize
 		if int(req.Size) > 0 && int(req.Size) < size {
 			size = int(req.Size)
 		}
-		buf := make([]byte, s.store.ClassSize(int(addr.Class())))
+		buf := make([]byte, classSize)
 		if _, err := s.store.Read(&addr, buf); err != nil {
 			return Response{Status: StatusOf(err), Addr: addr}
 		}

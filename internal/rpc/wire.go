@@ -21,7 +21,8 @@ const (
 	OpRead
 	OpWrite
 	OpRelease
-	OpInfo // fetch store parameters (classes, block size) at connect time
+	OpInfo  // fetch store parameters (classes, block size) at connect time
+	OpBatch // N sub-operations in one frame; see batch.go for the framing
 )
 
 func (o OpCode) String() string {
@@ -38,6 +39,8 @@ func (o OpCode) String() string {
 		return "release"
 	case OpInfo:
 		return "info"
+	case OpBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -52,7 +55,13 @@ const (
 	StatusInvalid
 	StatusNoClass
 	StatusError
+	// StatusTooLarge rejects a batch whose packed response would exceed the
+	// transport frame limit; the client must split the batch.
+	StatusTooLarge
 )
+
+// ErrTooLarge is the client-side sentinel for StatusTooLarge.
+var ErrTooLarge = errors.New("rpc: batch response exceeds frame limit")
 
 // StatusOf maps store errors onto wire codes.
 func StatusOf(err error) Status {
@@ -84,6 +93,8 @@ func (s Status) Err() error {
 		return core.ErrInvalidAddr
 	case StatusNoClass:
 		return core.ErrNoClass
+	case StatusTooLarge:
+		return ErrTooLarge
 	}
 	return errors.New("rpc: remote error")
 }
@@ -104,6 +115,11 @@ type Response struct {
 }
 
 const reqHeader = 1 + 16 + 4 + 4 // op + addr + size + payload len
+
+// addrFrom decodes a 16-byte little-endian Addr at the head of buf.
+func addrFrom(buf []byte) core.Addr {
+	return core.Addr{Lo: binary.LittleEndian.Uint64(buf), Hi: binary.LittleEndian.Uint64(buf[8:])}
+}
 
 // Marshal encodes the request.
 func (r *Request) Marshal() []byte {

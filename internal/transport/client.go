@@ -311,12 +311,21 @@ func putTimer(t *time.Timer) {
 	timerPool.Put(t)
 }
 
+// donePool recycles the one-shot result channels of roundTrip. A pending
+// entry receives exactly one send (from the demux reader or the failure
+// path — both remove it from the map first) and roundTrip always performs
+// the matching receive, so a channel leaving roundTrip is provably empty
+// and safe to reuse.
+var donePool = sync.Pool{New: func() any { return make(chan callResult, 1) }}
+
 // roundTrip performs one multiplexed exchange: register a pending call,
 // write the request frame, wait for the demux reader to deliver the
 // response. The returned body is a pooled frame buffer — decode it and hand
 // it back with putFrameBuf. Transport faults (including timeout) poison the
 // channel and fail all its pending calls.
 func (c *Conn) roundTrip(ch *channel, body []byte) ([]byte, error) {
+	done := donePool.Get().(chan callResult)
+	defer donePool.Put(done)
 	ch.mu.Lock()
 	if err := c.ensureLocked(ch); err != nil {
 		ch.mu.Unlock()
@@ -326,7 +335,6 @@ func (c *Conn) roundTrip(ch *channel, body []byte) ([]byte, error) {
 	fw := ch.fw
 	ch.seq++
 	seq := ch.seq
-	done := make(chan callResult, 1)
 	ch.pending[seq] = done
 	ch.mu.Unlock()
 
@@ -357,9 +365,16 @@ func (c *Conn) roundTrip(ch *channel, body []byte) ([]byte, error) {
 
 // Call performs one RPC round trip. Concurrent Calls on one Conn pipeline
 // on the wire. On transport faults the RPC channel is marked broken and the
-// error wraps ErrConnBroken; the next Call re-dials.
+// error wraps ErrConnBroken; the next Call re-dials. A request too large
+// for one frame (an oversized batch, a giant write) fails cleanly with
+// ErrFrameTooLarge before touching the wire — the channel stays healthy.
 func (c *Conn) Call(req rpc.Request) (rpc.Response, error) {
 	body := req.MarshalAppend(getFrameBuf(0))
+	if len(body)+frameSeqBytes > maxFrame {
+		n := len(body)
+		putFrameBuf(body)
+		return rpc.Response{}, fmt.Errorf("%w: %d-byte request", ErrFrameTooLarge, n)
+	}
 	frame, err := c.roundTrip(&c.rpc, body)
 	putFrameBuf(body)
 	if err != nil {
