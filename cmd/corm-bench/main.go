@@ -20,13 +20,16 @@ import (
 	"time"
 
 	"corm/internal/experiments"
+	"corm/internal/metrics"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run at the paper's scale (slow)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	showMetrics := flag.Bool("metrics", false, "dump the internal metrics summary after each experiment")
 	flag.Usage = usage
 	flag.Parse()
+	dumpMetrics = *showMetrics
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -60,13 +63,25 @@ func main() {
 	}
 }
 
+// dumpMetrics turns on the per-experiment metrics summary (-metrics).
+var dumpMetrics bool
+
 func run(e experiments.Experiment, opts experiments.Options) {
 	fmt.Printf("--- %s: %s\n", e.Name, e.Desc)
+	if dumpMetrics {
+		// Zero the registry so the summary reflects only this experiment.
+		metrics.Default().Reset()
+	}
 	start := time.Now()
 	for _, t := range e.Run(opts) {
 		fmt.Println(t.String())
 	}
 	fmt.Printf("(%s finished in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	if dumpMetrics {
+		fmt.Printf("metrics for %s:\n", e.Name)
+		metrics.Default().DumpText(os.Stdout)
+		fmt.Println()
+	}
 	// Experiments build multi-hundred-MB populations; return the memory
 	// to the OS before the next one so the whole suite fits small hosts.
 	debug.FreeOSMemory()

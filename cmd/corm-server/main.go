@@ -17,6 +17,7 @@ import (
 
 	"corm"
 	"corm/internal/core"
+	"corm/internal/metrics"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	idBits := flag.Int("idbits", 16, "object identifier bits")
 	compactEvery := flag.Duration("compact-every", 0, "run the compaction policy periodically (0 = only on demand)")
 	fragThreshold := flag.Float64("frag-threshold", 2.0, "fragmentation ratio that triggers compaction")
+	metricsAddr := flag.String("metrics-addr", "", "observability HTTP address (e.g. :9100) serving /metrics, /debug/vars, /debug/pprof; empty = disabled")
 	flag.Parse()
 
 	cfg := corm.DefaultConfig()
@@ -60,6 +62,15 @@ func main() {
 	}
 	log.Printf("corm-server listening on %s (workers=%d block=%d strategy=%v idbits=%d)",
 		addr, cfg.Workers, cfg.BlockBytes, cfg.Strategy, cfg.IDBits)
+
+	if *metricsAddr != "" {
+		maddr, stopMetrics, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer stopMetrics()
+		log.Printf("metrics on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof)", maddr)
+	}
 
 	var stopLoop func()
 	if *compactEvery > 0 {

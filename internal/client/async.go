@@ -105,6 +105,7 @@ func (c *Ctx) flushBatch(batch []asyncRead) {
 	if len(batch) == 0 {
 		return
 	}
+	clAsyncFlushSize.Observe(int64(len(batch)))
 	addrs := make([]*core.Addr, len(batch))
 	bufs := make([][]byte, len(batch))
 	for i, r := range batch {

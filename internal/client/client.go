@@ -161,6 +161,7 @@ func (c *Ctx) callIdempotent(req rpc.Request) (rpc.Response, error) {
 		if err == nil || attempt >= c.ConnRetries || !transport.IsRetryable(err) {
 			return resp, err
 		}
+		clRetries.Inc()
 	}
 }
 
@@ -188,9 +189,11 @@ func (c *Ctx) directRead(rkey uint32, vaddr uint64, raw []byte) error {
 			if rerr := r.ReconnectDMA(); rerr != nil && !transport.IsRetryable(rerr) {
 				return rerr
 			}
+			clQPReconnects.Inc()
 		case !transport.IsRetryable(err):
 			return err
 		}
+		clDMARetries.Inc()
 	}
 }
 
@@ -299,6 +302,7 @@ func (c *Ctx) DirectRead(addr *core.Addr, buf []byte) (int, error) {
 		case err == nil:
 			return copy(buf, payload), nil
 		case errors.Is(err, core.ErrInconsistent) && attempt < c.Retries:
+			clInconsistentRetries.Inc()
 			time.Sleep(c.RetryBackoff)
 			continue
 		default:
@@ -331,6 +335,7 @@ func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
 			addr.SetFlag(core.FlagIndirectObserved)
 			return copy(buf, payload), nil
 		case errors.Is(err, core.ErrInconsistent) && attempt < c.Retries:
+			clInconsistentRetries.Inc()
 			time.Sleep(c.RetryBackoff)
 			continue
 		default:
@@ -344,6 +349,9 @@ func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
 func (c *Ctx) SmartRead(addr *core.Addr, buf []byte) (int, error) {
 	n, err := c.DirectRead(addr, buf)
 	if errors.Is(err, core.ErrWrongObject) {
+		// Counted here — once per fallback decision — not inside ScanRead,
+		// whose internal retry loop would otherwise inflate the count.
+		clScanFallbacks.Inc()
 		return c.ScanRead(addr, buf)
 	}
 	return n, err

@@ -1,0 +1,21 @@
+package client
+
+import "corm/internal/metrics"
+
+// Client-library metrics: retry and fallback counters for the paths whose
+// frequency the paper's evaluation turns on (how often the one-sided fast
+// path degrades), plus the async batcher's coalescing efficiency.
+var (
+	clRetries = metrics.Default().Counter("corm_client_rpc_retries_total",
+		"idempotent RPCs re-issued across transport reconnects")
+	clDMARetries = metrics.Default().Counter("corm_client_dma_retries_total",
+		"one-sided reads re-issued after a transport fault or QP repair")
+	clQPReconnects = metrics.Default().Counter("corm_client_qp_reconnects_total",
+		"broken QPs repaired via ReconnectDMA")
+	clScanFallbacks = metrics.Default().Counter("corm_client_scan_fallbacks_total",
+		"SmartReads that fell back from DirectRead to ScanRead (§3.2.2)")
+	clInconsistentRetries = metrics.Default().Counter("corm_client_inconsistent_retries_total",
+		"one-sided reads retried on a torn/locked object (§3.2.3)")
+	clAsyncFlushSize = metrics.Default().Histogram("corm_client_async_flush_size",
+		"asynchronous reads coalesced per batcher flush")
+)

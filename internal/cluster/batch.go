@@ -39,6 +39,7 @@ func groupByNode(n int, nodeOf func(i int) int) map[int][]int {
 // node is involved (the single-node case stays on the caller's goroutine —
 // no handoff for the common locality-friendly batch).
 func fanOut(groups map[int][]int, run func(node int, idxs []int)) {
+	cuFanOutWidth.Observe(int64(len(groups)))
 	if len(groups) == 1 {
 		for node, idxs := range groups {
 			run(node, idxs)
@@ -373,4 +374,3 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 	}
 	return errs, nil
 }
-

@@ -50,6 +50,7 @@ func (p *Pool) gate(node int) error {
 		h.probing = true
 		return nil
 	}
+	cuFailFasts.Inc()
 	return fmt.Errorf("%w: node %d (%s)", ErrNodeDown, node, p.labels[node])
 }
 
@@ -63,6 +64,10 @@ func (p *Pool) observe(node int, err error) {
 	h := &p.health[node]
 	h.probing = false
 	if !fail {
+		if h.open {
+			cuBreakerRecoveries.Inc()
+			cuOpenBreakers.Dec()
+		}
 		h.consecFails = 0
 		h.open = false
 		return
@@ -70,6 +75,8 @@ func (p *Pool) observe(node int, err error) {
 	h.consecFails++
 	if h.consecFails >= p.FailThreshold && !h.open {
 		h.open = true
+		cuBreakerTrips.Inc()
+		cuOpenBreakers.Inc()
 	}
 	if h.open {
 		// Re-arm the cooldown on every failure, including failed probes.

@@ -1,0 +1,19 @@
+package cluster
+
+import "corm/internal/metrics"
+
+// Cluster-layer metrics: breaker lifecycle and multi-node fan-out shape.
+// The open-breakers gauge moves by deltas at each state transition, so
+// multiple pools in one process sum correctly.
+var (
+	cuBreakerTrips = metrics.Default().Counter("corm_cluster_breaker_trips_total",
+		"circuit breakers tripped closed->open")
+	cuBreakerRecoveries = metrics.Default().Counter("corm_cluster_breaker_recoveries_total",
+		"open circuit breakers closed by a successful operation")
+	cuOpenBreakers = metrics.Default().Gauge("corm_cluster_open_breakers",
+		"nodes currently failing fast behind an open breaker")
+	cuFailFasts = metrics.Default().Counter("corm_cluster_fail_fasts_total",
+		"operations rejected by an open breaker without touching the wire")
+	cuFanOutWidth = metrics.Default().Histogram("corm_cluster_fanout_width",
+		"nodes touched by one multi-key operation")
+)

@@ -148,6 +148,7 @@ func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 	if strategy == StrategyNone {
 		return r
 	}
+	cmCompactRuns.Inc()
 
 	// Stage 1: block collection. Every thread hands over its candidate
 	// blocks; the broadcast costs Collection(threads) on the leader.
@@ -157,6 +158,9 @@ func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 	}
 	s.phase(&opts, &r, PhaseCollect, s.cfg.Model.CPU.Collection(len(s.thread)))
 	r.Collected = len(candidates)
+	for _, b := range candidates {
+		cmCandidateOccupancy.Observe(int64(b.Used()) * 100 / int64(slots))
+	}
 	if len(candidates) < 2 {
 		s.returnBlocks(opts.Leader, candidates)
 		return r
@@ -205,10 +209,12 @@ func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 				continue // hopeless pairing; don't burn an attempt
 			}
 			attempts++
+			cmCompactAttempts.Inc()
 			if src.disjoint(dst) {
 				best = j
 				break
 			}
+			cmCompactIDConflicts.Inc()
 		}
 		if best < 0 {
 			continue
@@ -234,6 +240,9 @@ func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 	s.stats.compactions.Add(int64(r.Merges))
 	s.stats.blocksFreed.Add(int64(r.BlocksFreed))
 	s.stats.objectsMoved.Add(int64(r.ObjectsMoved))
+	cmCompactMerges.Add(int64(r.Merges))
+	cmCompactBlocksFreed.Add(int64(r.BlocksFreed))
+	cmCompactObjectsMoved.Add(int64(r.ObjectsMoved))
 	return r
 }
 
@@ -370,6 +379,12 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 	}
 	stDst.addAliases(aliasList)
 	s.proc.DropBlockKeepMapping(src)
+	// DropBlockKeepMapping bypasses onReleaseBlock (the vaddr stays mapped
+	// as an alias), but src's physical frames are gone — account for them
+	// here or the live-block gauges only ever climb under compaction.
+	cmBlocksLive.Dec()
+	cmSlotsCapacity.Add(-int64(src.Slots))
+	cmBytesLive.Add(-int64(s.cfg.BlockBytes))
 
 	// Addresses with no live homed objects become reusable immediately.
 	for _, vaddr := range aliasList {

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCompactionDisjointProperty is the randomized half of the compaction
+// safety invariant: for arbitrary populated block pairs, the pairing
+// predicate the merge loop uses (mergeSet.disjoint) must agree exactly
+// with an independent oracle — the live object-ID sets harvested from the
+// client-visible pointers, not from the store's own metadata. A false
+// positive here would let a merge overwrite an object whose ID collides
+// (§3.1.2); a false negative would silently disable compaction.
+func TestCompactionDisjointProperty(t *testing.T) {
+	const size = 64
+	for round := 0; round < 6; round++ {
+		rnd := rand.New(rand.NewSource(int64(1000 + round*37)))
+		s := testStore(t, func(c *Config) { c.Seed = int64(round + 7) })
+		class := s.Allocator().Config().ClassFor(size)
+		per := s.Allocator().Config().SlotsPerBlock(size)
+		blocks := 3 + rnd.Intn(4)
+
+		var all []Addr
+		for i := 0; i < blocks*per; i++ {
+			r, err := s.AllocOn(0, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, r.Addr)
+		}
+		// Random thinning: each object survives with p=0.2, leaving the
+		// low-occupancy landscape compaction targets. Track the oracle ID
+		// set per block base and every survivor's payload.
+		idsOf := make(map[uint64]map[uint16]bool)
+		var live []*Addr
+		var want [][]byte
+		for i := range all {
+			a := &all[i]
+			if rnd.Float64() < 0.2 {
+				payload := fill(size, byte(i))
+				if err := s.Write(a, payload); err != nil {
+					t.Fatal(err)
+				}
+				base := s.blockBase(a.VAddr())
+				if idsOf[base] == nil {
+					idsOf[base] = make(map[uint16]bool)
+				}
+				idsOf[base][a.ID()] = true
+				live = append(live, a)
+				want = append(want, payload)
+			} else if err := s.Free(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Pairwise: disjoint() iff the oracle sets do not intersect.
+		cands := s.Allocator().BlocksOfClass(class)
+		sets := make([]*mergeSet, len(cands))
+		for i, b := range cands {
+			sets[i] = s.snapshotSet(StrategyCoRM, b)
+		}
+		for i := range sets {
+			for j := i + 1; j < len(sets); j++ {
+				oracle := true
+				for id := range idsOf[sets[i].block.VAddr] {
+					if idsOf[sets[j].block.VAddr][id] {
+						oracle = false
+						break
+					}
+				}
+				if got := sets[i].disjoint(sets[j]); got != oracle {
+					t.Fatalf("round %d: disjoint(%#x, %#x) = %v, oracle says %v",
+						round, sets[i].block.VAddr, sets[j].block.VAddr, got, oracle)
+				}
+			}
+		}
+
+		// End to end: compact, then every surviving object must read back
+		// its pre-merge bytes through its original pointer.
+		s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxAttempts: 64})
+		buf := make([]byte, s.ClassSize(class))
+		for k, a := range live {
+			if _, err := s.Read(a, buf); err != nil {
+				t.Fatalf("round %d: read survivor %d after compaction: %v", round, k, err)
+			}
+			if !bytes.Equal(buf[:size], want[k]) {
+				t.Fatalf("round %d: survivor %d bytes changed across compaction", round, k)
+			}
+		}
+		auditStats(t, s)
+	}
+}
+
+// TestCompactionMergePermittedIffDisjoint is the deterministic half: with
+// the CoRM-0 strategy, conflict sets are slot offsets, so overlap is
+// constructed exactly. Blocks that all keep slot 0 must never merge;
+// blocks keeping pairwise-distinct slots must merge.
+func TestCompactionMergePermittedIffDisjoint(t *testing.T) {
+	const size = 64
+	build := func(t *testing.T, keepSlot func(block int) int) (*Store, int, []*Addr) {
+		s := testStore(t, func(c *Config) { c.Strategy = StrategyCoRM0 })
+		class := s.Allocator().Config().ClassFor(size)
+		per := s.Allocator().Config().SlotsPerBlock(size)
+		const blocks = 4
+		var all []Addr
+		for i := 0; i < blocks*per; i++ {
+			r, err := s.AllocOn(0, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, r.Addr)
+		}
+		var live []*Addr
+		for i := range all {
+			if i%per == keepSlot(i/per)%per {
+				live = append(live, &all[i])
+			} else if err := s.Free(&all[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s, class, live
+	}
+
+	t.Run("overlapping slots never merge", func(t *testing.T) {
+		s, class, _ := build(t, func(int) int { return 0 })
+		r := s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxAttempts: 64})
+		if r.Merges != 0 || r.BlocksFreed != 0 {
+			t.Fatalf("merged %d blocks despite every pair conflicting: %+v", r.BlocksFreed, r)
+		}
+	})
+
+	t.Run("disjoint slots merge", func(t *testing.T) {
+		s, class, live := build(t, func(b int) int { return b })
+		r := s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxAttempts: 64})
+		if r.Merges == 0 {
+			t.Fatalf("no merges despite all pairs disjoint: %+v", r)
+		}
+		buf := make([]byte, s.ClassSize(class))
+		for _, a := range live {
+			if _, err := s.Read(a, buf); err != nil {
+				t.Fatalf("survivor unreadable after merge: %v", err)
+			}
+		}
+		auditStats(t, s)
+	})
+}
+
+// auditStats asserts the cross-counter invariants every Stats snapshot
+// must satisfy, no matter when it is taken.
+func auditStats(t *testing.T, s *Store) {
+	t.Helper()
+	if err := statsInvariants(s.Stats()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// statsInvariants checks one snapshot; shared with the concurrent stress
+// test, where it runs against snapshots taken mid-traffic.
+func statsInvariants(st Stats) error {
+	if st.Frees > st.Allocs {
+		return fmt.Errorf("stats audit: frees %d > allocs %d", st.Frees, st.Allocs)
+	}
+	if st.CorrectionMisses > st.Corrections {
+		return fmt.Errorf("stats audit: correction misses %d > corrections %d", st.CorrectionMisses, st.Corrections)
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"allocs", st.Allocs}, {"frees", st.Frees}, {"reads", st.Reads},
+		{"writes", st.Writes}, {"corrections", st.Corrections},
+		{"releases", st.Releases}, {"compactions", st.Compactions},
+		{"blocksFreed", st.BlocksFreed}, {"objectsMoved", st.ObjectsMoved},
+		{"vaddrsReused", st.VaddrsReused},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("stats audit: %s negative (%d)", c.name, c.v)
+		}
+	}
+	return nil
+}

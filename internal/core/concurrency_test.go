@@ -38,6 +38,31 @@ func TestConcurrentStoreOpsUnderCompaction(t *testing.T) {
 		}
 	}()
 
+	// Stats auditor: snapshots taken mid-traffic must satisfy the
+	// cross-counter invariants (frees never observed ahead of allocs,
+	// misses never ahead of corrections) — snapshot() orders its loads
+	// consumer-before-producer precisely so this holds under fire.
+	auditErr := make(chan error, 1)
+	var auditWG sync.WaitGroup
+	auditWG.Add(1)
+	go func() {
+		defer auditWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := statsInvariants(s.Stats()); err != nil {
+				select {
+				case auditErr <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
 	type tally struct{ allocs, frees, reads, writes int64 }
 	tallies := make([]tally, workers)
 	var wg sync.WaitGroup
@@ -103,8 +128,14 @@ func TestConcurrentStoreOpsUnderCompaction(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	compactWG.Wait()
+	auditWG.Wait()
 	select {
 	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	select {
+	case err := <-auditErr:
 		t.Fatal(err)
 	default:
 	}

@@ -1,0 +1,53 @@
+package core
+
+import "corm/internal/metrics"
+
+// Core-layer metrics. These mirror the store's internal atomic counters
+// into the process-global registry (each site pays one extra atomic add)
+// and add the lifecycle gauges the counters cannot express: live objects,
+// live blocks, and slot capacity, whose ratio is the cluster-visible
+// occupancy the compaction policy (§3.1.3) acts on. Gauges use deltas
+// (Add/Dec), so multiple stores in one process — the test and bench
+// topology — sum correctly.
+var (
+	cmAllocs = metrics.Default().Counter("corm_core_allocs_total",
+		"objects allocated")
+	cmFrees = metrics.Default().Counter("corm_core_frees_total",
+		"objects freed")
+	cmReads = metrics.Default().Counter("corm_core_reads_total",
+		"RPC-path object reads")
+	cmWrites = metrics.Default().Counter("corm_core_writes_total",
+		"RPC-path object writes")
+	cmCorrections = metrics.Default().Counter("corm_core_ptr_corrections_total",
+		"pointer corrections performed (§3.2)")
+	cmCorrectionMisses = metrics.Default().Counter("corm_core_ptr_correction_misses_total",
+		"pointer corrections that found nothing (stale pointer)")
+	cmReleases = metrics.Default().Counter("corm_core_ptr_releases_total",
+		"ReleasePtr calls (§3.3)")
+	cmVaddrsReused = metrics.Default().Counter("corm_core_vaddrs_reused_total",
+		"dissolved block addresses returned to the reuse pool")
+
+	cmCompactRuns = metrics.Default().Counter("corm_compaction_runs_total",
+		"CompactClass invocations")
+	cmCompactAttempts = metrics.Default().Counter("corm_compaction_pair_attempts_total",
+		"merge pairings whose ID sets were compared")
+	cmCompactIDConflicts = metrics.Default().Counter("corm_compaction_id_conflicts_total",
+		"merge pairings aborted on an object-ID collision (§3.1.2)")
+	cmCompactMerges = metrics.Default().Counter("corm_compaction_merges_total",
+		"block merges executed")
+	cmCompactBlocksFreed = metrics.Default().Counter("corm_compaction_blocks_freed_total",
+		"blocks freed by compaction")
+	cmCompactObjectsMoved = metrics.Default().Counter("corm_compaction_objects_moved_total",
+		"objects relocated by merges (indirect pointers created)")
+	cmCandidateOccupancy = metrics.Default().Histogram("corm_compaction_candidate_occupancy_pct",
+		"percent occupancy of blocks collected for compaction")
+
+	cmObjectsLive = metrics.Default().Gauge("corm_core_objects_live",
+		"currently allocated objects")
+	cmBlocksLive = metrics.Default().Gauge("corm_core_blocks_live",
+		"currently mapped blocks")
+	cmSlotsCapacity = metrics.Default().Gauge("corm_core_slots_capacity",
+		"total object slots across mapped blocks (objects_live / this = occupancy)")
+	cmBytesLive = metrics.Default().Gauge("corm_core_block_bytes_live",
+		"bytes of mapped block memory")
+)

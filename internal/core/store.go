@@ -51,14 +51,26 @@ type counters struct {
 }
 
 func (c *counters) snapshot() Stats {
+	// Load order matters for cross-counter sanity under concurrent traffic:
+	// a "consumer" counter (frees, correction misses) must be loaded before
+	// the "producer" counter that bounds it (allocs, corrections). Loading
+	// allocs first admits a snapshot where an alloc+free pair lands between
+	// the two loads and Frees > Allocs — a drift that fails audits even
+	// though every individual counter is exact. With this order each
+	// consumer value is bounded by producer events that had already
+	// completed, so Frees <= Allocs and CorrectionMisses <= Corrections
+	// hold in every snapshot.
+	frees := c.frees.Load()
+	misses := c.correctionMisses.Load()
+	blocksFreed := c.blocksFreed.Load()
 	return Stats{
-		Allocs: c.allocs.Load(), Frees: c.frees.Load(),
+		Allocs: c.allocs.Load(), Frees: frees,
 		Reads: c.reads.Load(), Writes: c.writes.Load(),
 		Corrections:      c.corrections.Load(),
-		CorrectionMisses: c.correctionMisses.Load(),
+		CorrectionMisses: misses,
 		Releases:         c.releases.Load(),
 		Compactions:      c.compactions.Load(),
-		BlocksFreed:      c.blocksFreed.Load(),
+		BlocksFreed:      blocksFreed,
 		ObjectsMoved:     c.objectsMoved.Load(),
 		VaddrsReused:     c.vaddrsReused.Load(),
 	}
@@ -195,6 +207,9 @@ func (s *Store) onNewBlock(b *alloc.Block) {
 	sh.states[b] = st
 	sh.aliases[b.VAddr] = st
 	sh.mu.Unlock()
+	cmBlocksLive.Inc()
+	cmSlotsCapacity.Add(int64(b.Slots))
+	cmBytesLive.Add(int64(s.cfg.BlockBytes))
 }
 
 // onReleaseBlock tears down store state before a block is unmapped.
@@ -214,6 +229,9 @@ func (s *Store) onReleaseBlock(b *alloc.Block) {
 	if region != nil {
 		s.nic.Deregister(region)
 	}
+	cmBlocksLive.Dec()
+	cmSlotsCapacity.Add(-int64(b.Slots))
+	cmBytesLive.Add(-int64(s.cfg.BlockBytes))
 }
 
 func (s *Store) useODP() bool { return s.cfg.Remap != RemapRereg }
@@ -316,6 +334,8 @@ func (s *Store) AllocOn(thread int, size int) (AllocResult, error) {
 	}
 
 	s.stats.allocs.Add(1)
+	cmAllocs.Inc()
+	cmObjectsLive.Inc()
 	return AllocResult{Addr: addr, Refilled: refilled}, nil
 }
 
@@ -378,11 +398,14 @@ func (s *Store) resolveOnce(addr *Addr) (*blockState, int, bool, error) {
 		}
 		s.stats.corrections.Add(1)
 		s.stats.correctionMisses.Add(1)
+		cmCorrections.Inc()
+		cmCorrectionMisses.Inc()
 		return nil, 0, false, fmt.Errorf("%w: id %d in block %#x", ErrNotFound, addr.ID(), base)
 	}
 	addr.SetVAddr(base + uint64(found*st.Stride))
 	addr.SetFlag(FlagIndirectObserved)
 	s.stats.corrections.Add(1)
+	cmCorrections.Inc()
 	return st, found, true, nil
 }
 
@@ -402,6 +425,7 @@ func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
 			return 0, err
 		}
 		s.stats.reads.Add(1)
+		cmReads.Inc()
 		return size, nil
 	}
 	// The liveness check lives under rw: merge flips the compacting flag
@@ -415,6 +439,7 @@ func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
 		return 0, err
 	}
 	s.stats.reads.Add(1)
+	cmReads.Inc()
 	sc := readScratchPool.Get().(*readScratch)
 	defer readScratchPool.Put(sc)
 	if cap(sc.b) < st.Stride {
@@ -458,6 +483,7 @@ func (s *Store) Write(addr *Addr, payload []byte) error {
 			return err
 		}
 		s.stats.writes.Add(1)
+		cmWrites.Inc()
 		return nil
 	}
 
@@ -467,6 +493,7 @@ func (s *Store) Write(addr *Addr, payload []byte) error {
 		return err
 	}
 	s.stats.writes.Add(1)
+	cmWrites.Inc()
 	base := st.SlotAddr(slot)
 	raw := make([]byte, st.Stride)
 	if err := s.space.ReadAt(base, raw); err != nil {
@@ -573,6 +600,8 @@ func (s *Store) Free(addr *Addr) error {
 	}
 	st.rw.Unlock()
 	s.stats.frees.Add(1)
+	cmFrees.Inc()
+	cmObjectsLive.Dec()
 	if pages, reuse := s.vt.decHome(home); reuse {
 		s.releaseAlias(home, pages)
 	}
@@ -594,6 +623,7 @@ func (s *Store) ReleasePtr(addr *Addr) (Addr, error) {
 		return Addr{}, err
 	}
 	s.stats.releases.Add(1)
+	cmReleases.Inc()
 	id, home := st.meta.at(slot)
 	if home == st.VAddr {
 		// Pointer already references the live block: nothing to release.
@@ -655,6 +685,7 @@ func (s *Store) releaseAlias(vaddr uint64, pages int) {
 		st.removeAlias(vaddr)
 	}
 	s.stats.vaddrsReused.Add(1)
+	cmVaddrsReused.Inc()
 	if region != nil {
 		s.nic.Deregister(region)
 	}

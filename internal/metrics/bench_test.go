@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// The acceptance bar: counter increments <= 25 ns/op, 0 allocs/op.
+// Run: go test -bench . -benchmem ./internal/metrics
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) & 0xfffff)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			v++
+			h.Observe(v & 0xfffff)
+		}
+	})
+}
+
+func BenchmarkSpan(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan("bench.span", &h).End()
+	}
+}
+
+func BenchmarkSnapshotInto(b *testing.B) {
+	var h Histogram
+	for i := int64(0); i < 100000; i++ {
+		h.Observe(i)
+	}
+	s := new(HistSnapshot)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.SnapshotInto(s)
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: log-linear (HdrHistogram-style). Values
+// 0..15 get exact buckets; above that, each power-of-two octave is split
+// into 16 linear sub-buckets, so the relative quantization error is at
+// most 1/16 (6.25%) across the whole int64 range. That is plenty for
+// latency tails (a 100 us p99 is resolved to ~6 us) while keeping the
+// bucket array small enough to embed: 960 * 8 bytes per histogram.
+// int64 values have at most 63 significant bits, so the top index is
+// 58*16 + 31 = 959 (bucketHi(959) == MaxInt64 exactly).
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits
+	histBuckets  = (63-histSubBits)*histSubCount + histSubCount
+)
+
+// bucketIdx maps a value to its bucket. Monotone: v1 <= v2 implies
+// bucketIdx(v1) <= bucketIdx(v2).
+func bucketIdx(v int64) int {
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	exp := uint(bits.Len64(u)) - histSubBits - 1
+	return int(exp)*histSubCount + int(u>>exp)
+}
+
+// bucketHi returns the largest value mapping into bucket idx — the
+// representative quantile value.
+func bucketHi(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	exp := uint(idx/histSubCount - 1)
+	m := uint64(idx) - uint64(exp)*histSubCount
+	hi := (m+1)<<exp - 1
+	if hi > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(hi)
+}
+
+// Histogram is a lock-free log-linear histogram of int64 observations
+// (latencies in nanoseconds, batch sizes, fan-out widths). The zero value
+// is ready to use. Observe is two atomic adds plus a rare CAS for the
+// running max; it never allocates and never takes a lock.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIdx(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Record observes a duration in nanoseconds.
+func (h *Histogram) Record(d time.Duration) { h.Observe(int64(d)) }
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Count is derived
+// from the same bucket loads the quantiles use, so a snapshot is always
+// self-consistent: quantiles are monotone in q, bounded by Max, and Count
+// never decreases across consecutive snapshots of a live histogram.
+type HistSnapshot struct {
+	Count int64
+	Sum   int64
+	Max   int64
+
+	buckets [histBuckets]int64
+}
+
+// Snapshot captures the histogram. Safe to call concurrently with
+// Observe.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := new(HistSnapshot)
+	h.SnapshotInto(s)
+	return s
+}
+
+// SnapshotInto captures the histogram into s, reusing its storage (the
+// allocation-free variant for periodic scrapers).
+func (h *Histogram) SnapshotInto(s *HistSnapshot) {
+	var count int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.buckets[i] = c
+		count += c
+	}
+	s.Count = count
+	s.Sum = h.sum.Load()
+	// The atomic max is updated after the bucket add in Observe, so a
+	// concurrent snapshot can see a bucket entry before the max. Quantile
+	// clamps to this Max, which keeps quantile <= Max unconditionally while
+	// reporting the exact (not bucket-rounded) maximum.
+	s.Max = h.max.Load()
+}
+
+// Quantile returns the value at quantile q in [0, 1], to bucket
+// resolution (<= 6.25% relative error). Quantile is monotone in q and
+// never exceeds Max.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range s.buckets {
+		cum += s.buckets[i]
+		if cum >= target {
+			hi := bucketHi(i)
+			if hi > s.Max {
+				return s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+// Sum and Count are loaded independently, so under concurrent writes the
+// mean is approximate.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

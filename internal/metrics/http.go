@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (v0.0.4). Counters and gauges emit one sample; histograms emit a
+// summary (quantile series plus _sum and _count), with quantile="1" being
+// the running max. Metric names may carry a baked-in label set
+// ("corm_rpc_latency_ns{op=\"read\"}"): the base name gets one HELP/TYPE
+// header and each labeled variant its own series, which is how the
+// registry expresses per-opcode families without a label API on the hot
+// path.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snaps := r.Snapshot()
+	typed := make(map[string]bool, len(snaps))
+	header := func(s *MetricSnapshot, base, promType string) {
+		if typed[base] {
+			return
+		}
+		typed[base] = true
+		if s.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, s.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, promType)
+	}
+	for i := range snaps {
+		s := &snaps[i]
+		base, labels := splitName(s.Name)
+		switch s.Kind {
+		case KindCounter:
+			header(s, base, "counter")
+			fmt.Fprintf(w, "%s %d\n", withLabels(base, labels, ""), s.Value)
+		case KindGauge:
+			header(s, base, "gauge")
+			fmt.Fprintf(w, "%s %d\n", withLabels(base, labels, ""), s.Value)
+		case KindHistogram:
+			header(s, base, "summary")
+			h := s.Hist
+			for _, q := range [...]struct {
+				label string
+				q     float64
+			}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}} {
+				fmt.Fprintf(w, "%s %d\n", withLabels(base, labels, `quantile="`+q.label+`"`), h.Quantile(q.q))
+			}
+			fmt.Fprintf(w, "%s %d\n", withLabels(base, labels, `quantile="1"`), h.Max)
+			fmt.Fprintf(w, "%s %d\n", withLabels(base+"_sum", labels, ""), h.Sum)
+			fmt.Fprintf(w, "%s %d\n", withLabels(base+"_count", labels, ""), h.Count)
+		}
+	}
+}
+
+// DumpText renders a compact human-readable summary — corm-bench prints
+// this after each experiment. Zero-valued counters/gauges and empty
+// histograms are skipped so the dump stays small.
+func (r *Registry) DumpText(w io.Writer) {
+	snaps := r.Snapshot()
+	sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	var any bool
+	for i := range snaps {
+		s := &snaps[i]
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			if s.Value == 0 {
+				continue
+			}
+			any = true
+			fmt.Fprintf(w, "%-56s %12d\n", s.Name, s.Value)
+		case KindHistogram:
+			h := s.Hist
+			if h.Count == 0 {
+				continue
+			}
+			any = true
+			fmt.Fprintf(w, "%-56s n=%-9d p50=%-9d p95=%-9d p99=%-9d max=%-9d mean=%.0f\n",
+				s.Name, h.Count, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max, h.Mean())
+		}
+	}
+	if !any {
+		fmt.Fprintln(w, "(no metrics recorded)")
+	}
+}
+
+// Vars renders the registry as a JSON-friendly map for /debug/vars.
+func (r *Registry) Vars() any {
+	out := make(map[string]any)
+	for _, s := range r.Snapshot() {
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			out[s.Name] = s.Value
+		case KindHistogram:
+			out[s.Name] = map[string]any{
+				"count": s.Hist.Count,
+				"sum":   s.Hist.Sum,
+				"p50":   s.Hist.Quantile(0.5),
+				"p95":   s.Hist.Quantile(0.95),
+				"p99":   s.Hist.Quantile(0.99),
+				"max":   s.Hist.Max,
+			}
+		}
+	}
+	return out
+}
+
+// expvarOnce guards the one-time expvar publication of the default
+// registry (expvar panics on duplicate names).
+var expvarOnce sync.Once
+
+// Handler returns the observability mux:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar JSON (includes the registry under "corm")
+//	/debug/pprof/*  pprof profiles
+//	/debug/traces   recent span trace events (text)
+func Handler(r *Registry) http.Handler {
+	if r == defaultRegistry {
+		expvarOnce.Do(func() {
+			expvar.Publish("corm", expvar.Func(r.Vars))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range RecentTraces() {
+			fmt.Fprintf(w, "%s %s %v\n", e.Start.Format(time.RFC3339Nano), e.Name, e.Dur)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "corm metrics endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /debug/traces\n")
+	})
+	return mux
+}
+
+// Serve starts the observability HTTP server on addr (e.g. ":9100"),
+// returning the bound address and a stop function.
+func Serve(addr string, r *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,324 @@
+// Package metrics is CoRM's zero-dependency observability toolkit: a
+// lock-free registry of counters, gauges, and log-linear latency
+// histograms, plus lightweight trace spans for request lifecycles.
+//
+// The paper's evaluation (Figs 7-17) is entirely about latency and
+// throughput tails — of one-sided reads, RPCs, and compaction — so the
+// system carries its own measurement plane the way FaRM-style systems do.
+// Design constraints, in order:
+//
+//  1. The fast path must be free: a counter increment is one atomic add
+//     (no locks, no maps, no allocation), a histogram observation is two
+//     atomic adds plus a bit-twiddle. Instrumented hot paths (per-RPC, per
+//     frame flush) must not notice the metrics exist.
+//  2. Snapshots are torn-free in the invariant sense: readers never see a
+//     quantile outside the observed range, counts are monotone across
+//     consecutive snapshots, and p50 <= p95 <= p99 <= Max always holds.
+//  3. Zero dependencies: stdlib only, so every internal package can import
+//     this one without cycles or new modules.
+//
+// Metrics live in a Registry; the process-global Default() registry is
+// what the subsystem packages (transport, rpc, core, client, cluster)
+// register into and what the HTTP endpoint (http.go) exposes as
+// Prometheus text, expvar JSON, and pprof.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; Inc/Add are single atomic adds.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous value that may go up and down (live blocks,
+// open breakers). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// Kind discriminates registered metric types.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string // full name, possibly with a {label="..."} suffix
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for an
+// existing name of the same kind returns the existing metric (so package-
+// level metric sets can be built lazily and tests can share the process
+// registry); a kind mismatch panics, as it is a programming error.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*entry
+	order  []*entry
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+var defaultRegistry = New()
+
+// Default returns the process-global registry every CoRM subsystem
+// registers into.
+func Default() *Registry { return defaultRegistry }
+
+// lookupOrAdd returns the entry for name, creating it via mk on first use.
+func (r *Registry) lookupOrAdd(name, help string, kind Kind, mk func(*entry)) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	mk(e)
+	r.byName[name] = e
+	r.order = append(r.order, e)
+	return e
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookupOrAdd(name, help, KindCounter, func(e *entry) { e.counter = &Counter{} }).counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookupOrAdd(name, help, KindGauge, func(e *entry) { e.gauge = &Gauge{} }).gauge
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.lookupOrAdd(name, help, KindHistogram, func(e *entry) { e.hist = &Histogram{} }).hist
+}
+
+// Reset zeroes every registered metric — corm-bench uses it so each
+// experiment's summary reflects only that run.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.order...)
+	r.mu.Unlock()
+	for _, e := range entries {
+		switch e.kind {
+		case KindCounter:
+			e.counter.reset()
+		case KindGauge:
+			e.gauge.reset()
+		case KindHistogram:
+			e.hist.Reset()
+		}
+	}
+}
+
+// MetricSnapshot is one metric's state at snapshot time.
+type MetricSnapshot struct {
+	Name  string
+	Help  string
+	Kind  Kind
+	Value int64         // counters and gauges
+	Hist  *HistSnapshot // histograms
+}
+
+// Snapshot captures every registered metric, in registration order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.order...)
+	r.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(entries))
+	for _, e := range entries {
+		s := MetricSnapshot{Name: e.name, Help: e.help, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			s.Value = e.counter.Value()
+		case KindGauge:
+			s.Value = e.gauge.Value()
+		case KindHistogram:
+			s.Hist = e.hist.Snapshot()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// splitName separates a metric name into its base and an optional label
+// set: "corm_rpc_latency_ns{op=\"read\"}" -> ("corm_rpc_latency_ns",
+// `op="read"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabels renders base{existing,extra}.
+func withLabels(base, existing, extra string) string {
+	switch {
+	case existing == "" && extra == "":
+		return base
+	case existing == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + existing + "}"
+	}
+	return base + "{" + existing + "," + extra + "}"
+}
+
+// --- Spans: lightweight request-lifecycle tracing ---
+
+// Span measures one request lifecycle: StartSpan stamps the wall clock,
+// End records the elapsed time into the span's histogram and — when
+// tracing is enabled — appends a trace event to the in-memory ring.
+// Span is a value type; starting and ending one allocates nothing.
+type Span struct {
+	name  string
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins a span recording into h (which may be nil for a pure
+// trace span).
+func StartSpan(name string, h *Histogram) Span {
+	return Span{name: name, h: h, start: time.Now()}
+}
+
+// End finishes the span, returning its duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.Record(d)
+	}
+	if traceOn.Load() {
+		traceRing.add(TraceEvent{Name: s.name, Start: s.start, Dur: d})
+	}
+	return d
+}
+
+// TraceEvent is one completed span in the trace ring.
+type TraceEvent struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// traceRingSize bounds the in-memory trace buffer.
+const traceRingSize = 256
+
+type spanRing struct {
+	mu     sync.Mutex
+	events [traceRingSize]TraceEvent
+	next   int
+	filled bool
+}
+
+func (r *spanRing) add(e TraceEvent) {
+	r.mu.Lock()
+	r.events[r.next] = e
+	r.next++
+	if r.next == traceRingSize {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *spanRing) recent() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = traceRingSize
+	}
+	out := make([]TraceEvent, 0, n)
+	if r.filled {
+		out = append(out, r.events[r.next:]...)
+	}
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+var (
+	traceOn   atomic.Bool
+	traceRing spanRing
+)
+
+// EnableTracing toggles span collection into the trace ring. Disabled by
+// default so spans cost only the histogram observation.
+func EnableTracing(on bool) { traceOn.Store(on) }
+
+// RecentTraces returns the buffered span events, oldest first.
+func RecentTraces() []TraceEvent { return traceRing.recent() }
+
+// SortedNames returns the registered metric names, sorted — a test and
+// debugging convenience.
+func (r *Registry) SortedNames() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

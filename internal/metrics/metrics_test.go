@@ -1,0 +1,289 @@
+package metrics
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Idempotent re-registration returns the same metric.
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("Reset did not zero metrics")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestBucketMapping(t *testing.T) {
+	// Exact buckets below 16.
+	for v := int64(0); v < 16; v++ {
+		if got := bucketIdx(v); got != int(v) {
+			t.Fatalf("bucketIdx(%d) = %d, want %d", v, got, v)
+		}
+		if got := bucketHi(int(v)); got != v {
+			t.Fatalf("bucketHi(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Every value maps into a bucket whose bounds contain it, and the
+	// mapping is monotone.
+	prev := -1
+	for _, v := range []int64{16, 17, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIdx(%d) = %d out of range", v, idx)
+		}
+		if hi := bucketHi(idx); v > hi {
+			t.Fatalf("value %d above its bucket bound %d (idx %d)", v, hi, idx)
+		}
+		if idx > 0 {
+			if lo := bucketHi(idx - 1); v <= lo {
+				t.Fatalf("value %d below previous bucket bound %d (idx %d)", v, lo, idx)
+			}
+		}
+	}
+	if got := bucketIdx(math.MaxInt64); got != histBuckets-1 {
+		t.Fatalf("MaxInt64 maps to %d, want last bucket %d", got, histBuckets-1)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d, want 1000", s.Max)
+	}
+	// Log-linear buckets guarantee <= 1/16 relative error above the
+	// quantile's true value.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 500}, {0.95, 950}, {0.99, 990}, {1, 1000}} {
+		got := s.Quantile(tc.q)
+		if got < tc.want || float64(got) > float64(tc.want)*(1+1.0/16)+1 {
+			t.Fatalf("q%.2f = %d, want within 6.25%% above %d", tc.q, got, tc.want)
+		}
+	}
+	if s.Quantile(0.5) > s.Quantile(0.95) || s.Quantile(0.95) > s.Quantile(0.99) || s.Quantile(0.99) > s.Max {
+		t.Fatal("quantiles not monotone")
+	}
+	if mean := s.Mean(); mean < 495 || mean > 506 {
+		t.Fatalf("mean = %f, want ~500.5", mean)
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Snapshot().Quantile(0) != 0 {
+		t.Fatal("negative observation should clamp to bucket 0")
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(100)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Fatalf("reset histogram not empty: %+v", s)
+	}
+}
+
+func TestSplitAndWithLabels(t *testing.T) {
+	base, labels := splitName(`corm_rpc_latency_ns{op="read"}`)
+	if base != "corm_rpc_latency_ns" || labels != `op="read"` {
+		t.Fatalf("splitName = (%q, %q)", base, labels)
+	}
+	if b, l := splitName("plain"); b != "plain" || l != "" {
+		t.Fatalf("splitName(plain) = (%q, %q)", b, l)
+	}
+	if got := withLabels("m", `a="1"`, `q="2"`); got != `m{a="1",q="2"}` {
+		t.Fatalf("withLabels = %q", got)
+	}
+	if got := withLabels("m", "", ""); got != "m" {
+		t.Fatalf("withLabels bare = %q", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("corm_reads_total", "total reads").Add(7)
+	r.Gauge("corm_blocks_live", "live blocks").Set(3)
+	h := r.Histogram(`corm_rpc_latency_ns{op="read"}`, "rpc latency")
+	h.Observe(100)
+	h.Observe(200)
+	r.Histogram(`corm_rpc_latency_ns{op="write"}`, "rpc latency").Observe(50)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE corm_reads_total counter",
+		"corm_reads_total 7",
+		"# TYPE corm_blocks_live gauge",
+		"corm_blocks_live 3",
+		"# TYPE corm_rpc_latency_ns summary",
+		`corm_rpc_latency_ns{op="read",quantile="0.5"}`,
+		`corm_rpc_latency_ns{op="read",quantile="1"} 200`,
+		`corm_rpc_latency_ns_count{op="read"} 2`,
+		`corm_rpc_latency_ns_sum{op="read"} 300`,
+		`corm_rpc_latency_ns{op="write",quantile="1"} 50`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE appear once per base name even with two labeled series.
+	if strings.Count(out, "# TYPE corm_rpc_latency_ns summary") != 1 {
+		t.Fatalf("TYPE header repeated:\n%s", out)
+	}
+}
+
+func TestDumpTextSkipsZeroes(t *testing.T) {
+	r := New()
+	r.Counter("zero_total", "")
+	r.Counter("hot_total", "").Add(5)
+	r.Histogram("lat_ns", "").Observe(123)
+	var sb strings.Builder
+	r.DumpText(&sb)
+	out := sb.String()
+	if strings.Contains(out, "zero_total") {
+		t.Fatalf("zero counter should be skipped:\n%s", out)
+	}
+	if !strings.Contains(out, "hot_total") || !strings.Contains(out, "lat_ns") {
+		t.Fatalf("non-zero metrics missing:\n%s", out)
+	}
+	empty := New()
+	sb.Reset()
+	empty.DumpText(&sb)
+	if !strings.Contains(sb.String(), "no metrics recorded") {
+		t.Fatalf("empty dump = %q", sb.String())
+	}
+}
+
+func TestSpanAndTraceRing(t *testing.T) {
+	var h Histogram
+	EnableTracing(true)
+	defer EnableTracing(false)
+	sp := StartSpan("unit.test.span", &h)
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Fatalf("span duration %v too short", d)
+	}
+	if h.Snapshot().Count != 1 {
+		t.Fatal("span did not record into histogram")
+	}
+	events := RecentTraces()
+	found := false
+	for _, e := range events {
+		if e.Name == "unit.test.span" && e.Dur == d {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace ring missing span event (have %d events)", len(events))
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	EnableTracing(true)
+	defer EnableTracing(false)
+	for i := 0; i < traceRingSize+10; i++ {
+		StartSpan("wrap.test", nil).End()
+	}
+	events := RecentTraces()
+	if len(events) != traceRingSize {
+		t.Fatalf("ring holds %d events, want %d", len(events), traceRingSize)
+	}
+	// Oldest-first ordering: timestamps never decrease.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start.Before(events[i-1].Start) {
+			t.Fatal("trace events not oldest-first")
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("corm_http_test_total", "").Add(9)
+	addr, stop, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "corm_http_test_total 9") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars: code=%d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path: code=%d, want 404", code)
+	}
+	if code, _ := get("/debug/traces"); code != 200 {
+		t.Fatalf("/debug/traces: code=%d", code)
+	}
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHotPathZeroAllocs guards the core acceptance criterion: the
+// instrumented fast paths must not allocate. Run with -race too — the
+// allocation counts are identical.
+func TestHotPathZeroAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(3) }); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v/op", n)
+	}
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() { v++; h.Observe(v) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { StartSpan("alloc.test", &h).End() }); n != 0 {
+		t.Fatalf("Span start/end allocates %v/op (tracing off)", n)
+	}
+	s := new(HistSnapshot)
+	if n := testing.AllocsPerRun(100, func() { h.SnapshotInto(s) }); n != 0 {
+		t.Fatalf("SnapshotInto allocates %v/op", n)
+	}
+}
+
+// TestConcurrentHammer runs 16 writers against one counter, one gauge,
+// and one histogram while a reader continuously snapshots, checking the
+// torn-free invariants on every snapshot:
+//
+//	p50 <= p95 <= p99 <= Max
+//	Count is monotone across consecutive snapshots
+//	Count never exceeds the number of observations issued so far
+//
+// Meant to be run under -race as well (the CI test step does).
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		writers = 16
+		perG    = 20000
+	)
+	r := New()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_ns", "")
+
+	var issued atomic.Int64 // observations fully issued (incremented after Observe)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			<-start
+			v := seed
+			for i := 0; i < perG; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				c.Inc()
+				g.Add(1)
+				h.Observe(v % 1_000_000)
+				issued.Add(1)
+			}
+		}(int64(w + 1))
+	}
+
+	done := make(chan struct{})
+	var readerErr error
+	go func() {
+		defer close(done)
+		var prevCount int64
+		s := new(HistSnapshot)
+		for i := 0; ; i++ {
+			select {
+			case <-start:
+			default:
+				time.Sleep(time.Microsecond)
+				continue
+			}
+			h.SnapshotInto(s)
+			p50, p95, p99 := s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)
+			if p50 > p95 || p95 > p99 || p99 > s.Max {
+				readerErr = errorf("torn snapshot: p50=%d p95=%d p99=%d max=%d", p50, p95, p99, s.Max)
+				return
+			}
+			if s.Count < prevCount {
+				readerErr = errorf("count went backwards: %d -> %d", prevCount, s.Count)
+				return
+			}
+			prevCount = s.Count
+			if s.Count >= writers*perG {
+				return
+			}
+			if cv := c.Value(); cv > int64(writers*perG) {
+				readerErr = errorf("counter overshoot: %d", cv)
+				return
+			}
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+	<-done
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if got := c.Value(); got != writers*perG {
+		t.Fatalf("final counter = %d, want %d", got, writers*perG)
+	}
+	if got := g.Value(); got != writers*perG {
+		t.Fatalf("final gauge = %d, want %d", got, writers*perG)
+	}
+	fs := h.Snapshot()
+	if fs.Count != writers*perG {
+		t.Fatalf("final histogram count = %d, want %d", fs.Count, writers*perG)
+	}
+	if issued.Load() != writers*perG {
+		t.Fatalf("issued = %d", issued.Load())
+	}
+}
+
+// TestSnapshotCountNeverExceedsIssued interleaves observation with
+// snapshotting from many goroutines and asserts a snapshot never reports
+// more observations than have been started.
+func TestSnapshotCountNeverExceedsIssued(t *testing.T) {
+	var h Histogram
+	var started atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				started.Add(1)
+				h.Observe(42)
+			}
+		}()
+	}
+	s := new(HistSnapshot)
+	for i := 0; i < 5000; i++ {
+		// Load the upper bound AFTER the snapshot: every bucket entry the
+		// snapshot saw had its started.Add complete beforehand.
+		h.SnapshotInto(s)
+		hi := started.Load()
+		if s.Count > hi {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot count %d exceeds started %d", s.Count, hi)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func errorf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,68 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"corm/internal/core"
+)
+
+// FuzzDecodeBatch drives every wire decoder — batch sub-record framing
+// plus the single-op request/response/info decoders the sub-records reuse
+// — with arbitrary payloads. Decoders must return errors (never panic) on
+// garbage, and a successful decode must round-trip byte-identically: all
+// the encodings are canonical, so re-marshalling the decoded form is a
+// strong oracle against silently misparsed fields.
+func FuzzDecodeBatch(f *testing.F) {
+	addr := core.MakeAddr(0x7f0000001000, 42, 0xdead, 3)
+	reqs := []Request{
+		{Op: OpRead, Addr: addr, Size: 64},
+		{Op: OpWrite, Addr: addr, Payload: []byte("payload bytes")},
+		{Op: OpAlloc, Size: 128},
+		{Op: OpFree, Addr: addr},
+	}
+	f.Add(MarshalBatchRequests(nil, reqs))
+	f.Add(MarshalBatchRequests(nil, nil))
+	resps := []Response{
+		{Status: StatusOK, Addr: addr, Payload: []byte("result")},
+		{Status: StatusNotFound},
+	}
+	f.Add(MarshalBatchResponses(nil, resps))
+	f.Add((&Request{Op: OpRead, Addr: addr, Size: 32}).Marshal())
+	f.Add((&Response{Status: StatusOK, Payload: []byte("x")}).Marshal())
+	info := Info{BlockBytes: 1 << 20, Consistency: core.ConsistencyVersions, Classes: []int{64, 128, 256}}
+	f.Add(info.Marshal())
+	// Corrupt count and truncated record seeds.
+	f.Add([]byte{255, 255, 255, 255})
+	f.Add([]byte{2, 0, 0, 0, 3, 1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if subs, err := DecodeBatchRequests(data, nil); err == nil {
+			re := MarshalBatchRequests(nil, subs)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("batch request round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if subs, err := DecodeBatchResponses(data, nil); err == nil {
+			re := MarshalBatchResponses(nil, subs)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("batch response round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if req, err := UnmarshalRequest(data); err == nil {
+			if re := req.Marshal(); !bytes.Equal(re, data) {
+				t.Fatalf("request round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if resp, err := UnmarshalResponse(data); err == nil {
+			if re := resp.Marshal(); !bytes.Equal(re, data) {
+				t.Fatalf("response round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if info, err := UnmarshalInfo(data); err == nil {
+			if re := info.Marshal(); !bytes.Equal(re, data) {
+				t.Fatalf("info round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+	})
+}

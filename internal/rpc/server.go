@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"sync"
+	"time"
 
 	"corm/internal/core"
 )
@@ -58,13 +59,27 @@ func (s *Server) Submit(req Request) Response {
 	if s.closed {
 		return Response{Status: StatusError}
 	}
-	thread := <-s.tokens
+	mRequests.Inc()
+	// Fast path: a token is free and the grab costs one channel op. Only a
+	// contended Submit — one that actually queues behind busy workers — pays
+	// for a timestamp, so the uncontended hot path stays clock-free.
+	var thread int
+	select {
+	case thread = <-s.tokens:
+	default:
+		mTokenContended.Inc()
+		waitStart := time.Now()
+		thread = <-s.tokens
+		mTokenWait.Record(time.Since(waitStart))
+	}
+	start := time.Now()
 	var resp Response
 	if req.Op == OpBatch {
 		resp = s.executeBatch(thread, req)
 	} else {
 		resp = s.execute(thread, req)
 	}
+	observeOp(req.Op, start)
 	s.tokens <- thread
 	return resp
 }
@@ -111,6 +126,8 @@ func (s *Server) executeBatch(thread int, req Request) Response {
 	}
 sized:
 	chunks := len(extra) + 1
+	mBatchSubOps.Observe(int64(n))
+	mBatchWorkers.Observe(int64(chunks))
 	outs := make([][]byte, chunks)
 	var wg sync.WaitGroup
 	for c := 1; c < chunks; c++ {

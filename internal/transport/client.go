@@ -217,12 +217,14 @@ func (c *Conn) ensureLocked(ch *channel) error {
 				backoff = c.opts.RedialMax
 			}
 		}
+		mRedialAttempts.Inc()
 		nc, err := c.dialChannel(ch.kind)
 		if err != nil {
 			last = err
 			continue
 		}
 		c.attachLocked(ch, nc)
+		mRedialSuccess.Inc()
 		return nil
 	}
 	return fmt.Errorf("%w: redial %s failed: %v", ErrConnBroken, c.addr, last)
@@ -242,6 +244,7 @@ func (c *Conn) failChannel(ch *channel, nc net.Conn, stage string, cause error) 
 		return err
 	}
 	ch.broken = true
+	mBrokenChannels.Inc()
 	nc.Close()
 	ch.failPendingLocked(err)
 	return err
@@ -357,6 +360,7 @@ func (c *Conn) roundTrip(ch *channel, body []byte) ([]byte, error) {
 		return r.body, r.err
 	case <-t.C:
 		timerPool.Put(t) // already fired and drained
+		mCallTimeouts.Inc()
 		c.failChannel(ch, nc, "timeout", errCallTimeout{c.opts.CallTimeout})
 		r := <-done // failChannel (ours or a concurrent one) delivered
 		return r.body, r.err

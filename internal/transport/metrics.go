@@ -1,0 +1,29 @@
+package transport
+
+import "corm/internal/metrics"
+
+// Transport-layer metrics, registered in the process-global registry.
+// The frame counters live in the frameWriter/readFrame hot paths, so each
+// is a single atomic add.
+var (
+	mFramesOut = metrics.Default().Counter("corm_transport_frames_out_total",
+		"frames handed to the coalescing frame writer")
+	mBytesOut = metrics.Default().Counter("corm_transport_bytes_out_total",
+		"frame bytes written to the wire (headers included)")
+	mFlushes = metrics.Default().Counter("corm_transport_flushes_total",
+		"batched writes issued by the frame writer")
+	mFramesPerFlush = metrics.Default().Histogram("corm_transport_frames_per_flush",
+		"frames coalesced into one write syscall")
+	mFramesIn = metrics.Default().Counter("corm_transport_frames_in_total",
+		"frames decoded off the wire")
+	mRedialAttempts = metrics.Default().Counter("corm_transport_redial_attempts_total",
+		"dials attempted while repairing a broken channel")
+	mRedialSuccess = metrics.Default().Counter("corm_transport_redials_total",
+		"broken channels successfully re-dialed")
+	mBrokenChannels = metrics.Default().Counter("corm_transport_broken_channels_total",
+		"channels poisoned by a transport fault")
+	mCallTimeouts = metrics.Default().Counter("corm_transport_call_timeouts_total",
+		"round trips that outlived CallTimeout")
+	mDMAReads = metrics.Default().Counter("corm_transport_dma_reads_total",
+		"one-sided read requests served over DMA channels")
+)

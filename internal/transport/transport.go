@@ -103,6 +103,7 @@ type frameWriter struct {
 	mu       sync.Mutex
 	buf      []byte
 	spare    []byte
+	frames   int // frames appended to buf since the last batch was taken
 	flushing bool
 	err      error
 }
@@ -121,6 +122,8 @@ func (fw *frameWriter) send(seq uint64, body []byte) error {
 		return err
 	}
 	fw.buf = appendFrame(fw.buf, seq, body)
+	fw.frames++
+	mFramesOut.Inc()
 	if fw.flushing {
 		fw.mu.Unlock()
 		return nil
@@ -148,11 +151,18 @@ func (fw *frameWriter) flush() {
 			return
 		}
 		data := fw.buf
+		frames := fw.frames
 		fw.buf = fw.spare
 		fw.spare = nil
+		fw.frames = 0
 		fw.mu.Unlock()
 
 		_, err := fw.conn.Write(data)
+		if err == nil {
+			mFlushes.Inc()
+			mFramesPerFlush.Observe(int64(frames))
+			mBytesOut.Add(int64(len(data)))
+		}
 
 		fw.mu.Lock()
 		fw.spare = data[:0]
@@ -194,6 +204,7 @@ func readFrame(r io.Reader) (uint64, []byte, error) {
 		putFrameBuf(body)
 		return 0, nil, err
 	}
+	mFramesIn.Inc()
 	return seq, body, nil
 }
 
@@ -374,6 +385,7 @@ func (s *Server) serveDMA(conn net.Conn) {
 		}
 		sem <- struct{}{}
 		wg.Add(1)
+		mDMAReads.Inc()
 		go func(seq uint64, rkey uint32, vaddr uint64, length uint32) {
 			defer wg.Done()
 			defer func() { <-sem }()
