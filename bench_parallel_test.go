@@ -150,7 +150,7 @@ func BenchmarkMixedReadWriteUnderCompaction(b *testing.B) {
 			}
 			// Paced like a real background compactor — back-to-back passes
 			// would monopolize the core and measure compaction, not traffic.
-			srv.CompactClass(CompactOptions{Class: class, Leader: 0, MaxOccupancy: 1.0})
+			srv.CompactClass(CompactOptions{Class: class, Leader: 0, MaxOccupancy: Occ(1.0)})
 		}
 	}()
 	runGoroutines(b, g, func(w, i int) error {

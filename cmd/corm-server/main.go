@@ -2,7 +2,7 @@
 // protocol over TCP.
 //
 //	corm-server -listen 127.0.0.1:7170 -workers 8 -block 4096 \
-//	    -strategy corm -idbits 16 -compact-every 5s
+//	    -strategy corm -idbits 16 -compact auto
 package main
 
 import (
@@ -26,7 +26,11 @@ func main() {
 	block := flag.Int("block", 4096, "block size in bytes (power-of-two multiple of 4096)")
 	strategy := flag.String("strategy", "corm", "compaction strategy: corm, corm-0, mesh, hybrid, none")
 	idBits := flag.Int("idbits", 16, "object identifier bits")
-	compactEvery := flag.Duration("compact-every", 0, "run the compaction policy periodically (0 = only on demand)")
+	compactMode := flag.String("compact", "off", "background compaction: auto (adaptive AutoTuner policy), threshold (fragmentation watermarks), off")
+	compactInterval := flag.Duration("compact-interval", 50*time.Millisecond, "base pace between background compaction cycles")
+	compactBudget := flag.Int("compact-budget", 8, "max blocks freed per compaction cycle (0 = unlimited)")
+	compactShed := flag.Float64("compact-shed", 0, "pause compaction above this op rate in ops/s (0 = never shed)")
+	compactEvery := flag.Duration("compact-every", 0, "legacy: run the full compaction policy periodically (0 = only on demand); superseded by -compact")
 	fragThreshold := flag.Float64("frag-threshold", 2.0, "fragmentation ratio that triggers compaction")
 	metricsAddr := flag.String("metrics-addr", "", "observability HTTP address (e.g. :9100) serving /metrics, /debug/vars, /debug/pprof; empty = disabled")
 	flag.Parse()
@@ -51,7 +55,23 @@ func main() {
 		log.Fatalf("unknown strategy %q", *strategy)
 	}
 
-	srv, err := corm.NewServer(cfg)
+	ccfg := corm.CompactorConfig{
+		Interval:          *compactInterval,
+		MaxBlocks:         *compactBudget,
+		LoadShedOpsPerSec: *compactShed,
+	}
+	var opts []corm.ServerOption
+	switch strings.ToLower(*compactMode) {
+	case "auto":
+		opts = append(opts, corm.WithAdaptiveCompaction(ccfg))
+	case "threshold":
+		opts = append(opts, corm.WithBackgroundCompaction(ccfg))
+	case "off", "":
+	default:
+		log.Fatalf("unknown -compact mode %q (want auto, threshold, off)", *compactMode)
+	}
+
+	srv, err := corm.NewServer(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,6 +92,10 @@ func main() {
 		log.Printf("metrics on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof)", maddr)
 	}
 
+	if srv.Compactor() != nil {
+		log.Printf("background compaction %s: interval=%v budget=%d blocks/cycle shed=%.0f ops/s (threshold %.1fx)",
+			*compactMode, *compactInterval, *compactBudget, *compactShed, *fragThreshold)
+	}
 	var stopLoop func()
 	if *compactEvery > 0 {
 		stopLoop = corm.CompactionLoop(srv, *compactEvery)

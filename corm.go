@@ -37,15 +37,26 @@ import (
 
 // Re-exported core types. Addr is the 128-bit CoRM pointer of Table 2.
 type (
-	Addr           = core.Addr
-	Config         = core.Config
-	Strategy       = core.Strategy
-	RemapStrategy  = core.RemapStrategy
-	CorrectionMode = core.CorrectionMode
-	CompactOptions = core.CompactOptions
-	CompactReport  = core.CompactReport
-	StoreStats     = core.Stats
+	Addr            = core.Addr
+	Config          = core.Config
+	Strategy        = core.Strategy
+	RemapStrategy   = core.RemapStrategy
+	CorrectionMode  = core.CorrectionMode
+	CompactOptions  = core.CompactOptions
+	CompactReport   = core.CompactReport
+	CompactPlan     = core.CompactPlan
+	MergePair       = core.MergePair
+	Compactor       = core.Compactor
+	CompactorConfig = core.CompactorConfig
+	Policy          = core.Policy
+	ThresholdPolicy = core.ThresholdPolicy
+	AdaptivePolicy  = core.AdaptivePolicy
+	StoreStats      = core.Stats
 )
+
+// Occ wraps an occupancy fraction for CompactOptions.MaxOccupancy (a
+// pointer so an explicit 0 is distinguishable from the 0.9 default).
+func Occ(v float64) *float64 { return core.Occ(v) }
 
 // Compaction strategies (§3.1.2, §4.4).
 const (
@@ -80,8 +91,13 @@ const (
 // auto-labeling strategy). See core.NewAutoTuner.
 type AutoTuner = core.AutoTuner
 
-// NewAutoTuner attaches a class-labeling tuner to a server's store.
-func NewAutoTuner(srv *Server) *AutoTuner { return core.NewAutoTuner(srv.Store()) }
+// NewAutoTuner builds a class-labeling tuner over a server's store and
+// attaches it, so every alloc/free feeds its churn counters.
+func NewAutoTuner(srv *Server) *AutoTuner {
+	t := core.NewAutoTuner(srv.Store())
+	srv.Store().AttachTuner(t)
+	return t
+}
 
 // Sentinel errors clients observe.
 var (
@@ -106,22 +122,59 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server is one CoRM node: the store, its RPC worker pool, and optionally
-// a TCP listener.
+// Server is one CoRM node: the store, its RPC worker pool, optionally a
+// TCP listener, and optionally a background compactor.
 type Server struct {
-	store *core.Store
-	rpc   *rpc.Server
-	tcp   *transport.Server
+	store     *core.Store
+	rpc       *rpc.Server
+	tcp       *transport.Server
+	compactor *core.Compactor
+}
+
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithBackgroundCompaction starts a background compactor on the node with
+// the given service configuration (zero value = 50ms pace, threshold
+// policy). The compactor stops when the server closes.
+func WithBackgroundCompaction(cfg CompactorConfig) ServerOption {
+	return func(s *Server) {
+		s.compactor = core.NewCompactor(s.store, cfg)
+	}
+}
+
+// WithAdaptiveCompaction starts a background compactor driven by an
+// AutoTuner-backed adaptive policy (§4.4 auto-labeling): hot classes are
+// skipped, cold classes compacted aggressively, conflict-saturated classes
+// back off. The tuner is attached to the store's alloc/free path.
+func WithAdaptiveCompaction(cfg CompactorConfig) ServerOption {
+	return func(s *Server) {
+		tuner := core.NewAutoTuner(s.store)
+		s.store.AttachTuner(tuner)
+		cfg.Policy = core.NewAdaptivePolicy(tuner, cfg.MaxBlocks)
+		s.compactor = core.NewCompactor(s.store, cfg)
+	}
 }
 
 // NewServer builds and starts a node (workers running, not yet listening).
-func NewServer(cfg Config) (*Server, error) {
+func NewServer(cfg Config, opts ...ServerOption) (*Server, error) {
 	store, err := core.NewStore(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{store: store, rpc: rpc.NewServer(store)}, nil
+	s := &Server{store: store, rpc: rpc.NewServer(store)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.compactor != nil {
+		s.compactor.Start()
+	}
+	return s, nil
 }
+
+// Compactor returns the background compaction service, or nil if the
+// server was built without one.
+func (s *Server) Compactor() *Compactor { return s.compactor }
 
 // Store exposes the underlying store for direct embedding, experiments,
 // and compaction control.
@@ -160,8 +213,11 @@ func (s *Server) ActiveBytes() int64 { return s.store.ActiveBytes() }
 // Stats snapshots store counters.
 func (s *Server) Stats() StoreStats { return s.store.Stats() }
 
-// Close shuts the node down.
+// Close shuts the node down, draining the background compactor first.
 func (s *Server) Close() {
+	if s.compactor != nil {
+		s.compactor.Stop()
+	}
 	if s.tcp != nil {
 		s.tcp.Close()
 	}

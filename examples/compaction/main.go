@@ -82,7 +82,7 @@ func runStrategy(strategy corm.Strategy, idBits int) int64 {
 		freed := 0
 		for class := range store.Config().Classes {
 			r := store.CompactClass(core.CompactOptions{
-				Class: class, Leader: 0, MaxOccupancy: 0.95, MaxAttempts: 16,
+				Class: class, Leader: 0, MaxOccupancy: core.Occ(0.95), MaxAttempts: 16,
 			})
 			freed += r.BlocksFreed
 		}

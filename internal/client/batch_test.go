@@ -75,7 +75,7 @@ func TestMultiReadCorrectsPointers(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		store.CompactClass(core.CompactOptions{Class: store.Allocator().Config().ClassFor(64), Leader: 0, MaxOccupancy: 1.0})
+		store.CompactClass(core.CompactOptions{Class: store.Allocator().Config().ClassFor(64), Leader: 0, MaxOccupancy: core.Occ(1.0)})
 		var live []*core.Addr
 		var liveWant [][]byte
 		for i := 0; i < n; i += 2 {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"corm/internal/prob"
 )
@@ -34,25 +35,29 @@ type ClassLabel struct {
 	Probability float64 // no-collision probability at the recommendation
 }
 
-// AutoTuner accumulates per-class allocation statistics.
+// AutoTuner accumulates per-class allocation statistics. Counters are
+// atomics: observations arrive concurrently from every worker thread once
+// the tuner is attached to the store's alloc/free path (Store.AttachTuner),
+// and snapshots race with them by design.
 type AutoTuner struct {
 	store  *Store
-	allocs []int64
-	frees  []int64
+	allocs []atomic.Int64
+	frees  []atomic.Int64
 }
 
-// NewAutoTuner attaches a tuner to a store. Feed it with Observe* calls
-// (or let Snapshot derive occupancy from the live allocator state).
+// NewAutoTuner builds a tuner over a store. Feed it with Observe* calls,
+// or hand it to Store.AttachTuner to have every AllocOn/Free observed
+// automatically (what the adaptive compaction policy expects).
 func NewAutoTuner(s *Store) *AutoTuner {
 	n := len(s.cfg.Classes)
-	return &AutoTuner{store: s, allocs: make([]int64, n), frees: make([]int64, n)}
+	return &AutoTuner{store: s, allocs: make([]atomic.Int64, n), frees: make([]atomic.Int64, n)}
 }
 
-// ObserveAlloc records an allocation in a class.
-func (a *AutoTuner) ObserveAlloc(class int) { a.allocs[class]++ }
+// ObserveAlloc records an allocation in a class. Safe for concurrent use.
+func (a *AutoTuner) ObserveAlloc(class int) { a.allocs[class].Add(1) }
 
-// ObserveFree records a free in a class.
-func (a *AutoTuner) ObserveFree(class int) { a.frees[class]++ }
+// ObserveFree records a free in a class. Safe for concurrent use.
+func (a *AutoTuner) ObserveFree(class int) { a.frees[class].Add(1) }
 
 // usefulProbability is the compaction probability below which managing a
 // class is not worth the header bytes.
@@ -70,8 +75,8 @@ func (a *AutoTuner) Snapshot() []ClassLabel {
 	for class, size := range cfg.Classes {
 		slots := a.store.proc.Config().SlotsPerBlock(size)
 		label := ClassLabel{Class: class, Size: size}
-		if a.allocs[class] > 0 {
-			label.Churn = float64(a.frees[class]) / float64(a.allocs[class])
+		if allocs := a.allocs[class].Load(); allocs > 0 {
+			label.Churn = float64(a.frees[class].Load()) / float64(allocs)
 		}
 		blocks := a.store.proc.BlocksOfClass(class)
 		if len(blocks) == 0 {

@@ -1,13 +1,21 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"corm/internal/alloc"
-	"corm/internal/mem"
-	"corm/internal/prob"
 )
+
+// Compaction is layered (see DESIGN.md §11):
+//
+//	planner  (planner.go)   pure pairing over block snapshots -> CompactPlan
+//	executor (executor.go)  lock/copy/remap/unlock, per-pair revalidation
+//	policy   (policy.go)    when to run, which classes, what budget
+//	service  (compactor.go) paced background goroutine driving the policy
+//
+// CompactClass below is the synchronous composition the tests, experiments
+// and the simulator call directly: collect, plan, execute, return
+// leftovers. The background Compactor calls it too, through its Policy.
 
 // Phase identifies a stage of the compaction process for time accounting.
 // The OnPhase hook receives the modeled duration of each stage; the
@@ -26,15 +34,24 @@ const (
 	PhaseUnlock  Phase = "unlock"  // releasing compaction locks
 )
 
+// Occ wraps an occupancy fraction for CompactOptions.MaxOccupancy, which
+// is a pointer so an explicit 0 ("collect nothing that still holds an
+// object") is distinguishable from the unset default.
+func Occ(v float64) *float64 { return &v }
+
 // CompactOptions controls one compaction run.
 type CompactOptions struct {
 	// Class is the size-class index to compact.
 	Class int
 	// Leader is the worker thread acting as compaction leader.
 	Leader int
-	// MaxOccupancy bounds which blocks are collected (default 0.9: non-full
-	// low-occupancy blocks).
-	MaxOccupancy float64
+	// MaxOccupancy bounds which blocks are collected, as a used fraction
+	// in [0, 1]. nil applies the 0.9 default (non-full low-occupancy
+	// blocks). Use Occ to set an explicit value — including Occ(0), which
+	// admits only occupancy-zero blocks (and since collection always skips
+	// empty blocks, collects nothing: the "don't touch occupied blocks"
+	// request is representable, not silently rewritten to 0.9).
+	MaxOccupancy *float64
 	// MaxBlocks bounds how many source blocks may be freed (0 = unlimited);
 	// §4.3.2 notes an upper bound shortens unavailability windows.
 	MaxBlocks int
@@ -48,7 +65,12 @@ type CompactOptions struct {
 
 // CompactReport summarizes a compaction run.
 type CompactReport struct {
+	Class         int // size class the run targeted
 	Collected     int // blocks gathered from the worker threads
+	Planned       int // merge pairs the planner produced
+	Attempts      int // pairings whose conflict sets were compared
+	Conflicts     int // pairings rejected on an ID/offset collision (§3.1.2)
+	RevalRejects  int // planned pairs skipped by executor revalidation
 	Merges        int // merge operations performed
 	BlocksFreed   int // physical blocks released
 	ObjectsCopied int // objects copied between blocks
@@ -58,72 +80,30 @@ type CompactReport struct {
 	Duration      time.Duration // total modeled time
 }
 
+// add accumulates another report (CompactAll, compactor cycles).
+func (r *CompactReport) add(o CompactReport) {
+	r.Collected += o.Collected
+	r.Planned += o.Planned
+	r.Attempts += o.Attempts
+	r.Conflicts += o.Conflicts
+	r.RevalRejects += o.RevalRejects
+	r.Merges += o.Merges
+	r.BlocksFreed += o.BlocksFreed
+	r.ObjectsCopied += o.ObjectsCopied
+	r.ObjectsMoved += o.ObjectsMoved
+	r.PagesRemapped += o.PagesRemapped
+	r.FreedBytes += o.FreedBytes
+	r.Duration += o.Duration
+}
+
 func (o CompactOptions) withDefaults() CompactOptions {
-	if o.MaxOccupancy == 0 {
-		o.MaxOccupancy = 0.9
+	if o.MaxOccupancy == nil {
+		o.MaxOccupancy = Occ(0.9)
 	}
 	if o.MaxAttempts == 0 {
 		o.MaxAttempts = 8
 	}
 	return o
-}
-
-// mergeSet caches a candidate block's conflict state so the greedy pairing
-// loop does not re-snapshot metadata for every pair it considers.
-type mergeSet struct {
-	block *alloc.Block
-	used  int
-	ids   map[uint16]bool // CoRM: live object IDs
-	slots map[int]bool    // Mesh/CoRM-0: occupied offsets
-}
-
-func (s *Store) snapshotSet(strategy Strategy, b *alloc.Block) *mergeSet {
-	m := &mergeSet{block: b, used: b.Used()}
-	if strategy == StrategyCoRM {
-		m.ids = s.stateOf(b).meta.idSet()
-	} else {
-		m.slots = make(map[int]bool, m.used)
-		for _, idx := range b.UsedSlots() {
-			m.slots[idx] = true
-		}
-	}
-	return m
-}
-
-// disjoint reports whether two cached sets have no conflicts.
-func (a *mergeSet) disjoint(b *mergeSet) bool {
-	if a.ids != nil {
-		x, y := a.ids, b.ids
-		if len(x) > len(y) {
-			x, y = y, x
-		}
-		for id := range x {
-			if y[id] {
-				return false
-			}
-		}
-		return true
-	}
-	x, y := a.slots, b.slots
-	if len(x) > len(y) {
-		x, y = y, x
-	}
-	for idx := range x {
-		if y[idx] {
-			return false
-		}
-	}
-	return true
-}
-
-// absorb folds src's post-merge state into the destination's cached set.
-// Moved objects may occupy new offsets, so the destination's sets are
-// rebuilt from the live block.
-func (s *Store) absorb(strategy Strategy, dst *mergeSet) {
-	fresh := s.snapshotSet(strategy, dst.block)
-	dst.used = fresh.used
-	dst.ids = fresh.ids
-	dst.slots = fresh.slots
 }
 
 // phase charges a stage's modeled duration.
@@ -135,12 +115,13 @@ func (s *Store) phase(opts *CompactOptions, r *CompactReport, p Phase, d time.Du
 }
 
 // CompactClass runs the two-stage compaction of §3.1.4 for one size class:
-// the leader collects low-occupancy blocks from all threads, then greedily
-// merges conflict-free pairs, remapping freed source blocks onto their
+// the leader collects low-occupancy blocks from all threads, the planner
+// pairs conflict-free blocks over their snapshots, and the executor merges
+// each revalidated pair, remapping freed source blocks onto their
 // destinations so existing pointers (and RDMA access) survive.
 func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 	opts = opts.withDefaults()
-	var r CompactReport
+	r := CompactReport{Class: opts.Class}
 
 	classSize := s.cfg.Classes[opts.Class]
 	slots := s.proc.Config().SlotsPerBlock(classSize)
@@ -154,7 +135,7 @@ func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 	// blocks; the broadcast costs Collection(threads) on the leader.
 	var candidates []*alloc.Block
 	for _, t := range s.thread {
-		candidates = append(candidates, t.CollectBelow(opts.Class, opts.MaxOccupancy, opts.Leader)...)
+		candidates = append(candidates, t.CollectBelow(opts.Class, *opts.MaxOccupancy, opts.Leader)...)
 	}
 	s.phase(&opts, &r, PhaseCollect, s.cfg.Model.CPU.Collection(len(s.thread)))
 	r.Collected = len(candidates)
@@ -166,73 +147,26 @@ func (s *Store) CompactClass(opts CompactOptions) CompactReport {
 		return r
 	}
 
-	// Stage 2: merge least-utilized blocks first (§3.1.4: fewer objects,
-	// fewer collisions).
-	sort.Slice(candidates, func(i, j int) bool {
-		return candidates[i].Used() < candidates[j].Used()
-	})
-	live := make([]*mergeSet, len(candidates))
-	for i, b := range candidates {
-		live[i] = s.snapshotSet(strategy, b)
-	}
-	for i := 0; i < len(live); i++ {
-		src := live[i]
-		if src == nil {
-			continue
-		}
-		if opts.MaxBlocks > 0 && r.BlocksFreed >= opts.MaxBlocks {
-			break
-		}
-		// Choose the fullest fitting destination (tightest packing) but
-		// prune candidates whose analytic no-collision probability (§3.4)
-		// is hopeless, so the bounded attempts are spent where merges can
-		// actually succeed — the least-utilized-first spirit of §3.1.4.
-		idSpace := slots
-		if strategy == StrategyCoRM {
-			idSpace = 1 << s.cfg.IDBits
-		}
-		best := -1
-		attempts := 0
-		// scans bounds how many candidates are even examined, so classes
-		// where no pairing can succeed stay cheap.
-		scans := 64 * opts.MaxAttempts
-		for j := len(live) - 1; j > i && attempts < opts.MaxAttempts && scans > 0; j-- {
-			dst := live[j]
-			if dst == nil || dst == src {
-				continue
-			}
-			if src.used+dst.used > slots {
-				continue // too full to ever fit; free skip
-			}
-			scans-- // probability evaluation below is the costly part
-			if prob.NoCollision(idSpace, slots, src.used, dst.used) < 0.02 {
-				continue // hopeless pairing; don't burn an attempt
-			}
-			attempts++
-			cmCompactAttempts.Inc()
-			if src.disjoint(dst) {
-				best = j
-				break
-			}
-			cmCompactIDConflicts.Inc()
-		}
-		if best < 0 {
-			continue
-		}
-		dst := live[best]
-		s.merge(strategy, src.block, dst.block, &opts, &r)
-		s.absorb(strategy, dst)
-		live[i] = nil
-		r.Merges++
-		r.BlocksFreed++
-		r.FreedBytes += int64(s.cfg.BlockBytes)
-	}
+	// Stage 2: plan (pure, over snapshots), then execute with per-pair
+	// revalidation. Collected blocks cannot gain objects (no thread owns
+	// them) but concurrent frees may still drain them, so the split costs
+	// one extra snapshot per planned pair and buys a plan that is
+	// inspectable, testable, and safely executable against live traffic.
+	plan := s.planClass(opts, strategy, slots, candidates)
+	r.Planned = len(plan.Pairs)
+	r.Attempts += plan.Attempts
+	r.Conflicts += plan.Conflicts
+	cmCompactPlannedPairs.Add(int64(len(plan.Pairs)))
+	cmCompactAttempts.Add(int64(plan.Attempts))
+	cmCompactIDConflicts.Add(int64(plan.Conflicts))
+
+	merged := s.executePlan(plan, &opts, &r)
 
 	// Hand surviving blocks (including merge destinations) to the leader.
 	var leftovers []*alloc.Block
-	for _, m := range live {
-		if m != nil {
-			leftovers = append(leftovers, m.block)
+	for _, b := range candidates {
+		if !merged[b] {
+			leftovers = append(leftovers, b)
 		}
 	}
 	s.returnBlocks(opts.Leader, leftovers)
@@ -252,14 +186,7 @@ func (s *Store) CompactAll(leader int, onPhase func(Phase, time.Duration)) Compa
 	var total CompactReport
 	for _, class := range s.NeedsCompaction() {
 		r := s.CompactClass(CompactOptions{Class: class, Leader: leader, OnPhase: onPhase})
-		total.Collected += r.Collected
-		total.Merges += r.Merges
-		total.BlocksFreed += r.BlocksFreed
-		total.ObjectsCopied += r.ObjectsCopied
-		total.ObjectsMoved += r.ObjectsMoved
-		total.PagesRemapped += r.PagesRemapped
-		total.FreedBytes += r.FreedBytes
-		total.Duration += r.Duration
+		total.add(r)
 	}
 	return total
 }
@@ -284,184 +211,4 @@ func (s *Store) Compatible(a, b *alloc.Block) bool {
 		return false
 	}
 	return s.snapshotSet(strategy, a).disjoint(s.snapshotSet(strategy, b))
-}
-
-// merge copies src's live objects into dst, preserving offsets when
-// possible and relocating on conflict (CoRM only), then remaps src's
-// virtual address — and every alias already attached to it — onto dst's
-// physical frames, preserving RDMA access per the configured strategy.
-func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOptions, r *CompactReport) {
-	stSrc, stDst := s.stateOf(src), s.stateOf(dst)
-	cpu := s.cfg.Model.CPU
-
-	// Lock the objects under compaction (§3.2.3): RPC calls back off and
-	// one-sided readers observe the lock bits. Flipping the flag while
-	// holding each block's rw exclusively is the barrier that makes the
-	// RPC-path check sound: any Free/Write/ReleasePtr that passed the check
-	// has drained by the time the lock is acquired, and later ones observe
-	// the flag. The slot set is therefore stable once read below.
-	stSrc.rw.Lock()
-	stSrc.setCompacting(true)
-	srcSlots := src.UsedSlots()
-	stSrc.rw.Unlock()
-	stDst.rw.Lock()
-	stDst.setCompacting(true)
-	stDst.rw.Unlock()
-	if s.cfg.DataBacked {
-		for _, idx := range srcSlots {
-			s.setLockState(stSrc, idx, lockCompaction)
-		}
-	}
-	s.phase(opts, r, PhaseLock, time.Duration(len(srcSlots))*cpu.LockPerObject)
-
-	// Copy objects and merge metadata.
-	var copyCost time.Duration
-	for _, idx := range srcSlots {
-		newSlot := idx
-		if !dst.AllocSlotAt(idx) {
-			if strategy != StrategyCoRM {
-				panic("core: offset conflict in offset-based merge (pre-check broken)")
-			}
-			var ok bool
-			newSlot, ok = dst.AllocSlot()
-			if !ok {
-				panic("core: no free slot in merge destination (capacity pre-check broken)")
-			}
-			r.ObjectsMoved++
-		}
-		id, home := stSrc.meta.at(idx)
-		stDst.meta.set(newSlot, id, home)
-		if s.cfg.DataBacked {
-			raw := make([]byte, src.Stride)
-			if err := s.space.ReadAt(src.SlotAddr(idx), raw); err != nil {
-				panic(err)
-			}
-			if err := s.space.WriteAt(dst.SlotAddr(newSlot), raw); err != nil {
-				panic(err)
-			}
-		}
-		stSrc.meta.clear(idx)
-		if err := src.FreeSlot(idx); err != nil {
-			panic(err)
-		}
-		r.ObjectsCopied++
-		copyCost += cpu.Copy(src.Stride) + cpu.MergePerObject
-	}
-	s.phase(opts, r, PhaseCopy, copyCost)
-
-	// Remap src's vaddr (and attached aliases) onto dst's frames. This is
-	// the RDMA-critical step: the NIC's MTT must be refreshed without
-	// invalidating the r_keys clients hold (§3.5).
-	dstFrames := dst.FrameList(s.space)
-	pages := src.Pages
-
-	aliasList := append([]uint64{src.VAddr}, stSrc.takeAliases()...)
-
-	for _, vaddr := range aliasList {
-		s.remapOne(vaddr, pages, dstFrames, opts, r)
-		r.PagesRemapped += pages
-	}
-
-	// Bookkeeping: src is dissolved; its vaddr (and aliases) now resolve
-	// to dst. The physical frames of src were released by the remap. Each
-	// base's stripe is updated independently — safe because both blocks are
-	// still compaction-locked, so a resolve racing these updates lands on a
-	// retryable block whichever side of the swing it observes.
-	sh := s.shard(src.VAddr)
-	sh.mu.Lock()
-	delete(sh.states, src)
-	sh.mu.Unlock()
-	for _, vaddr := range aliasList {
-		ash := s.shard(vaddr)
-		ash.mu.Lock()
-		ash.aliases[vaddr] = stDst
-		ash.mu.Unlock()
-	}
-	stDst.addAliases(aliasList)
-	s.proc.DropBlockKeepMapping(src)
-	// DropBlockKeepMapping bypasses onReleaseBlock (the vaddr stays mapped
-	// as an alias), but src's physical frames are gone — account for them
-	// here or the live-block gauges only ever climb under compaction.
-	cmBlocksLive.Dec()
-	cmSlotsCapacity.Add(-int64(src.Slots))
-	cmBytesLive.Add(-int64(s.cfg.BlockBytes))
-
-	// Addresses with no live homed objects become reusable immediately.
-	for _, vaddr := range aliasList {
-		if vaddr == src.VAddr {
-			if s.vt.dissolve(vaddr, pages) {
-				s.releaseAlias(vaddr, pages)
-			}
-		}
-		// Aliases other than src.VAddr were dissolved in earlier merges
-		// and remain tracked until their homed objects disappear.
-	}
-
-	// Unlock. src is flagged dissolved before its compacting flag drops, so
-	// an operation holding a stale stSrc reference always observes one of
-	// the two and retries against the destination.
-	if s.cfg.DataBacked {
-		for _, idx := range dst.UsedSlots() {
-			s.setLockState(stDst, idx, lockFree)
-		}
-	}
-	stSrc.markDissolved()
-	stSrc.setCompacting(false)
-	stDst.setCompacting(false)
-	s.phase(opts, r, PhaseUnlock, time.Duration(len(srcSlots))*cpu.LockPerObject)
-}
-
-// remapOne performs the virtual remapping of one block-base address onto
-// new frames and restores NIC access per the configured strategy (§3.5).
-func (s *Store) remapOne(vaddr uint64, pages int, frames []*mem.Frame, opts *CompactOptions, r *CompactReport) {
-	nic := s.cfg.Model.NIC
-	sh := s.shard(vaddr)
-	sh.mu.RLock()
-	region := sh.regions[vaddr]
-	sh.mu.RUnlock()
-
-	switch s.cfg.Remap {
-	case RemapRereg:
-		// Open the QP-breaking window, remap, refresh the MTT. The OnPhase
-		// hook runs while the window is open so simulated concurrent
-		// accesses genuinely break their QPs.
-		if region != nil {
-			s.nic.BeginRereg(region)
-		}
-		s.space.Remap(vaddr, frames)
-		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
-		s.phase(opts, r, PhaseRereg, nic.Rereg(pages))
-		if region != nil {
-			if err := s.nic.EndRereg(region); err != nil {
-				panic(err)
-			}
-		}
-	case RemapODP:
-		s.space.Remap(vaddr, frames)
-		s.nic.Invalidate(vaddr, pages*mem.PageSize)
-		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
-	case RemapODPPrefetch:
-		s.space.Remap(vaddr, frames)
-		s.nic.Invalidate(vaddr, pages*mem.PageSize)
-		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
-		if region != nil {
-			if _, err := s.nic.AdviseMR(vaddr, pages*mem.PageSize); err != nil {
-				panic(err)
-			}
-		}
-		s.phase(opts, r, PhaseAdvise, nic.AdviseMR)
-	}
-}
-
-// setLockState rewrites the lock bits of a stored object header.
-func (s *Store) setLockState(st *blockState, slot int, lock uint8) {
-	base := st.SlotAddr(slot)
-	line := make([]byte, headerBytes)
-	if err := s.space.ReadAt(base, line); err != nil {
-		return
-	}
-	h := decodeHeader(line)
-	h.Lock = lock
-	encodeHeader(line, h)
-	s.space.WriteAt(base, line)
 }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// The background compaction service. CoRM's claim is that compaction
+// coexists with live one-sided traffic (§3.1.3–§3.1.4); the Compactor is
+// the piece that makes that continuous instead of test-orchestrated: a
+// paced goroutine that asks a Policy what to compact, runs it with a
+// per-cycle block budget, backs off exponentially when there is nothing to
+// reclaim, and sheds entirely while the node is hot.
+
+// Compactor state gauge values (cmCompactorState; sums across stores).
+const (
+	compactorStopped  = 0
+	compactorActive   = 1
+	compactorBackoff  = 2
+	compactorShedding = 3
+)
+
+// CompactorConfig parameterizes the background service.
+type CompactorConfig struct {
+	// Interval is the base pace between cycles (default 50ms).
+	Interval time.Duration
+	// MaxInterval caps the idle exponential backoff (default 32x Interval).
+	MaxInterval time.Duration
+	// Policy decides what each cycle does (default ThresholdPolicy).
+	Policy Policy
+	// Leader is the worker thread acting as compaction leader.
+	Leader int
+	// MaxBlocks bounds blocks freed per cycle across all classes
+	// (0 = unlimited). §4.3.2: bounding a burst shortens the windows in
+	// which clients see compaction locks.
+	MaxBlocks int
+	// LoadShedOpsPerSec pauses compaction while the store's op rate
+	// (allocs+frees+reads+writes per second) exceeds it (0 = never shed).
+	// Reclamation is a background chore; under peak load the CPU belongs
+	// to the mutators.
+	LoadShedOpsPerSec float64
+	// OnPhase is forwarded to every compaction run.
+	OnPhase func(Phase, time.Duration)
+}
+
+func (c CompactorConfig) withDefaults() CompactorConfig {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = 32 * c.Interval
+	}
+	if c.Policy == nil {
+		c.Policy = &ThresholdPolicy{MaxBlocks: c.MaxBlocks}
+	}
+	return c
+}
+
+// Compactor runs compaction cycles on a background goroutine.
+type Compactor struct {
+	store *Store
+	cfg   CompactorConfig
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	// op-rate bookkeeping for load shedding (loop goroutine only).
+	lastOps int64
+	lastAt  time.Time
+
+	state int64 // current cmCompactorState contribution
+}
+
+// NewCompactor builds a background compactor over a store. It does not
+// start it; call Start.
+func NewCompactor(s *Store, cfg CompactorConfig) *Compactor {
+	return &Compactor{store: s, cfg: cfg.withDefaults()}
+}
+
+// Start launches the pacing goroutine. Idempotent.
+func (c *Compactor) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return
+	}
+	c.running = true
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.loop(c.stop, c.done)
+}
+
+// Stop halts the service, draining any in-flight cycle before returning.
+// Idempotent; the compactor can be started again afterwards.
+func (c *Compactor) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Running reports whether the background goroutine is active.
+func (c *Compactor) Running() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.running
+}
+
+func (c *Compactor) setState(v int64) {
+	cmCompactorState.Add(v - c.state)
+	c.state = v
+}
+
+func (c *Compactor) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	defer c.setState(compactorStopped)
+	interval := c.cfg.Interval
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		}
+		if c.shouldShed() {
+			cmCompactorShed.Inc()
+			c.setState(compactorShedding)
+			// Stay at the base pace: resume promptly once load drops.
+			interval = c.cfg.Interval
+			timer.Reset(interval)
+			continue
+		}
+		c.setState(compactorActive)
+		r := c.RunCycle()
+		if r.Merges == 0 {
+			// Nothing reclaimed: fragmentation is below the watermarks or
+			// pairings are colliding. Back off toward the idle ceiling so a
+			// quiet node is not re-planning every tick.
+			if interval *= 2; interval > c.cfg.MaxInterval {
+				interval = c.cfg.MaxInterval
+			}
+			c.setState(compactorBackoff)
+		} else {
+			interval = c.cfg.Interval
+		}
+		timer.Reset(interval)
+	}
+}
+
+// shouldShed samples the store's op rate against LoadShedOpsPerSec. The
+// first sample only establishes the baseline.
+func (c *Compactor) shouldShed() bool {
+	if c.cfg.LoadShedOpsPerSec <= 0 {
+		return false
+	}
+	st := c.store.Stats()
+	ops := st.Allocs + st.Frees + st.Reads + st.Writes
+	now := time.Now()
+	if c.lastAt.IsZero() {
+		c.lastOps, c.lastAt = ops, now
+		return false
+	}
+	elapsed := now.Sub(c.lastAt).Seconds()
+	if elapsed <= 0 {
+		return false
+	}
+	rate := float64(ops-c.lastOps) / elapsed
+	c.lastOps, c.lastAt = ops, now
+	return rate > c.cfg.LoadShedOpsPerSec
+}
+
+// RunCycle performs one policy-driven compaction pass synchronously and
+// returns the aggregated report. Exposed so tests and tools can drive the
+// service deterministically with the goroutine off.
+func (c *Compactor) RunCycle() CompactReport {
+	start := time.Now()
+	var total CompactReport
+	runs := c.cfg.Policy.Cycle(c.store)
+	remaining := c.cfg.MaxBlocks
+	reports := make([]CompactReport, 0, len(runs))
+	for _, opts := range runs {
+		if c.cfg.MaxBlocks > 0 {
+			if remaining <= 0 {
+				break
+			}
+			if opts.MaxBlocks == 0 || opts.MaxBlocks > remaining {
+				opts.MaxBlocks = remaining
+			}
+		}
+		opts.Leader = c.cfg.Leader
+		if opts.OnPhase == nil {
+			opts.OnPhase = c.cfg.OnPhase
+		}
+		r := c.store.CompactClass(opts)
+		reports = append(reports, r)
+		total.add(r)
+		remaining -= r.BlocksFreed
+	}
+	c.cfg.Policy.Observe(reports)
+	cmCompactorCycles.Inc()
+	cmCompactorCycleNs.Observe(time.Since(start).Nanoseconds())
+	return total
+}

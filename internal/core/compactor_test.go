@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCompactorReclaimsUnderChurn: the background service, left alone over
+// a fragmented store, reclaims blocks without being asked — and every live
+// object stays byte-identical through its original pointer.
+func TestCompactorReclaimsUnderChurn(t *testing.T) {
+	s := testStore(t, nil)
+	live := sparseBlocks(t, s, 64, 8, 1)
+
+	c := NewCompactor(s, CompactorConfig{
+		Interval: time.Millisecond,
+		Policy:   &ThresholdPolicy{MaxOccupancy: Occ(1.0)},
+	})
+	c.Start()
+	defer c.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().BlocksFreed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background compactor reclaimed nothing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for addr, want := range live {
+		buf := make([]byte, 64)
+		if _, err := s.Read(addr, buf); err != nil {
+			t.Fatalf("read under background compaction: %v", err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatal("payload corrupted by background compaction")
+		}
+	}
+}
+
+func TestCompactorStartStopIdempotent(t *testing.T) {
+	s := testStore(t, nil)
+	c := NewCompactor(s, CompactorConfig{Interval: time.Millisecond})
+	if c.Running() {
+		t.Fatal("running before Start")
+	}
+	c.Start()
+	c.Start() // no second goroutine
+	if !c.Running() {
+		t.Fatal("not running after Start")
+	}
+	c.Stop()
+	c.Stop() // no panic, no deadlock
+	if c.Running() {
+		t.Fatal("running after Stop")
+	}
+	// Restartable after a full stop.
+	c.Start()
+	if !c.Running() {
+		t.Fatal("not running after restart")
+	}
+	c.Stop()
+}
+
+// TestCompactorCycleBudget: MaxBlocks caps blocks freed per cycle across
+// every class the policy selects, not per class.
+func TestCompactorCycleBudget(t *testing.T) {
+	s := testStore(t, nil)
+	sparseBlocks(t, s, 64, 8, 1)
+	sparseBlocks(t, s, 128, 8, 1)
+
+	c := NewCompactor(s, CompactorConfig{
+		MaxBlocks: 2,
+		Policy:    &ThresholdPolicy{MaxOccupancy: Occ(1.0)},
+	})
+	r := c.RunCycle()
+	if r.BlocksFreed == 0 {
+		t.Fatalf("budgeted cycle freed nothing: %+v", r)
+	}
+	if r.BlocksFreed > 2 {
+		t.Fatalf("cycle freed %d blocks, budget 2", r.BlocksFreed)
+	}
+}
+
+// TestCompactorLoadShedding: the op-rate sampler establishes a baseline on
+// its first call, then sheds while the observed rate exceeds the limit and
+// resumes when traffic quiets down.
+func TestCompactorLoadShedding(t *testing.T) {
+	s := testStore(t, nil)
+	c := NewCompactor(s, CompactorConfig{LoadShedOpsPerSec: 1000})
+
+	if c.shouldShed() {
+		t.Fatal("shed on the baseline sample")
+	}
+	// A burst far above 1000 ops/s between samples.
+	for i := 0; i < 5000; i++ {
+		r, err := s.AllocOn(0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Free(&r.Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.shouldShed() {
+		t.Fatal("did not shed under a hot op rate")
+	}
+	// Quiet period: the next sample sees (almost) no new ops.
+	time.Sleep(10 * time.Millisecond)
+	if c.shouldShed() {
+		t.Fatal("still shedding after traffic stopped")
+	}
+}
+
+// TestAdaptivePolicySkipsHotCompactsCold: the §4.4 labels drive the runs —
+// a hot self-recycling class is skipped, a cold fragmenting class gets an
+// uncapped budget.
+func TestAdaptivePolicySkipsHotCompactsCold(t *testing.T) {
+	s := testStore(t, func(c *Config) { c.FragThreshold = 0.2 })
+	// Cold class: 64B blocks strand sparse, no churn observed.
+	sparseBlocks(t, s, 64, 6, 1)
+	cold := s.Allocator().Config().ClassFor(64)
+
+	tuner := NewAutoTuner(s)
+	pol := NewAdaptivePolicy(tuner, 4)
+
+	runs := pol.Cycle(s)
+	var coldRun *CompactOptions
+	for i := range runs {
+		if runs[i].Class == cold {
+			coldRun = &runs[i]
+		}
+	}
+	if coldRun == nil {
+		t.Fatalf("cold fragmented class %d not selected: %+v", cold, runs)
+	}
+	if coldRun.MaxBlocks != 0 {
+		t.Fatalf("cold class budget = %d, want 0 (uncapped)", coldRun.MaxBlocks)
+	}
+
+	// Make the same class hot: churn ≈ 1 with ~half-full blocks.
+	s2 := testStore(t, func(c *Config) { c.FragThreshold = 0.2 })
+	per := s2.Allocator().Config().SlotsPerBlock(64)
+	sparseBlocks(t, s2, 64, 6, per/2)
+	hot := s2.Allocator().Config().ClassFor(64)
+	tuner2 := NewAutoTuner(s2)
+	for i := 0; i < 1000; i++ {
+		tuner2.ObserveAlloc(hot)
+		tuner2.ObserveFree(hot)
+	}
+	pol2 := NewAdaptivePolicy(tuner2, 4)
+	for _, run := range pol2.Cycle(s2) {
+		if run.Class == hot {
+			t.Fatalf("hot self-recycling class %d selected for compaction", hot)
+		}
+	}
+}
+
+// TestAdaptivePolicyBacksOffOnConflicts: a cycle where every pairing
+// collided and nothing merged puts the class on backoff; it is retried
+// only after adaptiveBackoffCycles turns.
+func TestAdaptivePolicyBacksOffOnConflicts(t *testing.T) {
+	s := testStore(t, func(c *Config) { c.FragThreshold = 0.2 })
+	sparseBlocks(t, s, 64, 6, 1)
+	class := s.Allocator().Config().ClassFor(64)
+
+	tuner := NewAutoTuner(s)
+	pol := NewAdaptivePolicy(tuner, 4)
+
+	runs := pol.Cycle(s)
+	if len(runs) == 0 || runs[0].Class != class {
+		t.Fatalf("class %d not selected: %+v", class, runs)
+	}
+	// Feed back a hopeless cycle: all attempts collided, zero merges.
+	pol.Observe([]CompactReport{{Class: class, Attempts: 10, Conflicts: 10}})
+
+	for i := 0; i < adaptiveBackoffCycles; i++ {
+		for _, run := range pol.Cycle(s) {
+			if run.Class == class {
+				t.Fatalf("class retried during backoff cycle %d", i)
+			}
+		}
+	}
+	// Backoff served: the class is eligible again.
+	found := false
+	for _, run := range pol.Cycle(s) {
+		if run.Class == class {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("class never came back after backoff")
+	}
+}
+
+// TestAutoTunerConcurrentObservations is the satellite -race test: the
+// tuner is attached to the store's alloc/free path and hammered from many
+// goroutines while Snapshot and a background compactor run concurrently.
+func TestAutoTunerConcurrentObservations(t *testing.T) {
+	s := testStore(t, nil)
+	tuner := NewAutoTuner(s)
+	s.AttachTuner(tuner)
+
+	c := NewCompactor(s, CompactorConfig{
+		Interval: time.Millisecond,
+		Policy:   NewAdaptivePolicy(tuner, 4),
+	})
+	c.Start()
+	defer c.Stop()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(thread int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r, err := s.AllocOn(thread%s.Workers(), 64)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if err := s.Free(&r.Addr); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent snapshots race the observations by design.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tuner.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	labels := tuner.Snapshot()
+	class := s.Allocator().Config().ClassFor(64)
+	got := labels[class]
+	if got.Class != class {
+		t.Fatalf("snapshot not indexed by class: %+v", got)
+	}
+	// 8 workers x 500 allocs, half freed: churn must land near 0.5.
+	if got.Churn < 0.4 || got.Churn > 0.6 {
+		t.Fatalf("churn = %.2f, want ~0.5 (lost updates?)", got.Churn)
+	}
+}

@@ -34,7 +34,7 @@ func TestConcurrentStoreOpsUnderCompaction(t *testing.T) {
 				return
 			default:
 			}
-			s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxOccupancy: 1.0})
+			s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxOccupancy: Occ(1.0)})
 		}
 	}()
 

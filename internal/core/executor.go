@@ -1,0 +1,236 @@
+package core
+
+import (
+	"time"
+
+	"corm/internal/alloc"
+	"corm/internal/mem"
+)
+
+// The compaction executor. This is the effectful half of §3.1.4's merge
+// stage: it consumes a CompactPlan one pair at a time and performs the
+// existing lock/copy/remap/unlock mechanics. Because plans are computed
+// from snapshots, every pair is revalidated against live state first —
+// concurrent frees (or, for plans built without collecting the blocks,
+// concurrent allocations) may have invalidated the pairing, in which case
+// the pair is skipped rather than risking an ID/offset collision.
+
+// executePlan runs a plan's pairs in order, revalidating each against live
+// state. It returns the set of dissolved source blocks so the caller can
+// compute leftovers. The plan's blocks must be collected (owned by the
+// leader, detached from worker threads) before execution.
+func (s *Store) executePlan(plan CompactPlan, opts *CompactOptions, r *CompactReport) map[*alloc.Block]bool {
+	merged := make(map[*alloc.Block]bool, len(plan.Pairs))
+	for _, p := range plan.Pairs {
+		if opts.MaxBlocks > 0 && r.BlocksFreed >= opts.MaxBlocks {
+			break
+		}
+		if merged[p.Src] || merged[p.Dst] {
+			// Defensive: the planner never emits a dissolved block twice,
+			// but a hand-built plan might.
+			continue
+		}
+		// Revalidate: the snapshot the pair was planned from is stale by
+		// now. Frees only shrink conflict sets (still safe), but objects
+		// allocated since planning can introduce collisions or overflow
+		// the destination — exactly the §3.1.2 conditions, re-checked.
+		src := s.snapshotSet(plan.Strategy, p.Src)
+		dst := s.snapshotSet(plan.Strategy, p.Dst)
+		if src.used+dst.used > plan.Slots || !src.disjoint(dst) {
+			r.RevalRejects++
+			cmCompactRevalRejects.Inc()
+			continue
+		}
+		s.merge(plan.Strategy, p.Src, p.Dst, opts, r)
+		merged[p.Src] = true
+		r.Merges++
+		r.BlocksFreed++
+		r.FreedBytes += int64(s.cfg.BlockBytes)
+	}
+	return merged
+}
+
+// merge copies src's live objects into dst, preserving offsets when
+// possible and relocating on conflict (CoRM only), then remaps src's
+// virtual address — and every alias already attached to it — onto dst's
+// physical frames, preserving RDMA access per the configured strategy.
+func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOptions, r *CompactReport) {
+	stSrc, stDst := s.stateOf(src), s.stateOf(dst)
+	cpu := s.cfg.Model.CPU
+
+	// Lock the objects under compaction (§3.2.3): RPC calls back off and
+	// one-sided readers observe the lock bits. Flipping the flag while
+	// holding each block's rw exclusively is the barrier that makes the
+	// RPC-path check sound: any Free/Write/ReleasePtr that passed the check
+	// has drained by the time the lock is acquired, and later ones observe
+	// the flag. The slot set is therefore stable once read below.
+	stSrc.rw.Lock()
+	stSrc.setCompacting(true)
+	srcSlots := src.UsedSlots()
+	stSrc.rw.Unlock()
+	stDst.rw.Lock()
+	stDst.setCompacting(true)
+	stDst.rw.Unlock()
+	if s.cfg.DataBacked {
+		for _, idx := range srcSlots {
+			s.setLockState(stSrc, idx, lockCompaction)
+		}
+	}
+	s.phase(opts, r, PhaseLock, time.Duration(len(srcSlots))*cpu.LockPerObject)
+
+	// Copy objects and merge metadata. One staging buffer serves the whole
+	// merge: slots share the class stride, so allocating per object would
+	// only feed the GC on large merges.
+	var copyCost time.Duration
+	var raw []byte
+	if s.cfg.DataBacked {
+		raw = make([]byte, src.Stride)
+	}
+	for _, idx := range srcSlots {
+		newSlot := idx
+		if !dst.AllocSlotAt(idx) {
+			if strategy != StrategyCoRM {
+				panic("core: offset conflict in offset-based merge (pre-check broken)")
+			}
+			var ok bool
+			newSlot, ok = dst.AllocSlot()
+			if !ok {
+				panic("core: no free slot in merge destination (capacity pre-check broken)")
+			}
+			r.ObjectsMoved++
+		}
+		id, home := stSrc.meta.at(idx)
+		stDst.meta.set(newSlot, id, home)
+		if s.cfg.DataBacked {
+			if err := s.space.ReadAt(src.SlotAddr(idx), raw); err != nil {
+				panic(err)
+			}
+			if err := s.space.WriteAt(dst.SlotAddr(newSlot), raw); err != nil {
+				panic(err)
+			}
+		}
+		stSrc.meta.clear(idx)
+		if err := src.FreeSlot(idx); err != nil {
+			panic(err)
+		}
+		r.ObjectsCopied++
+		copyCost += cpu.Copy(src.Stride) + cpu.MergePerObject
+	}
+	s.phase(opts, r, PhaseCopy, copyCost)
+
+	// Remap src's vaddr (and attached aliases) onto dst's frames. This is
+	// the RDMA-critical step: the NIC's MTT must be refreshed without
+	// invalidating the r_keys clients hold (§3.5).
+	dstFrames := dst.FrameList(s.space)
+	pages := src.Pages
+
+	aliasList := append([]uint64{src.VAddr}, stSrc.takeAliases()...)
+
+	for _, vaddr := range aliasList {
+		s.remapOne(vaddr, pages, dstFrames, opts, r)
+		r.PagesRemapped += pages
+	}
+
+	// Bookkeeping: src is dissolved; its vaddr (and aliases) now resolve
+	// to dst. The physical frames of src were released by the remap. Each
+	// base's stripe is updated independently — safe because both blocks are
+	// still compaction-locked, so a resolve racing these updates lands on a
+	// retryable block whichever side of the swing it observes.
+	sh := s.shard(src.VAddr)
+	sh.mu.Lock()
+	delete(sh.states, src)
+	sh.mu.Unlock()
+	for _, vaddr := range aliasList {
+		ash := s.shard(vaddr)
+		ash.mu.Lock()
+		ash.aliases[vaddr] = stDst
+		ash.mu.Unlock()
+	}
+	stDst.addAliases(aliasList)
+	s.proc.DropBlockKeepMapping(src)
+	// DropBlockKeepMapping bypasses onReleaseBlock (the vaddr stays mapped
+	// as an alias), but src's physical frames are gone — account for them
+	// here or the live-block gauges only ever climb under compaction.
+	cmBlocksLive.Dec()
+	cmSlotsCapacity.Add(-int64(src.Slots))
+	cmBytesLive.Add(-int64(s.cfg.BlockBytes))
+
+	// Addresses with no live homed objects become reusable immediately.
+	for _, vaddr := range aliasList {
+		if vaddr == src.VAddr {
+			if s.vt.dissolve(vaddr, pages) {
+				s.releaseAlias(vaddr, pages)
+			}
+		}
+		// Aliases other than src.VAddr were dissolved in earlier merges
+		// and remain tracked until their homed objects disappear.
+	}
+
+	// Unlock. src is flagged dissolved before its compacting flag drops, so
+	// an operation holding a stale stSrc reference always observes one of
+	// the two and retries against the destination.
+	if s.cfg.DataBacked {
+		for _, idx := range dst.UsedSlots() {
+			s.setLockState(stDst, idx, lockFree)
+		}
+	}
+	stSrc.markDissolved()
+	stSrc.setCompacting(false)
+	stDst.setCompacting(false)
+	s.phase(opts, r, PhaseUnlock, time.Duration(len(srcSlots))*cpu.LockPerObject)
+}
+
+// remapOne performs the virtual remapping of one block-base address onto
+// new frames and restores NIC access per the configured strategy (§3.5).
+func (s *Store) remapOne(vaddr uint64, pages int, frames []*mem.Frame, opts *CompactOptions, r *CompactReport) {
+	nic := s.cfg.Model.NIC
+	sh := s.shard(vaddr)
+	sh.mu.RLock()
+	region := sh.regions[vaddr]
+	sh.mu.RUnlock()
+
+	switch s.cfg.Remap {
+	case RemapRereg:
+		// Open the QP-breaking window, remap, refresh the MTT. The OnPhase
+		// hook runs while the window is open so simulated concurrent
+		// accesses genuinely break their QPs.
+		if region != nil {
+			s.nic.BeginRereg(region)
+		}
+		s.space.Remap(vaddr, frames)
+		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
+		s.phase(opts, r, PhaseRereg, nic.Rereg(pages))
+		if region != nil {
+			if err := s.nic.EndRereg(region); err != nil {
+				panic(err)
+			}
+		}
+	case RemapODP:
+		s.space.Remap(vaddr, frames)
+		s.nic.Invalidate(vaddr, pages*mem.PageSize)
+		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
+	case RemapODPPrefetch:
+		s.space.Remap(vaddr, frames)
+		s.nic.Invalidate(vaddr, pages*mem.PageSize)
+		s.phase(opts, r, PhaseMmap, nic.MmapCost(pages))
+		if region != nil {
+			if _, err := s.nic.AdviseMR(vaddr, pages*mem.PageSize); err != nil {
+				panic(err)
+			}
+		}
+		s.phase(opts, r, PhaseAdvise, nic.AdviseMR)
+	}
+}
+
+// setLockState rewrites the lock bits of a stored object header.
+func (s *Store) setLockState(st *blockState, slot int, lock uint8) {
+	base := st.SlotAddr(slot)
+	line := make([]byte, headerBytes)
+	if err := s.space.ReadAt(base, line); err != nil {
+		return
+	}
+	h := decodeHeader(line)
+	h.Lock = lock
+	encodeHeader(line, h)
+	s.space.WriteAt(base, line)
+}

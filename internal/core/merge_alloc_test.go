@@ -1,0 +1,83 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// mallocsDuring counts heap allocations performed by f on this goroutine.
+func mallocsDuring(f func()) uint64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// mergeAllocs builds a fragmented two-block Mesh store where one merge
+// copies exactly `keep` objects, then returns the heap allocations of the
+// CompactClass run alone.
+func mergeAllocs(t *testing.T, keep int) uint64 {
+	t.Helper()
+	const size = 64
+	// CoRM's 16-bit ID space keeps the §3.4 probability prune inert even
+	// for dense pairs; disjoint slot ranges mean no relocations, so the
+	// copy count is exactly `keep` regardless of strategy.
+	s := testStore(t, func(c *Config) {
+		c.Workers = 1
+		c.BlockBytes = 16384
+	})
+	per := s.Allocator().Config().SlotsPerBlock(size)
+	if 2*keep > per {
+		t.Fatalf("keep %d does not fit a %d-slot block", keep, per)
+	}
+	var all []Addr
+	for i := 0; i < 2*per; i++ {
+		r, err := s.AllocOn(0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r.Addr)
+	}
+	// Block A keeps slots [0,keep), block B keeps [keep,2*keep): disjoint
+	// offsets, one merge copying `keep` objects.
+	for i := range all {
+		block, slot := i/per, i%per
+		if (block == 0 && slot < keep) || (block == 1 && slot >= keep && slot < 2*keep) {
+			continue
+		}
+		if err := s.Free(&all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	class := s.Allocator().Config().ClassFor(size)
+	var r CompactReport
+	allocs := mallocsDuring(func() {
+		r = s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	})
+	if r.Merges != 1 || r.ObjectsCopied != keep {
+		t.Fatalf("merge shape changed: %+v (want 1 merge, %d copies)", r, keep)
+	}
+	return allocs
+}
+
+// TestMergeBufferHoisted guards the staging-buffer hoist in Store.merge:
+// the copy loop must reuse ONE buffer per merge, not allocate one per
+// object. Metadata maps make some per-object allocation legitimate, so the
+// guard bounds the SLOPE — extra allocations per extra copied object —
+// which jumps by a full +1.0 if the per-object make([]byte, stride)
+// regression ever returns.
+func TestMergeBufferHoisted(t *testing.T) {
+	small, large := 16, 56
+	a := mergeAllocs(t, small)
+	b := mergeAllocs(t, large)
+	slope := (float64(b) - float64(a)) / float64(large-small)
+	t.Logf("allocs: %d@%d objects, %d@%d objects, slope %.2f allocs/object", a, small, b, large, slope)
+	// Measured slope with the hoisted buffer: 0.0 — the whole run is free
+	// of per-object allocations. The buffer bug adds exactly +1.0.
+	if slope > 0.9 {
+		t.Fatalf("merge allocates %.2f times per copied object (want < 0.9) — staging buffer regressed to per-object?", slope)
+	}
+}

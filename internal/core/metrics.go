@@ -41,6 +41,19 @@ var (
 		"objects relocated by merges (indirect pointers created)")
 	cmCandidateOccupancy = metrics.Default().Histogram("corm_compaction_candidate_occupancy_pct",
 		"percent occupancy of blocks collected for compaction")
+	cmCompactPlannedPairs = metrics.Default().Counter("corm_compaction_planned_pairs_total",
+		"merge pairs emitted by the planner (compare with merges for plan decay)")
+	cmCompactRevalRejects = metrics.Default().Counter("corm_compaction_reval_rejects_total",
+		"planned pairs skipped by executor revalidation (snapshot went stale)")
+
+	cmCompactorCycles = metrics.Default().Counter("corm_compactor_cycles_total",
+		"background compactor cycles that ran a policy pass")
+	cmCompactorShed = metrics.Default().Counter("corm_compactor_shed_total",
+		"compactor cycles skipped by load shedding (op rate above threshold)")
+	cmCompactorCycleNs = metrics.Default().Histogram("corm_compactor_cycle_ns",
+		"wall-clock nanoseconds per background compaction cycle")
+	cmCompactorState = metrics.Default().Gauge("corm_compactor_state",
+		"background compactor state: 0 stopped, 1 active, 2 idle backoff, 3 shedding (sums across stores)")
 
 	cmObjectsLive = metrics.Default().Gauge("corm_core_objects_live",
 		"currently allocated objects")

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"sort"
+
+	"corm/internal/alloc"
+	"corm/internal/prob"
+)
+
+// The compaction planner. This is the pure half of §3.1.4's merge stage:
+// given immutable snapshots of candidate blocks' conflict sets, it decides
+// which pairs to merge — least-utilized sources first, fullest fitting
+// destination, §3.4 probability pruning — and returns an ordered
+// CompactPlan. It takes no locks and mutates nothing, so it is
+// unit-testable without a Store and can run while mutator traffic
+// continues; the executor (executor.go) revalidates every pair against
+// live state because these snapshots go stale between plan and execute.
+
+// mergeSet caches a candidate block's conflict state so the greedy pairing
+// loop does not re-snapshot metadata for every pair it considers. The
+// planner treats it as immutable input; block may be nil in planner unit
+// tests.
+type mergeSet struct {
+	block *alloc.Block
+	used  int
+	ids   map[uint16]bool // CoRM: live object IDs
+	slots map[int]bool    // Mesh/CoRM-0: occupied offsets
+}
+
+func (s *Store) snapshotSet(strategy Strategy, b *alloc.Block) *mergeSet {
+	m := &mergeSet{block: b, used: b.Used()}
+	if strategy == StrategyCoRM {
+		m.ids = s.stateOf(b).meta.idSet()
+	} else {
+		m.slots = make(map[int]bool, m.used)
+		for _, idx := range b.UsedSlots() {
+			m.slots[idx] = true
+		}
+	}
+	return m
+}
+
+// disjoint reports whether two cached sets have no conflicts.
+func (a *mergeSet) disjoint(b *mergeSet) bool {
+	if a.ids != nil {
+		x, y := a.ids, b.ids
+		if len(x) > len(y) {
+			x, y = y, x
+		}
+		for id := range x {
+			if y[id] {
+				return false
+			}
+		}
+		return true
+	}
+	x, y := a.slots, b.slots
+	if len(x) > len(y) {
+		x, y = y, x
+	}
+	for idx := range x {
+		if y[idx] {
+			return false
+		}
+	}
+	return true
+}
+
+// union folds src's planned post-merge contents into dst's set. This is
+// exact for both conflict families: object IDs survive relocation unchanged
+// (CoRM), and offset-based strategies only merge when every offset is
+// preserved (Mesh/CoRM-0) — so the planner can chain merges into the same
+// destination without re-snapshotting live state.
+func (a *mergeSet) union(src *mergeSet) {
+	a.used += src.used
+	for id := range src.ids {
+		a.ids[id] = true
+	}
+	for idx := range src.slots {
+		a.slots[idx] = true
+	}
+}
+
+// clone deep-copies a set so planning never mutates the caller's snapshots.
+func (a *mergeSet) clone() *mergeSet {
+	c := &mergeSet{block: a.block, used: a.used}
+	if a.ids != nil {
+		c.ids = make(map[uint16]bool, len(a.ids))
+		for id := range a.ids {
+			c.ids[id] = true
+		}
+	}
+	if a.slots != nil {
+		c.slots = make(map[int]bool, len(a.slots))
+		for idx := range a.slots {
+			c.slots[idx] = true
+		}
+	}
+	return c
+}
+
+// MergePair is one planned merge: Src's objects move into Dst, Src's
+// address is remapped onto Dst's frames and the block dissolves.
+type MergePair struct {
+	Src, Dst *alloc.Block
+}
+
+// CompactPlan is the planner's output for one size class: an ordered list
+// of merge pairs computed from block snapshots. Plans are advisory — the
+// executor revalidates each pair against live state and skips pairs whose
+// snapshots went stale (Planned - Merges in the report = skipped pairs plus
+// budget cutoffs).
+type CompactPlan struct {
+	Class    int
+	Strategy Strategy
+	Slots    int // block capacity s of the class
+	Pairs    []MergePair
+
+	// Attempts counts pairings whose conflict sets were compared;
+	// Conflicts counts those rejected on an ID/offset collision. Their
+	// ratio is the §3.4 signal adaptive policies back off on.
+	Attempts  int
+	Conflicts int
+}
+
+// planConfig parameterizes the pure pairing pass.
+type planConfig struct {
+	slots       int     // block capacity s
+	idSpace     int     // ID space n of §3.4 (= slots for offset strategies)
+	maxBlocks   int     // pair budget (0 = unlimited)
+	maxAttempts int     // candidate destinations tried per source
+	minProb     float64 // §3.4 no-collision probability pruning threshold
+}
+
+// minNoCollision is the default §3.4 pruning threshold: pairings whose
+// analytic no-collision probability is below it are not worth an attempt.
+const minNoCollision = 0.02
+
+// planMerges is the pure pairing pass: greedily merge least-utilized
+// sources into the fullest fitting destination, pruning hopeless pairings
+// by their analytic no-collision probability (§3.4). Input sets are not
+// mutated. The returned pairs are indexes into the input slice, in
+// execution order; the same snapshots always yield the same plan.
+func planMerges(sets []*mergeSet, cfg planConfig) (pairs [][2]int, attempts, conflicts int) {
+	if cfg.minProb == 0 {
+		cfg.minProb = minNoCollision
+	}
+	// Least-utilized blocks first (§3.1.4: fewer objects, fewer
+	// collisions). Ties break on input position so a fixed snapshot set
+	// always produces the same plan.
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return sets[order[i]].used < sets[order[j]].used
+	})
+	// Working copies: planned merges accumulate into destination sets
+	// without touching the caller's snapshots.
+	live := make([]*mergeSet, len(sets))
+	for i, idx := range order {
+		live[i] = sets[idx].clone()
+	}
+	for i := 0; i < len(live); i++ {
+		src := live[i]
+		if src == nil {
+			continue
+		}
+		if cfg.maxBlocks > 0 && len(pairs) >= cfg.maxBlocks {
+			break
+		}
+		// Choose the fullest fitting destination (tightest packing) but
+		// prune candidates whose analytic no-collision probability (§3.4)
+		// is hopeless, so the bounded attempts are spent where merges can
+		// actually succeed.
+		best := -1
+		tried := 0
+		// scans bounds how many candidates are even examined, so classes
+		// where no pairing can succeed stay cheap.
+		scans := 64 * cfg.maxAttempts
+		for j := len(live) - 1; j > i && tried < cfg.maxAttempts && scans > 0; j-- {
+			dst := live[j]
+			if dst == nil {
+				continue
+			}
+			if src.used+dst.used > cfg.slots {
+				continue // too full to ever fit; free skip
+			}
+			scans-- // probability evaluation below is the costly part
+			if prob.NoCollision(cfg.idSpace, cfg.slots, src.used, dst.used) < cfg.minProb {
+				continue // hopeless pairing; don't burn an attempt
+			}
+			tried++
+			attempts++
+			if src.disjoint(dst) {
+				best = j
+				break
+			}
+			conflicts++
+		}
+		if best < 0 {
+			continue
+		}
+		live[best].union(src)
+		live[i] = nil
+		pairs = append(pairs, [2]int{order[i], order[best]})
+	}
+	return pairs, attempts, conflicts
+}
+
+// planClass builds a CompactPlan from snapshots of the given candidate
+// blocks. Pure apart from taking each block's metadata snapshot.
+func (s *Store) planClass(opts CompactOptions, strategy Strategy, slots int, candidates []*alloc.Block) CompactPlan {
+	plan := CompactPlan{Class: opts.Class, Strategy: strategy, Slots: slots}
+	if len(candidates) < 2 {
+		return plan
+	}
+	idSpace := slots
+	if strategy == StrategyCoRM {
+		idSpace = 1 << s.cfg.IDBits
+	}
+	sets := make([]*mergeSet, len(candidates))
+	for i, b := range candidates {
+		sets[i] = s.snapshotSet(strategy, b)
+	}
+	pairs, attempts, conflicts := planMerges(sets, planConfig{
+		slots:       slots,
+		idSpace:     idSpace,
+		maxBlocks:   opts.MaxBlocks,
+		maxAttempts: opts.MaxAttempts,
+	})
+	plan.Attempts = attempts
+	plan.Conflicts = conflicts
+	for _, p := range pairs {
+		plan.Pairs = append(plan.Pairs, MergePair{Src: candidates[p[0]], Dst: candidates[p[1]]})
+	}
+	return plan
+}
+
+// PlanClass computes a merge plan for one size class from a snapshot of
+// the store's current blocks, without collecting blocks or mutating any
+// state. The plan is advisory: executing it later (via CompactClass, which
+// always plans freshly, or in tests via the executor directly) revalidates
+// each pair because mutator traffic may have invalidated the snapshots.
+func (s *Store) PlanClass(opts CompactOptions) CompactPlan {
+	opts = opts.withDefaults()
+	classSize := s.cfg.Classes[opts.Class]
+	slots := s.proc.Config().SlotsPerBlock(classSize)
+	strategy := s.cfg.classStrategy(slots)
+	if strategy == StrategyNone {
+		return CompactPlan{Class: opts.Class, Strategy: strategy, Slots: slots}
+	}
+	var candidates []*alloc.Block
+	for _, t := range s.thread {
+		for _, b := range t.Owned(opts.Class) {
+			if b.Occupancy() <= *opts.MaxOccupancy && !b.Empty() {
+				candidates = append(candidates, b)
+			}
+		}
+	}
+	return s.planClass(opts, strategy, slots, candidates)
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Pure planner tests: planMerges is exercised on hand-built snapshots with
+// no Store, allocator, or locks behind them.
+
+func idMergeSet(ids ...uint16) *mergeSet {
+	m := &mergeSet{used: len(ids), ids: make(map[uint16]bool, len(ids))}
+	for _, id := range ids {
+		m.ids[id] = true
+	}
+	return m
+}
+
+func slotMergeSet(slots ...int) *mergeSet {
+	m := &mergeSet{used: len(slots), slots: make(map[int]bool, len(slots))}
+	for _, idx := range slots {
+		m.slots[idx] = true
+	}
+	return m
+}
+
+// bigIDSpace makes §3.4 pruning a no-op so tests isolate other behavior.
+const bigIDSpace = 1 << 16
+
+func TestPlanMergesDeterministic(t *testing.T) {
+	// Mixed used counts including ties, so both the utilization sort and
+	// its input-position tie-break are exercised.
+	sets := []*mergeSet{
+		idMergeSet(1, 2, 3),
+		idMergeSet(10),
+		idMergeSet(20, 21),
+		idMergeSet(30),
+		idMergeSet(40, 41),
+		idMergeSet(50, 51, 52),
+	}
+	cfg := planConfig{slots: 8, idSpace: bigIDSpace, maxAttempts: 8}
+	first, att, conf := planMerges(sets, cfg)
+	if len(first) == 0 {
+		t.Fatal("nothing planned from mergeable snapshots")
+	}
+	for i := 0; i < 10; i++ {
+		pairs, a, c := planMerges(sets, cfg)
+		if !reflect.DeepEqual(pairs, first) || a != att || c != conf {
+			t.Fatalf("plan diverged on rerun %d: %v vs %v", i, pairs, first)
+		}
+	}
+}
+
+func TestPlanMergesDoesNotMutateInput(t *testing.T) {
+	a, b := idMergeSet(1), idMergeSet(2)
+	planMerges([]*mergeSet{a, b}, planConfig{slots: 4, idSpace: bigIDSpace, maxAttempts: 8})
+	if a.used != 1 || b.used != 1 || len(a.ids) != 1 || len(b.ids) != 1 {
+		t.Fatalf("planner mutated its input snapshots: %+v %+v", a, b)
+	}
+}
+
+func TestPlanMergesLeastUtilizedSourceFullestDestination(t *testing.T) {
+	// used: 3, 1, 2; capacity 4 admits exactly one merge. The emptiest set
+	// must be the source and the fullest fitting set the destination.
+	sets := []*mergeSet{idMergeSet(1, 2, 3), idMergeSet(10), idMergeSet(20, 21)}
+	pairs, _, _ := planMerges(sets, planConfig{slots: 4, idSpace: bigIDSpace, maxAttempts: 8})
+	if len(pairs) != 1 || pairs[0] != [2]int{1, 0} {
+		t.Fatalf("pairs = %v, want [[1 0]] (least-utilized src, fullest dst)", pairs)
+	}
+}
+
+func TestPlanMergesCapacityPrecheck(t *testing.T) {
+	// 3 + 2 > 4: overfull pairings are skipped before any attempt is spent.
+	sets := []*mergeSet{idMergeSet(1, 2, 3), idMergeSet(10, 11)}
+	pairs, attempts, conflicts := planMerges(sets, planConfig{slots: 4, idSpace: bigIDSpace, maxAttempts: 8})
+	if len(pairs) != 0 {
+		t.Fatalf("planned an overfull merge: %v", pairs)
+	}
+	if attempts != 0 || conflicts != 0 {
+		t.Fatalf("capacity skip burned attempts: attempts=%d conflicts=%d", attempts, conflicts)
+	}
+	// Exactly at capacity is allowed.
+	pairs, _, _ = planMerges(sets, planConfig{slots: 5, idSpace: bigIDSpace, maxAttempts: 8})
+	if len(pairs) != 1 {
+		t.Fatalf("exact-capacity merge not planned: %v", pairs)
+	}
+}
+
+func TestPlanMergesProbabilityPruning(t *testing.T) {
+	// 10+10 objects into a 16-wide ID space: §3.4 no-collision probability
+	// is zero (pigeonhole), so the pairing must be pruned without an
+	// attempt — even though these particular sets happen to be disjoint.
+	a := idMergeSet(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	b := idMergeSet(100, 101, 102, 103, 104, 105, 106, 107, 108, 109)
+	sets := []*mergeSet{a, b}
+	pairs, attempts, _ := planMerges(sets, planConfig{slots: 32, idSpace: 16, maxAttempts: 8})
+	if len(pairs) != 0 || attempts != 0 {
+		t.Fatalf("hopeless pairing not pruned: pairs=%v attempts=%d", pairs, attempts)
+	}
+	// Same snapshots with a real ID space merge fine: pruning is the only
+	// thing that stopped them.
+	pairs, attempts, _ = planMerges(sets, planConfig{slots: 32, idSpace: bigIDSpace, maxAttempts: 8})
+	if len(pairs) != 1 || attempts != 1 {
+		t.Fatalf("control merge failed: pairs=%v attempts=%d", pairs, attempts)
+	}
+}
+
+func TestPlanMergesCountsConflicts(t *testing.T) {
+	// A and C are disjoint; B collides with everything via id 2.
+	sets := []*mergeSet{idMergeSet(1, 2), idMergeSet(2, 3), idMergeSet(5, 6)}
+	pairs, attempts, conflicts := planMerges(sets, planConfig{slots: 8, idSpace: bigIDSpace, maxAttempts: 8})
+	if !reflect.DeepEqual(pairs, [][2]int{{0, 2}}) {
+		t.Fatalf("pairs = %v, want [[0 2]]", pairs)
+	}
+	if attempts != 2 || conflicts != 1 {
+		t.Fatalf("attempts=%d conflicts=%d, want 2/1", attempts, conflicts)
+	}
+}
+
+func TestPlanMergesRespectsMaxBlocks(t *testing.T) {
+	sets := []*mergeSet{idMergeSet(1), idMergeSet(2), idMergeSet(3), idMergeSet(4)}
+	pairs, _, _ := planMerges(sets, planConfig{slots: 16, idSpace: bigIDSpace, maxBlocks: 1, maxAttempts: 8})
+	if len(pairs) != 1 {
+		t.Fatalf("budget 1 produced %d pairs", len(pairs))
+	}
+}
+
+func TestPlanMergesChainsIntoDestination(t *testing.T) {
+	// Capacity 3 lets two singleton sources chain into the same
+	// destination; the second pairing must see the union of the first.
+	sets := []*mergeSet{idMergeSet(1), idMergeSet(2), idMergeSet(3)}
+	pairs, _, _ := planMerges(sets, planConfig{slots: 3, idSpace: bigIDSpace, maxAttempts: 8})
+	if !reflect.DeepEqual(pairs, [][2]int{{0, 2}, {1, 2}}) {
+		t.Fatalf("pairs = %v, want chained [[0 2] [1 2]]", pairs)
+	}
+	// A colliding chained source must be rejected against the union: D
+	// carries the id A already moved into C.
+	sets = []*mergeSet{idMergeSet(1), idMergeSet(1), idMergeSet(3)}
+	pairs, _, conflicts := planMerges(sets, planConfig{slots: 3, idSpace: bigIDSpace, maxAttempts: 8})
+	if !reflect.DeepEqual(pairs, [][2]int{{0, 2}}) || conflicts != 1 {
+		t.Fatalf("union not respected: pairs=%v conflicts=%d", pairs, conflicts)
+	}
+}
+
+func TestPlanMergesOffsetFamily(t *testing.T) {
+	// Offset strategies (Mesh/CoRM-0): disjoint offsets merge, overlapping
+	// ones conflict. The ID space equals the slot count.
+	disjoint := []*mergeSet{slotMergeSet(0), slotMergeSet(1)}
+	pairs, _, _ := planMerges(disjoint, planConfig{slots: 64, idSpace: 64, maxAttempts: 8})
+	if len(pairs) != 1 {
+		t.Fatalf("disjoint offsets not planned: %v", pairs)
+	}
+	overlap := []*mergeSet{slotMergeSet(0), slotMergeSet(0)}
+	pairs, _, conflicts := planMerges(overlap, planConfig{slots: 64, idSpace: 64, maxAttempts: 8})
+	if len(pairs) != 0 || conflicts != 1 {
+		t.Fatalf("overlapping offsets planned: pairs=%v conflicts=%d", pairs, conflicts)
+	}
+}
+
+func TestPlanClassIsReadOnly(t *testing.T) {
+	s := testStore(t, nil)
+	sparseBlocks(t, s, 64, 6, 1)
+	class := s.Allocator().Config().ClassFor(64)
+
+	blocksBefore := s.Allocator().Blocks()
+	plan := s.PlanClass(CompactOptions{Class: class})
+	if len(plan.Pairs) == 0 {
+		t.Fatalf("no pairs planned over sparse blocks: %+v", plan)
+	}
+	plan2 := s.PlanClass(CompactOptions{Class: class})
+	if !reflect.DeepEqual(plan, plan2) {
+		t.Fatal("PlanClass is not deterministic over unchanged state")
+	}
+	if got := s.Allocator().Blocks(); got != blocksBefore {
+		t.Fatalf("planning changed block count %d -> %d", blocksBefore, got)
+	}
+	// The store still compacts normally afterwards: planning detached
+	// nothing from the worker threads.
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.BlocksFreed == 0 {
+		t.Fatalf("compaction after planning freed nothing: %+v", r)
+	}
+}
+
+// TestExecutorRejectsStalePlan is the plan/execute race: an object is
+// allocated between planning and execution, invalidating the pair's
+// snapshots. The executor must skip the pair — not corrupt either block.
+func TestExecutorRejectsStalePlan(t *testing.T) {
+	s := testStore(t, func(c *Config) { c.Strategy = StrategyMesh })
+	size := 64
+	per := s.Allocator().Config().SlotsPerBlock(size)
+	class := s.Allocator().Config().ClassFor(size)
+
+	// Block A keeps slot 0, block B keeps slot 1: disjoint, mergeable.
+	var all []Addr
+	for i := 0; i < 2*per; i++ {
+		r, err := s.AllocOn(0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r.Addr)
+	}
+	live := map[*Addr][]byte{}
+	for i := range all {
+		block, slot := i/per, i%per
+		if (block == 0 && slot == 0) || (block == 1 && slot == 1) {
+			payload := fill(size, byte(i))
+			if err := s.Write(&all[i], payload); err != nil {
+				t.Fatal(err)
+			}
+			live[&all[i]] = payload
+			continue
+		}
+		if err := s.Free(&all[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plan := s.PlanClass(CompactOptions{Class: class, MaxOccupancy: Occ(1.0)})
+	if len(plan.Pairs) != 1 {
+		t.Fatalf("planned %d pairs, want 1", len(plan.Pairs))
+	}
+	a, b := plan.Pairs[0].Src, plan.Pairs[0].Dst
+
+	// The race: a fresh allocation lands in one of the planned blocks.
+	// First-free-slot allocation means it takes A's slot 1 or B's slot 0 —
+	// either way the blocks now collide on an offset and the plan is stale.
+	res, err := s.AllocOn(0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := res.Addr
+	payload := fill(size, 0xEE)
+	if err := s.Write(&stale, payload); err != nil {
+		t.Fatal(err)
+	}
+	live[&stale] = payload
+	if s.Compatible(a, b) {
+		t.Fatal("new allocation did not land in a planned block — race not reproduced")
+	}
+
+	// Execute the stale plan the way CompactClass would: blocks collected
+	// onto the leader first.
+	collected := s.thread[0].CollectBelow(class, 1.0, 0)
+	opts := CompactOptions{Class: class, Leader: 0}.withDefaults()
+	var r CompactReport
+	merged := s.executePlan(plan, &opts, &r)
+	s.returnBlocks(0, collected)
+
+	if len(merged) != 0 || r.Merges != 0 || r.BlocksFreed != 0 {
+		t.Fatalf("stale pair executed anyway: %+v", r)
+	}
+	if r.RevalRejects != 1 {
+		t.Fatalf("RevalRejects = %d, want 1", r.RevalRejects)
+	}
+	// Nothing corrupted: every object, including the racing allocation,
+	// reads back byte-identical, and the store still works.
+	for addr, want := range live {
+		buf := make([]byte, size)
+		if _, err := s.Read(addr, buf); err != nil {
+			t.Fatalf("read after rejected execution: %v", err)
+		}
+		if !reflect.DeepEqual(buf, want) {
+			t.Fatal("payload corrupted by rejected execution")
+		}
+	}
+}
+
+// TestCompactOptionsExplicitZeroOccupancy: Occ(0) means "only occupancy-zero
+// blocks" and must not be rewritten to the 0.9 default. Collection skips
+// empty blocks, so an Occ(0) run collects nothing — while a defaulted run
+// over the same store collects and merges.
+func TestCompactOptionsExplicitZeroOccupancy(t *testing.T) {
+	s := testStore(t, nil)
+	sparseBlocks(t, s, 64, 6, 1)
+	class := s.Allocator().Config().ClassFor(64)
+
+	r := s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxOccupancy: Occ(0)})
+	if r.Collected != 0 || r.BlocksFreed != 0 {
+		t.Fatalf("Occ(0) still collected blocks: %+v", r)
+	}
+	r = s.CompactClass(CompactOptions{Class: class, Leader: 0})
+	if r.Collected == 0 || r.BlocksFreed == 0 {
+		t.Fatalf("defaulted occupancy collected nothing: %+v", r)
+	}
+}

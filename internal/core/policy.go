@@ -1,0 +1,128 @@
+package core
+
+// Compaction policies: the decision layer between the background Compactor
+// (compactor.go) and the plan/execute machinery (planner.go, executor.go).
+// A policy answers "which classes, with what budget, right now"; it never
+// touches blocks itself.
+
+// Policy decides what a compaction cycle should do.
+type Policy interface {
+	// Cycle returns the compaction runs to perform now, one CompactOptions
+	// per class. An empty slice means "nothing to do" — the compactor
+	// backs off toward its idle interval.
+	Cycle(s *Store) []CompactOptions
+	// Observe feeds back the reports of the runs Cycle requested, in the
+	// same order, so adaptive policies can learn (e.g. back off classes
+	// whose pairings keep colliding).
+	Observe(reports []CompactReport)
+}
+
+// ThresholdPolicy compacts every class whose fragmentation ratio exceeds
+// the store's configured threshold (§3.1.3) — the same watermark
+// NeedsCompaction applies, made continuous by the background service.
+type ThresholdPolicy struct {
+	// MaxBlocks bounds blocks freed per class per cycle (0 = unlimited).
+	MaxBlocks int
+	// MaxOccupancy overrides the collection filter (nil = 0.9 default).
+	MaxOccupancy *float64
+}
+
+// Cycle implements Policy.
+func (p *ThresholdPolicy) Cycle(s *Store) []CompactOptions {
+	var runs []CompactOptions
+	for _, class := range s.NeedsCompaction() {
+		runs = append(runs, CompactOptions{
+			Class:        class,
+			MaxBlocks:    p.MaxBlocks,
+			MaxOccupancy: p.MaxOccupancy,
+		})
+	}
+	return runs
+}
+
+// Observe implements Policy; the threshold policy is stateless.
+func (p *ThresholdPolicy) Observe([]CompactReport) {}
+
+// Adaptive-policy tuning knobs.
+const (
+	// adaptiveBackoffCycles is how many of a class's turns are skipped
+	// after a cycle where every pairing attempt collided and nothing
+	// merged — §3.4's signal that the ID space is saturated and retrying
+	// immediately would burn CPU for zero reclaim.
+	adaptiveBackoffCycles = 8
+	// adaptiveConflictRate is the conflicts/attempts ratio treated as
+	// "pairings are hopeless" when no merges landed.
+	adaptiveConflictRate = 0.75
+	// coldChurn is the frees-per-alloc ratio below which a class is
+	// considered cold enough to compact aggressively (uncapped budget):
+	// its blocks strand, they will not refill on their own.
+	coldChurn = 0.25
+)
+
+// AdaptivePolicy consumes AutoTuner labels (§4.4 auto-labeling): classes
+// the tuner marks hot (self-recycling) are skipped, cold classes are
+// compacted aggressively with an uncapped budget, and classes whose
+// pairing attempts keep colliding back off for a few cycles before being
+// retried.
+type AdaptivePolicy struct {
+	tuner *AutoTuner
+	// MaxBlocks is the default per-class budget per cycle (0 = unlimited);
+	// cold classes override it to unlimited.
+	MaxBlocks int
+
+	backoff map[int]int // class -> cycles left to skip
+	pending []int       // classes of the runs awaiting Observe
+}
+
+// NewAdaptivePolicy builds a policy over a tuner. The tuner should be
+// attached to the store (Store.AttachTuner) so its churn numbers track
+// live traffic.
+func NewAdaptivePolicy(tuner *AutoTuner, maxBlocks int) *AdaptivePolicy {
+	return &AdaptivePolicy{tuner: tuner, MaxBlocks: maxBlocks, backoff: make(map[int]int)}
+}
+
+// Cycle implements Policy.
+func (p *AdaptivePolicy) Cycle(s *Store) []CompactOptions {
+	need := make(map[int]bool)
+	for _, class := range s.NeedsCompaction() {
+		need[class] = true
+	}
+	var runs []CompactOptions
+	p.pending = p.pending[:0]
+	for _, label := range p.tuner.Snapshot() {
+		if !need[label.Class] {
+			continue
+		}
+		if p.backoff[label.Class] > 0 {
+			p.backoff[label.Class]--
+			continue
+		}
+		// Hot classes self-recycle; the tuner labels them not worth
+		// compacting and the policy honors that.
+		if !label.Compact {
+			continue
+		}
+		opts := CompactOptions{Class: label.Class, MaxBlocks: p.MaxBlocks}
+		if label.Churn <= coldChurn {
+			// Cold class: blocks strand permanently, reclaim them all.
+			opts.MaxBlocks = 0
+		}
+		runs = append(runs, opts)
+		p.pending = append(p.pending, label.Class)
+	}
+	return runs
+}
+
+// Observe implements Policy: a run whose attempts overwhelmingly collided
+// without a single merge puts its class on backoff.
+func (p *AdaptivePolicy) Observe(reports []CompactReport) {
+	for i, r := range reports {
+		if i >= len(p.pending) {
+			break
+		}
+		if r.Merges == 0 && r.Attempts > 0 &&
+			float64(r.Conflicts) >= adaptiveConflictRate*float64(r.Attempts) {
+			p.backoff[p.pending[i]] = adaptiveBackoffCycles
+		}
+	}
+}

@@ -116,7 +116,19 @@ type Store struct {
 
 	vt    *vaddrTracker
 	stats counters
+
+	// tuner, when attached, observes every alloc/free so the adaptive
+	// compaction policy (§4.4 auto-labeling) sees real churn. An atomic
+	// pointer: attachment may race with live traffic.
+	tuner atomic.Pointer[AutoTuner]
 }
+
+// AttachTuner routes every subsequent AllocOn/Free through the tuner's
+// Observe* counters. Pass nil to detach. Safe to call while serving.
+func (s *Store) AttachTuner(t *AutoTuner) { s.tuner.Store(t) }
+
+// Tuner returns the attached AutoTuner, or nil.
+func (s *Store) Tuner() *AutoTuner { return s.tuner.Load() }
 
 // shard returns the stripe owning a block-base vaddr.
 func (s *Store) shard(base uint64) *storeShard {
@@ -336,6 +348,9 @@ func (s *Store) AllocOn(thread int, size int) (AllocResult, error) {
 	s.stats.allocs.Add(1)
 	cmAllocs.Inc()
 	cmObjectsLive.Inc()
+	if t := s.tuner.Load(); t != nil {
+		t.ObserveAlloc(class)
+	}
 	return AllocResult{Addr: addr, Refilled: refilled}, nil
 }
 
@@ -602,6 +617,9 @@ func (s *Store) Free(addr *Addr) error {
 	s.stats.frees.Add(1)
 	cmFrees.Inc()
 	cmObjectsLive.Dec()
+	if t := s.tuner.Load(); t != nil {
+		t.ObserveFree(st.Class)
+	}
 	if pages, reuse := s.vt.decHome(home); reuse {
 		s.releaseAlias(home, pages)
 	}

@@ -133,7 +133,7 @@ func ablMaxAttempts(opts Options) stats.Table {
 		class := s.Allocator().Config().ClassFor(2048)
 		for round := 0; round < 16; round++ {
 			r := s.CompactClass(core.CompactOptions{
-				Class: class, Leader: 0, MaxOccupancy: 0.95, MaxAttempts: attempts,
+				Class: class, Leader: 0, MaxOccupancy: core.Occ(0.95), MaxAttempts: attempts,
 			})
 			freed += r.BlocksFreed
 			if r.BlocksFreed == 0 {

@@ -85,7 +85,7 @@ func compactToQuiescence(s *core.Store) {
 		freed := 0
 		for class := range s.Config().Classes {
 			r := s.CompactClass(core.CompactOptions{
-				Class: class, Leader: 0, MaxOccupancy: 0.95, MaxAttempts: 16,
+				Class: class, Leader: 0, MaxOccupancy: core.Occ(0.95), MaxAttempts: 16,
 			})
 			freed += r.BlocksFreed
 		}
