@@ -1,0 +1,159 @@
+// The failover benchmark: an end-to-end replication drill over the
+// in-process cluster harness. It loads a replicated KV, kills a node
+// mid-workload, measures the first failed-over read, keeps writing and
+// reading through the outage, restarts the node, times the re-replicator
+// back to full replication, and verifies that no acknowledged write was
+// lost — then emits the numbers as machine-readable JSON for CI trending.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"corm/internal/cluster"
+)
+
+// failoverResult is the benchmark's JSON document (BENCH_failover.json).
+type failoverResult struct {
+	Nodes        int `json:"nodes"`
+	Replicas     int `json:"replicas"`
+	WriteConcern int `json:"write_concern"`
+	Keys         int `json:"keys"`
+	ValueBytes   int `json:"value_bytes"`
+
+	LoadPutsPerSec    float64 `json:"load_puts_per_sec"`
+	FailoverLatencyMs float64 `json:"failover_latency_ms"`
+
+	OutageAckedWrites  int `json:"outage_acked_writes"`
+	OutageFailedWrites int `json:"outage_failed_writes"`
+	OutageReadsOK      int `json:"outage_reads_ok"`
+
+	RereplicationMs float64 `json:"rereplication_ms"`
+	LostAckedWrites int     `json:"lost_acked_writes"`
+	SurvivorReadsOK int     `json:"survivor_reads_ok"`
+}
+
+// runFailover executes the drill and writes the JSON report.
+func runFailover(args []string) {
+	fs := flag.NewFlagSet("failover", flag.ExitOnError)
+	nodes := fs.Int("nodes", 3, "cluster size")
+	replicas := fs.Int("replicas", 3, "replication factor k")
+	writeConcern := fs.Int("write-concern", 2, "acks required per put (W)")
+	keys := fs.Int("keys", 200, "keys loaded before the kill")
+	size := fs.Int("size", 128, "value size in bytes")
+	out := fs.String("out", "BENCH_failover.json", "output JSON path")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	fs.Parse(args)
+
+	res := failoverResult{
+		Nodes: *nodes, Replicas: *replicas, WriteConcern: *writeConcern,
+		Keys: *keys, ValueBytes: *size,
+	}
+	value := func(i int) []byte {
+		v := make([]byte, *size)
+		copy(v, fmt.Sprintf("failover-value-%d", i))
+		return v
+	}
+
+	c, err := cluster.SpinLocal(*nodes, *seed)
+	if err != nil {
+		fatalf("failover: spin cluster: %v", err)
+	}
+	defer c.Close()
+	pool := c.Pool()
+	kv := cluster.NewReplicatedKV(pool, cluster.ReplicationConfig{
+		Replicas: *replicas, WriteConcern: *writeConcern,
+	})
+	rep := cluster.NewReplicator(kv, cluster.ReplicatorConfig{Interval: 10 * time.Millisecond})
+	rep.Start()
+	defer rep.Stop()
+
+	// Load phase: the steady-state replicated write rate.
+	acked := map[string][]byte{}
+	loadStart := time.Now()
+	for i := 0; i < *keys; i++ {
+		key := fmt.Sprintf("bench-%d", i)
+		if err := kv.Put(key, value(i)); err != nil {
+			fatalf("failover: load put %s: %v", key, err)
+		}
+		acked[key] = value(i)
+	}
+	res.LoadPutsPerSec = float64(*keys) / time.Since(loadStart).Seconds()
+
+	// Kill the primary of the first key and measure the first failed-over
+	// read end to end — the moment a client feels the outage.
+	victim := kv.ReplicasFor("bench-0")[0]
+	c.Node(victim).Kill()
+	foStart := time.Now()
+	if _, ok, err := kv.Get("bench-0"); err != nil || !ok {
+		fatalf("failover: read after kill: %v (found=%v)", err, ok)
+	}
+	res.FailoverLatencyMs = float64(time.Since(foStart).Nanoseconds()) / 1e6
+
+	// Outage phase: the workload continues against the degraded cluster.
+	for i := *keys; i < 2*(*keys); i++ {
+		key := fmt.Sprintf("bench-%d", i)
+		if err := kv.Put(key, value(i)); err != nil {
+			res.OutageFailedWrites++
+			continue
+		}
+		res.OutageAckedWrites++
+		acked[key] = value(i)
+	}
+	for key, want := range acked {
+		if got, ok, err := kv.Get(key); err == nil && ok && string(got) == string(want) {
+			res.OutageReadsOK++
+		}
+	}
+
+	// Rejoin: the breaker-recovery hook kicks the replicator; time the
+	// backlog draining to full replication.
+	if err := c.Node(victim).Restart(); err != nil {
+		fatalf("failover: restart: %v", err)
+	}
+	rrStart := time.Now()
+	if err := pool.ProbeNode(victim); err != nil {
+		fatalf("failover: probe: %v", err)
+	}
+	for kv.DegradedKeys() > 0 {
+		if time.Since(rrStart) > 60*time.Second {
+			fatalf("failover: %d keys still under-replicated after 60s", kv.DegradedKeys())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res.RereplicationMs = float64(time.Since(rrStart).Nanoseconds()) / 1e6
+
+	// The acid test: kill a different node, then every acknowledged write
+	// must still read back — including outage-era keys whose replica on
+	// the rejoined node exists only because the re-replicator wrote it.
+	c.Node((victim + 1) % *nodes).Kill()
+	for key, want := range acked {
+		got, ok, err := kv.Get(key)
+		if err != nil || !ok || string(got) != string(want) {
+			res.LostAckedWrites++
+			continue
+		}
+		res.SurvivorReadsOK++
+	}
+
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatalf("failover: marshal: %v", err)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatalf("failover: write %s: %v", *out, err)
+	}
+	os.Stdout.Write(doc)
+	if res.LostAckedWrites > 0 {
+		fatalf("failover: %d acknowledged writes lost", res.LostAckedWrites)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -52,6 +52,9 @@ func main() {
 			run(e, opts)
 		}
 		return
+	case "failover":
+		runFailover(args[1:])
+		return
 	}
 	for _, name := range args {
 		e, ok := experiments.Lookup(name)
@@ -94,6 +97,8 @@ usage:
   corm-bench list
   corm-bench all [-full] [-seed N]
   corm-bench <experiment>... [-full] [-seed N]
+  corm-bench failover [-nodes N] [-replicas K] [-write-concern W]
+                      [-keys N] [-size B] [-out FILE]
 `)
 	flag.PrintDefaults()
 }

@@ -242,11 +242,27 @@ func Connect(addr string) (*Client, error) {
 }
 
 // Multi-node deployment: a Pool spans several CoRM nodes with least-loaded
-// placement; KV adds rendezvous-hashed string keys on top.
+// placement; KV adds rendezvous-hashed string keys on top, optionally
+// replicated across each key's top-k rendezvous nodes with write-concern
+// acks, ordered read failover, and read repair.
 type (
-	Pool       = cluster.Pool
-	GlobalAddr = cluster.GlobalAddr
-	KV         = cluster.KV
+	Pool              = cluster.Pool
+	GlobalAddr        = cluster.GlobalAddr
+	KV                = cluster.KV
+	ReplicationConfig = cluster.ReplicationConfig
+	ReplicaSet        = cluster.ReplicaSet
+	Replicator        = cluster.Replicator
+	ReplicatorConfig  = cluster.ReplicatorConfig
+	RepairReport      = cluster.RepairReport
+	NodeError         = cluster.NodeError
+)
+
+// Cluster-layer sentinel errors.
+var (
+	ErrNodeDown     = cluster.ErrNodeDown
+	ErrWriteConcern = cluster.ErrWriteConcern
+	ErrNoReplica    = cluster.ErrNoReplica
+	ErrStaleReplica = cluster.ErrStaleReplica
 )
 
 // DialCluster connects a pool to every node address.
@@ -254,6 +270,23 @@ func DialCluster(addrs []string) (*Pool, error) { return cluster.Dial(addrs) }
 
 // NewKV builds a keyed store over a pool.
 func NewKV(pool *Pool) *KV { return cluster.NewKV(pool) }
+
+// NewReplicatedKV builds a keyed store that keeps k copies of every key
+// on its top-k rendezvous nodes, acking writes after cfg.WriteConcern
+// replica writes succeed and failing reads over down the replica set.
+func NewReplicatedKV(pool *Pool, cfg ReplicationConfig) *KV {
+	return cluster.NewReplicatedKV(pool, cfg)
+}
+
+// NewReplicator builds the background re-replication service for a
+// replicated KV: a paced repair loop over the KV's under-replicated keys
+// that wakes immediately when a down node's breaker closes. Call Start.
+func NewReplicator(kv *KV, cfg ReplicatorConfig) *Replicator {
+	return cluster.NewReplicator(kv, cfg)
+}
+
+// AsNodeError extracts the failing node's identity from a cluster error.
+func AsNodeError(err error) (*NodeError, bool) { return cluster.AsNodeError(err) }
 
 // CompactionLoop is a convenience helper: it runs srv.Compact every
 // interval until the returned stop function is called.

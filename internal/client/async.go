@@ -1,11 +1,13 @@
-// Asynchronous reads with transparent coalescing. ReadAsync returns a
-// Future immediately; an internal batcher gathers every read issued within
-// a small window (AsyncWindow) — or until AsyncMaxBatch reads are pending —
-// and flushes them as one OpBatch frame. Callers that naturally issue
-// bursts of independent reads (index probes, scatter-gather KV lookups) get
+// Asynchronous reads and writes with transparent coalescing. ReadAsync and
+// WriteAsync return a Future immediately; an internal batcher gathers every
+// operation issued within a small window (AsyncWindow) — or until
+// AsyncMaxBatch operations are pending — and flushes them as one OpBatch
+// frame. Callers that naturally issue bursts of independent operations
+// (index probes, scatter-gather KV lookups, replica write fan-out) get
 // doorbell-style batching without restructuring their code around Multi*
 // calls; the futures resolve individually, each with its own status and
-// corrected pointer.
+// corrected pointer. Reads and writes batch separately: reads are
+// idempotent (re-issued across reconnects), writes are not.
 package client
 
 import (
@@ -15,15 +17,15 @@ import (
 	"corm/internal/core"
 )
 
-// Future resolves to the outcome of one asynchronous read.
+// Future resolves to the outcome of one asynchronous operation.
 type Future struct {
 	done chan struct{}
 	n    int
 	err  error
 }
 
-// Wait blocks until the read completes, returning the bytes copied into
-// the caller's buffer and the read's status.
+// Wait blocks until the operation completes, returning the bytes copied
+// (for reads; 0 for writes) and the operation's status.
 func (f *Future) Wait() (int, error) {
 	<-f.done
 	return f.n, f.err
@@ -36,28 +38,29 @@ func (f *Future) resolve(n int, err error) {
 	close(f.done)
 }
 
-// asyncRead is one pending future awaiting the next flush.
-type asyncRead struct {
+// asyncOp is one pending future awaiting the next flush. buf is the
+// caller's destination buffer for reads and the payload for writes.
+type asyncOp struct {
 	addr *core.Addr
 	buf  []byte
 	fut  *Future
 }
 
-// batcher coalesces asynchronous reads into OpBatch flushes.
+// batcher coalesces asynchronous operations into OpBatch flushes.
 type batcher struct {
 	mu      sync.Mutex
-	pending []asyncRead
+	pending []asyncOp
 	timer   *time.Timer // armed while pending is non-empty
 }
 
 // take removes and returns the pending set, disarming the window timer.
-func (b *batcher) take() []asyncRead {
+func (b *batcher) take() []asyncOp {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.takeLocked()
 }
 
-func (b *batcher) takeLocked() []asyncRead {
+func (b *batcher) takeLocked() []asyncOp {
 	batch := b.pending
 	b.pending = nil
 	if b.timer != nil {
@@ -74,17 +77,33 @@ func (b *batcher) takeLocked() []asyncRead {
 // batch is idempotent and re-issued across transport reconnects, and the
 // pointer is corrected in place before the future resolves.
 func (c *Ctx) ReadAsync(addr *core.Addr, buf []byte) *Future {
+	return c.enqueue(&c.batch, addr, buf, c.flushBatch)
+}
+
+// WriteAsync enqueues a write of payload and returns a future for its
+// completion. Writes enqueued within the coalescing window dispatch as a
+// single MultiWrite round trip — replica fan-outs from many concurrent
+// Puts against the same node share frames. Like Write, the batch is NOT
+// re-issued across transport reconnects (a lost frame cannot tell whether
+// the server applied it), and the pointer is corrected in place before the
+// future resolves.
+func (c *Ctx) WriteAsync(addr *core.Addr, payload []byte) *Future {
+	return c.enqueue(&c.wbatch, addr, payload, c.flushWriteBatch)
+}
+
+// enqueue appends one operation to a batcher and arms its dispatch: flush
+// immediately at AsyncMaxBatch, otherwise when AsyncWindow elapses.
+func (c *Ctx) enqueue(b *batcher, addr *core.Addr, buf []byte, flush func([]asyncOp)) *Future {
 	f := &Future{done: make(chan struct{})}
-	b := &c.batch
 	b.mu.Lock()
-	b.pending = append(b.pending, asyncRead{addr: addr, buf: buf, fut: f})
+	b.pending = append(b.pending, asyncOp{addr: addr, buf: buf, fut: f})
 	switch {
 	case len(b.pending) >= c.AsyncMaxBatch:
 		batch := b.takeLocked()
 		b.mu.Unlock()
-		go c.flushBatch(batch)
+		go flush(batch)
 	case len(b.pending) == 1:
-		b.timer = time.AfterFunc(c.AsyncWindow, func() { c.flushBatch(c.batch.take()) })
+		b.timer = time.AfterFunc(c.AsyncWindow, func() { flush(b.take()) })
 		b.mu.Unlock()
 	default:
 		b.mu.Unlock()
@@ -92,16 +111,20 @@ func (c *Ctx) ReadAsync(addr *core.Addr, buf []byte) *Future {
 	return f
 }
 
-// Flush dispatches any pending asynchronous reads immediately, without
-// waiting for the coalescing window. It does not wait for their futures.
+// Flush dispatches any pending asynchronous reads and writes immediately,
+// without waiting for the coalescing window. It does not wait for their
+// futures.
 func (c *Ctx) Flush() {
 	if batch := c.batch.take(); len(batch) > 0 {
 		go c.flushBatch(batch)
 	}
+	if batch := c.wbatch.take(); len(batch) > 0 {
+		go c.flushWriteBatch(batch)
+	}
 }
 
 // flushBatch issues one coalesced MultiRead and resolves every future.
-func (c *Ctx) flushBatch(batch []asyncRead) {
+func (c *Ctx) flushBatch(batch []asyncOp) {
 	if len(batch) == 0 {
 		return
 	}
@@ -122,10 +145,36 @@ func (c *Ctx) flushBatch(batch []asyncRead) {
 	}
 }
 
+// flushWriteBatch issues one coalesced MultiWrite and resolves every
+// future.
+func (c *Ctx) flushWriteBatch(batch []asyncOp) {
+	if len(batch) == 0 {
+		return
+	}
+	clAsyncFlushSize.Observe(int64(len(batch)))
+	addrs := make([]*core.Addr, len(batch))
+	payloads := make([][]byte, len(batch))
+	for i, w := range batch {
+		addrs[i] = w.addr
+		payloads[i] = w.buf
+	}
+	results, err := c.MultiWrite(addrs, payloads)
+	for i, w := range batch {
+		if err != nil {
+			w.fut.resolve(0, err)
+			continue
+		}
+		w.fut.resolve(results[i].N, results[i].Err)
+	}
+}
+
 // drainAsync resolves all pending futures with err without issuing I/O;
 // Close uses it so no future ever hangs on a closed context.
 func (c *Ctx) drainAsync(err error) {
 	for _, r := range c.batch.take() {
 		r.fut.resolve(0, err)
+	}
+	for _, w := range c.wbatch.take() {
+		w.fut.resolve(0, err)
 	}
 }

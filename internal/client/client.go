@@ -59,13 +59,14 @@ type Ctx struct {
 	// channel cannot tell whether the server executed the lost request.
 	ConnRetries int
 
-	// AsyncWindow and AsyncMaxBatch tune ReadAsync coalescing: pending
-	// asynchronous reads flush as one OpBatch when the window elapses or
-	// the batch fills, whichever is first.
+	// AsyncWindow and AsyncMaxBatch tune ReadAsync/WriteAsync coalescing:
+	// pending asynchronous operations flush as one OpBatch when the window
+	// elapses or the batch fills, whichever is first.
 	AsyncWindow   time.Duration
 	AsyncMaxBatch int
 
-	batch batcher
+	batch  batcher // pending asynchronous reads
+	wbatch batcher // pending asynchronous writes (flushed separately: not idempotent)
 }
 
 // CreateCtx connects to a remote CoRM node over TCP (Table 2's

@@ -4,16 +4,19 @@
 // reassembles the results in input order — N operations cost one round
 // trip per *node touched*, not one per operation. Per-node circuit
 // breakers apply per group: a node whose breaker is open fails only its
-// own operations, and the rest of the batch proceeds.
+// own operations (reported as a *NodeError naming that node), and the
+// rest of the batch proceeds.
 package cluster
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 
 	"corm/internal/client"
 	"corm/internal/core"
+	"corm/internal/transport"
 )
 
 // OpResult re-exports the client's per-sub-operation outcome.
@@ -60,7 +63,8 @@ func fanOut(groups map[int][]int, run func(node int, idxs []int)) {
 // MultiRead reads len(gs) objects in one batched round trip per owning
 // node; bufs[i] receives object i and corrections are folded into gs[i]
 // in place. Results are in input order; node-level failures (open breaker,
-// transport fault) surface in each affected OpResult.Err.
+// transport fault) surface in each affected OpResult.Err as a *NodeError
+// identifying the failing node.
 func (p *Pool) MultiRead(gs []*GlobalAddr, bufs [][]byte) ([]OpResult, error) {
 	if len(gs) != len(bufs) {
 		return nil, fmt.Errorf("cluster: MultiRead: %d addrs, %d bufs", len(gs), len(bufs))
@@ -85,7 +89,7 @@ func (p *Pool) MultiRead(gs []*GlobalAddr, bufs [][]byte) ([]OpResult, error) {
 		rs, err := p.nodes[node].MultiRead(addrs, nb)
 		p.observe(node, err)
 		if err != nil {
-			fillErr(results, idxs, err)
+			fillErr(results, idxs, p.nodeErr(node, err))
 			return
 		}
 		for k, i := range idxs {
@@ -108,7 +112,7 @@ func (p *Pool) MultiAllocOn(node int, sizes []int) ([]OpResult, error) {
 	rs, err := p.nodes[node].MultiAlloc(sizes)
 	p.observe(node, err)
 	if err != nil {
-		return nil, err
+		return nil, p.nodeErr(node, err)
 	}
 	live := 0
 	for i := range rs {
@@ -146,7 +150,7 @@ func (p *Pool) MultiFree(gs []*GlobalAddr) ([]OpResult, error) {
 		rs, err := p.nodes[node].MultiFree(addrs)
 		p.observe(node, err)
 		if err != nil {
-			fillErr(results, idxs, err)
+			fillErr(results, idxs, p.nodeErr(node, err))
 			return
 		}
 		freed := 0
@@ -177,8 +181,13 @@ func fillErr(results []OpResult, idxs []int, err error) {
 // MultiGet fetches len(keys) values with one batched RPC round trip per
 // owning node, reassembled in input order. Missing keys (never put, or
 // freed meanwhile) report found[i]=false; pointers corrected by compaction
-// are repaired back into the index. The error is the first per-key or
-// node-level failure; other keys still complete.
+// are repaired back into the index. On a replicated KV, each key is read
+// from its first live replica in the batch, and keys whose batched read
+// failed (node down, record missing, stale version tag) fall back to the
+// failover path of Get — so one dead node degrades those keys to a
+// per-key failover read instead of failing them. The error is the first
+// per-key or node-level failure (a *NodeError when attributable to one
+// node); other keys still complete.
 func (kv *KV) MultiGet(keys []string) (vals [][]byte, found []bool, err error) {
 	n := len(keys)
 	vals = make([][]byte, n)
@@ -191,64 +200,123 @@ func (kv *KV) MultiGet(keys []string) (vals [][]byte, found []bool, err error) {
 	// corrections are folded back only if the entry is still current.
 	type ref struct {
 		e         *kvEntry
-		g         GlobalAddr
+		version   uint64
 		size      int
+		repIdx    int // which replica the batched read targets
+		g         GlobalAddr
 		classSize int
 	}
 	refs := make([]ref, n)
+	var fallback []int // keys that must go through the failover read path
 	live := 0
 	kv.mu.Lock()
 	for i, k := range keys {
-		if e := kv.entries[k]; e != nil {
-			refs[i] = ref{e: e, g: e.addr, size: e.size, classSize: e.classSize}
-			live++
-		}
-	}
-	kv.mu.Unlock()
-	if live == 0 {
-		return vals, found, nil
-	}
-	gaddrs := make([]*GlobalAddr, 0, live)
-	bufs := make([][]byte, 0, live)
-	idx := make([]int, 0, live)
-	for i := range refs {
-		if refs[i].e == nil {
+		e := kv.entries[k]
+		if e == nil {
 			continue
 		}
-		if refs[i].classSize == 0 {
-			cs, cerr := kv.pool.ClassSize(refs[i].g)
-			if cerr != nil {
-				if err == nil {
-					err = cerr
-				}
+		rep := -1
+		for j := range e.reps {
+			if e.reps[j].state == repLive && !e.reps[j].addr.Addr.IsZero() {
+				rep = j
+				break
+			}
+		}
+		if rep == -1 {
+			// No live replica on record; Get will retry/repair.
+			fallback = append(fallback, i)
+			refs[i].e = e
+			continue
+		}
+		refs[i] = ref{
+			e: e, version: e.version, size: e.size,
+			repIdx: rep, g: e.reps[rep].addr, classSize: e.reps[rep].classSize,
+		}
+		live++
+	}
+	kv.mu.Unlock()
+	tag := kv.tagBytes()
+	if live > 0 {
+		gaddrs := make([]*GlobalAddr, 0, live)
+		bufs := make([][]byte, 0, live)
+		idx := make([]int, 0, live)
+		for i := range refs {
+			if refs[i].e == nil || refs[i].repIdx < 0 || contains(fallback, i) {
 				continue
 			}
-			refs[i].classSize = cs
-		}
-		gaddrs = append(gaddrs, &refs[i].g)
-		bufs = append(bufs, make([]byte, refs[i].classSize))
-		idx = append(idx, i)
-	}
-	results, rerr := kv.pool.MultiRead(gaddrs, bufs)
-	if rerr != nil {
-		return vals, found, rerr
-	}
-	for k, i := range idx {
-		switch {
-		case results[k].Err == nil:
-			vals[i] = bufs[k][:refs[i].size]
-			found[i] = true
-			kv.repair(keys[i], refs[i].e, refs[i].g, refs[i].classSize)
-		case isMissing(results[k].Err):
-			// The object vanished under us (freed or released elsewhere):
-			// an honest miss, not a failure.
-		default:
-			if err == nil {
-				err = fmt.Errorf("cluster: MultiGet %q: %w", keys[i], results[k].Err)
+			if refs[i].classSize == 0 {
+				cs, cerr := kv.pool.ClassSize(refs[i].g)
+				if cerr != nil {
+					if err == nil {
+						err = cerr
+					}
+					continue
+				}
+				refs[i].classSize = cs
 			}
+			gaddrs = append(gaddrs, &refs[i].g)
+			bufs = append(bufs, make([]byte, refs[i].classSize))
+			idx = append(idx, i)
+		}
+		results, rerr := kv.pool.MultiRead(gaddrs, bufs)
+		if rerr != nil {
+			return vals, found, rerr
+		}
+		for k, i := range idx {
+			switch {
+			case results[k].Err == nil:
+				if tag > 0 && binary.LittleEndian.Uint64(bufs[k]) != kv.recordTag(keys[i], refs[i].version) {
+					// Divergent replica: reject, mark for repair (the key
+					// and the rebuilt node's whole population), fail over.
+					cuStaleReads.Inc()
+					kv.markStale(keys[i], refs[i].e, refs[i].repIdx, refs[i].version)
+					kv.suspectNode(refs[i].g.Node)
+					fallback = append(fallback, i)
+					continue
+				}
+				vals[i] = bufs[k][tag : tag+refs[i].size]
+				found[i] = true
+				kv.foldAddr(keys[i], refs[i].e, refs[i].repIdx, refs[i].g, refs[i].classSize, refs[i].version)
+			case kv.k > 1 && isDivergent(results[k].Err):
+				// The replica lost the record (wiped node): repairable
+				// divergence, not a miss — another replica may serve, and
+				// the rebuilt node's whole population needs repair.
+				kv.markStale(keys[i], refs[i].e, refs[i].repIdx, refs[i].version)
+				kv.suspectNode(refs[i].g.Node)
+				fallback = append(fallback, i)
+			case kv.k == 1 && isMissing(results[k].Err):
+				// Unreplicated: the object vanished under us (freed or
+				// released elsewhere) — an honest miss, not a failure.
+			default:
+				if kv.k > 1 {
+					fallback = append(fallback, i)
+					continue
+				}
+				if err == nil {
+					err = fmt.Errorf("cluster: MultiGet %q: %w", keys[i], results[k].Err)
+				}
+			}
+		}
+	}
+	// Failover pass: every key the batch could not serve takes the ordered
+	// replica walk (backup reads, read repair) individually.
+	for _, i := range fallback {
+		v, ok, gerr := kv.Get(keys[i])
+		vals[i], found[i] = v, ok
+		if gerr != nil && err == nil {
+			err = fmt.Errorf("cluster: MultiGet %q: %w", keys[i], gerr)
 		}
 	}
 	return vals, found, err
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // isMissing classifies per-key failures that mean "no such object".
@@ -256,11 +324,26 @@ func isMissing(err error) bool {
 	return errors.Is(err, core.ErrNotFound) || errors.Is(err, core.ErrInvalidAddr)
 }
 
-// MultiPut stores len(keys) values, grouped by rendezvous node: per node,
-// one batched alloc round trip and one batched write round trip. Existing
-// entries are freed first (batched as well). Results are per key, in input
-// order; err reports malformed input only. When a key appears more than
-// once, the last occurrence wins and earlier ones share its outcome.
+// isDivergent classifies per-replica read failures that mean the node is
+// reachable but no longer holds the record its pointer names: the record
+// was freed, or the node's store was rebuilt from scratch (a wiped node
+// rejects the old pointer's rkey or bounds). Repair — not retry — is the
+// cure, so these mark the replica stale; transport-level faults do not
+// (the node may come back with its memory intact).
+func isDivergent(err error) bool {
+	return isMissing(err) ||
+		errors.Is(err, transport.ErrDMABadKey) ||
+		errors.Is(err, transport.ErrDMABounds)
+}
+
+// MultiPut stores len(keys) values. Unreplicated, operations are grouped
+// by rendezvous node: per node, one batched alloc round trip and one
+// batched write round trip, with existing entries freed first (batched as
+// well). Replicated, each key runs the full fan-out Put (its writes
+// already coalesce per node through the async write batcher), bounded to
+// a few keys in flight. Results are per key, in input order; err reports
+// malformed input only. When a key appears more than once, the last
+// occurrence wins and earlier ones share its outcome.
 func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("cluster: MultiPut: %d keys, %d values", len(keys), len(values))
@@ -275,6 +358,46 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 	for i, k := range keys {
 		last[k] = i
 	}
+	if kv.k > 1 {
+		kv.multiPutReplicated(keys, values, last, errs)
+	} else {
+		if ferr := kv.multiPutSingle(keys, values, last, errs); ferr != nil {
+			return nil, ferr
+		}
+	}
+	// Earlier duplicates share the winning occurrence's outcome.
+	for i, k := range keys {
+		if last[k] != i {
+			errs[i] = errs[last[k]]
+		}
+	}
+	return errs, nil
+}
+
+// multiPutReplicated runs the replica fan-out Put per winning key with
+// bounded concurrency. Cross-key batching still happens underneath: all
+// concurrent replica writes to one node coalesce in its async write
+// batcher into shared OpBatch frames.
+func (kv *KV) multiPutReplicated(keys []string, values [][]byte, last map[string]int, errs []error) {
+	const inflight = 8
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	for i := range keys {
+		if last[keys[i]] != i {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			errs[i] = kv.putReplicated(keys[i], values[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// multiPutSingle is the unreplicated batched path.
+func (kv *KV) multiPutSingle(keys []string, values [][]byte, last map[string]int, errs []error) error {
 	// Free the entries being replaced, batched by owning node. A key whose
 	// old object cannot be freed fails (Put parity: never leak the old
 	// object silently) and drops out of the alloc/write phases.
@@ -283,7 +406,7 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 	kv.mu.Lock()
 	for k, i := range last {
 		if e := kv.entries[k]; e != nil {
-			g := e.addr
+			g := e.reps[0].addr
 			oldGs = append(oldGs, &g)
 			oldIdx = append(oldIdx, i)
 		}
@@ -293,7 +416,7 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 	if len(oldGs) > 0 {
 		rs, ferr := kv.pool.MultiFree(oldGs)
 		if ferr != nil {
-			return nil, ferr
+			return ferr
 		}
 		for k, i := range oldIdx {
 			if rs[k].Err != nil && !isMissing(rs[k].Err) {
@@ -303,7 +426,7 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 		}
 	}
 	// Alloc + write per rendezvous node.
-	groups := groupByNode(n, func(i int) int { return kv.NodeFor(keys[i]) })
+	groups := groupByNode(len(keys), func(i int) int { return kv.NodeFor(keys[i]) })
 	fanOut(groups, func(node int, idxs []int) {
 		// Only the surviving last occurrences execute.
 		act := idxs[:0:0]
@@ -343,6 +466,9 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 		}
 		ws, werr := kv.pool.Node(node).MultiWrite(addrs, payloads)
 		kv.pool.observe(node, werr)
+		if werr != nil {
+			werr = kv.pool.nodeErr(node, werr)
+		}
 		var undo []*GlobalAddr
 		for w, k := range wIdx {
 			i := act[k] // original position of this write's key
@@ -358,7 +484,11 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 			}
 			classSize, _ := kv.pool.ClassSize(g)
 			kv.mu.Lock()
-			kv.entries[keys[i]] = &kvEntry{addr: g, size: len(values[i]), classSize: classSize}
+			kv.entries[keys[i]] = &kvEntry{
+				size:    len(values[i]),
+				version: 1,
+				reps:    []kvReplica{{addr: g, classSize: classSize, state: repLive}},
+			}
 			kv.mu.Unlock()
 		}
 		if len(undo) > 0 {
@@ -366,11 +496,5 @@ func (kv *KV) MultiPut(keys []string, values [][]byte) (errs []error, err error)
 			kv.pool.MultiFree(undo)
 		}
 	})
-	// Earlier duplicates share the winning occurrence's outcome.
-	for i, k := range keys {
-		if last[k] != i {
-			errs[i] = errs[last[k]]
-		}
-	}
-	return errs, nil
+	return nil
 }

@@ -10,10 +10,15 @@
 //     stays invisible to pool users exactly as for a single node.
 //   - KV: optional convenience mapping string keys to objects with
 //     rendezvous (highest-random-weight) hashing, so adding nodes moves
-//     only ~1/n of the keys.
+//     only ~1/n of the keys. With ReplicationConfig{Replicas: k}, every
+//     key is stored on its top-k rendezvous nodes: writes fan out in
+//     parallel and ack after WriteConcern successes, reads fail over down
+//     the ordered replica set, and stale or missing replicas are healed
+//     by read repair and the background Replicator.
 package cluster
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -36,19 +41,27 @@ func (g GlobalAddr) String() string { return fmt.Sprintf("node%d/%v", g.Node, g.
 // Pool is a client-side view over several CoRM nodes. Each node carries a
 // consecutive-failure circuit breaker (health.go): transport-level faults
 // open it, open breakers fail fast with ErrNodeDown and are skipped by
-// Alloc, and a half-open probe (after ProbeCooldown, or an explicit
-// ProbeNode) restores nodes that recover.
+// Alloc, and a half-open probe (after a jittered ProbeCooldown, or an
+// explicit ProbeNode) restores nodes that recover.
 type Pool struct {
 	// FailThreshold and ProbeCooldown tune the per-node breaker; set them
 	// before issuing traffic.
 	FailThreshold int
 	ProbeCooldown time.Duration
+	// ProbeJitter spreads each breaker cooldown (and StartProber's
+	// cadence) by ±this fraction, so probes across many clients never
+	// synchronize into a storm against a recovering node.
+	ProbeJitter float64
+	// ProbeTimeout bounds how long one ProbeNode call may block on an
+	// unresponsive node before counting it as a failure.
+	ProbeTimeout time.Duration
 
-	mu     sync.Mutex
-	nodes  []*client.Ctx
-	labels []string
-	allocs []int64 // live allocations per node, for least-loaded placement
-	health []nodeHealth
+	mu        sync.Mutex
+	nodes     []*client.Ctx
+	labels    []string
+	allocs    []int64 // live allocations per node, for least-loaded placement
+	health    []nodeHealth
+	onRecover func(node int) // invoked (outside mu) when a breaker closes
 }
 
 // Dial connects to every node address.
@@ -88,7 +101,18 @@ func newPool() *Pool {
 	return &Pool{
 		FailThreshold: DefaultFailThreshold,
 		ProbeCooldown: DefaultProbeCooldown,
+		ProbeJitter:   DefaultProbeJitter,
+		ProbeTimeout:  DefaultProbeTimeout,
 	}
+}
+
+// setRecoverHook registers a callback fired whenever a node's breaker
+// closes after being open — the Replicator uses it to re-replicate onto a
+// rejoined node immediately instead of waiting out its pacing interval.
+func (p *Pool) setRecoverHook(f func(node int)) {
+	p.mu.Lock()
+	p.onRecover = f
+	p.mu.Unlock()
 }
 
 // Close tears down every connection.
@@ -114,7 +138,7 @@ func (p *Pool) Alloc(size int) (GlobalAddr, error) {
 	best := -1
 	for i := range p.nodes {
 		h := &p.health[i]
-		if h.open && (h.probing || time.Since(h.openedAt) < p.ProbeCooldown) {
+		if h.open && (h.probing || time.Since(h.openedAt) < p.cooldownOf(h)) {
 			continue
 		}
 		if best == -1 || p.allocs[i] < p.allocs[best] {
@@ -136,7 +160,7 @@ func (p *Pool) Alloc(size int) (GlobalAddr, error) {
 		p.mu.Lock()
 		p.allocs[best]--
 		p.mu.Unlock()
-		return GlobalAddr{}, err
+		return GlobalAddr{}, p.nodeErr(best, err)
 	}
 	return GlobalAddr{Node: best, Addr: addr}, nil
 }
@@ -144,7 +168,7 @@ func (p *Pool) Alloc(size int) (GlobalAddr, error) {
 // AllocOn places an object on a specific node.
 func (p *Pool) AllocOn(node, size int) (GlobalAddr, error) {
 	if node < 0 || node >= len(p.nodes) {
-		return GlobalAddr{}, fmt.Errorf("cluster: node %d out of range", node)
+		return GlobalAddr{}, p.errNodeRange(node)
 	}
 	if err := p.gate(node); err != nil {
 		return GlobalAddr{}, err
@@ -152,7 +176,7 @@ func (p *Pool) AllocOn(node, size int) (GlobalAddr, error) {
 	addr, err := p.nodes[node].Alloc(size)
 	p.observe(node, err)
 	if err != nil {
-		return GlobalAddr{}, err
+		return GlobalAddr{}, p.nodeErr(node, err)
 	}
 	p.mu.Lock()
 	p.allocs[node]++
@@ -164,7 +188,7 @@ func (p *Pool) AllocOn(node, size int) (GlobalAddr, error) {
 // breaker fails the operation fast with ErrNodeDown.
 func (p *Pool) ctxOf(g GlobalAddr) (*client.Ctx, error) {
 	if g.Node < 0 || g.Node >= len(p.nodes) {
-		return nil, fmt.Errorf("cluster: node %d out of range", g.Node)
+		return nil, p.errNodeRange(g.Node)
 	}
 	if err := p.gate(g.Node); err != nil {
 		return nil, err
@@ -180,7 +204,7 @@ func (p *Pool) Write(g *GlobalAddr, payload []byte) error {
 	}
 	err = ctx.Write(&g.Addr, payload)
 	p.observe(g.Node, err)
-	return err
+	return p.nodeErr(g.Node, err)
 }
 
 // Read reads via RPC with transparent correction.
@@ -191,7 +215,7 @@ func (p *Pool) Read(g *GlobalAddr, buf []byte) (int, error) {
 	}
 	n, err := ctx.Read(&g.Addr, buf)
 	p.observe(g.Node, err)
-	return n, err
+	return n, p.nodeErr(g.Node, err)
 }
 
 // SmartRead reads one-sidedly, repairing indirect pointers with ScanRead.
@@ -202,7 +226,7 @@ func (p *Pool) SmartRead(g *GlobalAddr, buf []byte) (int, error) {
 	}
 	n, err := ctx.SmartRead(&g.Addr, buf)
 	p.observe(g.Node, err)
-	return n, err
+	return n, p.nodeErr(g.Node, err)
 }
 
 // Free releases the object.
@@ -214,7 +238,7 @@ func (p *Pool) Free(g *GlobalAddr) error {
 	err = ctx.Free(&g.Addr)
 	p.observe(g.Node, err)
 	if err != nil {
-		return err
+		return p.nodeErr(g.Node, err)
 	}
 	p.mu.Lock()
 	p.allocs[g.Node]--
@@ -230,7 +254,7 @@ func (p *Pool) ReleasePtr(g *GlobalAddr) error {
 	}
 	err = ctx.ReleasePtr(&g.Addr)
 	p.observe(g.Node, err)
-	return err
+	return p.nodeErr(g.Node, err)
 }
 
 // ClassSize reports the payload capacity behind a global pointer. It is a
@@ -238,33 +262,129 @@ func (p *Pool) ReleasePtr(g *GlobalAddr) error {
 // breaker gate: it must not consume a half-open probe slot.
 func (p *Pool) ClassSize(g GlobalAddr) (int, error) {
 	if g.Node < 0 || g.Node >= len(p.nodes) {
-		return 0, fmt.Errorf("cluster: node %d out of range", g.Node)
+		return 0, p.errNodeRange(g.Node)
 	}
 	return p.nodes[g.Node].ClassSize(g.Addr)
 }
 
 // --- Keyed facade ---
 
-// KV maps string keys onto pool objects with rendezvous hashing.
+// Replica states. A replica is live (readable, at the entry's version),
+// pending (its write is still in flight after the W-ack returned), or
+// stale (known missing or divergent — the node restarted empty, missed
+// the write, or served an old version; the repair path re-populates it).
+const (
+	repLive uint8 = iota
+	repPending
+	repStale
+)
+
+// versionTagBytes prefixes every replicated record: a little-endian
+// 64-bit per-entry version carried inside the stored payload, so replica
+// divergence is detectable from the record itself — a replica that
+// rejoined with old data answers reads with the wrong tag and is repaired
+// instead of trusted. Unreplicated KVs (Replicas=1) keep the bare
+// encoding.
+const versionTagBytes = 8
+
+// kvReplica is one key's placement on one node of its replica set.
+type kvReplica struct {
+	addr GlobalAddr // addr.Node is the replica's node; Addr may be zero while stale
+	// classSize caches the record's size-class capacity so reads never
+	// pay a per-read class lookup; 0 means unknown (look up once).
+	classSize int
+	state     uint8
+}
+
+// kvEntry is the client-side index record for one key: the ordered
+// replica set (rendezvous rank order — reps[0] is the primary) plus the
+// entry's current version.
+type kvEntry struct {
+	size    int
+	version uint64
+	reps    []kvReplica
+
+	// degraded marks an entry below full replication; degradedAt feeds
+	// the replication-lag histogram when it is healed.
+	degraded   bool
+	degradedAt time.Time
+	// repairing serializes repair work per entry so one slow node cannot
+	// fan a repair storm out of every failed read.
+	repairing bool
+}
+
+// ReplicationConfig parameterizes a replicated KV.
+type ReplicationConfig struct {
+	// Replicas is k: every key lives on its top-k rendezvous nodes
+	// (clamped to the pool size; minimum 1).
+	Replicas int
+	// WriteConcern is W: Put acks after W replica writes succeed
+	// (default and maximum Replicas, minimum 1). The remaining writes
+	// complete in the background; replicas they miss are marked stale
+	// and healed by read repair or the Replicator.
+	WriteConcern int
+}
+
+// KV maps string keys onto pool objects with rendezvous hashing,
+// optionally replicated across each key's top-k rendezvous nodes.
 type KV struct {
 	pool *Pool
+	k, w int
 
 	mu      sync.Mutex
 	entries map[string]*kvEntry
+	// versions issues one monotonic version per key across its whole
+	// lifetime (survives Delete), so records from any two Puts — even
+	// overlapping ones — never share a tag.
+	versions map[string]uint64
+	// degraded indexes entries below full replication, so the Replicator
+	// scans only what needs work.
+	degraded map[string]*kvEntry
 }
 
-type kvEntry struct {
-	addr GlobalAddr
-	size int
-	// classSize caches the size-class capacity at Put time so Get never
-	// pays a per-read class lookup; 0 means unknown (fall back to the
-	// pool's lookup once, then cache).
-	classSize int
-}
-
-// NewKV builds a keyed store over the pool.
+// NewKV builds an unreplicated keyed store over the pool (one copy per
+// key, on its rendezvous node — the pre-replication behavior).
 func NewKV(pool *Pool) *KV {
-	return &KV{pool: pool, entries: make(map[string]*kvEntry)}
+	return NewReplicatedKV(pool, ReplicationConfig{Replicas: 1})
+}
+
+// NewReplicatedKV builds a keyed store that replicates every key across
+// its top-k rendezvous nodes with the given write concern.
+func NewReplicatedKV(pool *Pool, cfg ReplicationConfig) *KV {
+	k := cfg.Replicas
+	if k < 1 {
+		k = 1
+	}
+	if n := pool.Nodes(); k > n {
+		k = n
+	}
+	w := cfg.WriteConcern
+	if w < 1 || w > k {
+		w = k
+	}
+	return &KV{
+		pool:     pool,
+		k:        k,
+		w:        w,
+		entries:  make(map[string]*kvEntry),
+		versions: make(map[string]uint64),
+		degraded: make(map[string]*kvEntry),
+	}
+}
+
+// Replicas reports k, the configured replication factor (after clamping).
+func (kv *KV) Replicas() int { return kv.k }
+
+// WriteConcern reports W, the number of replica acks a Put waits for.
+func (kv *KV) WriteConcern() int { return kv.w }
+
+// score is the rendezvous (highest-random-weight) hash of (node, key).
+func (kv *KV) score(key string, node int) uint64 {
+	h := fnv.New64a()
+	// Node id first, so its bytes diffuse through the whole key; a
+	// final avalanche step removes FNV's weak tail mixing.
+	fmt.Fprintf(h, "%d/%s", node, key)
+	return mix64(h.Sum64())
 }
 
 // NodeFor returns the rendezvous-hash owner node for a key: the node
@@ -273,16 +393,48 @@ func NewKV(pool *Pool) *KV {
 func (kv *KV) NodeFor(key string) int {
 	best, bestScore := 0, uint64(0)
 	for i := 0; i < kv.pool.Nodes(); i++ {
-		h := fnv.New64a()
-		// Node id first, so its bytes diffuse through the whole key; a
-		// final avalanche step removes FNV's weak tail mixing.
-		fmt.Fprintf(h, "%d/%s", i, key)
-		score := mix64(h.Sum64())
-		if i == 0 || score > bestScore {
-			best, bestScore = i, score
+		if s := kv.score(key, i); i == 0 || s > bestScore {
+			best, bestScore = i, s
 		}
 	}
 	return best
+}
+
+// ReplicasFor returns the key's ordered replica set: its top-k rendezvous
+// nodes, highest score first. ReplicasFor(key)[0] == NodeFor(key); the
+// ordering is stable under membership change the same way rendezvous
+// hashing is — a node leaving promotes the next-ranked node per key.
+func (kv *KV) ReplicasFor(key string) []int {
+	n := kv.pool.Nodes()
+	k := kv.k
+	if k > n {
+		k = n
+	}
+	type ranked struct {
+		node  int
+		score uint64
+	}
+	top := make([]ranked, 0, k) // insertion-sorted, highest first
+	for i := 0; i < n; i++ {
+		s := kv.score(key, i)
+		pos := len(top)
+		for pos > 0 && s > top[pos-1].score {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		if len(top) < k {
+			top = append(top, ranked{})
+		}
+		copy(top[pos+1:], top[pos:len(top)-1])
+		top[pos] = ranked{node: i, score: s}
+	}
+	nodes := make([]int, len(top))
+	for i, r := range top {
+		nodes[i] = r.node
+	}
+	return nodes
 }
 
 // mix64 is a finalizing avalanche (splitmix64's) for rendezvous scores.
@@ -295,13 +447,124 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// Put stores value under key on its rendezvous node.
+// tagBytes is the per-record version-tag overhead (0 when unreplicated).
+func (kv *KV) tagBytes() int {
+	if kv.k > 1 {
+		return versionTagBytes
+	}
+	return 0
+}
+
+// recordTag is the 64-bit tag stored ahead of a replicated record: the
+// entry's version namespaced by a hash of its key. Namespacing matters
+// because a wiped node's fresh allocator hands out the same virtual
+// addresses again, so a stale pointer can resolve to a record of a
+// *different* key whose version number happens to match; mixing the key
+// into the tag makes that cross-key ABA detectable too.
+func (kv *KV) recordTag(key string, version uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64() + version)
+}
+
+// encodeRecord builds the stored record for a value at a tag.
+func (kv *KV) encodeRecord(tag uint64, value []byte) []byte {
+	if kv.k == 1 {
+		return value
+	}
+	rec := make([]byte, versionTagBytes+len(value))
+	binary.LittleEndian.PutUint64(rec, tag)
+	copy(rec[versionTagBytes:], value)
+	return rec
+}
+
+// nextVersion reserves the next version for a key, under kv.mu.
+func (kv *KV) nextVersion(key string) uint64 {
+	kv.mu.Lock()
+	kv.versions[key]++
+	v := kv.versions[key]
+	kv.mu.Unlock()
+	return v
+}
+
+// --- degraded-entry accounting (all under kv.mu) ---
+
+// noteState re-derives an entry's degraded flag after a replica state
+// change, moving the under-replicated gauge and the degraded index, and
+// recording the replication lag when an entry heals back to full
+// replication.
+func (kv *KV) noteState(key string, e *kvEntry) {
+	deg := false
+	for i := range e.reps {
+		if e.reps[i].state != repLive {
+			deg = true
+			break
+		}
+	}
+	switch {
+	case deg && !e.degraded:
+		e.degraded = true
+		e.degradedAt = time.Now()
+		kv.degraded[key] = e
+		cuUnderReplicated.Inc()
+	case !deg && e.degraded:
+		e.degraded = false
+		delete(kv.degraded, key)
+		cuUnderReplicated.Dec()
+		cuReplicationLagNs.Observe(time.Since(e.degradedAt).Nanoseconds())
+	}
+}
+
+// noteRemoved drops an entry's degraded-index membership when it leaves
+// the map (Delete, or replacement by a newer Put).
+func (kv *KV) noteRemoved(key string, e *kvEntry) {
+	if e != nil && e.degraded {
+		delete(kv.degraded, key)
+		cuUnderReplicated.Dec()
+	}
+}
+
+// DegradedKeys reports how many entries are currently below full
+// replication (the Replicator's work queue depth).
+func (kv *KV) DegradedKeys() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return len(kv.degraded)
+}
+
+// degradedSnapshot returns up to limit keys needing repair.
+func (kv *KV) degradedSnapshot(limit int) []string {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	keys := make([]string, 0, min(limit, len(kv.degraded)))
+	for k := range kv.degraded {
+		if len(keys) >= limit {
+			break
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Put stores value under key — on its rendezvous node when unreplicated,
+// or fanned out to its top-k rendezvous nodes acking after WriteConcern
+// successes when replicated.
 func (kv *KV) Put(key string, value []byte) error {
+	if kv.k == 1 {
+		return kv.putSingle(key, value)
+	}
+	return kv.putReplicated(key, value)
+}
+
+// putSingle is the unreplicated Put: free the old object, allocate and
+// write the new one on the key's rendezvous node.
+func (kv *KV) putSingle(key string, value []byte) error {
 	kv.mu.Lock()
 	old := kv.entries[key]
 	kv.mu.Unlock()
 	if old != nil {
-		if err := kv.pool.Free(&old.addr); err != nil {
+		g := old.reps[0].addr
+		if err := kv.pool.Free(&g); err != nil {
 			return err
 		}
 	}
@@ -320,64 +583,529 @@ func (kv *KV) Put(key string, value []byte) error {
 	// lookup failure is impossible here (the pointer was just minted), but
 	// a 0 cache falls back gracefully in Get anyway.
 	classSize, _ := kv.pool.ClassSize(g)
+	e := &kvEntry{
+		size:    len(value),
+		version: 1,
+		reps:    []kvReplica{{addr: g, classSize: classSize, state: repLive}},
+	}
 	kv.mu.Lock()
-	kv.entries[key] = &kvEntry{addr: g, size: len(value), classSize: classSize}
+	kv.entries[key] = e
 	kv.mu.Unlock()
 	return nil
 }
 
-// Get fetches a value with a one-sided read; pointers corrected by
-// compaction are repaired back into the index. The read operates on a
-// private copy of the entry's pointer — entries are shared across
-// concurrent Gets, so SmartRead must never mutate them in place — and the
-// correction is folded back under the lock only if the entry still maps
-// this key.
+// repOutcome is one replica write's result during a Put fan-out.
+type repOutcome struct {
+	i         int
+	addr      GlobalAddr
+	classSize int
+	err       error
+}
+
+// putReplicated writes the record to every replica node in parallel
+// (fresh allocation per replica — the old record survives until the new
+// entry is installed) and acks after W successes. Writes still in flight
+// at ack time finish in the background and fold their outcome into the
+// entry; replicas that failed are marked stale for the repair paths. If
+// fewer than W writes succeed, the Put fails, its allocations are
+// released, and the previous entry stays fully intact.
+func (kv *KV) putReplicated(key string, value []byte) error {
+	nodes := kv.ReplicasFor(key)
+	version := kv.nextVersion(key)
+	rec := kv.encodeRecord(kv.recordTag(key, version), value)
+	cuReplicatedWrites.Inc()
+
+	// Fan out: one goroutine per replica allocates and writes. The write
+	// itself is asynchronous on the node's OpBatch channel (WriteAsync),
+	// so concurrent Puts touching the same node coalesce into one frame.
+	res := make(chan repOutcome, len(nodes))
+	for i, node := range nodes {
+		go func(i, node int) {
+			g, err := kv.pool.AllocOn(node, len(rec))
+			if err != nil {
+				res <- repOutcome{i: i, err: err}
+				return
+			}
+			classSize, _ := kv.pool.ClassSize(g)
+			if err := kv.pool.writeAck(&g, rec); err != nil {
+				kv.pool.Free(&g) // best-effort; the node may be gone
+				res <- repOutcome{i: i, err: err}
+				return
+			}
+			res <- repOutcome{i: i, addr: g, classSize: classSize, err: nil}
+		}(i, node)
+	}
+
+	e := &kvEntry{size: len(value), version: version, reps: make([]kvReplica, len(nodes))}
+	for i, node := range nodes {
+		e.reps[i] = kvReplica{addr: GlobalAddr{Node: node}, state: repPending}
+	}
+
+	// Collect outcomes until W acks, every write resolves, or W becomes
+	// unreachable.
+	succ, pending := 0, len(nodes)
+	var firstErr error
+	for pending > 0 && succ < kv.w && succ+pending >= kv.w {
+		o := <-res
+		pending--
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			e.reps[o.i].state = repStale
+			continue
+		}
+		e.reps[o.i] = kvReplica{addr: o.addr, classSize: o.classSize, state: repLive}
+		succ++
+	}
+
+	if succ < kv.w {
+		// Unreachable write concern: drain the stragglers, release every
+		// allocation this Put made, and leave the previous entry intact.
+		cuWriteConcernMisses.Inc()
+		go func(e *kvEntry, pending int) {
+			for ; pending > 0; pending-- {
+				if o := <-res; o.err == nil {
+					g := o.addr
+					kv.pool.Free(&g)
+				}
+			}
+			for i := range e.reps {
+				if e.reps[i].state == repLive {
+					g := e.reps[i].addr
+					kv.pool.Free(&g)
+				}
+			}
+		}(e, pending)
+		return fmt.Errorf("%w: %d/%d acks (replicas=%d): %v",
+			ErrWriteConcern, succ, kv.w, kv.k, firstErr)
+	}
+
+	// W replicas hold the record: install the entry. A concurrent Put may
+	// have installed a higher version already — then this write lost the
+	// overlap race and releases its own allocations instead.
+	kv.mu.Lock()
+	prev := kv.entries[key]
+	if prev != nil && prev.version > version {
+		kv.mu.Unlock()
+		kv.freeEntrySnapshot(kv.snapshotLive(e))
+		kv.drainStragglers(key, nil, version, res, pending)
+		return nil
+	}
+	kv.noteRemoved(key, prev)
+	kv.entries[key] = e
+	kv.noteState(key, e)
+	degraded := e.degraded
+	var prevReps []GlobalAddr
+	if prev != nil {
+		prevReps = kv.snapshotLive(prev)
+	}
+	kv.mu.Unlock()
+
+	// The replaced entry's records are garbage now.
+	kv.freeEntrySnapshot(prevReps)
+	if degraded {
+		// A replica write already failed before the ack: queue its repair
+		// now rather than waiting for a read to trip over it or for the
+		// replicator's next paced cycle. If the node is still down, the
+		// repair no-ops and the key stays on the degraded index.
+		kv.scheduleRepair(key)
+	}
+	// Stragglers keep running; their outcomes fold into the entry (or are
+	// released if the entry moved on).
+	kv.drainStragglers(key, e, version, res, pending)
+	return nil
+}
+
+// snapshotLive collects every non-zero replica address of an entry, under
+// kv.mu (callers hold it or own the entry exclusively).
+func (kv *KV) snapshotLive(e *kvEntry) []GlobalAddr {
+	var gs []GlobalAddr
+	for i := range e.reps {
+		if !e.reps[i].addr.Addr.IsZero() {
+			gs = append(gs, e.reps[i].addr)
+		}
+	}
+	return gs
+}
+
+// freeEntrySnapshot best-effort releases a set of replica records.
+func (kv *KV) freeEntrySnapshot(gs []GlobalAddr) {
+	for i := range gs {
+		g := gs[i]
+		kv.pool.Free(&g)
+	}
+}
+
+// drainStragglers folds post-ack write outcomes into the entry: a late
+// success makes its replica live; a late failure marks it stale and
+// schedules its repair — the ack already happened, so nothing else will
+// notice the miss until a read trips over it or the replicator's paced
+// cycle finds it, and a node that rejoined between the ack and the
+// straggler's failure would otherwise wait out the full interval. If the
+// entry was replaced meanwhile, late allocations are released instead.
+// Runs in the background when pending > 0.
+func (kv *KV) drainStragglers(key string, e *kvEntry, version uint64, res <-chan repOutcome, pending int) {
+	if pending == 0 {
+		return
+	}
+	go func() {
+		for ; pending > 0; pending-- {
+			o := <-res
+			kv.mu.Lock()
+			current := e != nil && kv.entries[key] == e && e.version == version
+			if current {
+				if o.err != nil {
+					e.reps[o.i].state = repStale
+				} else {
+					e.reps[o.i] = kvReplica{addr: o.addr, classSize: o.classSize, state: repLive}
+				}
+				kv.noteState(key, e)
+			}
+			kv.mu.Unlock()
+			if current && o.err != nil {
+				kv.scheduleRepair(key)
+			}
+			if !current && o.err == nil {
+				g := o.addr
+				kv.pool.Free(&g)
+			}
+		}
+	}()
+}
+
+// Get fetches a value. Unreplicated, it reads the key's single copy with
+// a one-sided read. Replicated, it walks the ordered replica set: the
+// primary serves; if the primary's breaker is open, its node faults, or
+// its record is missing or carries a stale version tag, the read fails
+// over to the next replica — and the replicas that failed are marked for
+// read repair.
 func (kv *KV) Get(key string) ([]byte, bool, error) {
+	return kv.get(key, true)
+}
+
+func (kv *KV) get(key string, allowRetry bool) ([]byte, bool, error) {
 	kv.mu.Lock()
 	e := kv.entries[key]
 	if e == nil {
 		kv.mu.Unlock()
 		return nil, false, nil
 	}
-	g := e.addr
+	version := e.version
 	size := e.size
-	classSize := e.classSize
+	reps := make([]kvReplica, len(e.reps))
+	copy(reps, e.reps)
 	kv.mu.Unlock()
-	if classSize == 0 {
-		var err error
-		if classSize, err = kv.pool.ClassSize(g); err != nil {
-			return nil, false, err
+
+	tag := kv.tagBytes()
+	var start time.Time
+	var wantTag uint64
+	if kv.k > 1 {
+		start = time.Now()
+		wantTag = kv.recordTag(key, version)
+	}
+	failures := 0
+	var lastErr error
+	for i := range reps {
+		r := reps[i]
+		if r.state != repLive || r.addr.Addr.IsZero() {
+			continue
+		}
+		classSize := r.classSize
+		if classSize == 0 {
+			var err error
+			if classSize, err = kv.pool.ClassSize(r.addr); err != nil {
+				failures++
+				lastErr = err
+				continue
+			}
+		}
+		buf := make([]byte, classSize)
+		g := r.addr
+		if _, err := kv.pool.SmartRead(&g, buf); err != nil {
+			failures++
+			if kv.k == 1 {
+				return nil, false, err
+			}
+			if isDivergent(err) {
+				// The node restarted without this record (wiped, or it
+				// missed the write): divergence, not an outage. Mark for
+				// repair — this key and, since a rebuilt store lost every
+				// record it held, the node's whole population — and fail
+				// over.
+				kv.markStale(key, e, i, version)
+				kv.suspectNode(r.addr.Node)
+			}
+			lastErr = err
+			continue
+		}
+		if tag > 0 {
+			if v := binary.LittleEndian.Uint64(buf); v != wantTag {
+				// The replica answered with some other record — an older
+				// version of this key, or another key entirely through a
+				// recycled address. Repairable divergence, and recycled
+				// addresses mean the store was rebuilt: suspect the node.
+				cuStaleReads.Inc()
+				kv.markStale(key, e, i, version)
+				kv.suspectNode(r.addr.Node)
+				failures++
+				lastErr = fmt.Errorf("%w: key %q replica on node %d has tag %#x, want %#x",
+					ErrStaleReplica, key, r.addr.Node, v, wantTag)
+				continue
+			}
+		}
+		kv.foldAddr(key, e, i, g, classSize, version)
+		if failures > 0 {
+			// Served by a backup after the primary path failed: that is
+			// one failover, measured end to end from the Get's start.
+			cuFailovers.Inc()
+			cuFailoverNs.Observe(time.Since(start).Nanoseconds())
+			kv.scheduleRepair(key)
+		}
+		return buf[tag : tag+size], true, nil
+	}
+
+	// No replica served. The entry may have been replaced mid-read (its
+	// old records freed under us): retry once against the fresh entry.
+	if kv.k > 1 && allowRetry {
+		kv.mu.Lock()
+		changed := kv.entries[key] != e
+		kv.mu.Unlock()
+		if changed {
+			return kv.get(key, false)
 		}
 	}
-	buf := make([]byte, classSize)
-	if _, err := kv.pool.SmartRead(&g, buf); err != nil {
-		return nil, false, err
+	if lastErr == nil {
+		return nil, false, nil
 	}
-	kv.repair(key, e, g, classSize)
-	return buf[:size], true, nil
+	if kv.k > 1 {
+		kv.scheduleRepair(key)
+		return nil, false, fmt.Errorf("%w: key %q (%d replicas): %w", ErrNoReplica, key, len(reps), lastErr)
+	}
+	return nil, false, lastErr
 }
 
-// repair folds a corrected pointer (and a freshly learned class size) back
-// into the index, unless the entry was concurrently replaced or deleted.
-func (kv *KV) repair(key string, e *kvEntry, g GlobalAddr, classSize int) {
+// markStale flags one replica as divergent, if the entry is still current.
+func (kv *KV) markStale(key string, e *kvEntry, i int, version uint64) {
 	kv.mu.Lock()
-	if kv.entries[key] == e {
-		e.addr = g
-		e.classSize = classSize
+	if kv.entries[key] == e && e.version == version && e.reps[i].state == repLive {
+		e.reps[i].state = repStale
+		kv.noteState(key, e)
 	}
 	kv.mu.Unlock()
 }
 
-// Delete frees a key's object.
+// suspectNode marks every entry's live replica on one node stale. One
+// detected divergence is evidence the node's whole store was rebuilt (a
+// wiped node misses old records and rejects old rkeys on every key it
+// held), so rather than waiting for each key to be read — keys whose
+// reads are served by an earlier-ranked replica would never probe the
+// wiped copy — one detection queues the node's full population for the
+// replicator. A false suspicion (a benign missing-record race) costs one
+// verified re-copy per key, never correctness: repair reads from a
+// tag-verified live replica before touching the suspect.
+func (kv *KV) suspectNode(node int) {
+	cuNodeSuspicions.Inc()
+	kv.mu.Lock()
+	for key, e := range kv.entries {
+		for i := range e.reps {
+			if e.reps[i].state == repLive && e.reps[i].addr.Node == node {
+				e.reps[i].state = repStale
+				kv.noteState(key, e)
+			}
+		}
+	}
+	kv.mu.Unlock()
+}
+
+// foldAddr folds a corrected pointer (and a freshly learned class size)
+// back into one replica of the index, unless the entry moved on.
+func (kv *KV) foldAddr(key string, e *kvEntry, i int, g GlobalAddr, classSize int, version uint64) {
+	kv.mu.Lock()
+	if kv.entries[key] == e && e.version == version && e.reps[i].state == repLive {
+		e.reps[i].addr = g
+		e.reps[i].classSize = classSize
+	}
+	kv.mu.Unlock()
+}
+
+// scheduleRepair kicks an asynchronous repair of a key's stale replicas;
+// the per-entry repairing latch collapses concurrent triggers.
+func (kv *KV) scheduleRepair(key string) {
+	cuReadRepairTriggers.Inc()
+	go kv.RepairKey(key)
+}
+
+// RepairKey re-populates every repairable stale replica of a key from a
+// live one: it fetches the authoritative record (verifying the version
+// tag), writes a fresh copy onto each stale replica's node, folds the new
+// placement into the index, and releases the divergent record. Replicas
+// whose node is still down are left for a later pass. It returns how many
+// replicas were restored.
+func (kv *KV) RepairKey(key string) (int, error) {
+	kv.mu.Lock()
+	e := kv.entries[key]
+	if e == nil || e.repairing {
+		kv.mu.Unlock()
+		return 0, nil
+	}
+	version := e.version
+	size := e.size
+	type staleRep struct {
+		i    int
+		node int
+	}
+	var stale []staleRep
+	var live []kvReplica
+	for i := range e.reps {
+		r := e.reps[i]
+		switch r.state {
+		case repStale:
+			if !kv.pool.NodeDown(r.addr.Node) {
+				stale = append(stale, staleRep{i: i, node: r.addr.Node})
+			}
+		case repLive:
+			live = append(live, r)
+		}
+	}
+	if len(stale) == 0 || len(live) == 0 {
+		kv.mu.Unlock()
+		return 0, nil
+	}
+	e.repairing = true
+	kv.mu.Unlock()
+	defer func() {
+		kv.mu.Lock()
+		e.repairing = false
+		kv.mu.Unlock()
+	}()
+
+	rec, ok := kv.fetchRecord(live, kv.recordTag(key, version), size)
+	if !ok {
+		cuRepairFails.Inc()
+		return 0, fmt.Errorf("cluster: repair %q: no live replica served version %d", key, version)
+	}
+
+	repaired := 0
+	var firstErr error
+	for _, s := range stale {
+		g, err := kv.pool.AllocOn(s.node, len(rec))
+		if err != nil {
+			cuRepairFails.Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		classSize, _ := kv.pool.ClassSize(g)
+		if err := kv.pool.writeAck(&g, rec); err != nil {
+			kv.pool.Free(&g)
+			cuRepairFails.Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		kv.mu.Lock()
+		if kv.entries[key] == e && e.version == version && e.reps[s.i].state == repStale {
+			old := e.reps[s.i].addr
+			e.reps[s.i] = kvReplica{addr: g, classSize: classSize, state: repLive}
+			kv.noteState(key, e)
+			kv.mu.Unlock()
+			repaired++
+			cuReplicasRepaired.Inc()
+			if !old.Addr.IsZero() {
+				kv.freeIfOurs(key, version, old)
+			}
+		} else {
+			kv.mu.Unlock()
+			kv.pool.Free(&g) // the entry moved on; this copy is orphaned
+		}
+	}
+	return repaired, firstErr
+}
+
+// freeIfOurs releases a replaced replica record only when its address
+// provably still holds this key's current record (version tag verified
+// by a read-before-free). A rebuilt store recycles virtual addresses, so
+// an unconditional free of the "old divergent record" could land on
+// another key's freshly repaired replica living at the reused address
+// and destroy it. Anything that doesn't prove to be ours is left alone:
+// on a wiped node the record is already gone (the rebuild reclaimed it
+// wholesale), and a genuinely divergent old-version record was already
+// best-effort freed when its Put was superseded.
+func (kv *KV) freeIfOurs(key string, version uint64, old GlobalAddr) {
+	tag := kv.tagBytes()
+	if tag == 0 {
+		// Untagged records (k==1) never reach the repair path; if they
+		// did, there is no way to verify ownership — free as before.
+		kv.pool.Free(&old)
+		return
+	}
+	buf := make([]byte, tag)
+	g := old
+	if _, err := kv.pool.SmartRead(&g, buf); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint64(buf) != kv.recordTag(key, version) {
+		return
+	}
+	kv.pool.Free(&g)
+}
+
+// fetchRecord reads the full stored record (version tag included) from
+// the first live replica that serves the expected tag.
+func (kv *KV) fetchRecord(live []kvReplica, wantTag uint64, size int) ([]byte, bool) {
+	tag := kv.tagBytes()
+	for _, r := range live {
+		classSize := r.classSize
+		if classSize == 0 {
+			var err error
+			if classSize, err = kv.pool.ClassSize(r.addr); err != nil {
+				continue
+			}
+		}
+		buf := make([]byte, classSize)
+		g := r.addr
+		if _, err := kv.pool.SmartRead(&g, buf); err != nil {
+			continue
+		}
+		if tag > 0 && binary.LittleEndian.Uint64(buf) != wantTag {
+			continue
+		}
+		return buf[:tag+size], true
+	}
+	return nil, false
+}
+
+// Delete frees a key's object on every replica. Replicas whose node is
+// down (or whose record is already gone) are skipped best-effort: a wiped
+// node has nothing to free, and a dead one cannot be reached.
 func (kv *KV) Delete(key string) error {
 	kv.mu.Lock()
 	e := kv.entries[key]
 	delete(kv.entries, key)
+	kv.noteRemoved(key, e)
 	kv.mu.Unlock()
 	if e == nil {
 		return nil
 	}
-	return kv.pool.Free(&e.addr)
+	if kv.k == 1 {
+		g := e.reps[0].addr
+		return kv.pool.Free(&g)
+	}
+	var firstErr error
+	for i := range e.reps {
+		if e.reps[i].addr.Addr.IsZero() {
+			continue
+		}
+		g := e.reps[i].addr
+		if err := kv.pool.Free(&g); err != nil && firstErr == nil &&
+			!isMissing(err) && !errors.Is(err, ErrNodeDown) {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Len reports the number of keys.
@@ -385,4 +1113,11 @@ func (kv *KV) Len() int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return len(kv.entries)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
