@@ -55,6 +55,9 @@ func main() {
 	case "failover":
 		runFailover(args[1:])
 		return
+	case "wire":
+		runWire(args[1:])
+		return
 	}
 	for _, name := range args {
 		e, ok := experiments.Lookup(name)
@@ -99,6 +102,7 @@ usage:
   corm-bench <experiment>... [-full] [-seed N]
   corm-bench failover [-nodes N] [-replicas K] [-write-concern W]
                       [-keys N] [-size B] [-out FILE]
+  corm-bench wire [-out FILE]
 `)
 	flag.PrintDefaults()
 }

@@ -1,0 +1,218 @@
+// The wire benchmark: single-op RPC, one-sided DirectRead, and batch=128
+// MultiRead latency/allocation numbers over both the shared-memory fast
+// path and forced TCP loopback, emitted as machine-readable JSON
+// (BENCH_wire.json) with the pre-writev baseline embedded — so the perf
+// trajectory of the zero-copy wire path is tracked across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	corm "corm"
+	"corm/internal/client"
+	"corm/internal/core"
+	"corm/internal/rpc"
+	"corm/internal/transport"
+)
+
+// wireNumbers is one measured configuration. For the batched row the unit
+// is one sub-read, so every row compares directly.
+type wireNumbers struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// wireResult is the benchmark's JSON document (BENCH_wire.json). `before`
+// holds the last pre-zero-copy numbers from bench_results.txt (concat+Write
+// framing, pooled staging copies, no shm path — TCP loopback, 1 goroutine);
+// `after` holds this run, per wire.
+type wireResult struct {
+	BaselineNote string                 `json:"baseline_note"`
+	Before       map[string]wireNumbers `json:"before"`
+	After        map[string]wireNumbers `json:"after"`
+
+	// SpeedupSHMOverTCP is single-op RPC tcp-ns / shm-ns for this run.
+	SpeedupSHMOverTCP float64 `json:"speedup_shm_over_tcp"`
+	// Bars: the acceptance thresholds, evaluated on this run's numbers.
+	Bars map[string]bool `json:"bars"`
+}
+
+// wireBaseline: the PR 6 numbers recorded in bench_results.txt before the
+// zero-copy wire path landed.
+var wireBaseline = map[string]wireNumbers{
+	"rpc_single":     {NsPerOp: 9604, OpsPerSec: 104200, AllocsPerOp: 10},
+	"direct_read":    {NsPerOp: 8146, OpsPerSec: 122800, AllocsPerOp: 8},
+	"multi_read_128": {NsPerOp: 480, OpsPerSec: 2_080_000, AllocsPerOp: 0},
+}
+
+// wireNode starts one TCP-listening node and tears it down via the
+// returned func.
+func wireNode() (*corm.Server, string, func()) {
+	srv, err := corm.NewServer(corm.DefaultConfig())
+	if err != nil {
+		fatalf("wire: server: %v", err)
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		fatalf("wire: listen: %v", err)
+	}
+	return srv, addr, srv.Close
+}
+
+// measure runs fn as a Go benchmark and folds the result into wireNumbers,
+// dividing by subOps when one iteration covers a whole batch.
+func measure(subOps int, fn func(b *testing.B)) wireNumbers {
+	r := testing.Benchmark(fn)
+	ns := float64(r.NsPerOp()) / float64(subOps)
+	if ns <= 0 {
+		ns = 1
+	}
+	return wireNumbers{
+		NsPerOp:     ns,
+		OpsPerSec:   1e9 / ns,
+		AllocsPerOp: float64(r.AllocsPerOp()) / float64(subOps),
+	}
+}
+
+// measureRPC is the single-op RPC read.
+func measureRPC(disableSHM bool) wireNumbers {
+	_, addr, done := wireNode()
+	defer done()
+	conn, err := transport.DialOptions(addr, transport.Options{DisableSharedMemory: disableSHM})
+	if err != nil {
+		fatalf("wire: dial: %v", err)
+	}
+	defer conn.Close()
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+	if err != nil || resp.Status != rpc.StatusOK {
+		fatalf("wire: alloc: %v %v", resp.Status, err)
+	}
+	oaddr := resp.Addr
+	return measure(1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := conn.Call(rpc.Request{Op: rpc.OpRead, Addr: oaddr, Size: 64})
+			if err != nil || resp.Status != rpc.StatusOK {
+				fatalf("wire: read: %v %v", resp.Status, err)
+			}
+		}
+	})
+}
+
+// measureDirectRead is the single-op emulated one-sided read.
+func measureDirectRead(disableSHM bool) wireNumbers {
+	_, addr, done := wireNode()
+	defer done()
+	conn, err := transport.DialOptions(addr, transport.Options{DisableSharedMemory: disableSHM})
+	if err != nil {
+		fatalf("wire: dial: %v", err)
+	}
+	defer conn.Close()
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+	if err != nil || resp.Status != rpc.StatusOK {
+		fatalf("wire: alloc: %v %v", resp.Status, err)
+	}
+	oaddr := resp.Addr
+	buf := make([]byte, core.DataStride(64))
+	return measure(1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := conn.DirectRead(oaddr.RKey(), oaddr.VAddr(), buf); err != nil {
+				fatalf("wire: direct read: %v", err)
+			}
+		}
+	})
+}
+
+// measureMultiRead is the batch=128 read; numbers are per sub-read.
+func measureMultiRead(disableSHM bool) wireNumbers {
+	const batch = 128
+	_, addr, done := wireNode()
+	defer done()
+	cli, err := client.CreateCtxOptions(addr, transport.Options{DisableSharedMemory: disableSHM})
+	if err != nil {
+		fatalf("wire: client: %v", err)
+	}
+	defer cli.Close()
+	payload := make([]byte, 64)
+	addrs := make([]*core.Addr, batch)
+	bufs := make([][]byte, batch)
+	for i := range addrs {
+		a, err := cli.Alloc(64)
+		if err != nil {
+			fatalf("wire: alloc: %v", err)
+		}
+		if err := cli.Write(&a, payload); err != nil {
+			fatalf("wire: write: %v", err)
+		}
+		addrs[i] = &a
+		bufs[i] = make([]byte, 64)
+	}
+	return measure(batch, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			results, err := cli.MultiRead(addrs, bufs)
+			if err != nil {
+				fatalf("wire: multi read: %v", err)
+			}
+			for k := range results {
+				if results[k].Err != nil {
+					fatalf("wire: sub read: %v", results[k].Err)
+				}
+			}
+		}
+	})
+}
+
+// runWire executes the wire drill and writes the JSON report. The bars are
+// recorded (and printed) but do not fail the run — wall-clock bars belong
+// to the machine that sets the baseline; the deterministic alloc budgets
+// are enforced by TestDirectReadAllocBudget / TestBatchReadAllocBudget.
+func runWire(args []string) {
+	fs := flag.NewFlagSet("wire", flag.ExitOnError)
+	out := fs.String("out", "BENCH_wire.json", "output JSON path")
+	fs.Parse(args)
+
+	res := wireResult{
+		BaselineNote: "before = pre-zero-copy wire (concat+Write framing, staging copies, no shm), TCP loopback, 1 goroutine, 64B objects; multi_read_128 rows are per sub-read",
+		Before:       wireBaseline,
+		After:        map[string]wireNumbers{},
+		Bars:         map[string]bool{},
+	}
+
+	res.After["rpc_single_shm"] = measureRPC(false)
+	res.After["rpc_single_tcp"] = measureRPC(true)
+	res.After["direct_read_shm"] = measureDirectRead(false)
+	res.After["direct_read_tcp"] = measureDirectRead(true)
+	res.After["multi_read_128_shm"] = measureMultiRead(false)
+	res.After["multi_read_128_tcp"] = measureMultiRead(true)
+
+	res.SpeedupSHMOverTCP = res.After["rpc_single_tcp"].NsPerOp / res.After["rpc_single_shm"].NsPerOp
+	res.Bars["rpc_single_latency_down_25pct"] =
+		res.After["rpc_single_shm"].NsPerOp <= 0.75*res.Before["rpc_single"].NsPerOp
+	res.Bars["direct_read_allocs_le_4"] =
+		res.After["direct_read_shm"].AllocsPerOp <= 4 && res.After["direct_read_tcp"].AllocsPerOp <= 4
+	res.Bars["multi_read_128_ge_3m_sub_reads"] =
+		res.After["multi_read_128_shm"].OpsPerSec >= 3_000_000
+	res.Bars["shm_2x_over_tcp_single_op"] = res.SpeedupSHMOverTCP >= 2
+
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatalf("wire: marshal: %v", err)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatalf("wire: write %s: %v", *out, err)
+	}
+	os.Stdout.Write(doc)
+	for name, ok := range res.Bars {
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wire: bar missed on this machine: %s\n", name)
+		}
+	}
+}

@@ -48,18 +48,16 @@ func (c *Ctx) callBatch(n int, idempotent bool, fill func(i int) rpc.Request, ea
 	}
 	body := marshalBatch(n, fill)
 	req := rpc.Request{Op: rpc.OpBatch, Payload: body}
-	var resp rpc.Response
-	var err error
-	if idempotent {
-		resp, err = c.callIdempotent(req)
-	} else {
-		resp, err = c.backend.Call(req)
-	}
+	// The packed sub-responses are decoded directly out of the receive
+	// lease — the only copies left in a batched read are the per-sub
+	// copies into the caller's buffers.
+	resp, lease, err := c.callLease(req, idempotent)
 	putScratch(body)
 	if err != nil {
 		return err
 	}
 	if e := resp.Status.Err(); e != nil {
+		lease.Release()
 		return e
 	}
 	subs, derr := rpc.DecodeBatchResponses(resp.Payload, rpc.GetSubResponses())
@@ -68,12 +66,14 @@ func (c *Ctx) callBatch(n int, idempotent bool, fill func(i int) rpc.Request, ea
 	}
 	if derr != nil {
 		rpc.PutSubResponses(subs)
+		lease.Release()
 		return derr
 	}
 	for i := range subs {
 		each(i, subs[i])
 	}
 	rpc.PutSubResponses(subs)
+	lease.Release()
 	return nil
 }
 

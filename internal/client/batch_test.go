@@ -230,12 +230,14 @@ func TestMultiReadRetriesAcrossConnReset(t *testing.T) {
 	defer ctx.Close()
 
 	addrs, want := putN(t, ctx, 8)
-	// Arm a one-shot reset for the next write on the dialed RPC channel;
-	// the re-dialed connection starts a fresh counter and the plan is
-	// disarmed shortly after, so exactly one batch frame is lost.
+	// Arm a reset for the next write on the dialed RPC channel and disarm
+	// as soon as it fires, so exactly one batch frame is lost; the
+	// client's backed-off re-issue lands after the disarm.
 	inj.SetPlan(fault.Plan{ResetAfterWrites: 1})
 	go func() {
-		time.Sleep(5 * time.Millisecond)
+		for inj.Stats().Resets == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
 		inj.SetPlan(fault.Plan{})
 	}()
 

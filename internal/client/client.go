@@ -134,21 +134,47 @@ func (c *Ctx) Close() error {
 
 // scratchPool recycles the client's one-sided read buffers (stride- and
 // block-sized) and batch marshalling scratch; allocating them per call
-// costs an allocation per operation on the hottest paths.
-var scratchPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+// costs an allocation per operation on the hottest paths. The pool stores
+// *[]byte boxes (with the empty boxes themselves recycled) because putting
+// a bare slice into a sync.Pool re-boxes its header on every Put.
+var (
+	scratchPool    = sync.Pool{} // holds *[]byte with a live backing array
+	scratchBoxPool = sync.Pool{} // holds *[]byte awaiting reuse
+)
 
 // getScratch returns a pooled buffer of length n.
 func getScratch(n int) []byte {
-	b := scratchPool.Get().([]byte)
-	if cap(b) < n {
-		return append(b[:0], make([]byte, n)...)
+	if p, _ := scratchPool.Get().(*[]byte); p != nil {
+		b := *p
+		*p = nil
+		scratchBoxPool.Put(p)
+		if cap(b) >= n {
+			return b[:n]
+		}
 	}
-	return b[:n]
+	c := n
+	if c < 4096 {
+		c = 4096
+	}
+	return make([]byte, n, c)
 }
 
 // putScratch recycles a buffer obtained from getScratch.
 func putScratch(b []byte) {
-	scratchPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped here
+	p, _ := scratchBoxPool.Get().(*[]byte)
+	if p == nil {
+		p = new([]byte)
+	}
+	*p = b[:0]
+	scratchPool.Put(p)
+}
+
+// connRetrySleep paces re-issues of an idempotent operation across
+// transport faults: exponential from 1ms, so a flapping wire is not
+// hammered by a tight re-issue loop (the transport's own redial backoff
+// only covers dialing, not the re-submitted request).
+func connRetrySleep(attempt int) {
+	time.Sleep(time.Millisecond << attempt)
 }
 
 // callIdempotent re-issues an idempotent RPC across transport reconnects,
@@ -163,39 +189,92 @@ func (c *Ctx) callIdempotent(req rpc.Request) (rpc.Response, error) {
 			return resp, err
 		}
 		clRetries.Inc()
+		connRetrySleep(attempt)
+	}
+}
+
+// leaseCaller / leaseDirectReader are the optional zero-copy facets a
+// backend may provide (transport.Conn does): response payloads alias a
+// receive-buffer lease instead of being copied onto the heap. Backends
+// without the facets fall back to the copying paths transparently.
+type leaseCaller interface {
+	CallLease(req rpc.Request) (rpc.Response, *transport.Lease, error)
+}
+
+type leaseDirectReader interface {
+	DirectReadLease(rkey uint32, vaddr uint64, n int) (*transport.Lease, []byte, error)
+}
+
+// callLease performs one RPC (re-issued across reconnects when idempotent)
+// and returns the response plus the lease its payload aliases. The caller
+// must Release the lease once done with the payload; on the fallback
+// (non-lease backend) path the lease is nil-safe to release and the
+// payload is heap-owned.
+func (c *Ctx) callLease(req rpc.Request, idempotent bool) (rpc.Response, *transport.Lease, error) {
+	lc, ok := c.backend.(leaseCaller)
+	if !ok {
+		var resp rpc.Response
+		var err error
+		if idempotent {
+			resp, err = c.callIdempotent(req)
+		} else {
+			resp, err = c.backend.Call(req)
+		}
+		return resp, nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, lease, err := lc.CallLease(req)
+		if err == nil || !idempotent || attempt >= c.ConnRetries || !transport.IsRetryable(err) {
+			return resp, lease, err
+		}
+		clRetries.Inc()
+		connRetrySleep(attempt)
+	}
+}
+
+// leaseDirectRead issues one one-sided read returning a lease-backed view,
+// repairing broken QPs like directRead. Backends without the lease facet
+// read into a transient buffer, so callers see one code path.
+func (c *Ctx) leaseDirectRead(rkey uint32, vaddr uint64, n int) (*transport.Lease, []byte, error) {
+	ldr, hasLease := c.backend.(leaseDirectReader)
+	for attempt := 0; ; attempt++ {
+		var lease *transport.Lease
+		var view []byte
+		var err error
+		if hasLease {
+			lease, view, err = ldr.DirectReadLease(rkey, vaddr, n)
+		} else {
+			view = make([]byte, n)
+			if err = c.backend.DirectRead(rkey, vaddr, view); err == nil {
+				lease = transport.TransientLease(view)
+			}
+		}
+		switch {
+		case err == nil:
+			return lease, view, nil
+		case attempt >= c.ConnRetries:
+			return nil, nil, err
+		case isQPBroken(err):
+			r, ok := c.backend.(dmaReconnector)
+			if !ok {
+				return nil, nil, err
+			}
+			if rerr := r.ReconnectDMA(); rerr != nil && !transport.IsRetryable(rerr) {
+				return nil, nil, rerr
+			}
+			clQPReconnects.Inc()
+		case !transport.IsRetryable(err):
+			return nil, nil, err
+		default:
+			connRetrySleep(attempt)
+		}
+		clDMARetries.Inc()
 	}
 }
 
 // isQPBroken matches a broken queue pair from either backend flavour.
 func isQPBroken(err error) bool {
 	return errors.Is(err, transport.ErrDMABroken) || errors.Is(err, rnic.ErrQPBroken)
-}
-
-// directRead issues one one-sided read, transparently repairing broken QPs
-// (via ReconnectDMA — the milliseconds-priced reconnect of §3.2.3) and
-// retrying across transport reconnects, within the ConnRetries budget.
-func (c *Ctx) directRead(rkey uint32, vaddr uint64, raw []byte) error {
-	for attempt := 0; ; attempt++ {
-		err := c.backend.DirectRead(rkey, vaddr, raw)
-		switch {
-		case err == nil:
-			return nil
-		case attempt >= c.ConnRetries:
-			return err
-		case isQPBroken(err):
-			r, ok := c.backend.(dmaReconnector)
-			if !ok {
-				return err
-			}
-			if rerr := r.ReconnectDMA(); rerr != nil && !transport.IsRetryable(rerr) {
-				return rerr
-			}
-			clQPReconnects.Inc()
-		case !transport.IsRetryable(err):
-			return err
-		}
-		clDMARetries.Inc()
-	}
 }
 
 // Info re-fetches the store parameters; it doubles as a health probe.
@@ -243,17 +322,22 @@ func (c *Ctx) Free(addr *core.Addr) error {
 }
 
 // Read reads the object via RPC; pointer correction is transparent. Reads
-// are idempotent, so they are re-issued across transport reconnects.
+// are idempotent, so they are re-issued across transport reconnects. The
+// response payload stays in the transport's receive lease until the single
+// copy into buf — no intermediate heap copy exists on this path.
 func (c *Ctx) Read(addr *core.Addr, buf []byte) (int, error) {
-	resp, err := c.callIdempotent(rpc.Request{Op: rpc.OpRead, Addr: *addr, Size: uint32(len(buf))})
+	resp, lease, err := c.callLease(rpc.Request{Op: rpc.OpRead, Addr: *addr, Size: uint32(len(buf))}, true)
 	if err != nil {
 		return 0, err
 	}
 	if e := resp.Status.Err(); e != nil {
+		lease.Release()
 		return 0, e
 	}
 	c.adopt(addr, resp.Addr)
-	return copy(buf, resp.Payload), nil
+	n := copy(buf, resp.Payload)
+	lease.Release()
+	return n, nil
 }
 
 // Write updates the object via RPC.
@@ -283,7 +367,9 @@ func (c *Ctx) ReleasePtr(addr *core.Addr) error {
 
 // DirectRead performs a one-sided read with client-side validity checks,
 // retrying inconsistent reads with backoff. ErrWrongObject surfaces to the
-// caller, who picks the correction path (ScanRead or RPC Read).
+// caller, who picks the correction path (ScanRead or RPC Read). The raw
+// slot is validated directly in the transport's registered receive buffer
+// — the one-sided scratch copy is gone.
 func (c *Ctx) DirectRead(addr *core.Addr, buf []byte) (int, error) {
 	size, err := c.ClassSize(*addr)
 	if err != nil {
@@ -292,28 +378,32 @@ func (c *Ctx) DirectRead(addr *core.Addr, buf []byte) (int, error) {
 	if len(buf) < size {
 		return 0, core.ErrShortBuffer
 	}
-	raw := getScratch(core.StrideOf(c.mode, size))
-	defer putScratch(raw)
+	stride := core.StrideOf(c.mode, size)
 	for attempt := 0; ; attempt++ {
-		if err := c.directRead(addr.RKey(), addr.VAddr(), raw); err != nil {
+		lease, raw, err := c.leaseDirectRead(addr.RKey(), addr.VAddr(), stride)
+		if err != nil {
 			return 0, err
 		}
 		payload, err := core.ExtractObjectMode(c.mode, raw, addr.ID(), size)
 		switch {
 		case err == nil:
-			return copy(buf, payload), nil
+			n := copy(buf, payload)
+			lease.Release()
+			return n, nil
 		case errors.Is(err, core.ErrInconsistent) && attempt < c.Retries:
+			lease.Release()
 			clInconsistentRetries.Inc()
 			time.Sleep(c.RetryBackoff)
-			continue
 		default:
+			lease.Release()
 			return 0, err
 		}
 	}
 }
 
 // ScanRead reads the object's whole block one-sidedly and scans it for the
-// ID, fixing the pointer's offset hint on success (§3.2.2).
+// ID, fixing the pointer's offset hint on success (§3.2.2). The block is
+// scanned in the transport's receive lease, not a staging copy.
 func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
 	size, err := c.ClassSize(*addr)
 	if err != nil {
@@ -323,10 +413,9 @@ func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
 		return 0, core.ErrShortBuffer
 	}
 	base := addr.VAddr() &^ uint64(c.blockBytes-1)
-	raw := getScratch(c.blockBytes)
-	defer putScratch(raw)
 	for attempt := 0; ; attempt++ {
-		if err := c.directRead(addr.RKey(), base, raw); err != nil {
+		lease, raw, err := c.leaseDirectRead(addr.RKey(), base, c.blockBytes)
+		if err != nil {
 			return 0, err
 		}
 		idx, payload, err := core.ScanBlockMode(c.mode, raw, addr.ID(), size)
@@ -334,12 +423,15 @@ func (c *Ctx) ScanRead(addr *core.Addr, buf []byte) (int, error) {
 		case err == nil:
 			addr.SetVAddr(base + uint64(idx*core.StrideOf(c.mode, size)))
 			addr.SetFlag(core.FlagIndirectObserved)
-			return copy(buf, payload), nil
+			n := copy(buf, payload)
+			lease.Release()
+			return n, nil
 		case errors.Is(err, core.ErrInconsistent) && attempt < c.Retries:
+			lease.Release()
 			clInconsistentRetries.Inc()
 			time.Sleep(c.RetryBackoff)
-			continue
 		default:
+			lease.Release()
 			return 0, err
 		}
 	}

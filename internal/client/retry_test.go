@@ -66,15 +66,16 @@ func TestReadRetriesAcrossConnReset(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Arm a one-shot reset for the next write op on the (already dialed)
-	// RPC channel; the re-dialed connection starts a fresh counter, and
-	// SetPlan{} below disarms it for that connection anyway.
+	// Arm a reset for the next write op on the (already dialed) RPC
+	// channel and disarm as soon as it fires, so exactly one request frame
+	// is lost; the client's backed-off re-issue lands after the disarm.
 	inj.SetPlan(fault.Plan{ResetAfterWrites: 1})
-	resetPlanAfterFirstUse := func() {
-		time.Sleep(5 * time.Millisecond)
+	go func() {
+		for inj.Stats().Resets == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
 		inj.SetPlan(fault.Plan{})
-	}
-	go resetPlanAfterFirstUse()
+	}()
 
 	buf := make([]byte, 64)
 	n, err := ctx.Read(&addr, buf)

@@ -472,6 +472,53 @@ func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
 	return size, nil
 }
 
+// ReadStaged is Read without the internal staging buffer: the caller
+// supplies buf of at least Stride(class) bytes, the raw slot is landed
+// directly in it, and the payload is unpacked in place to buf[:size] — so
+// the RPC server can serve reads straight into the outgoing wire frame
+// with zero staging copies. In-place unpacking is safe because every
+// packed payload byte sits strictly ahead of its destination (the 16-byte
+// slot header plus one version-tag byte per cacheline), and copy has
+// memmove semantics.
+func (s *Store) ReadStaged(addr *Addr, buf []byte) (int, error) {
+	st, slot, _, err := s.resolve(addr)
+	if err != nil {
+		return 0, err
+	}
+	size := s.ClassSize(st.Class)
+	if len(buf) < st.Stride {
+		return 0, ErrShortBuffer
+	}
+	if !s.cfg.DataBacked {
+		if err := st.gone(); err != nil {
+			return 0, err
+		}
+		s.stats.reads.Add(1)
+		cmReads.Inc()
+		// Callers hand in uninitialized frame-buffer tails; keep the
+		// payload deterministic like the staged path's zeroed scratch.
+		clear(buf[:size])
+		return size, nil
+	}
+	st.rw.RLock()
+	defer st.rw.RUnlock()
+	if err := st.gone(); err != nil {
+		return 0, err
+	}
+	s.stats.reads.Add(1)
+	cmReads.Inc()
+	raw := buf[:st.Stride]
+	if err := s.space.ReadAt(st.SlotAddr(slot), raw); err != nil {
+		return 0, err
+	}
+	if s.cfg.Consistency == ConsistencyChecksum {
+		copy(buf, raw[headerBytes:headerBytes+size])
+	} else {
+		unpackPayloadInto(buf, raw, size)
+	}
+	return size, nil
+}
+
 // readScratch wraps Read's stride-sized staging buffer so the sync.Pool
 // round trip is a pointer (a bare []byte boxed into interface{} costs a
 // heap-allocated slice header on every Put — exactly the per-read

@@ -6,12 +6,15 @@
 // seeded RNG, so a failing scenario replays exactly from its seed.
 //
 // The unit of scripting is one Read or Write call on the wrapped
-// connection. The transport writes each frame (12-byte header + body) as
-// one Write call — concurrent frames may coalesce into a single Write —
-// and reads through a buffered reader, so one Read call may deliver many
-// frames. In a single-request-at-a-time scenario, "reset after frame N" is
-// therefore expressed as reset after N write ops (plus one for the
-// client's channel handshake byte on client-side injection).
+// connection. The transport's scatter-gather writer issues one Write per
+// iovec on a wrapped conn (net.Buffers falls back to per-vector writes off
+// *net.TCPConn): small frames inline into the header arena and coalesce
+// into one Write — the channel-kind handshake byte folds into the first
+// one — while a large frame body is its own Write, so counter triggers can
+// land mid-batch, between a frame's header and its body. Reads go through
+// a buffered reader, so one Read call may deliver many frames. In a
+// single-request-at-a-time, small-frame scenario, "reset after frame N" is
+// therefore still expressed as reset after N write ops.
 //
 // Typical use, client side:
 //

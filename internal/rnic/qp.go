@@ -134,7 +134,11 @@ func (qp *QP) access(rkey uint32, vaddr uint64, buf []byte, write bool) (Cost, e
 		lo    int
 		n     int
 	}
-	var chunks []chunk
+	// Object-stride reads span one page, block reads a handful; the inline
+	// backing keeps the common cases off the heap (a 1 MiB scan still
+	// spills, which is fine — it pays for itself).
+	var inline [8]chunk
+	chunks := inline[:0]
 	done := 0
 	for done < len(buf) {
 		addr := vaddr + uint64(done)

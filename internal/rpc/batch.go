@@ -151,17 +151,48 @@ func DecodeBatchResponses(buf []byte, resps []Response) ([]Response, error) {
 	return resps, nil
 }
 
+// slicePool is a sync.Pool of slices that stores *[]T boxes rather than
+// raw slices: putting a bare slice into a pool boxes its three-word header
+// into a fresh interface allocation on every Put, which shows up as ~one
+// alloc per recycle on the batched hot path. Pointers convert to interfaces
+// allocation-free, and the empty boxes are themselves recycled, so
+// steady-state get/put allocates nothing.
+type slicePool[T any] struct {
+	slices sync.Pool // holds *[]T with a live backing array
+	boxes  sync.Pool // holds *[]T with a nil slice, awaiting reuse
+	minCap int
+}
+
+func (p *slicePool[T]) get() []T {
+	if q, _ := p.slices.Get().(*[]T); q != nil {
+		s := *q
+		*q = nil
+		p.boxes.Put(q)
+		return s[:0]
+	}
+	return make([]T, 0, p.minCap)
+}
+
+func (p *slicePool[T]) put(s []T) {
+	q, _ := p.boxes.Get().(*[]T)
+	if q == nil {
+		q = new([]T)
+	}
+	*q = s[:0]
+	p.slices.Put(q)
+}
+
 // Slice pools for the batched hot path: a batch borrows its sub-request and
 // sub-response slices (and the server its packed-payload scratch) here so
 // the marginal allocation cost per sub-op stays near zero.
 var (
-	subReqPool  = sync.Pool{New: func() any { return make([]Request, 0, 64) }}
-	subRespPool = sync.Pool{New: func() any { return make([]Response, 0, 64) }}
-	packPool    = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+	subReqPool  = slicePool[Request]{minCap: 64}
+	subRespPool = slicePool[Response]{minCap: 64}
+	packPool    = slicePool[byte]{minCap: 4096}
 )
 
 // GetSubRequests borrows an empty sub-request slice.
-func GetSubRequests() []Request { return subReqPool.Get().([]Request)[:0] }
+func GetSubRequests() []Request { return subReqPool.get() }
 
 // PutSubRequests recycles a slice from GetSubRequests. The elements may
 // alias decoded buffers, so they are cleared before pooling.
@@ -169,24 +200,22 @@ func PutSubRequests(s []Request) {
 	for i := range s {
 		s[i] = Request{}
 	}
-	subReqPool.Put(s[:0]) //nolint:staticcheck // slices are pointer-shaped here
+	subReqPool.put(s)
 }
 
 // GetSubResponses borrows an empty sub-response slice.
-func GetSubResponses() []Response { return subRespPool.Get().([]Response)[:0] }
+func GetSubResponses() []Response { return subRespPool.get() }
 
 // PutSubResponses recycles a slice from GetSubResponses.
 func PutSubResponses(s []Response) {
 	for i := range s {
 		s[i] = Response{}
 	}
-	subRespPool.Put(s[:0]) //nolint:staticcheck // slices are pointer-shaped here
+	subRespPool.put(s)
 }
 
 // getPackBuf borrows a payload-packing scratch buffer.
-func getPackBuf() []byte { return packPool.Get().([]byte)[:0] }
+func getPackBuf() []byte { return packPool.get() }
 
 // putPackBuf recycles a buffer from getPackBuf.
-func putPackBuf(b []byte) {
-	packPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped here
-}
+func putPackBuf(b []byte) { packPool.put(b) }

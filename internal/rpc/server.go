@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"encoding/binary"
+	"runtime"
 	"sync"
 	"time"
 
@@ -60,18 +62,7 @@ func (s *Server) Submit(req Request) Response {
 		return Response{Status: StatusError}
 	}
 	mRequests.Inc()
-	// Fast path: a token is free and the grab costs one channel op. Only a
-	// contended Submit — one that actually queues behind busy workers — pays
-	// for a timestamp, so the uncontended hot path stays clock-free.
-	var thread int
-	select {
-	case thread = <-s.tokens:
-	default:
-		mTokenContended.Inc()
-		waitStart := time.Now()
-		thread = <-s.tokens
-		mTokenWait.Record(time.Since(waitStart))
-	}
+	thread := s.grabToken()
 	start := time.Now()
 	var resp Response
 	if req.Op == OpBatch {
@@ -84,6 +75,94 @@ func (s *Server) Submit(req Request) Response {
 	return resp
 }
 
+// grabToken borrows a worker thread. Fast path: a token is free and the
+// grab costs one channel op. Only a contended grab — one that actually
+// queues behind busy workers — pays for a timestamp, so the uncontended
+// hot path stays clock-free.
+func (s *Server) grabToken() int {
+	select {
+	case thread := <-s.tokens:
+		return thread
+	default:
+	}
+	mTokenContended.Inc()
+	waitStart := time.Now()
+	thread := <-s.tokens
+	mTokenWait.Record(time.Since(waitStart))
+	return thread
+}
+
+// growBytes extends b by n bytes, reusing capacity without zeroing it —
+// callers overwrite the extension in full (or truncate back).
+func growBytes(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	return append(b, make([]byte, n)...)
+}
+
+// putRespHeader writes a sub/response record header in place.
+func putRespHeader(buf []byte, status Status, addr core.Addr, plen int) {
+	buf[0] = byte(status)
+	binary.LittleEndian.PutUint64(buf[1:], addr.Lo)
+	binary.LittleEndian.PutUint64(buf[9:], addr.Hi)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(plen))
+}
+
+// SubmitAppend executes a request and appends the marshalled response
+// directly onto dst — the zero-copy server path: read payloads are staged
+// and unpacked in place inside the outgoing frame buffer, so a read
+// response is never built as a separate Response-plus-copy. Worker-token
+// semantics match Submit exactly.
+func (s *Server) SubmitAppend(req Request, dst []byte) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		r := Response{Status: StatusError}
+		return r.MarshalAppend(dst)
+	}
+	mRequests.Inc()
+	thread := s.grabToken()
+	start := time.Now()
+	switch req.Op {
+	case OpBatch:
+		dst = s.executeBatchAppend(thread, req, dst)
+	case OpRead:
+		dst = s.readAppend(req, dst)
+	default:
+		resp := s.execute(thread, req)
+		dst = resp.MarshalAppend(dst)
+	}
+	observeOp(req.Op, start)
+	s.tokens <- thread
+	return dst
+}
+
+// readAppend serves one OpRead by staging the slot directly in the
+// response frame: header space is reserved, the raw slot lands after it,
+// the payload unpacks in place, and the header is back-filled with the
+// corrected pointer. No scratch buffer, no payload copy.
+func (s *Server) readAppend(req Request, dst []byte) []byte {
+	addr := req.Addr
+	size, stride, ok := s.classDims(addr)
+	if !ok {
+		r := Response{Status: StatusInvalid, Addr: addr}
+		return r.MarshalAppend(dst)
+	}
+	want := size
+	if int(req.Size) > 0 && int(req.Size) < size {
+		want = int(req.Size)
+	}
+	off := len(dst)
+	dst = growBytes(dst, respHeader+stride)
+	if _, err := s.store.ReadStaged(&addr, dst[off+respHeader:]); err != nil {
+		r := Response{Status: StatusOf(err), Addr: addr}
+		return r.MarshalAppend(dst[:off])
+	}
+	putRespHeader(dst[off:], StatusOK, addr, want)
+	return dst[:off+respHeader+want]
+}
+
 // maxBatchResp caps the packed size of one batch response so it still fits
 // the transport frame limit (8 MiB) with header headroom; a batch that
 // would overflow is rejected whole with StatusTooLarge.
@@ -93,6 +172,36 @@ const maxBatchResp = (8 << 20) - 1024
 // it, the goroutine + token traffic costs more than the parallelism pays,
 // especially on small hosts.
 const minBatchChunk = 8
+
+// maxBatchChunks bounds how many workers one batch may fan out across —
+// enough to saturate the worker pool on big hosts while keeping the token
+// list on the caller's stack.
+const maxBatchChunks = 16
+
+// chunkOutsPool recycles the per-batch chunk-output slice.
+var chunkOutsPool = slicePool[[]byte]{minCap: maxBatchChunks}
+
+// getChunkOuts borrows an n-element nil-filled chunk-output slice.
+func getChunkOuts(n int) [][]byte {
+	s := chunkOutsPool.get()
+	if cap(s) < n {
+		return make([][]byte, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// putChunkOuts recycles a slice from getChunkOuts, dropping any buffer
+// references its elements still hold.
+func putChunkOuts(s [][]byte) {
+	for i := range s {
+		s[i] = nil
+	}
+	chunkOutsPool.put(s)
+}
 
 // executeBatch unpacks an OpBatch request and dispatches its sub-operations
 // across the worker-token pool: the borrowed thread always executes, and if
@@ -113,10 +222,95 @@ func (s *Server) executeBatch(thread int, req Request) Response {
 		PutSubRequests(subs)
 		return Response{Status: StatusOK, Payload: AppendBatchHeader(nil, 0)}
 	}
+	outs := s.runBatchChunks(thread, subs)
+	PutSubRequests(subs)
 
-	// Borrow extra idle workers, one per additional minBatchChunk of subs.
-	var extra []int
-	for (len(extra)+1)*minBatchChunk < n && len(extra)+1 < cap(s.tokens) {
+	total := batchCountBytes
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total > maxBatchResp {
+		for _, o := range outs {
+			putPackBuf(o)
+		}
+		putChunkOuts(outs)
+		return Response{Status: StatusTooLarge}
+	}
+	payload := AppendBatchHeader(make([]byte, 0, total), n)
+	for _, o := range outs {
+		payload = append(payload, o...)
+		putPackBuf(o)
+	}
+	putChunkOuts(outs)
+	return Response{Status: StatusOK, Payload: payload}
+}
+
+// executeBatchAppend is executeBatch marshalled straight into the outgoing
+// frame: the response header and batch count are written in place and the
+// packed chunk outputs are concatenated after them, skipping the
+// intermediate payload buffer and the Response-payload copy entirely.
+func (s *Server) executeBatchAppend(thread int, req Request, dst []byte) []byte {
+	subs, err := DecodeBatchRequests(req.Payload, GetSubRequests())
+	if err != nil {
+		PutSubRequests(subs)
+		r := Response{Status: StatusInvalid}
+		return r.MarshalAppend(dst)
+	}
+	n := len(subs)
+	if n == 0 {
+		PutSubRequests(subs)
+		off := len(dst)
+		dst = growBytes(dst, respHeader)
+		putRespHeader(dst[off:], StatusOK, core.Addr{}, batchCountBytes)
+		return AppendBatchHeader(dst, 0)
+	}
+	outs := s.runBatchChunks(thread, subs)
+	PutSubRequests(subs)
+
+	total := batchCountBytes
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total > maxBatchResp {
+		for _, o := range outs {
+			putPackBuf(o)
+		}
+		putChunkOuts(outs)
+		r := Response{Status: StatusTooLarge}
+		return r.MarshalAppend(dst)
+	}
+	off := len(dst)
+	dst = growBytes(dst, respHeader)
+	putRespHeader(dst[off:], StatusOK, core.Addr{}, total)
+	dst = AppendBatchHeader(dst, n)
+	for _, o := range outs {
+		dst = append(dst, o...)
+		putPackBuf(o)
+	}
+	putChunkOuts(outs)
+	return dst
+}
+
+// runBatchChunks shards subs across the borrowed thread plus any idle
+// worker tokens (grabbed non-blocking, so a batch never stalls behind the
+// queue it is part of), one extra worker per additional minBatchChunk of
+// subs. Returns the packed per-chunk outputs in input order (pack-pool
+// buffers; caller recycles).
+func (s *Server) runBatchChunks(thread int, subs []Request) [][]byte {
+	n := len(subs)
+	// Sharding only pays when the scheduler has spare parallelism: with a
+	// single P the extra goroutines cannot overlap, so every fan-out is
+	// pure closure-allocation and context-switch cost on the hot path.
+	maxExtra := runtime.GOMAXPROCS(0) - 1
+	if t := cap(s.tokens) - 1; t < maxExtra {
+		maxExtra = t
+	}
+	if maxExtra > maxBatchChunks-1 {
+		maxExtra = maxBatchChunks - 1
+	}
+	var extraArr [maxBatchChunks - 1]int
+	extra := extraArr[:0]
+	for len(extra) < maxExtra && (len(extra)+1)*minBatchChunk < n {
 		select {
 		case t := <-s.tokens:
 			extra = append(extra, t)
@@ -128,7 +322,19 @@ sized:
 	chunks := len(extra) + 1
 	mBatchSubOps.Observe(int64(n))
 	mBatchWorkers.Observe(int64(chunks))
-	outs := make([][]byte, chunks)
+	outs := getChunkOuts(chunks)
+	if chunks == 1 {
+		outs[0] = s.executeChunk(thread, subs)
+		return outs
+	}
+	s.runShardedChunks(thread, subs, extra, outs)
+	return outs
+}
+
+// runShardedChunks is the fan-out half of runBatchChunks, split out so the
+// WaitGroup capture only heap-allocates on calls that actually shard.
+func (s *Server) runShardedChunks(thread int, subs []Request, extra []int, outs [][]byte) {
+	n, chunks := len(subs), len(outs)
 	var wg sync.WaitGroup
 	for c := 1; c < chunks; c++ {
 		lo, hi := c*n/chunks, (c+1)*n/chunks
@@ -143,82 +349,46 @@ sized:
 	for _, t := range extra {
 		s.tokens <- t
 	}
-	PutSubRequests(subs)
-
-	total := batchCountBytes
-	for _, o := range outs {
-		total += len(o)
-	}
-	if total > maxBatchResp {
-		for _, o := range outs {
-			putPackBuf(o)
-		}
-		return Response{Status: StatusTooLarge}
-	}
-	payload := AppendBatchHeader(make([]byte, 0, total), n)
-	for _, o := range outs {
-		payload = append(payload, o...)
-		putPackBuf(o)
-	}
-	return Response{Status: StatusOK, Payload: payload}
 }
 
 // executeChunk runs a contiguous sub-op range on one worker token,
-// returning the packed sub-response records (from the pack pool). Reads
-// land in a shared scratch buffer that is re-encoded into the packed output
-// immediately, so a chunk costs O(1) buffers regardless of length.
+// returning the packed sub-response records (from the pack pool). Read
+// payloads are staged and unpacked in place inside the packed output, so a
+// chunk costs O(1) buffers and zero payload copies regardless of length.
 func (s *Server) executeChunk(thread int, subs []Request) []byte {
 	out := getPackBuf()
-	scratch := getPackBuf()
 	for i := range subs {
-		out, scratch = s.executeSub(thread, &subs[i], out, scratch)
+		out = s.executeSub(thread, &subs[i], out)
 	}
-	putPackBuf(scratch)
 	return out
 }
 
 // executeSub runs one batched sub-operation and appends its packed
-// sub-response record onto out. Nested batches are rejected per sub-op.
-func (s *Server) executeSub(thread int, sub *Request, out, scratch []byte) (o, sc []byte) {
+// sub-response record onto out. Reads reserve their record in out and land
+// the slot there directly (see readAppend). Nested batches are rejected
+// per sub-op.
+func (s *Server) executeSub(thread int, sub *Request, out []byte) []byte {
 	var resp Response
 	switch sub.Op {
 	case OpRead:
-		addr := sub.Addr
-		size, ok := s.classSize(addr)
-		if !ok {
-			resp = Response{Status: StatusInvalid, Addr: addr}
-			break
-		}
-		want := size
-		if int(sub.Size) > 0 && int(sub.Size) < size {
-			want = int(sub.Size)
-		}
-		if cap(scratch) < size {
-			putPackBuf(scratch)
-			scratch = make([]byte, size)
-		}
-		scratch = scratch[:size]
-		if _, err := s.store.Read(&addr, scratch); err != nil {
-			resp = Response{Status: StatusOf(err), Addr: addr}
-		} else {
-			resp = Response{Status: StatusOK, Addr: addr, Payload: scratch[:want]}
-		}
+		return s.readAppend(*sub, out)
 	case OpBatch:
 		resp = Response{Status: StatusInvalid}
 	default:
 		resp = s.execute(thread, *sub)
 	}
-	return AppendSubResponse(out, &resp), scratch
+	return AppendSubResponse(out, &resp)
 }
 
-// classSize bounds-checks a pointer's size class before indexing the class
-// table, so a garbage address yields StatusInvalid instead of a panic.
-func (s *Server) classSize(addr core.Addr) (int, bool) {
+// classDims bounds-checks a pointer's size class before indexing the class
+// table, so a garbage address yields StatusInvalid instead of a panic. It
+// returns the class's payload size and slot stride.
+func (s *Server) classDims(addr core.Addr) (size, stride int, ok bool) {
 	cls := int(addr.Class())
 	if cls < 0 || cls >= len(s.store.Config().Classes) {
-		return 0, false
+		return 0, 0, false
 	}
-	return s.store.ClassSize(cls), true
+	return s.store.ClassSize(cls), s.store.Stride(cls), true
 }
 
 // execute dispatches one request against the store on behalf of a worker
@@ -245,15 +415,14 @@ func (s *Server) execute(thread int, req Request) Response {
 
 	case OpRead:
 		addr := req.Addr
-		classSize, ok := s.classSize(addr)
+		size, _, ok := s.classDims(addr)
 		if !ok {
 			return Response{Status: StatusInvalid, Addr: addr}
 		}
-		size := classSize
 		if int(req.Size) > 0 && int(req.Size) < size {
 			size = int(req.Size)
 		}
-		buf := make([]byte, classSize)
+		buf := make([]byte, s.store.ClassSize(int(addr.Class())))
 		if _, err := s.store.Read(&addr, buf); err != nil {
 			return Response{Status: StatusOf(err), Addr: addr}
 		}

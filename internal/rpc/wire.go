@@ -161,6 +161,29 @@ func UnmarshalRequest(buf []byte) (Request, error) {
 	return r, nil
 }
 
+// UnmarshalRequestView decodes a request frame without copying: the
+// returned request's Payload aliases buf. The transport server uses it
+// with receive-buffer leases — the frame stays leased until the request
+// is fully executed, so the alias is safe.
+func UnmarshalRequestView(buf []byte) (Request, error) {
+	if len(buf) < reqHeader {
+		return Request{}, fmt.Errorf("rpc: short request (%d bytes)", len(buf))
+	}
+	r := Request{
+		Op:   OpCode(buf[0]),
+		Addr: core.Addr{Lo: binary.LittleEndian.Uint64(buf[1:]), Hi: binary.LittleEndian.Uint64(buf[9:])},
+		Size: binary.LittleEndian.Uint32(buf[17:]),
+	}
+	n := binary.LittleEndian.Uint32(buf[21:])
+	if int(n) != len(buf)-reqHeader {
+		return Request{}, fmt.Errorf("rpc: payload length mismatch (%d vs %d)", n, len(buf)-reqHeader)
+	}
+	if n > 0 {
+		r.Payload = buf[25:]
+	}
+	return r, nil
+}
+
 const respHeader = 1 + 16 + 4
 
 // Marshal encodes the response.
@@ -197,6 +220,28 @@ func UnmarshalResponse(buf []byte) (Response, error) {
 	}
 	if n > 0 {
 		r.Payload = append([]byte(nil), buf[21:]...)
+	}
+	return r, nil
+}
+
+// UnmarshalResponseView decodes a response frame without copying: the
+// returned response's Payload aliases buf. Clients use it with
+// receive-buffer leases (transport.Conn.CallLease) and must keep the
+// lease alive while the payload is referenced.
+func UnmarshalResponseView(buf []byte) (Response, error) {
+	if len(buf) < respHeader {
+		return Response{}, fmt.Errorf("rpc: short response (%d bytes)", len(buf))
+	}
+	r := Response{
+		Status: Status(buf[0]),
+		Addr:   core.Addr{Lo: binary.LittleEndian.Uint64(buf[1:]), Hi: binary.LittleEndian.Uint64(buf[9:])},
+	}
+	n := binary.LittleEndian.Uint32(buf[17:])
+	if int(n) != len(buf)-respHeader {
+		return Response{}, fmt.Errorf("rpc: payload length mismatch")
+	}
+	if n > 0 {
+		r.Payload = buf[21:]
 	}
 	return r, nil
 }

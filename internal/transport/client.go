@@ -31,7 +31,12 @@ type Options struct {
 	// Seed drives the backoff jitter RNG, for reproducible schedules.
 	Seed int64
 	// Dialer opens the raw TCP connection; fault injection hooks in here.
+	// Setting it also disables the shared-memory fast path: a harness that
+	// wraps the wire gets the wire.
 	Dialer func(network, addr string) (net.Conn, error)
+	// DisableSharedMemory forces TCP even for same-process endpoints
+	// (loopback benchmarks comparing the two paths).
+	DisableSharedMemory bool
 }
 
 func (o Options) withDefaults() Options {
@@ -50,33 +55,72 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if o.Dialer == nil {
+	if o.Dialer != nil {
+		o.DisableSharedMemory = true
+	} else {
 		o.Dialer = net.Dial
 	}
 	return o
 }
 
+// wire is one live incarnation of a channel's transport: the TCP frame
+// stream or a shared-memory endpoint. A wire that faulted is closed and
+// replaced wholesale — its identity doubles as the incarnation token the
+// failure path compares, so a stale fault can never poison a successor.
+type wire interface {
+	// send enqueues one frame; with owned the wire takes the frame-pool
+	// buffer and recycles it once delivered.
+	send(seq uint64, body []byte, owned bool) error
+	close() error
+}
+
+// tcpWire frames onto a socket through the scatter-gather writer.
+type tcpWire struct {
+	nc net.Conn
+	fw *frameWriter
+}
+
+func (w *tcpWire) send(seq uint64, body []byte, owned bool) error {
+	return w.fw.send(seq, body, owned)
+}
+func (w *tcpWire) close() error { return w.nc.Close() }
+
+// shmWire frames onto an in-process endpoint (shm.go).
+type shmWire struct {
+	ep   *shmEndpoint
+	sink shmSink
+}
+
+func (w *shmWire) send(seq uint64, body []byte, owned bool) error {
+	if err := w.sink.send(seq, body, owned); err != nil {
+		return fmt.Errorf("%w: %v", ErrConnBroken, err)
+	}
+	return nil
+}
+func (w *shmWire) close() error { w.ep.close(); return nil }
+
 // callResult is what the demux reader (or the failure path) delivers to a
-// waiting caller. The body is a pooled frame buffer; the waiter returns it
-// with putFrameBuf after decoding.
+// waiting caller: a view of the response body backed by a receive-buffer
+// lease. The waiter releases the lease once decoded (or hands it up to
+// callers that want zero-copy views).
 type callResult struct {
-	body []byte
-	err  error
+	lease *Lease
+	body  []byte
+	err   error
 }
 
 // channel is one multiplexed framed stream to the server. Many calls may be
-// in flight at once: each registers a sequence ID in pending, writes its
-// frame under wmu, and waits for the demux reader goroutine (one per dialed
-// connection) to deliver the matching response. A channel whose read or
+// in flight at once: each registers a sequence ID in pending, enqueues its
+// frame on the wire, and waits for the demux reader goroutine (one per wire
+// incarnation) to deliver the matching response. A channel whose read or
 // write failed mid-frame is marked broken — its framing state is undefined,
 // so it must never be reused — every pending call fails with ErrConnBroken,
 // and the next use re-dials.
 type channel struct {
 	kind byte
 
-	mu      sync.Mutex // guards nc, fw, broken, closed, seq, pending
-	nc      net.Conn
-	fw      *frameWriter // coalescing writer for the current nc
+	mu      sync.Mutex // guards w, broken, closed, seq, pending
+	w       wire
 	broken  bool
 	closed  bool
 	seq     uint64
@@ -98,6 +142,11 @@ func (ch *channel) failPendingLocked(err error) {
 // next operation transparently re-dials with exponential backoff. Conn does
 // not re-issue operations — that is the client layer's job, and only for
 // idempotent ones.
+//
+// When the address belongs to a Server listening in this same process (and
+// no custom Dialer is installed), both channels ride the shared-memory
+// fast path instead of the socket; everything above the wire behaves
+// identically.
 type Conn struct {
 	addr string
 	opts Options
@@ -124,49 +173,70 @@ func DialOptions(addr string, opts Options) (*Conn, error) {
 	}
 	c.rpc.kind = chanRPC
 	c.dma.kind = chanDMA
-	rpcConn, err := c.dialChannel(chanRPC)
+	rpcWire, err := c.dialWire(chanRPC)
 	if err != nil {
 		return nil, err
 	}
-	dmaConn, err := c.dialChannel(chanDMA)
+	dmaWire, err := c.dialWire(chanDMA)
 	if err != nil {
-		rpcConn.Close()
+		rpcWire.close()
 		return nil, err
 	}
-	c.attach(&c.rpc, rpcConn)
-	c.attach(&c.dma, dmaConn)
+	c.attach(&c.rpc, rpcWire)
+	c.attach(&c.dma, dmaWire)
 	return c, nil
 }
 
-// attach installs a freshly dialed connection on a channel and starts its
-// demux reader.
-func (c *Conn) attach(ch *channel, nc net.Conn) {
+// attach installs a freshly dialed wire on a channel and starts its demux
+// reader.
+func (c *Conn) attach(ch *channel, w wire) {
 	ch.mu.Lock()
-	c.attachLocked(ch, nc)
+	c.attachLocked(ch, w)
 	ch.mu.Unlock()
 }
 
 // attachLocked is attach with ch.mu already held.
-func (c *Conn) attachLocked(ch *channel, nc net.Conn) {
-	ch.nc = nc
-	ch.fw = newFrameWriter(nc, func(err error) {
-		c.failChannel(ch, nc, "write", err)
-	})
+func (c *Conn) attachLocked(ch *channel, w wire) {
+	ch.w = w
 	ch.broken = false
 	ch.pending = make(map[uint64]chan callResult)
-	go c.readLoop(ch, nc)
+	switch tw := w.(type) {
+	case *tcpWire:
+		go c.readLoopTCP(ch, tw)
+	case *shmWire:
+		go c.readLoopSHM(ch, tw)
+	}
 }
 
-func (c *Conn) dialChannel(kind byte) (net.Conn, error) {
+// dialWire opens one channel's transport. Same-process endpoints attach
+// over shared memory (unless opted out); otherwise a TCP connection is
+// dialed and the channel-kind handshake byte is folded into the wire's
+// first flushed batch — connection setup costs a single syscall.
+func (c *Conn) dialWire(kind byte) (wire, error) {
+	if !c.opts.DisableSharedMemory {
+		if srv := lookupSHM(c.addr); srv != nil {
+			if ep := srv.dialSHM(kind); ep != nil {
+				return &shmWire{ep: ep, sink: shmSink{ring: ep.c2s}}, nil
+			}
+		}
+	}
 	nc, err := c.opts.Dialer("tcp", c.addr)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := nc.Write([]byte{kind}); err != nil {
-		nc.Close()
-		return nil, err
+	w := &tcpWire{nc: nc}
+	w.fw = newFrameWriter(nc, kind, func(err error) {
+		c.failChannel(ch(c, kind), w, "write", err)
+	})
+	return w, nil
+}
+
+// ch maps a channel kind back to the Conn's channel.
+func ch(c *Conn, kind byte) *channel {
+	if kind == chanDMA {
+		return &c.dma
 	}
-	return nc, nil
+	return &c.rpc
 }
 
 // Close tears down both channels, failing any in-flight calls.
@@ -176,8 +246,8 @@ func (c *Conn) Close() error {
 		ch.mu.Lock()
 		ch.closed = true
 		ch.failPendingLocked(ErrConnClosed)
-		if ch.nc != nil {
-			if e := ch.nc.Close(); e != nil {
+		if ch.w != nil {
+			if e := ch.w.close(); e != nil {
 				err = e
 			}
 		}
@@ -201,12 +271,12 @@ func (c *Conn) ensureLocked(ch *channel) error {
 	if ch.closed {
 		return ErrConnClosed
 	}
-	if ch.nc != nil && !ch.broken {
+	if ch.w != nil && !ch.broken {
 		return nil
 	}
-	if ch.nc != nil {
-		ch.nc.Close()
-		ch.nc = nil
+	if ch.w != nil {
+		ch.w.close()
+		ch.w = nil
 	}
 	backoff := c.opts.RedialBase
 	var last error
@@ -218,68 +288,105 @@ func (c *Conn) ensureLocked(ch *channel) error {
 			}
 		}
 		mRedialAttempts.Inc()
-		nc, err := c.dialChannel(ch.kind)
+		w, err := c.dialWire(ch.kind)
 		if err != nil {
 			last = err
 			continue
 		}
-		c.attachLocked(ch, nc)
+		c.attachLocked(ch, w)
 		mRedialSuccess.Inc()
 		return nil
 	}
 	return fmt.Errorf("%w: redial %s failed: %v", ErrConnBroken, c.addr, last)
 }
 
-// failChannel poisons the channel after a fault on the given connection
-// incarnation: the stream's framing state is undefined, so the connection
-// is closed, every pending call fails with ErrConnBroken, and the next use
+// failChannel poisons the channel after a fault on the given wire
+// incarnation: the stream's framing state is undefined, so the wire is
+// closed, every pending call fails with ErrConnBroken, and the next use
 // re-dials instead of desynchronizing. If the channel has already moved on
-// to a newer connection (or is closed), this is a no-op — the fault belongs
-// to a previous incarnation whose pending calls were already failed.
-func (c *Conn) failChannel(ch *channel, nc net.Conn, stage string, cause error) error {
+// to a newer wire (or is closed), this is a no-op — the fault belongs to a
+// previous incarnation whose pending calls were already failed.
+func (c *Conn) failChannel(ch *channel, w wire, stage string, cause error) error {
 	err := fmt.Errorf("%w: %s: %v", ErrConnBroken, stage, cause)
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
-	if ch.nc != nc || ch.closed {
+	if ch.w != w || ch.closed {
 		return err
 	}
 	ch.broken = true
 	mBrokenChannels.Inc()
-	nc.Close()
+	w.close()
 	ch.failPendingLocked(err)
 	return err
 }
 
-// readLoop is the demux reader: it pulls response frames off one connection
-// incarnation and delivers each to the pending call whose sequence ID it
-// echoes. Any read fault — including an unsolicited sequence ID, which
-// means the stream is desynchronized — poisons the channel and fails all
-// pending calls.
-func (c *Conn) readLoop(ch *channel, nc net.Conn) {
-	br := bufio.NewReaderSize(nc, readBufBytes)
-	for {
-		seq, body, err := readFrame(br)
-		if err != nil {
-			c.failChannel(ch, nc, "read", err)
-			return
-		}
-		ch.mu.Lock()
-		if ch.nc != nc {
-			ch.mu.Unlock()
-			putFrameBuf(body)
-			return
-		}
-		done, ok := ch.pending[seq]
-		if ok {
-			delete(ch.pending, seq)
-		}
+// deliver routes one decoded frame to its pending call; a false return
+// means the wire moved on or the sequence ID was unsolicited (the caller
+// poisons the channel for the latter).
+func (c *Conn) deliver(ch *channel, w wire, seq uint64, lease *Lease, body []byte) (stale, ok bool) {
+	ch.mu.Lock()
+	if ch.w != w {
 		ch.mu.Unlock()
-		if !ok {
-			putFrameBuf(body)
-			c.failChannel(ch, nc, "decode", fmt.Errorf("unsolicited response seq %d", seq))
+		lease.Release()
+		return true, false
+	}
+	done, ok := ch.pending[seq]
+	if ok {
+		delete(ch.pending, seq)
+	}
+	ch.mu.Unlock()
+	if !ok {
+		lease.Release()
+		return false, false
+	}
+	done <- callResult{lease: lease, body: body}
+	return false, true
+}
+
+// readLoopTCP is the demux reader for a socket wire: response frames land
+// in registered ring buffers and each lease is delivered to the pending
+// call whose sequence ID the frame echoes. Any read fault — including an
+// unsolicited sequence ID, which means the stream is desynchronized —
+// poisons the channel and fails all pending calls.
+func (c *Conn) readLoopTCP(ch *channel, w *tcpWire) {
+	br := bufio.NewReaderSize(w.nc, readBufBytes)
+	ring := newBufRing()
+	for {
+		seq, lease, body, err := readFrameRing(br, ring)
+		if err != nil {
+			c.failChannel(ch, w, "read", err)
 			return
 		}
-		done <- callResult{body: body}
+		stale, ok := c.deliver(ch, w, seq, lease, body)
+		if stale {
+			return
+		}
+		if !ok {
+			c.failChannel(ch, w, "decode", fmt.Errorf("unsolicited response seq %d", seq))
+			return
+		}
+	}
+}
+
+// readLoopSHM is the demux reader for a shared-memory wire: slot buffers
+// are handed to callers directly (wrapped in pooled leases) — no landing
+// copy exists on this path at all.
+func (c *Conn) readLoopSHM(ch *channel, w *shmWire) {
+	for {
+		seq, body, err := w.ep.s2c.pop()
+		if err != nil {
+			c.failChannel(ch, w, "read", err)
+			return
+		}
+		mFramesIn.Inc()
+		stale, ok := c.deliver(ch, w, seq, newPooledLease(body), body)
+		if stale {
+			return
+		}
+		if !ok {
+			c.failChannel(ch, w, "decode", fmt.Errorf("unsolicited response seq %d", seq))
+			return
+		}
 	}
 }
 
@@ -322,49 +429,61 @@ func putTimer(t *time.Timer) {
 var donePool = sync.Pool{New: func() any { return make(chan callResult, 1) }}
 
 // roundTrip performs one multiplexed exchange: register a pending call,
-// write the request frame, wait for the demux reader to deliver the
-// response. The returned body is a pooled frame buffer — decode it and hand
-// it back with putFrameBuf. Transport faults (including timeout) poison the
-// channel and fail all its pending calls.
-func (c *Conn) roundTrip(ch *channel, body []byte) ([]byte, error) {
+// enqueue the request frame (ownership of an owned frame-pool body passes
+// to the wire), wait for the demux reader to deliver the response. The
+// returned body aliases the returned lease — decode or copy, then Release.
+// Transport faults (including timeout) poison the channel and fail all its
+// pending calls.
+func (c *Conn) roundTrip(ch *channel, body []byte, owned bool) (*Lease, []byte, error) {
 	done := donePool.Get().(chan callResult)
 	defer donePool.Put(done)
 	ch.mu.Lock()
 	if err := c.ensureLocked(ch); err != nil {
 		ch.mu.Unlock()
-		return nil, err
+		return nil, nil, err
 	}
-	nc := ch.nc
-	fw := ch.fw
+	w := ch.w
 	ch.seq++
 	seq := ch.seq
 	ch.pending[seq] = done
 	ch.mu.Unlock()
 
-	if werr := fw.send(seq, body); werr != nil {
+	if werr := w.send(seq, body, owned); werr != nil {
 		// Fails every pending call on this incarnation — including ours,
 		// unless a concurrent fault already did; either way done fires.
 		// (An asynchronous flush fault reaches the same path through the
 		// frameWriter's onErr hook.)
-		c.failChannel(ch, nc, "write", werr)
+		c.failChannel(ch, w, "write", werr)
 	}
 
 	if c.opts.CallTimeout <= 0 {
 		r := <-done
-		return r.body, r.err
+		return r.lease, r.body, r.err
 	}
 	t := getTimer(c.opts.CallTimeout)
 	select {
 	case r := <-done:
 		putTimer(t)
-		return r.body, r.err
+		return r.lease, r.body, r.err
 	case <-t.C:
 		timerPool.Put(t) // already fired and drained
 		mCallTimeouts.Inc()
-		c.failChannel(ch, nc, "timeout", errCallTimeout{c.opts.CallTimeout})
+		c.failChannel(ch, w, "timeout", errCallTimeout{c.opts.CallTimeout})
 		r := <-done // failChannel (ours or a concurrent one) delivered
-		return r.body, r.err
+		return r.lease, r.body, r.err
 	}
+}
+
+// marshalCall encodes a request into a frame-pool buffer, enforcing the
+// frame bound before the wire is touched.
+func marshalCall(req rpc.Request) ([]byte, error) {
+	body := req.MarshalAppend(getFrameBuf(0))
+	if len(body)+frameSeqBytes > maxFrame {
+		n := len(body)
+		putFrameBuf(body)
+		return nil, fmt.Errorf("%w: %d-byte request", ErrFrameTooLarge, n)
+	}
+	return body, nil
 }
 
 // Call performs one RPC round trip. Concurrent Calls on one Conn pipeline
@@ -372,29 +491,44 @@ func (c *Conn) roundTrip(ch *channel, body []byte) ([]byte, error) {
 // error wraps ErrConnBroken; the next Call re-dials. A request too large
 // for one frame (an oversized batch, a giant write) fails cleanly with
 // ErrFrameTooLarge before touching the wire — the channel stays healthy.
+// The response payload is a private copy; CallLease is the zero-copy
+// variant.
 func (c *Conn) Call(req rpc.Request) (rpc.Response, error) {
-	body := req.MarshalAppend(getFrameBuf(0))
-	if len(body)+frameSeqBytes > maxFrame {
-		n := len(body)
-		putFrameBuf(body)
-		return rpc.Response{}, fmt.Errorf("%w: %d-byte request", ErrFrameTooLarge, n)
-	}
-	frame, err := c.roundTrip(&c.rpc, body)
-	putFrameBuf(body)
+	resp, lease, err := c.CallLease(req)
 	if err != nil {
 		return rpc.Response{}, err
 	}
-	resp, err := rpc.UnmarshalResponse(frame)
-	putFrameBuf(frame)
+	if len(resp.Payload) > 0 {
+		resp.Payload = append([]byte(nil), resp.Payload...)
+	}
+	lease.Release()
+	return resp, nil
+}
+
+// CallLease performs one RPC round trip without copying the response
+// payload: Response.Payload aliases the returned lease's receive buffer.
+// The caller must Release the lease when done with the payload (a nil
+// lease on error needs no release, but Release tolerates it).
+func (c *Conn) CallLease(req rpc.Request) (rpc.Response, *Lease, error) {
+	body, err := marshalCall(req)
 	if err != nil {
+		return rpc.Response{}, nil, err
+	}
+	lease, frame, err := c.roundTrip(&c.rpc, body, true)
+	if err != nil {
+		return rpc.Response{}, nil, err
+	}
+	resp, err := rpc.UnmarshalResponseView(frame)
+	if err != nil {
+		lease.Release()
 		// A frame that does not decode means the stream is corrupt; the
 		// channel cannot be trusted any further.
 		c.rpc.mu.Lock()
-		nc := c.rpc.nc
+		w := c.rpc.w
 		c.rpc.mu.Unlock()
-		return rpc.Response{}, c.failChannel(&c.rpc, nc, "decode", err)
+		return rpc.Response{}, nil, c.failChannel(&c.rpc, w, "decode", err)
 	}
-	return resp, nil
+	return resp, lease, nil
 }
 
 // DirectRead performs an emulated one-sided read of len(buf) bytes at the
@@ -404,45 +538,66 @@ func (c *Conn) Call(req rpc.Request) (rpc.Response, error) {
 // channel — the reconnect the paper prices at milliseconds; transport
 // faults heal automatically like Call's.
 func (c *Conn) DirectRead(rkey uint32, vaddr uint64, buf []byte) error {
-	if len(buf)+1 > maxFrame {
-		return fmt.Errorf("%w: DMA read of %d bytes", ErrFrameTooLarge, len(buf))
-	}
-	var req [16]byte
-	binary.LittleEndian.PutUint32(req[0:], rkey)
-	binary.LittleEndian.PutUint64(req[4:], vaddr)
-	binary.LittleEndian.PutUint32(req[12:], uint32(len(buf)))
-	frame, err := c.roundTrip(&c.dma, req[:])
+	lease, data, err := c.DirectReadLease(rkey, vaddr, len(buf))
 	if err != nil {
 		return err
 	}
-	defer putFrameBuf(frame)
+	copy(buf, data)
+	lease.Release()
+	return nil
+}
+
+// DirectReadLease is the zero-copy one-sided read: the returned view of
+// the read data aliases the returned lease's receive buffer (the emulated
+// NIC wrote into registered memory; this is that memory). Release when
+// done.
+func (c *Conn) DirectReadLease(rkey uint32, vaddr uint64, n int) (*Lease, []byte, error) {
+	if n+1 > maxFrame {
+		return nil, nil, fmt.Errorf("%w: DMA read of %d bytes", ErrFrameTooLarge, n)
+	}
+	// The request rides an owned pool buffer: a stack array would escape
+	// through the wire interface and cost an allocation per read.
+	req := getFrameBuf(16)
+	binary.LittleEndian.PutUint32(req[0:], rkey)
+	binary.LittleEndian.PutUint64(req[4:], vaddr)
+	binary.LittleEndian.PutUint32(req[12:], uint32(n))
+	lease, frame, err := c.roundTrip(&c.dma, req, true)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(frame) < 1 {
-		return c.failDMADecode(fmt.Errorf("empty DMA response"))
+		lease.Release()
+		return nil, nil, c.failDMADecode(fmt.Errorf("empty DMA response"))
 	}
-	switch frame[0] {
+	status := frame[0]
+	switch status {
 	case dmaOK:
-		if len(frame)-1 != len(buf) {
+		if len(frame)-1 != n {
 			// A short payload means we are reading someone else's frame.
-			return c.failDMADecode(fmt.Errorf("DMA short read (%d of %d)", len(frame)-1, len(buf)))
+			lease.Release()
+			return nil, nil, c.failDMADecode(fmt.Errorf("DMA short read (%d of %d)", len(frame)-1, n))
 		}
-		copy(buf, frame[1:])
-		return nil
+		return lease, frame[1:], nil
 	case dmaBadKey:
-		return ErrDMABadKey
+		lease.Release()
+		return nil, nil, ErrDMABadKey
 	case dmaBroken:
-		return ErrDMABroken
+		lease.Release()
+		return nil, nil, ErrDMABroken
 	case dmaBounds:
-		return ErrDMABounds
+		lease.Release()
+		return nil, nil, ErrDMABounds
 	}
-	return c.failDMADecode(fmt.Errorf("DMA error %d", frame[0]))
+	lease.Release()
+	return nil, nil, c.failDMADecode(fmt.Errorf("DMA error %d", status))
 }
 
 // failDMADecode poisons the DMA channel after an undecodable response.
 func (c *Conn) failDMADecode(cause error) error {
 	c.dma.mu.Lock()
-	nc := c.dma.nc
+	w := c.dma.w
 	c.dma.mu.Unlock()
-	return c.failChannel(&c.dma, nc, "decode", cause)
+	return c.failChannel(&c.dma, w, "decode", cause)
 }
 
 // ReconnectDMA re-establishes the one-sided channel after a QP break,
@@ -451,8 +606,8 @@ func (c *Conn) failDMADecode(cause error) error {
 func (c *Conn) ReconnectDMA() error {
 	c.dma.mu.Lock()
 	defer c.dma.mu.Unlock()
-	if c.dma.nc != nil {
-		c.dma.nc.Close()
+	if c.dma.w != nil {
+		c.dma.w.close()
 	}
 	c.dma.broken = true
 	c.dma.failPendingLocked(fmt.Errorf("%w: reconnect", ErrConnBroken))

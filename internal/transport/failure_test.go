@@ -72,9 +72,10 @@ func TestCallHealsAfterInjectedReset(t *testing.T) {
 	}
 	t.Cleanup(ts.Close)
 
-	// Reset the RPC channel mid-frame: op 1 is the handshake byte, op 2 the
-	// frame header — so the kill lands inside the first Call's frame.
-	inj := fault.NewInjector(11, fault.Plan{ResetAfterWrites: 2})
+	// Reset the RPC channel mid-frame: the handshake byte is folded into
+	// the first flushed batch, so write 1 is the first Call's frame — the
+	// kill lands inside it.
+	inj := fault.NewInjector(11, fault.Plan{ResetAfterWrites: 1})
 	conn, err := DialOptions(ts.Addr(), Options{Dialer: inj.Dial, RedialBase: time.Millisecond, Seed: 2})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"testing"
 )
@@ -33,5 +34,28 @@ func FuzzDecodeFrame(f *testing.F) {
 		if !bytes.Equal(re, data[:consumed]) {
 			t.Fatalf("frame round trip mismatch:\n in: %x\nout: %x", data[:consumed], re)
 		}
+		// The scatter-gather writer must emit the identical canonical bytes
+		// — its vectored output is indistinguishable on the wire from the
+		// flat encoder, whether the body rides inline in the arena or as
+		// its own iovec.
+		cc := &captureConn{}
+		fw := newFrameWriter(cc, 0, nil)
+		if werr := fw.send(seq, body, false); werr != nil {
+			t.Fatalf("vector writer rejected decoded frame: %v", werr)
+		}
+		if wire := cc.bytes(); !bytes.Equal(wire, data[:consumed]) {
+			t.Fatalf("vector writer wire mismatch:\n in: %x\nout: %x", data[:consumed], wire)
+		}
+		// And the ring-lease decode path must agree with the pooled path.
+		lr := bufio.NewReader(bytes.NewReader(data))
+		ring := newBufRing()
+		rseq, lease, rbody, rerr := readFrameRing(lr, ring)
+		if rerr != nil {
+			t.Fatalf("readFrameRing failed where readFrame succeeded: %v", rerr)
+		}
+		if rseq != seq || !bytes.Equal(rbody, body) {
+			t.Fatalf("ring decode mismatch: seq %d vs %d", rseq, seq)
+		}
+		lease.Release()
 	})
 }

@@ -26,4 +26,16 @@ var (
 		"round trips that outlived CallTimeout")
 	mDMAReads = metrics.Default().Counter("corm_transport_dma_reads_total",
 		"one-sided read requests served over DMA channels")
+	mVecsPerFlush = metrics.Default().Histogram("corm_transport_vecs_per_flush",
+		"iovec entries handed to one writev batch")
+	mFrameDrops = metrics.Default().Counter("corm_transport_frame_pool_drops_total",
+		"oversized frame buffers dropped instead of pooled")
+	mRingLeases = metrics.Default().Counter("corm_transport_ring_leases_total",
+		"receive buffers leased from registered rings")
+	mRingOverflows = metrics.Default().Counter("corm_transport_ring_overflows_total",
+		"receives served by transient buffers because the ring was exhausted")
+	mSHMConns = metrics.Default().Counter("corm_transport_shm_conns_total",
+		"channels attached over the shared-memory fast path")
+	mSHMFrames = metrics.Default().Counter("corm_transport_shm_frames_total",
+		"frames carried over shared-memory rings (both directions)")
 )

@@ -1,0 +1,445 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"corm/internal/fault"
+	"corm/internal/rpc"
+)
+
+// captureConn is a net.Conn stub that records writes. net.Buffers.WriteTo
+// falls back to one Write per vector on it (it is not a *net.TCPConn), so
+// the write count equals the iovec count — the same view the fault
+// injector gets.
+type captureConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	writes int
+}
+
+func (c *captureConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	return c.buf.Write(p)
+}
+func (c *captureConn) Read(p []byte) (int, error)         { return 0, io.EOF }
+func (c *captureConn) Close() error                       { return nil }
+func (c *captureConn) LocalAddr() net.Addr                { return nil }
+func (c *captureConn) RemoteAddr() net.Addr               { return nil }
+func (c *captureConn) SetDeadline(t time.Time) error      { return nil }
+func (c *captureConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *captureConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func (c *captureConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
+}
+
+// TestVectorWriterRoundTrip pushes frames of every interesting shape —
+// empty, small (arena-inlined), boundary, large (own zero-copy vector),
+// owned and unowned — through the scatter-gather writer and decodes the
+// wire bytes back, asserting canonical framing and sequence order.
+func TestVectorWriterRoundTrip(t *testing.T) {
+	cc := &captureConn{}
+	fw := newFrameWriter(cc, 0, nil)
+
+	sizes := []int{0, 1, 10, inlineFrame - 1, inlineFrame, inlineFrame + 1, 4096, 70000}
+	var want [][]byte
+	for i, n := range sizes {
+		body := make([]byte, n)
+		for j := range body {
+			body[j] = byte(i + j)
+		}
+		want = append(want, body)
+		if i%2 == 0 {
+			owned := append(getFrameBuf(0), body...)
+			if err := fw.send(uint64(i+1), owned, true); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := fw.send(uint64(i+1), body, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	r := bytes.NewReader(cc.bytes())
+	for i := range want {
+		seq, body, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("frame %d: seq %d", i, seq)
+		}
+		if !bytes.Equal(body, want[i]) {
+			t.Fatalf("frame %d: body mismatch (%d vs %d bytes)", i, len(body), len(want[i]))
+		}
+		putFrameBuf(body)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes on the wire", r.Len())
+	}
+}
+
+// TestVectorWriterFoldsKindByte: the dial-time channel handshake byte
+// travels inside the first flushed batch — one write call covers both the
+// kind byte and the first frame, so connection setup costs one syscall.
+func TestVectorWriterFoldsKindByte(t *testing.T) {
+	cc := &captureConn{}
+	fw := newFrameWriter(cc, chanRPC, nil)
+	if err := fw.send(1, []byte("payload"), false); err != nil {
+		t.Fatal(err)
+	}
+	if cc.writes != 1 {
+		t.Fatalf("first flush took %d writes, want 1 (kind byte not folded)", cc.writes)
+	}
+	wire := cc.bytes()
+	if wire[0] != chanRPC {
+		t.Fatalf("first wire byte = %q, want %q", wire[0], chanRPC)
+	}
+	seq, body, err := readFrame(bytes.NewReader(wire[1:]))
+	if err != nil || seq != 1 || string(body) != "payload" {
+		t.Fatalf("frame after kind byte: seq=%d body=%q err=%v", seq, body, err)
+	}
+	putFrameBuf(body)
+}
+
+// TestVectorWriterCoalescesSmallFrames: consecutive small frames inline
+// contiguously into the header arena, so a single-sender burst costs one
+// vector (one write on a wrapped conn) per flush, not one per frame.
+func TestVectorWriterCoalescesSmallFrames(t *testing.T) {
+	cc := &captureConn{}
+	fw := newFrameWriter(cc, 0, nil)
+	if err := fw.send(1, []byte("aa"), false); err != nil {
+		t.Fatal(err)
+	}
+	if cc.writes != 1 {
+		t.Fatalf("small frame took %d writes, want 1", cc.writes)
+	}
+	// A large body rides as its own zero-copy vector: header vec + body vec.
+	big := make([]byte, inlineFrame*4)
+	if err := fw.send(2, big, false); err != nil {
+		t.Fatal(err)
+	}
+	if cc.writes != 3 {
+		t.Fatalf("large frame flush brought writes to %d, want 3 (header vec + body vec)", cc.writes)
+	}
+}
+
+// TestFramePoolDropsOversized: buffers grown past the largest size class
+// are dropped on put instead of pinned in the pool, so a large-frame burst
+// cannot permanently inflate pool memory.
+func TestFramePoolDropsOversized(t *testing.T) {
+	if cls := framePutClass(maxPooledFrame); cls != len(frameClasses)-1 {
+		t.Fatalf("cap==maxPooledFrame routed to class %d", cls)
+	}
+	if cls := framePutClass(maxPooledFrame + 1); cls != -1 {
+		t.Fatalf("oversized cap routed to class %d, want drop", cls)
+	}
+	// Burst of oversized frames through the pool...
+	for i := 0; i < 64; i++ {
+		putFrameBuf(make([]byte, maxPooledFrame+4096))
+	}
+	// ...must never come back: every pooled buffer stays within the cap.
+	for i := 0; i < 256; i++ {
+		b := getFrameBuf(64)
+		if cap(b) > maxPooledFrame {
+			t.Fatalf("pool returned %d-byte buffer after oversize burst", cap(b))
+		}
+		putFrameBuf(b)
+	}
+}
+
+// TestMidVectorFaultPoisonsChannel cuts the connection between a frame's
+// header vector and its large zero-copy body vector — the mid-writev cut.
+// The affected channel must poison and fail with ErrConnBroken, the DMA
+// channel must stay healthy, and the RPC channel must heal on the next use.
+func TestMidVectorFaultPoisonsChannel(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+
+	// Write 1 is the arena vector (kind byte + frame header + request
+	// header); write 2 is the large payload's own vector. The reset lands
+	// exactly between them — a frame cut mid-vector.
+	inj := fault.NewInjector(29, fault.Plan{ResetAfterWrites: 2})
+	conn, err := DialOptions(ts.Addr(), Options{Dialer: inj.Dial, RedialBase: time.Millisecond, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := bytes.Repeat([]byte{0xAB}, 4096) // far above inlineFrame
+	_, err = conn.Call(rpc.Request{Op: rpc.OpWrite, Payload: payload})
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("mid-vector cut error = %v, want ErrConnBroken", err)
+	}
+	if inj.Stats().Resets == 0 {
+		t.Fatal("no reset fired — the cut never happened")
+	}
+
+	inj.Disable()
+	// Only the RPC channel was poisoned: the DMA channel still answers
+	// (typed DMA error for a garbage key, not a broken connection).
+	if err := conn.DirectRead(0xdead, 0x1000, make([]byte, 64)); !errors.Is(err, ErrDMABadKey) {
+		t.Fatalf("DMA after RPC-channel cut = %v, want ErrDMABadKey", err)
+	}
+	// And the RPC channel heals by re-dialing.
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpInfo})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("call after mid-vector cut: %v %v", resp.Status, err)
+	}
+}
+
+// TestBufRingLeaseStress exercises the lease/release lifecycle from 16
+// goroutines with leases deliberately outliving their fill (handed to a
+// draining goroutine), under -race in CI. Buffers must never be recycled
+// while a holder remains, and the ring population must stay bounded.
+func TestBufRingLeaseStress(t *testing.T) {
+	ring := newBufRing()
+	const goroutines = 16
+	const iters = 400
+
+	hold := make(chan *Lease, 128)
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for l := range hold {
+			b := l.Bytes()
+			if b[0] != b[7] {
+				panic("lease mutated while held")
+			}
+			l.Release()
+		}
+	}()
+
+	sizes := []int{64, 4 << 10, 9 << 10, 64 << 10, 128 << 10, 2 << 20}
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l := ring.Get(sizes[(g+i)%len(sizes)])
+				b := l.Bytes()
+				b[0] = byte(g)
+				b[7] = byte(g)
+				l.Retain()
+				hold <- l
+				l.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(hold)
+	drain.Wait()
+
+	for i := range ring.classes {
+		c := &ring.classes[i]
+		if got := c.posted.Load(); got > c.depth {
+			t.Fatalf("class %d posted %d buffers, depth %d", i, got, c.depth)
+		}
+		if got := len(c.ch); int32(got) > c.depth {
+			t.Fatalf("class %d holds %d free leases, depth %d", i, got, c.depth)
+		}
+	}
+}
+
+// TestLeaseOverReleasePanics: the refcount is a real invariant, not a
+// suggestion.
+func TestLeaseOverReleasePanics(t *testing.T) {
+	l := TransientLease(make([]byte, 8))
+	l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	l.Release()
+}
+
+// TestSHMFastPathSelected: dialing an address served by a Listen in this
+// process attaches over shared memory, and the full op surface (RPC
+// alloc/write/read, one-sided DirectRead) behaves identically.
+func TestSHMFastPathSelected(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	conn, err := DialOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.rpc.w.(*shmWire); !ok {
+		t.Fatalf("RPC wire is %T, want *shmWire", conn.rpc.w)
+	}
+	if _, ok := conn.dma.w.(*shmWire); !ok {
+		t.Fatalf("DMA wire is %T, want *shmWire", conn.dma.w)
+	}
+
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("alloc over shm: %v %v", resp.Status, err)
+	}
+	addr := resp.Addr
+	want := bytes.Repeat([]byte{0x7E}, 64)
+	wresp, err := conn.Call(rpc.Request{Op: rpc.OpWrite, Addr: addr, Payload: want})
+	if err != nil || wresp.Status != rpc.StatusOK {
+		t.Fatalf("write over shm: %v %v", wresp.Status, err)
+	}
+	rresp, err := conn.Call(rpc.Request{Op: rpc.OpRead, Addr: addr, Size: 64})
+	if err != nil || rresp.Status != rpc.StatusOK || !bytes.Equal(rresp.Payload[:64], want) {
+		t.Fatalf("read over shm: %v %v", rresp.Status, err)
+	}
+	// One-sided read straight out of the ring.
+	lease, raw, err := conn.DirectReadLease(addr.RKey(), addr.VAddr(), 256)
+	if err != nil {
+		t.Fatalf("DirectReadLease over shm: %v", err)
+	}
+	if len(raw) != 256 {
+		t.Fatalf("lease view %d bytes, want 256", len(raw))
+	}
+	lease.Release()
+}
+
+// TestSHMOptOuts: a custom Dialer or DisableSharedMemory keeps the wire on
+// TCP, so fault-injection harnesses and loopback benchmarks see a socket.
+func TestSHMOptOuts(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+
+	opts := fastOpts()
+	opts.DisableSharedMemory = true
+	conn, err := DialOptions(ts.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conn.rpc.w.(*tcpWire); !ok {
+		t.Fatalf("DisableSharedMemory wire is %T, want *tcpWire", conn.rpc.w)
+	}
+	conn.Close()
+
+	opts = fastOpts()
+	opts.Dialer = net.Dial
+	conn, err = DialOptions(ts.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conn.rpc.w.(*tcpWire); !ok {
+		t.Fatalf("custom-Dialer wire is %T, want *tcpWire", conn.rpc.w)
+	}
+	conn.Close()
+}
+
+// TestSHMServerRestartHeals: closing the server poisons shm channels with
+// the same typed error TCP gives, and a re-Listen on the same address lets
+// the existing Conn re-attach — over shared memory again.
+func TestSHMServerRestartHeals(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ts.Addr()
+	conn, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call(rpc.Request{Op: rpc.OpInfo}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts.Close()
+	if _, err := conn.Call(rpc.Request{Op: rpc.OpInfo}); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("call against closed shm server = %v, want ErrConnBroken", err)
+	}
+
+	ts2, err := Listen(addr, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts2.Close)
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpInfo})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("call after shm restart: %v %v", resp.Status, err)
+	}
+	if _, ok := conn.rpc.w.(*shmWire); !ok {
+		t.Fatalf("healed wire is %T, want *shmWire", conn.rpc.w)
+	}
+}
+
+// TestSHMConcurrentStorm hammers one shm Conn from 16 goroutines — the
+// multiplexing, ring backpressure, and lease lifecycle must hold up under
+// -race exactly like the TCP path.
+func TestSHMConcurrentStorm(t *testing.T) {
+	srv := newNode(t)
+	ts, err := Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ts.Close)
+	conn, err := DialOptions(ts.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	resp, err := conn.Call(rpc.Request{Op: rpc.OpAlloc, Size: 64})
+	if err != nil || resp.Status != rpc.StatusOK {
+		t.Fatalf("alloc: %v %v", resp.Status, err)
+	}
+	addr := resp.Addr
+
+	const goroutines = 16
+	const ops = 200
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 256)
+			for i := 0; i < ops; i++ {
+				if g%2 == 0 {
+					if _, err := conn.Call(rpc.Request{Op: rpc.OpRead, Addr: addr, Size: 64}); err != nil {
+						errs <- fmt.Errorf("goroutine %d call %d: %v", g, i, err)
+						return
+					}
+				} else {
+					if err := conn.DirectRead(addr.RKey(), addr.VAddr(), buf); err != nil {
+						errs <- fmt.Errorf("goroutine %d read %d: %v", g, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

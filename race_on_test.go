@@ -1,0 +1,8 @@
+//go:build race
+
+package corm
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation adds allocations of its own — alloc-budget guards
+// are meaningless under it.
+const raceEnabled = true
