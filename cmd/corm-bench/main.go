@@ -58,6 +58,9 @@ func main() {
 	case "wire":
 		runWire(args[1:])
 		return
+	case "pushdown":
+		runPushdown(args[1:])
+		return
 	}
 	for _, name := range args {
 		e, ok := experiments.Lookup(name)
@@ -103,6 +106,7 @@ usage:
   corm-bench failover [-nodes N] [-replicas K] [-write-concern W]
                       [-keys N] [-size B] [-out FILE]
   corm-bench wire [-out FILE]
+  corm-bench pushdown [-out FILE]
 `)
 	flag.PrintDefaults()
 }

@@ -236,6 +236,42 @@ type OpResult = client.OpResult
 // Future resolves to the outcome of one asynchronous read (Client.ReadAsync).
 type Future = client.Future
 
+// Near-data compute (server-side pushdown) types: ScanWhere matches, RMW
+// batch operations and results, and the future returned by FetchAddAsync.
+type (
+	ScanMatch    = client.ScanMatch
+	RMWOp        = client.RMWOp
+	RMWResult    = client.RMWResult
+	AtomicFuture = client.AtomicFuture
+)
+
+// RMW operation kinds for Client.RMW.
+const (
+	RMWCas       = client.RMWCas
+	RMWFetchAdd  = client.RMWFetchAdd
+	RMWCondWrite = client.RMWCondWrite
+)
+
+// ScanWhere predicates, evaluated server-side at a byte offset.
+const (
+	PredEq    = rpc.PredEq
+	PredNe    = rpc.PredNe
+	PredLtU64 = rpc.PredLtU64
+	PredGtU64 = rpc.PredGtU64
+)
+
+// Conditional-write modes (Client.PutIf / PutIfAbsent use these under the
+// hood; RMWOp.Mode takes them directly).
+const (
+	CondIfVersion = rpc.CondIfVersion
+	CondIfAbsent  = rpc.CondIfAbsent
+)
+
+// ErrConflict reports a pushdown condition that did not hold: a CAS whose
+// old value mismatched, a PutIf against a moved version, a PutIfAbsent on
+// an already-written object. Nothing was applied.
+var ErrConflict = core.ErrConflict
+
 // Connect opens a client context to a remote CoRM node over TCP.
 func Connect(addr string) (*Client, error) {
 	return client.CreateCtx(addr)

@@ -121,6 +121,9 @@ func (c *Ctx) Flush() {
 	if batch := c.wbatch.take(); len(batch) > 0 {
 		go c.flushWriteBatch(batch)
 	}
+	if batch := c.abatch.take(); len(batch) > 0 {
+		go c.flushAtomicBatch(batch)
+	}
 }
 
 // flushBatch issues one coalesced MultiRead and resolves every future.
@@ -176,5 +179,106 @@ func (c *Ctx) drainAsync(err error) {
 	}
 	for _, w := range c.wbatch.take() {
 		w.fut.resolve(0, err)
+	}
+	for _, a := range c.abatch.take() {
+		a.fut.resolve(0, err)
+	}
+}
+
+// AtomicFuture resolves to the outcome of one asynchronous pushdown atomic.
+type AtomicFuture struct {
+	done chan struct{}
+	val  uint64
+	err  error
+}
+
+// Wait blocks until the operation completes, returning the pre-add value
+// (FetchAddAsync) and the operation's status.
+func (f *AtomicFuture) Wait() (uint64, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+func (f *AtomicFuture) resolve(val uint64, err error) {
+	f.val = val
+	f.err = err
+	close(f.done)
+}
+
+// atomicOp is one pending pushdown atomic awaiting the next flush.
+type atomicOp struct {
+	addr  *core.Addr
+	off   int
+	delta int64
+	fut   *AtomicFuture
+}
+
+// abatcher coalesces asynchronous pushdown atomics into OpMultiRMW flushes.
+// Separate from the read/write batchers: atomics carry dedup tokens, so the
+// frame is re-issued across reconnects like reads, but resolves RMWResults
+// rather than byte counts.
+type abatcher struct {
+	mu      sync.Mutex
+	pending []atomicOp
+	timer   *time.Timer
+}
+
+func (b *abatcher) take() []atomicOp {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.takeLocked()
+}
+
+func (b *abatcher) takeLocked() []atomicOp {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// FetchAddAsync enqueues a pushdown fetch-add and returns a future for its
+// pre-add value. Atomics enqueued within the coalescing window dispatch as
+// one OpMultiRMW round trip — the doorbell batching that lets a counter
+// workload push many increments per wire exchange while each stays
+// individually atomic server-side.
+func (c *Ctx) FetchAddAsync(addr *core.Addr, off int, delta int64) *AtomicFuture {
+	f := &AtomicFuture{done: make(chan struct{})}
+	b := &c.abatch
+	b.mu.Lock()
+	b.pending = append(b.pending, atomicOp{addr: addr, off: off, delta: delta, fut: f})
+	switch {
+	case len(b.pending) >= c.AsyncMaxBatch:
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		go c.flushAtomicBatch(batch)
+	case len(b.pending) == 1:
+		b.timer = time.AfterFunc(c.AsyncWindow, func() { c.flushAtomicBatch(b.take()) })
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	return f
+}
+
+// flushAtomicBatch issues one coalesced RMW and resolves every future.
+func (c *Ctx) flushAtomicBatch(batch []atomicOp) {
+	if len(batch) == 0 {
+		return
+	}
+	clAsyncFlushSize.Observe(int64(len(batch)))
+	ops := make([]RMWOp, len(batch))
+	for i, a := range batch {
+		ops[i] = RMWOp{Kind: RMWFetchAdd, Addr: a.addr, Offset: a.off, Delta: a.delta}
+	}
+	results, err := c.RMW(ops)
+	for i, a := range batch {
+		if err != nil {
+			a.fut.resolve(0, err)
+			continue
+		}
+		a.fut.resolve(results[i].Old, results[i].Err)
 	}
 }

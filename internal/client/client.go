@@ -17,7 +17,9 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"corm/internal/core"
@@ -65,8 +67,15 @@ type Ctx struct {
 	AsyncWindow   time.Duration
 	AsyncMaxBatch int
 
-	batch  batcher // pending asynchronous reads
-	wbatch batcher // pending asynchronous writes (flushed separately: not idempotent)
+	batch  batcher  // pending asynchronous reads
+	wbatch batcher  // pending asynchronous writes (flushed separately: not idempotent)
+	abatch abatcher // pending asynchronous pushdown atomics (OpMultiRMW frames)
+
+	// tokenBase/tokenSeq mint the per-operation dedup tokens of the
+	// pushdown mutations (atomic.go): a random base per context plus a
+	// sequence, so tokens are unique across contexts without coordination.
+	tokenBase uint64
+	tokenSeq  atomic.Uint64
 }
 
 // CreateCtx connects to a remote CoRM node over TCP (Table 2's
@@ -122,6 +131,7 @@ func New(b Backend) (*Ctx, error) {
 		ConnRetries:   3,
 		AsyncWindow:   50 * time.Microsecond,
 		AsyncMaxBatch: 64,
+		tokenBase:     rand.Uint64(),
 	}, nil
 }
 
@@ -298,27 +308,34 @@ func (c *Ctx) ClassSize(addr core.Addr) (int, error) {
 	return c.classes[cls], nil
 }
 
-// Alloc allocates an object of the given size.
+// Alloc allocates an object of the given size. Like every non-read RPC it
+// rides the lease path: the response is parsed in the transport's receive
+// buffer and only the 16-byte pointer crosses onto the heap.
 func (c *Ctx) Alloc(size int) (core.Addr, error) {
-	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpAlloc, Size: uint32(size)})
+	resp, lease, err := c.callLease(rpc.Request{Op: rpc.OpAlloc, Size: uint32(size)}, false)
 	if err != nil {
 		return core.Addr{}, err
 	}
-	if e := resp.Status.Err(); e != nil {
+	e := resp.Status.Err()
+	addr := resp.Addr
+	lease.Release()
+	if e != nil {
 		return core.Addr{}, e
 	}
-	return resp.Addr, nil
+	return addr, nil
 }
 
 // Free releases the object; the pointer is corrected in place first if it
 // was indirect.
 func (c *Ctx) Free(addr *core.Addr) error {
-	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpFree, Addr: *addr})
+	resp, lease, err := c.callLease(rpc.Request{Op: rpc.OpFree, Addr: *addr}, false)
 	if err != nil {
 		return err
 	}
 	c.adopt(addr, resp.Addr)
-	return resp.Status.Err()
+	e := resp.Status.Err()
+	lease.Release()
+	return e
 }
 
 // Read reads the object via RPC; pointer correction is transparent. Reads
@@ -340,28 +357,34 @@ func (c *Ctx) Read(addr *core.Addr, buf []byte) (int, error) {
 	return n, nil
 }
 
-// Write updates the object via RPC.
+// Write updates the object via RPC. The empty response is parsed in the
+// receive lease — no heap copy on the acknowledge path.
 func (c *Ctx) Write(addr *core.Addr, payload []byte) error {
-	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpWrite, Addr: *addr, Payload: payload})
+	resp, lease, err := c.callLease(rpc.Request{Op: rpc.OpWrite, Addr: *addr, Payload: payload}, false)
 	if err != nil {
 		return err
 	}
 	c.adopt(addr, resp.Addr)
-	return resp.Status.Err()
+	e := resp.Status.Err()
+	lease.Release()
+	return e
 }
 
 // ReleasePtr tells the node that all copies of this pointer have been
 // corrected; the pointer is rebased onto the object's current block
 // (§3.3).
 func (c *Ctx) ReleasePtr(addr *core.Addr) error {
-	resp, err := c.backend.Call(rpc.Request{Op: rpc.OpRelease, Addr: *addr})
+	resp, lease, err := c.callLease(rpc.Request{Op: rpc.OpRelease, Addr: *addr}, false)
 	if err != nil {
 		return err
 	}
-	if e := resp.Status.Err(); e != nil {
+	e := resp.Status.Err()
+	na := resp.Addr
+	lease.Release()
+	if e != nil {
 		return e
 	}
-	*addr = resp.Addr
+	*addr = na
 	return nil
 }
 

@@ -18,4 +18,6 @@ var (
 		"one-sided reads retried on a torn/locked object (§3.2.3)")
 	clAsyncFlushSize = metrics.Default().Histogram("corm_client_async_flush_size",
 		"asynchronous reads coalesced per batcher flush")
+	clPushdownRetries = metrics.Default().Counter("corm_client_pushdown_retries_total",
+		"pushdown ops retried after racing a compaction (corrected pointer)")
 )

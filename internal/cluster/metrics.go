@@ -44,4 +44,6 @@ var (
 		"time a key spent below full replication before being healed")
 	cuReplicatorCycles = metrics.Default().Counter("corm_cluster_replicator_cycles_total",
 		"background re-replicator cycles executed")
+	cuCounterPropagations = metrics.Default().Counter("corm_cluster_counter_propagations_total",
+		"replicated KV fetch-adds fanned out past the primary replica")
 )

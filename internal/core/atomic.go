@@ -1,0 +1,275 @@
+// Near-data compute primitives (ROADMAP item 3, after Active Access): the
+// store-side halves of the pushdown opcodes. Each one runs its whole
+// read-modify-write under the block's exclusive rw lock — the same lock a
+// merge takes for its copy phase — so a pushdown op either completes
+// against the live block or observes the compacting/dissolved flags and
+// reports ErrCompacting for the caller to retry with a corrected pointer.
+// There is no window where compaction can move the record between the read
+// and the write, which is precisely what a client-side emulation cannot
+// guarantee without pinning the block.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrConflict reports a pushdown condition that did not hold (CAS compare
+// mismatch, CondWrite version mismatch). Nothing was written.
+var ErrConflict = errors.New("core: pushdown condition failed, not applied")
+
+// slotScratch carries the pooled staging buffers of the mutation paths: raw
+// holds a full slot image, pay an unpacked payload. Boxed for the same
+// reason as readScratch — a bare []byte through sync.Pool heap-allocates
+// the slice header on every Put.
+type slotScratch struct{ raw, pay []byte }
+
+// buffers returns the scratch slices sized to (stride, size), growing the
+// backing arrays only when a larger class shows up.
+func (sc *slotScratch) buffers(stride, size int) (raw, pay []byte) {
+	if cap(sc.raw) < stride {
+		sc.raw = make([]byte, stride)
+	}
+	if cap(sc.pay) < size {
+		sc.pay = make([]byte, size)
+	}
+	return sc.raw[:stride], sc.pay[:size]
+}
+
+var slotScratchPool = sync.Pool{New: func() any { return &slotScratch{} }}
+
+// mutateSlot is the shared read-modify-write engine: resolve the pointer,
+// take the block write lock, revalidate liveness, unpack the current
+// payload into scratch, and hand it to fn together with the current object
+// version. If fn mutates the payload and returns apply=true, the slot is
+// republished at version+1 under the same lock hold. On any error — or
+// apply=false — nothing is written and the observed version is returned
+// with the error, so conflict paths can report what they saw.
+func (s *Store) mutateSlot(addr *Addr, fn func(pay []byte, ver uint32) (bool, error)) (uint32, error) {
+	if !s.cfg.DataBacked {
+		return 0, ErrNoData
+	}
+	st, slot, _, err := s.resolve(addr)
+	if err != nil {
+		return 0, err
+	}
+	size := s.ClassSize(st.Class)
+	st.rw.Lock()
+	defer st.rw.Unlock()
+	if err := st.gone(); err != nil {
+		return 0, err
+	}
+	sc := slotScratchPool.Get().(*slotScratch)
+	defer slotScratchPool.Put(sc)
+	raw, pay := sc.buffers(st.Stride, size)
+	base := st.SlotAddr(slot)
+	if err := s.space.ReadAt(base, raw); err != nil {
+		return 0, err
+	}
+	h := decodeHeader(raw)
+	if s.cfg.Consistency == ConsistencyChecksum {
+		copy(pay, raw[headerBytes:headerBytes+size])
+	} else {
+		unpackPayloadInto(pay, raw, size)
+	}
+	apply, err := fn(pay, h.Version)
+	if err != nil || !apply {
+		return h.Version, err
+	}
+	newVersion := h.Version + 1
+	if err := s.publishSlot(st, base, raw, h, newVersion, pay); err != nil {
+		return 0, err
+	}
+	return newVersion, nil
+}
+
+// CAS compares len(old) payload bytes at off with old and, only on a
+// match, overwrites with new — all under one block-lock hold. A mismatch
+// returns ErrConflict with nothing written; a range overrunning the class
+// payload returns ErrShortBuffer.
+func (s *Store) CAS(addr *Addr, off int, old, new []byte) error {
+	span := len(old)
+	if len(new) > span {
+		span = len(new)
+	}
+	_, err := s.mutateSlot(addr, func(pay []byte, _ uint32) (bool, error) {
+		if off < 0 || off+span > len(pay) {
+			return false, ErrShortBuffer
+		}
+		if !bytes.Equal(pay[off:off+len(old)], old) {
+			return false, ErrConflict
+		}
+		copy(pay[off:], new)
+		return len(new) > 0, nil
+	})
+	cmCASOps.Inc()
+	if errors.Is(err, ErrConflict) {
+		cmPushdownConflicts.Inc()
+	}
+	return err
+}
+
+// FetchAdd atomically adds delta to the little-endian u64 at off, returning
+// the pre-add value.
+func (s *Store) FetchAdd(addr *Addr, off int, delta int64) (uint64, error) {
+	var prev uint64
+	_, err := s.mutateSlot(addr, func(pay []byte, _ uint32) (bool, error) {
+		if off < 0 || off+8 > len(pay) {
+			return false, ErrShortBuffer
+		}
+		prev = binary.LittleEndian.Uint64(pay[off:])
+		binary.LittleEndian.PutUint64(pay[off:], prev+uint64(delta))
+		return true, nil
+	})
+	cmFetchAdds.Inc()
+	return prev, err
+}
+
+// CondWrite replaces the whole object payload (zero-filling past
+// len(value)) only when the version condition holds: with ifAbsent the
+// object must never have been written (version 0), otherwise the version
+// must equal expect. It returns the resulting version — the new one on
+// success, the observed one alongside ErrConflict.
+func (s *Store) CondWrite(addr *Addr, expect uint32, ifAbsent bool, value []byte) (uint32, error) {
+	ver, err := s.mutateSlot(addr, func(pay []byte, cur uint32) (bool, error) {
+		if len(value) > len(pay) {
+			return false, ErrShortBuffer
+		}
+		if ifAbsent {
+			if cur != 0 {
+				return false, ErrConflict
+			}
+		} else if cur != expect {
+			return false, ErrConflict
+		}
+		n := copy(pay, value)
+		clear(pay[n:])
+		return true, nil
+	})
+	cmCondWrites.Inc()
+	if errors.Is(err, ErrConflict) {
+		cmPushdownConflicts.Inc()
+	}
+	return ver, err
+}
+
+// scanKey is the global object identity used to deduplicate scans: the
+// allocation-time home block plus the block-local random ID. Merges
+// preserve both (the executor re-records (id, home) at the destination
+// slot), so an object relocated mid-scan keeps one identity no matter how
+// many blocks the scan observes it in.
+type scanKey struct {
+	home uint64
+	id   uint16
+}
+
+// ScanClass streams every live object of one size class through pred and
+// emit. pred sees the unpacked payload (scratch — valid only during the
+// call); emit receives the object's current pointer and the same payload
+// view and returns false to stop early (limit reached). Each live object is
+// evaluated exactly once even while compaction merges blocks mid-scan: the
+// block list is a snapshot, dissolved blocks are followed through their
+// alias to the merge destination, and the (home, id) identity deduplicates
+// objects seen both before and after a move.
+func (s *Store) ScanClass(class int, pred func(pay []byte) bool, emit func(addr Addr, pay []byte) bool) error {
+	if !s.cfg.DataBacked {
+		return ErrNoData
+	}
+	if class < 0 || class >= len(s.cfg.Classes) {
+		return ErrNoClass
+	}
+	cmScans.Inc()
+	size := s.cfg.Classes[class]
+	seen := make(map[scanKey]struct{})
+	sc := slotScratchPool.Get().(*slotScratch)
+	defer slotScratchPool.Put(sc)
+	for _, b := range s.proc.BlocksOfClass(class) {
+		st := s.stateOf(b)
+		if st == nil {
+			// Already released or dissolved: chase the alias — the merge
+			// destination (rescanned below) now holds any surviving objects.
+			st, _ = s.resolveBase(b.VAddr)
+		}
+		for st != nil {
+			stop, err := s.scanBlock(st, class, size, sc, seen, pred, emit)
+			if err == nil {
+				if stop {
+					return nil
+				}
+				break
+			}
+			switch {
+			case errors.Is(err, ErrNotFound):
+				// Block released entirely: every object it held was freed.
+				st = nil
+			case errors.Is(err, ErrCompacting):
+				// Mid-merge. Yield, then re-resolve: once the merge
+				// completes the base routes to the destination block, which
+				// is scanned in full (dedup drops the objects already seen).
+				runtime.Gosched()
+				cur, ok := s.resolveBase(st.VAddr)
+				if !ok {
+					st = nil
+					break
+				}
+				st = cur
+			default:
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scanBlock walks one block under its read lock, feeding unseen live
+// objects through pred/emit. It reports stop=true when emit terminated the
+// scan. An ErrCompacting/ErrNotFound return is the block-level liveness
+// verdict for the caller's retry loop.
+func (s *Store) scanBlock(st *blockState, class, size int, sc *slotScratch, seen map[scanKey]struct{}, pred func(pay []byte) bool, emit func(addr Addr, pay []byte) bool) (bool, error) {
+	st.rw.RLock()
+	defer st.rw.RUnlock()
+	if err := st.gone(); err != nil {
+		return false, err
+	}
+	raw, pay := sc.buffers(st.Stride, size)
+	for slot := 0; slot < st.Slots; slot++ {
+		if !st.SlotUsed(slot) {
+			continue
+		}
+		if err := s.space.ReadAt(st.SlotAddr(slot), raw); err != nil {
+			return false, err
+		}
+		h := decodeHeader(raw)
+		if !h.Alloc {
+			// Slot claimed by an allocation whose header write has not
+			// landed yet — the object does not exist until it has.
+			continue
+		}
+		id, home := st.meta.at(slot)
+		key := scanKey{home: home, id: id}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		// Record before evaluating: exactly-once means one evaluation per
+		// live object, not one per block it appears in.
+		seen[key] = struct{}{}
+		cmScanRecords.Inc()
+		if s.cfg.Consistency == ConsistencyChecksum {
+			copy(pay, raw[headerBytes:headerBytes+size])
+		} else {
+			unpackPayloadInto(pay, raw, size)
+		}
+		if pred != nil && !pred(pay) {
+			continue
+		}
+		cmScanMatches.Inc()
+		addr := MakeAddr(st.SlotAddr(slot), id, st.region.rkey, uint8(class))
+		if !emit(addr, pay) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -27,6 +27,21 @@ var (
 	cmVaddrsReused = metrics.Default().Counter("corm_core_vaddrs_reused_total",
 		"dissolved block addresses returned to the reuse pool")
 
+	cmCASOps = metrics.Default().Counter("corm_core_cas_total",
+		"pushdown compare-and-swap operations")
+	cmFetchAdds = metrics.Default().Counter("corm_core_fetchadd_total",
+		"pushdown fetch-and-add operations")
+	cmCondWrites = metrics.Default().Counter("corm_core_condwrite_total",
+		"pushdown conditional writes")
+	cmPushdownConflicts = metrics.Default().Counter("corm_core_pushdown_conflicts_total",
+		"pushdown conditions that did not hold (CAS/CondWrite)")
+	cmScans = metrics.Default().Counter("corm_core_scans_total",
+		"pushdown filtered scans started")
+	cmScanRecords = metrics.Default().Counter("corm_core_scan_records_total",
+		"live records evaluated by filtered scans")
+	cmScanMatches = metrics.Default().Counter("corm_core_scan_matches_total",
+		"records matched by filtered scan predicates")
+
 	cmCompactRuns = metrics.Default().Counter("corm_compaction_runs_total",
 		"CompactClass invocations")
 	cmCompactAttempts = metrics.Default().Counter("corm_compaction_pair_attempts_total",

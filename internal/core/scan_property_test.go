@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// scanSetup builds a fragmented size class: count objects carrying unique
+// u64 ids at offset 0, every other object freed so compaction always has
+// merges available. Returns the class and the live id set.
+func scanSetup(t *testing.T, s *Store, size, count int) (class int, live map[uint64]bool) {
+	t.Helper()
+	live = make(map[uint64]bool)
+	var addrs []Addr
+	for i := 0; i < count; i++ {
+		r, err := s.AllocOn(0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	class = int(addrs[0].Class())
+	for i := range addrs {
+		if i%2 == 0 {
+			id := uint64(i + 1)
+			pay := make([]byte, size)
+			binary.LittleEndian.PutUint64(pay, id)
+			if err := s.Write(&addrs[i], pay); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = true
+		} else if err := s.Free(&addrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return class, live
+}
+
+// collectScan runs one full ScanClass and returns id -> occurrence count.
+func collectScan(t *testing.T, s *Store, class int, pred func([]byte) bool) map[uint64]int {
+	t.Helper()
+	seen := make(map[uint64]int)
+	err := s.ScanClass(class, pred, func(_ Addr, pay []byte) bool {
+		seen[binary.LittleEndian.Uint64(pay)]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seen
+}
+
+// TestScanExactlyOnceQuiescent: with no concurrent mutation, a scan is
+// exactly the live set — every id once, nothing else.
+func TestScanExactlyOnceQuiescent(t *testing.T) {
+	s := testStore(t, nil)
+	class, live := scanSetup(t, s, 64, 512)
+	seen := collectScan(t, s, class, func([]byte) bool { return true })
+	if len(seen) != len(live) {
+		t.Fatalf("scan saw %d objects, live set is %d", len(seen), len(live))
+	}
+	for id, n := range seen {
+		if !live[id] {
+			t.Fatalf("scan returned freed/unknown id %d", id)
+		}
+		if n != 1 {
+			t.Fatalf("id %d returned %d times", id, n)
+		}
+	}
+}
+
+// TestScanVsReadFallbackConsistency: a filtered scan must select exactly
+// the objects the fallback path selects — reading every live object
+// individually and applying the same predicate client-side.
+func TestScanVsReadFallbackConsistency(t *testing.T) {
+	s := testStore(t, nil)
+	class, live := scanSetup(t, s, 64, 512)
+	const cutoff = 300
+	pred := func(pay []byte) bool { return binary.LittleEndian.Uint64(pay) > cutoff }
+
+	want := make(map[uint64]bool)
+	for id := range live {
+		if id > cutoff {
+			want[id] = true
+		}
+	}
+	seen := collectScan(t, s, class, pred)
+	if len(seen) != len(want) {
+		t.Fatalf("filtered scan found %d matches, fallback predicate selects %d", len(seen), len(want))
+	}
+	for id := range seen {
+		if !want[id] {
+			t.Fatalf("scan matched id %d, which the fallback predicate rejects", id)
+		}
+	}
+}
+
+// TestScanExactlyOnceUnderCompaction is the §3.2-style consistency
+// property for pushdown scans: while compaction continuously merges and
+// dissolves blocks of the scanned class, every complete scan still
+// returns each live record exactly once — never zero times (lost to a
+// half-observed merge), never twice (seen at both its old and new homes).
+func TestScanExactlyOnceUnderCompaction(t *testing.T) {
+	s := testStore(t, nil)
+	class, live := scanSetup(t, s, 64, 1024)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			s.CompactClass(CompactOptions{Class: class, Leader: 0, MaxOccupancy: Occ(1.0)})
+		}
+	}()
+
+	for iter := 0; iter < 50; iter++ {
+		seen := collectScan(t, s, class, func([]byte) bool { return true })
+		if len(seen) != len(live) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("iter %d: scan saw %d objects, live set is %d", iter, len(seen), len(live))
+		}
+		for id, n := range seen {
+			if !live[id] || n != 1 {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("iter %d: id %d live=%v count=%d", iter, id, live[id], n)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestScanEarlyStop: an emit callback returning false halts the scan
+// without error.
+func TestScanEarlyStop(t *testing.T) {
+	s := testStore(t, nil)
+	class, _ := scanSetup(t, s, 64, 128)
+	n := 0
+	err := s.ScanClass(class, func([]byte) bool { return true }, func(Addr, []byte) bool {
+		n++
+		return n < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("emit ran %d times after early stop at 5", n)
+	}
+}

@@ -557,17 +557,27 @@ func (s *Store) Write(addr *Addr, payload []byte) error {
 	s.stats.writes.Add(1)
 	cmWrites.Inc()
 	base := st.SlotAddr(slot)
-	raw := make([]byte, st.Stride)
+	sc := slotScratchPool.Get().(*slotScratch)
+	defer slotScratchPool.Put(sc)
+	raw, _ := sc.buffers(st.Stride, 0)
 	if err := s.space.ReadAt(base, raw); err != nil {
 		return err
 	}
 	h := decodeHeader(raw)
-	newVersion := h.Version + 1
+	return s.publishSlot(st, base, raw, h, h.Version+1, payload)
+}
 
+// publishSlot rebuilds a slot image around the new payload and writes it
+// back with the torn-read-safe protocol: lock the header line, write the
+// tail cachelines with the new version tags one by one (concurrent
+// one-sided readers may interleave and must be able to detect the tear),
+// then publish the header with the new version, unlocked. In checksum mode
+// the equivalent lock/stream/seal sequence applies. The caller holds st.rw
+// exclusively and supplies the current slot image in raw.
+func (s *Store) publishSlot(st *blockState, base uint64, raw []byte, h header, newVersion uint32, payload []byte) error {
 	if s.cfg.Consistency == ConsistencyChecksum {
 		return s.writeChecksum(st, base, raw, h, newVersion, payload)
 	}
-
 	// 1. Lock the object: rewrite the header line with the write lock.
 	h.Lock = lockWrite
 	encodeHeader(raw, h)
@@ -576,9 +586,7 @@ func (s *Store) Write(addr *Addr, payload []byte) error {
 	}
 	// 2. Rebuild the slot image with the new payload and version tags,
 	// then write the tail lines one by one (readers may interleave).
-	full := make([]byte, len(payload))
-	copy(full, payload)
-	packPayload(raw, full)
+	packPayload(raw, payload)
 	tagLines(raw, newVersion)
 	for off := cacheline; off < st.Stride; off += cacheline {
 		if err := s.space.WriteAt(base+uint64(off), raw[off:off+cacheline]); err != nil {

@@ -66,3 +66,64 @@ func FuzzDecodeBatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeCAS drives the mutating pushdown payload decoders (CAS,
+// FetchAdd, CondWrite) with arbitrary bytes. The view decoders alias the
+// input, so a successful decode re-marshalled must reproduce the input
+// byte-identically — the encodings are canonical.
+func FuzzDecodeCAS(f *testing.F) {
+	f.Add((&CASReq{Token: 1, Offset: 8, Old: []byte("old"), New: []byte("new")}).Marshal())
+	f.Add((&CASReq{Old: nil, New: nil}).Marshal())
+	f.Add((&FAddReq{Token: 2, Offset: 0, Delta: -1}).Marshal())
+	f.Add((&CondWriteReq{Token: 3, Mode: CondIfVersion, Version: 9, Value: []byte("v")}).Marshal())
+	f.Add((&CondWriteReq{Mode: CondIfAbsent}).Marshal())
+	// Truncated header and length-mismatch seeds.
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := UnmarshalCASReqView(data); err == nil {
+			if re := r.Marshal(); !bytes.Equal(re, data) {
+				t.Fatalf("CAS round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if r, err := UnmarshalFAddReq(data); err == nil {
+			if re := r.Marshal(); !bytes.Equal(re, data) {
+				t.Fatalf("FetchAdd round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+		if r, err := UnmarshalCondWriteReqView(data); err == nil {
+			if re := r.Marshal(); !bytes.Equal(re, data) {
+				t.Fatalf("CondWrite round trip mismatch:\n in: %x\nout: %x", data, re)
+			}
+		}
+	})
+}
+
+// FuzzDecodeScan drives the scan payload decoder and the predicate
+// evaluator: decode must never panic, a decoded request must re-marshal
+// canonically, and EvalPred must stay total over arbitrary
+// predicate/offset/arg/payload combinations.
+func FuzzDecodeScan(f *testing.F) {
+	f.Add((&ScanReq{Class: 1, Pred: PredEq, Offset: 0, Limit: 10, Arg: []byte("arg")}).Marshal(), []byte("payload"))
+	f.Add((&ScanReq{Class: 3, Pred: PredGtU64, Offset: 4, Arg: []byte{1, 2, 3, 4, 5, 6, 7, 8}}).Marshal(), []byte("0123456789ab"))
+	f.Add((&ScanReq{Pred: 99}).Marshal(), []byte{})
+	f.Add([]byte{5}, []byte{1})
+
+	f.Fuzz(func(t *testing.T, data, pay []byte) {
+		r, err := UnmarshalScanReqView(data)
+		if err != nil {
+			return
+		}
+		if re := r.Marshal(); !bytes.Equal(re, data) {
+			t.Fatalf("scan round trip mismatch:\n in: %x\nout: %x", data, re)
+		}
+		// Predicate evaluation is total: any decoded request against any
+		// payload returns without panicking, and an overrunning range
+		// never matches.
+		match := EvalPred(r.Pred, int(r.Offset), r.Arg, pay)
+		if match && int(r.Offset)+len(r.Arg) > len(pay) {
+			t.Fatalf("predicate matched past the payload: off=%d arg=%d pay=%d", r.Offset, len(r.Arg), len(pay))
+		}
+	})
+}

@@ -22,6 +22,10 @@ type Server struct {
 	store  *core.Store
 	tokens chan int // thread IDs 0..Workers-1; ownership = execution right
 
+	// dedup replays the recorded outcome of tokened pushdown mutations
+	// (CAS/FetchAdd/CondWrite) re-delivered across reconnects.
+	dedup dedupCache
+
 	// mu is held shared by Submit and exclusively by Close, so concurrent
 	// submissions never serialize on each other — only against shutdown.
 	mu     sync.RWMutex
@@ -65,9 +69,12 @@ func (s *Server) Submit(req Request) Response {
 	thread := s.grabToken()
 	start := time.Now()
 	var resp Response
-	if req.Op == OpBatch {
-		resp = s.executeBatch(thread, req)
-	} else {
+	switch req.Op {
+	case OpBatch:
+		resp = s.executeBatch(thread, req, false)
+	case OpMultiRMW:
+		resp = s.executeBatch(thread, req, true)
+	default:
 		resp = s.execute(thread, req)
 	}
 	observeOp(req.Op, start)
@@ -126,9 +133,13 @@ func (s *Server) SubmitAppend(req Request, dst []byte) []byte {
 	start := time.Now()
 	switch req.Op {
 	case OpBatch:
-		dst = s.executeBatchAppend(thread, req, dst)
+		dst = s.executeBatchAppend(thread, req, dst, false)
+	case OpMultiRMW:
+		dst = s.executeBatchAppend(thread, req, dst, true)
 	case OpRead:
 		dst = s.readAppend(req, dst)
+	case OpScan:
+		dst = s.scanAppend(req, dst)
 	default:
 		resp := s.execute(thread, req)
 		dst = resp.MarshalAppend(dst)
@@ -210,8 +221,9 @@ func putChunkOuts(s [][]byte) {
 // range is sharded across them. Each chunk packs its sub-responses — every
 // one with its own Status and corrected Addr — into its own buffer as it
 // executes, so the input order is preserved by concatenation and no
-// per-sub-op response structs are allocated.
-func (s *Server) executeBatch(thread int, req Request) Response {
+// per-sub-op response structs are allocated. With rmwOnly set (OpMultiRMW)
+// only the pushdown mutation opcodes are admitted as sub-ops.
+func (s *Server) executeBatch(thread int, req Request, rmwOnly bool) Response {
 	subs, err := DecodeBatchRequests(req.Payload, GetSubRequests())
 	if err != nil {
 		PutSubRequests(subs)
@@ -222,7 +234,7 @@ func (s *Server) executeBatch(thread int, req Request) Response {
 		PutSubRequests(subs)
 		return Response{Status: StatusOK, Payload: AppendBatchHeader(nil, 0)}
 	}
-	outs := s.runBatchChunks(thread, subs)
+	outs := s.runBatchChunks(thread, subs, rmwOnly)
 	PutSubRequests(subs)
 
 	total := batchCountBytes
@@ -249,7 +261,7 @@ func (s *Server) executeBatch(thread int, req Request) Response {
 // frame: the response header and batch count are written in place and the
 // packed chunk outputs are concatenated after them, skipping the
 // intermediate payload buffer and the Response-payload copy entirely.
-func (s *Server) executeBatchAppend(thread int, req Request, dst []byte) []byte {
+func (s *Server) executeBatchAppend(thread int, req Request, dst []byte, rmwOnly bool) []byte {
 	subs, err := DecodeBatchRequests(req.Payload, GetSubRequests())
 	if err != nil {
 		PutSubRequests(subs)
@@ -264,7 +276,7 @@ func (s *Server) executeBatchAppend(thread int, req Request, dst []byte) []byte 
 		putRespHeader(dst[off:], StatusOK, core.Addr{}, batchCountBytes)
 		return AppendBatchHeader(dst, 0)
 	}
-	outs := s.runBatchChunks(thread, subs)
+	outs := s.runBatchChunks(thread, subs, rmwOnly)
 	PutSubRequests(subs)
 
 	total := batchCountBytes
@@ -296,7 +308,7 @@ func (s *Server) executeBatchAppend(thread int, req Request, dst []byte) []byte 
 // queue it is part of), one extra worker per additional minBatchChunk of
 // subs. Returns the packed per-chunk outputs in input order (pack-pool
 // buffers; caller recycles).
-func (s *Server) runBatchChunks(thread int, subs []Request) [][]byte {
+func (s *Server) runBatchChunks(thread int, subs []Request, rmwOnly bool) [][]byte {
 	n := len(subs)
 	// Sharding only pays when the scheduler has spare parallelism: with a
 	// single P the extra goroutines cannot overlap, so every fan-out is
@@ -324,16 +336,16 @@ sized:
 	mBatchWorkers.Observe(int64(chunks))
 	outs := getChunkOuts(chunks)
 	if chunks == 1 {
-		outs[0] = s.executeChunk(thread, subs)
+		outs[0] = s.executeChunk(thread, subs, rmwOnly)
 		return outs
 	}
-	s.runShardedChunks(thread, subs, extra, outs)
+	s.runShardedChunks(thread, subs, extra, outs, rmwOnly)
 	return outs
 }
 
 // runShardedChunks is the fan-out half of runBatchChunks, split out so the
 // WaitGroup capture only heap-allocates on calls that actually shard.
-func (s *Server) runShardedChunks(thread int, subs []Request, extra []int, outs [][]byte) {
+func (s *Server) runShardedChunks(thread int, subs []Request, extra []int, outs [][]byte, rmwOnly bool) {
 	n, chunks := len(subs), len(outs)
 	var wg sync.WaitGroup
 	for c := 1; c < chunks; c++ {
@@ -341,10 +353,10 @@ func (s *Server) runShardedChunks(thread int, subs []Request, extra []int, outs 
 		wg.Add(1)
 		go func(c, tok, lo, hi int) {
 			defer wg.Done()
-			outs[c] = s.executeChunk(tok, subs[lo:hi])
+			outs[c] = s.executeChunk(tok, subs[lo:hi], rmwOnly)
 		}(c, extra[c-1], lo, hi)
 	}
-	outs[0] = s.executeChunk(thread, subs[:n/chunks])
+	outs[0] = s.executeChunk(thread, subs[:n/chunks], rmwOnly)
 	wg.Wait()
 	for _, t := range extra {
 		s.tokens <- t
@@ -355,24 +367,33 @@ func (s *Server) runShardedChunks(thread int, subs []Request, extra []int, outs 
 // returning the packed sub-response records (from the pack pool). Read
 // payloads are staged and unpacked in place inside the packed output, so a
 // chunk costs O(1) buffers and zero payload copies regardless of length.
-func (s *Server) executeChunk(thread int, subs []Request) []byte {
+func (s *Server) executeChunk(thread int, subs []Request, rmwOnly bool) []byte {
 	out := getPackBuf()
 	for i := range subs {
-		out = s.executeSub(thread, &subs[i], out)
+		out = s.executeSub(thread, &subs[i], out, rmwOnly)
 	}
 	return out
 }
 
 // executeSub runs one batched sub-operation and appends its packed
 // sub-response record onto out. Reads reserve their record in out and land
-// the slot there directly (see readAppend). Nested batches are rejected
-// per sub-op.
-func (s *Server) executeSub(thread int, sub *Request, out []byte) []byte {
+// the slot there directly (see readAppend). Nested batches and scans are
+// rejected per sub-op; an OpMultiRMW frame (rmwOnly) additionally rejects
+// everything but the pushdown mutations.
+func (s *Server) executeSub(thread int, sub *Request, out []byte, rmwOnly bool) []byte {
+	if rmwOnly {
+		switch sub.Op {
+		case OpCAS, OpFetchAdd, OpCondWrite:
+		default:
+			resp := Response{Status: StatusInvalid}
+			return AppendSubResponse(out, &resp)
+		}
+	}
 	var resp Response
 	switch sub.Op {
 	case OpRead:
 		return s.readAppend(*sub, out)
-	case OpBatch:
+	case OpBatch, OpScan, OpMultiRMW:
 		resp = Response{Status: StatusInvalid}
 	default:
 		resp = s.execute(thread, *sub)
@@ -440,6 +461,18 @@ func (s *Server) execute(thread int, req Request) Response {
 			return Response{Status: StatusOf(err), Addr: addr}
 		}
 		return Response{Status: StatusOK, Addr: na}
+
+	case OpCAS:
+		return s.execCAS(&req)
+
+	case OpFetchAdd:
+		return s.execFetchAdd(&req)
+
+	case OpCondWrite:
+		return s.execCondWrite(&req)
+
+	case OpScan:
+		return s.execScan(req)
 	}
 	return Response{Status: StatusInvalid}
 }

@@ -23,6 +23,16 @@ const (
 	OpRelease
 	OpInfo  // fetch store parameters (classes, block size) at connect time
 	OpBatch // N sub-operations in one frame; see batch.go for the framing
+
+	// Near-data compute: operations executed next to the data, under the
+	// per-block locks, in one round trip (pushdown.go has the payload
+	// encodings). They close the two-round-trip window a client-side
+	// read-modify-write leaves open to compaction.
+	OpCAS       // compare-and-swap a byte range inside the object
+	OpFetchAdd  // fetch-and-add a little-endian u64 inside the object
+	OpCondWrite // conditional full-object write (if-version / if-absent)
+	OpScan      // predicate-filtered scan over one size class
+	OpMultiRMW  // batch restricted to CAS/FetchAdd/CondWrite sub-ops
 )
 
 func (o OpCode) String() string {
@@ -41,6 +51,16 @@ func (o OpCode) String() string {
 		return "info"
 	case OpBatch:
 		return "batch"
+	case OpCAS:
+		return "cas"
+	case OpFetchAdd:
+		return "fetchadd"
+	case OpCondWrite:
+		return "condwrite"
+	case OpScan:
+		return "scan"
+	case OpMultiRMW:
+		return "multirmw"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -58,6 +78,14 @@ const (
 	// StatusTooLarge rejects a batch whose packed response would exceed the
 	// transport frame limit; the client must split the batch.
 	StatusTooLarge
+	// StatusConflict reports a pushdown condition that did not hold (CAS
+	// compare mismatch, CondWrite version mismatch). The operation was not
+	// applied; retrying it verbatim is safe but will conflict again until
+	// the caller refreshes its view.
+	StatusConflict
+	// StatusNoData rejects a data-dependent pushdown op on an
+	// accounting-only (non-data-backed) store.
+	StatusNoData
 )
 
 // ErrTooLarge is the client-side sentinel for StatusTooLarge.
@@ -76,6 +104,14 @@ func StatusOf(err error) Status {
 		return StatusInvalid
 	case errors.Is(err, core.ErrNoClass):
 		return StatusNoClass
+	case errors.Is(err, core.ErrConflict):
+		return StatusConflict
+	case errors.Is(err, core.ErrNoData):
+		return StatusNoData
+	case errors.Is(err, core.ErrShortBuffer):
+		// A pushdown range that overruns the object is a malformed request,
+		// not a server fault.
+		return StatusInvalid
 	}
 	return StatusError
 }
@@ -95,6 +131,10 @@ func (s Status) Err() error {
 		return core.ErrNoClass
 	case StatusTooLarge:
 		return ErrTooLarge
+	case StatusConflict:
+		return core.ErrConflict
+	case StatusNoData:
+		return core.ErrNoData
 	}
 	return errors.New("rpc: remote error")
 }
