@@ -61,6 +61,12 @@ func main() {
 	case "pushdown":
 		runPushdown(args[1:])
 		return
+	case "soak":
+		runSoak(args[1:])
+		return
+	case "summarize":
+		runSummarize(args[1:])
+		return
 	}
 	for _, name := range args {
 		e, ok := experiments.Lookup(name)
@@ -107,6 +113,9 @@ usage:
                       [-keys N] [-size B] [-out FILE]
   corm-bench wire [-out FILE]
   corm-bench pushdown [-out FILE]
+  corm-bench soak [-scenario NAME] [-duration D] [-seed N] [-out FILE]
+                  [-quiet] [-list]
+  corm-bench summarize [-dir DIR] [-out FILE]
 `)
 	flag.PrintDefaults()
 }

@@ -1,0 +1,84 @@
+package main
+
+// corm-bench soak runs one named soak scenario — the SLO-checked,
+// multi-tenant chaos soak — and emits its machine-readable report as
+// BENCH_soak.json. The exit status IS the verdict: non-zero on any SLO
+// breach, lost acked write, or unexpected canary corruption, so CI can
+// gate on the command directly.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"corm/internal/soak"
+)
+
+func runSoak(args []string) {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	scenario := fs.String("scenario", "smoke", "scenario name (see -list)")
+	duration := fs.Duration("duration", 0, "override the scenario's soak window (0 = scenario default)")
+	seed := fs.Int64("seed", 0, "override the scenario's seed (0 = scenario default)")
+	out := fs.String("out", "BENCH_soak.json", "output JSON path")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	fs.Parse(args)
+
+	if *list {
+		for _, name := range soak.Names() {
+			fmt.Println(" ", name)
+		}
+		return
+	}
+
+	spec, err := soak.Lookup(*scenario, *duration)
+	if err != nil {
+		fatalf("soak: %v", err)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	start := time.Now()
+	rep, err := soak.Run(spec, logf)
+	if err != nil {
+		fatalf("soak: %v", err)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("soak: marshal: %v", err)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatalf("soak: write %s: %v", *out, err)
+	}
+	os.Stdout.Write(doc)
+	fmt.Fprintf(os.Stderr, "(soak %s finished in %v)\n", spec.Name, time.Since(start).Round(time.Millisecond))
+
+	if !rep.Pass {
+		for _, t := range rep.Tenants {
+			for _, b := range t.SLO.Breaches {
+				fmt.Fprintf(os.Stderr, "soak: tenant %s: SLO breach: %s\n", t.Name, b)
+			}
+		}
+		if rep.LostAckedWrites > 0 {
+			fmt.Fprintf(os.Stderr, "soak: %d acknowledged writes lost\n", rep.LostAckedWrites)
+		}
+		if !rep.CanaryExpected && rep.CanaryViolations > 0 {
+			fmt.Fprintf(os.Stderr, "soak: %d canary violations (memory corruption)\n", rep.CanaryViolations)
+		}
+		if rep.CanaryExpected && rep.CanaryViolations == 0 {
+			fmt.Fprintln(os.Stderr, "soak: injected corruption was not detected")
+		}
+		fatalf("soak: scenario %s FAILED", spec.Name)
+	}
+}

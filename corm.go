@@ -272,6 +272,11 @@ const (
 // an already-written object. Nothing was applied.
 var ErrConflict = core.ErrConflict
 
+// ErrCorruption reports a memory-safety canary violation: a slot's guard
+// bytes were overwritten (detected on read, free, or compaction copy when
+// the store runs with Config.Canaries).
+var ErrCorruption = core.ErrCorruption
+
 // Connect opens a client context to a remote CoRM node over TCP.
 func Connect(addr string) (*Client, error) {
 	return client.CreateCtx(addr)
@@ -299,7 +304,30 @@ var (
 	ErrWriteConcern = cluster.ErrWriteConcern
 	ErrNoReplica    = cluster.ErrNoReplica
 	ErrStaleReplica = cluster.ErrStaleReplica
+	// ErrThrottled marks an operation shed by overload control — either
+	// a per-tenant admission cap or a node's bounded request queue. It
+	// is backpressure, not failure: back off and retry.
+	ErrThrottled = cluster.ErrThrottled
 )
+
+// Overload-control types: per-tenant token-bucket admission and the
+// client-side bucket primitive.
+type (
+	Admission     = cluster.Admission
+	ThrottleError = cluster.ThrottleError
+	TokenBucket   = client.TokenBucket
+)
+
+// NewAdmission builds an empty per-tenant admission controller; tenants
+// without a configured cap are admitted unconditionally.
+func NewAdmission() *Admission { return cluster.NewAdmission() }
+
+// NewTokenBucket builds a client-side rate limiter admitting ratePerSec
+// operations per second with the given burst. ratePerSec <= 0 means
+// unlimited.
+func NewTokenBucket(ratePerSec float64, burst int) *TokenBucket {
+	return client.NewTokenBucket(ratePerSec, burst)
+}
 
 // DialCluster connects a pool to every node address.
 func DialCluster(addrs []string) (*Pool, error) { return cluster.Dial(addrs) }

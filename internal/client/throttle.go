@@ -1,0 +1,87 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic rate limiter for client-side admission control:
+// tokens accrue at Rate per second up to a Burst ceiling, and each admitted
+// operation spends one. It is the client/cluster half of overload control —
+// the server half is rpc.Server's queue-depth shedding — so a tenant's
+// offered load is capped before it ever crosses the wire.
+//
+// The zero value and any bucket with rate <= 0 admit everything (an
+// unlimited tenant). Safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for deterministic tests
+}
+
+// NewTokenBucket builds a bucket admitting ratePerSec ops/s steady-state
+// with bursts up to burst ops. burst < 1 is clamped to 1 so a positive rate
+// can ever admit. ratePerSec <= 0 yields an unlimited bucket.
+func NewTokenBucket(ratePerSec float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{
+		rate:   ratePerSec,
+		burst:  float64(burst),
+		tokens: float64(burst), // start full: a fresh tenant gets its burst
+		now:    time.Now,
+	}
+}
+
+// withClock substitutes the time source; tests use it to step time
+// deterministically.
+func (b *TokenBucket) withClock(now func() time.Time) *TokenBucket {
+	b.now = now
+	b.last = time.Time{}
+	return b
+}
+
+// Allow spends one token if available, reporting whether the operation is
+// admitted.
+func (b *TokenBucket) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true
+	}
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// SetRate retargets the steady-state rate (and optionally burst, if
+// burst > 0) without resetting the accrued tokens — the hook for diurnal
+// admission curves that retune tenants on the fly.
+func (b *TokenBucket) SetRate(ratePerSec float64, burst int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rate = ratePerSec
+	if burst > 0 {
+		b.burst = float64(burst)
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketRefill steps a fake clock to pin the accrual math: burst
+// drains immediately, tokens return at exactly the configured rate, and the
+// balance never exceeds burst.
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(10, 5).withClock(func() time.Time { return now })
+
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst op %d rejected", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("op beyond burst admitted with no time elapsed")
+	}
+	// 100ms at 10/s accrues exactly one token.
+	now = now.Add(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("op rejected after one token accrued")
+	}
+	if b.Allow() {
+		t.Fatal("second op admitted on one accrued token")
+	}
+	// A long idle period caps at burst, not unbounded credit.
+	now = now.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatalf("post-idle op %d rejected (burst should be refilled)", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("idle credit exceeded burst")
+	}
+}
+
+// TestTokenBucketUnlimited: nil buckets and non-positive rates admit all.
+func TestTokenBucketUnlimited(t *testing.T) {
+	var nilBucket *TokenBucket
+	if !nilBucket.Allow() {
+		t.Fatal("nil bucket rejected")
+	}
+	b := NewTokenBucket(0, 1)
+	for i := 0; i < 1000; i++ {
+		if !b.Allow() {
+			t.Fatalf("unlimited bucket rejected op %d", i)
+		}
+	}
+}
+
+// TestTokenBucketSetRate retunes a bucket on the fly without resetting the
+// accrued balance.
+func TestTokenBucketSetRate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(1, 1).withClock(func() time.Time { return now })
+	if !b.Allow() {
+		t.Fatal("initial token rejected")
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket admitted")
+	}
+	b.SetRate(100, 10)
+	now = now.Add(100 * time.Millisecond) // 10 tokens at the new rate
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatalf("retuned op %d rejected", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("retuned bucket over-admitted")
+	}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"corm/internal/client"
+	"corm/internal/rpc"
+)
+
+// ErrThrottled is the typed throttle sentinel surfaced by both halves of
+// overload control: the client-side Admission controller returns it (wrapped
+// in a ThrottleError naming the tenant) before an operation leaves the
+// process, and the server-side queue-depth shed (rpc.Server) surfaces the
+// same sentinel through the wire status. errors.Is(err, ErrThrottled)
+// therefore catches "shed somewhere" uniformly. A throttle is load pressure
+// on a healthy node — it is never a transport error, so it cannot trip a
+// circuit breaker or count against a node's health.
+var ErrThrottled = rpc.ErrThrottled
+
+// ThrottleError is an admission rejection attributed to a tenant. It
+// unwraps to ErrThrottled.
+type ThrottleError struct {
+	// Tenant is the admission bucket that rejected the operation.
+	Tenant string
+}
+
+func (e *ThrottleError) Error() string {
+	return fmt.Sprintf("cluster: tenant %q throttled by admission control", e.Tenant)
+}
+
+func (e *ThrottleError) Unwrap() error { return ErrThrottled }
+
+// Admission is the per-tenant admission controller: each tenant gets a
+// token bucket, and operations are admitted or rejected before they spend
+// any cluster resources. Tenants without a configured bucket are unlimited
+// — admission is opt-in per tenant, so a deployment can cap its batch
+// tenants while leaving interactive ones unthrottled.
+type Admission struct {
+	mu      sync.RWMutex
+	tenants map[string]*client.TokenBucket
+}
+
+// NewAdmission builds an empty controller (every tenant unlimited).
+func NewAdmission() *Admission {
+	return &Admission{tenants: make(map[string]*client.TokenBucket)}
+}
+
+// SetTenant installs (or replaces) a tenant's admission bucket:
+// ratePerSec steady-state operations with bursts up to burst.
+// ratePerSec <= 0 removes the cap.
+func (a *Admission) SetTenant(name string, ratePerSec float64, burst int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ratePerSec <= 0 {
+		delete(a.tenants, name)
+		return
+	}
+	a.tenants[name] = client.NewTokenBucket(ratePerSec, burst)
+}
+
+// Admit charges one operation against the tenant's bucket. nil admits;
+// a *ThrottleError (unwrapping to ErrThrottled) rejects. A nil controller
+// admits everything, so callers can thread an optional *Admission without
+// guarding every call site.
+func (a *Admission) Admit(tenant string) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.RLock()
+	b := a.tenants[tenant]
+	a.mu.RUnlock()
+	if b == nil || b.Allow() {
+		cuAdmitted.Inc()
+		return nil
+	}
+	cuAdmissionThrottled.Inc()
+	return &ThrottleError{Tenant: tenant}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"corm/internal/rpc"
+	"corm/internal/transport"
+)
+
+// TestAdmissionPerTenant: capped tenants reject past their burst with a
+// typed, tenant-attributed error; unconfigured tenants are unlimited; a nil
+// controller admits everything.
+func TestAdmissionPerTenant(t *testing.T) {
+	a := NewAdmission()
+	a.SetTenant("batch", 1, 3) // 1/s, burst 3: ops 4+ reject in a tight loop
+
+	for i := 0; i < 3; i++ {
+		if err := a.Admit("batch"); err != nil {
+			t.Fatalf("burst op %d rejected: %v", i, err)
+		}
+	}
+	err := a.Admit("batch")
+	if err == nil {
+		t.Fatal("op beyond burst admitted")
+	}
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("throttle error %v does not unwrap to ErrThrottled", err)
+	}
+	var te *ThrottleError
+	if !errors.As(err, &te) || te.Tenant != "batch" {
+		t.Fatalf("throttle error %v not attributed to tenant batch", err)
+	}
+
+	for i := 0; i < 100; i++ {
+		if err := a.Admit("gold"); err != nil {
+			t.Fatalf("unconfigured tenant throttled: %v", err)
+		}
+	}
+	var nilAdm *Admission
+	if err := nilAdm.Admit("anyone"); err != nil {
+		t.Fatalf("nil controller rejected: %v", err)
+	}
+
+	// Removing the cap restores unlimited admission.
+	a.SetTenant("batch", 0, 0)
+	for i := 0; i < 100; i++ {
+		if err := a.Admit("batch"); err != nil {
+			t.Fatalf("uncapped tenant throttled: %v", err)
+		}
+	}
+}
+
+// TestThrottleIsNotNodeFailure pins the breaker-safety property: neither an
+// admission rejection nor a server-side shed classifies as a transport
+// error, so the health machinery (whose failure predicate is
+// transport.IsTransportError) never counts a throttle against a node.
+func TestThrottleIsNotNodeFailure(t *testing.T) {
+	if transport.IsTransportError(rpc.ErrThrottled) {
+		t.Fatal("rpc.ErrThrottled classifies as a transport error; it would trip breakers")
+	}
+	te := &ThrottleError{Tenant: "batch"}
+	if transport.IsTransportError(te) {
+		t.Fatal("ThrottleError classifies as a transport error")
+	}
+	// Wrapped per-node, as the pool surfaces errors, it still must not.
+	wrapped := &NodeError{Node: 1, Err: rpc.ErrThrottled}
+	if transport.IsTransportError(wrapped) {
+		t.Fatal("node-wrapped throttle classifies as a transport error")
+	}
+	if !errors.Is(wrapped, ErrThrottled) {
+		t.Fatal("node-wrapped throttle lost the ErrThrottled sentinel")
+	}
+}

@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"corm/internal/client"
@@ -24,6 +25,23 @@ import (
 	"corm/internal/transport"
 )
 
+// HarnessOptions tune the nodes a local cluster spins up. The zero value
+// reproduces the classic SpinLocal topology.
+type HarnessOptions struct {
+	// Canaries enables slot guard bytes on every node's store (core
+	// memory-safety canaries), so soak runs detect boundary corruption.
+	Canaries bool
+	// Workers overrides the per-node worker count (default 2).
+	Workers int
+	// QueueLimit bounds each node's rpc.Server waiting line; past it,
+	// requests shed with ErrThrottled. 0 = unbounded (no shedding).
+	QueueLimit int
+	// Dialer, when set, opens the pool's client connections — the
+	// fault-injection hook (internal/fault Injector.Dial). Setting it
+	// forces the wire path (no shared-memory fast path).
+	Dialer func(network, addr string) (net.Conn, error)
+}
+
 // LocalNode is one harness-managed CoRM node.
 type LocalNode struct {
 	store *core.Store
@@ -31,6 +49,7 @@ type LocalNode struct {
 	ts    *transport.Server
 	addr  string
 	seed  int64
+	opts  HarnessOptions
 }
 
 // Addr is the node's loopback listen address.
@@ -58,13 +77,14 @@ func (n *LocalNode) Restart() error {
 // replacement. Rejoining wiped is the divergence case version tags
 // detect and read repair heals.
 func (n *LocalNode) Wipe() error {
-	store, err := newLocalStore(n.seed)
+	store, err := newLocalStore(n.seed, n.opts)
 	if err != nil {
 		return err
 	}
 	oldRPC := n.rpc
 	n.store = store
 	n.rpc = rpc.NewServer(store)
+	n.rpc.SetQueueLimit(n.opts.QueueLimit)
 	oldRPC.Close()
 	ts, err := transport.Listen(n.addr, n.rpc)
 	if err != nil {
@@ -86,12 +106,17 @@ type LocalCluster struct {
 	pool  *Pool
 }
 
-func newLocalStore(seed int64) (*core.Store, error) {
+func newLocalStore(seed int64, opts HarnessOptions) (*core.Store, error) {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 2
+	}
 	return core.NewStore(core.Config{
-		Workers: 2, Strategy: core.StrategyCoRM, DataBacked: true,
-		Remap: core.RemapODPPrefetch,
-		Model: timing.Default().WithNIC(timing.ConnectX5()),
-		Seed:  seed,
+		Workers: workers, Strategy: core.StrategyCoRM, DataBacked: true,
+		Remap:    core.RemapODPPrefetch,
+		Model:    timing.Default().WithNIC(timing.ConnectX5()),
+		Seed:     seed,
+		Canaries: opts.Canaries,
 	})
 }
 
@@ -99,14 +124,21 @@ func newLocalStore(seed int64) (*core.Store, error) {
 // (client timeouts tuned for fault testing: bounded call timeout, quick
 // redial backoff).
 func SpinLocal(n int, seed int64) (*LocalCluster, error) {
+	return SpinLocalOptions(n, seed, HarnessOptions{})
+}
+
+// SpinLocalOptions is SpinLocal with per-node tuning — the soak harness
+// uses it to enable canaries and bounded server queues.
+func SpinLocalOptions(n int, seed int64, opts HarnessOptions) (*LocalCluster, error) {
 	c := &LocalCluster{}
 	for i := 0; i < n; i++ {
-		store, err := newLocalStore(seed + int64(i))
+		store, err := newLocalStore(seed+int64(i), opts)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		srv := rpc.NewServer(store)
+		srv.SetQueueLimit(opts.QueueLimit)
 		ts, err := transport.Listen("127.0.0.1:0", srv)
 		if err != nil {
 			srv.Close()
@@ -114,7 +146,7 @@ func SpinLocal(n int, seed int64) (*LocalCluster, error) {
 			return nil, err
 		}
 		c.nodes = append(c.nodes, &LocalNode{
-			store: store, rpc: srv, ts: ts, addr: ts.Addr(), seed: seed + int64(i),
+			store: store, rpc: srv, ts: ts, addr: ts.Addr(), seed: seed + int64(i), opts: opts,
 		})
 	}
 	var ctxs []*client.Ctx
@@ -125,6 +157,7 @@ func SpinLocal(n int, seed int64) (*LocalCluster, error) {
 			RedialBase:     time.Millisecond,
 			RedialMax:      10 * time.Millisecond,
 			Seed:           1,
+			Dialer:         opts.Dialer,
 		})
 		if err != nil {
 			for _, cx := range ctxs {

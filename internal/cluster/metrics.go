@@ -46,4 +46,10 @@ var (
 		"background re-replicator cycles executed")
 	cuCounterPropagations = metrics.Default().Counter("corm_cluster_counter_propagations_total",
 		"replicated KV fetch-adds fanned out past the primary replica")
+
+	// Overload control.
+	cuAdmitted = metrics.Default().Counter("corm_cluster_admission_admitted_total",
+		"operations admitted by the per-tenant admission controller")
+	cuAdmissionThrottled = metrics.Default().Counter("corm_cluster_admission_throttled_total",
+		"operations rejected by a tenant's token bucket")
 )

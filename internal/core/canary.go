@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Memory-safety canaries (memguard-style guard bytes on slot boundaries).
+//
+// Every slot stride is cacheline-rounded, so most size classes leave a
+// tail of bytes between the end of the payload and the end of the slot
+// that no legitimate write ever touches. With Config.Canaries enabled the
+// store paints that tail with a guard pattern at allocation time and
+// re-verifies it on every RPC read, on free, and on each compaction copy.
+// A heap overflow — a write running past its object into the next slot's
+// territory — lands in the guard region first, so corruption is detected
+// at the slot boundary instead of silently propagating into a neighbour
+// object and surfacing as an inexplicable data error much later.
+//
+// The guard region is a contiguous tail: payload bytes fill cachelines
+// greedily (layout.go), so only the last line of a slot can be partially
+// used, and everything after the final payload byte through the end of
+// the stride is slack. Classes that fill their stride exactly have an
+// empty guard region and verify trivially.
+
+// ErrCorruption reports that a slot's guard bytes were overwritten — a
+// memory-safety violation (overflow from a neighbouring object or a wild
+// write), not a torn read. The operation that detected it still completed
+// its bookkeeping where safe (Free releases the slot), but the object's
+// contents cannot be trusted.
+var ErrCorruption = errors.New("core: canary corruption detected (slot guard bytes overwritten)")
+
+// canaryByte is the guard fill pattern. 0xC5 is asymmetric and non-zero,
+// so zero-fills, one-fills, and shifted copies of it all fail the check.
+const canaryByte = 0xC5
+
+// canaryStart returns the offset of the guard region within a slot's raw
+// stride. Bytes [start, stride) are guard; start == stride means the class
+// has no slack to guard.
+func (c Config) canaryStart(classSize, stride int) int {
+	if c.Consistency == ConsistencyChecksum {
+		// header + payload + CRC, padded to 8 bytes: guard the padding.
+		return headerBytes + classSize + checksumBytes
+	}
+	if classSize <= line0Payload {
+		return headerBytes + classSize
+	}
+	rest := classSize - line0Payload
+	lines := 1 + (rest+lineKPayload-1)/lineKPayload
+	usedLast := rest - (lines-2)*lineKPayload // payload bytes in the final line
+	return (lines-1)*cacheline + 1 + usedLast
+}
+
+// paintCanary fills a slot's guard tail with the canary pattern.
+func paintCanary(raw []byte, start int) {
+	for i := start; i < len(raw); i++ {
+		raw[i] = canaryByte
+	}
+}
+
+// verifyCanary checks a slot's guard tail; true means intact.
+func verifyCanary(raw []byte, start int) bool {
+	for i := start; i < len(raw); i++ {
+		if raw[i] != canaryByte {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCanary verifies the guard tail of a raw slot image and records any
+// violation. It reports whether the slot is intact; callers decide whether
+// to fail the operation (reads) or proceed with bookkeeping (free,
+// compaction copy).
+func (s *Store) checkCanary(raw []byte, classSize int) bool {
+	if !s.cfg.Canaries {
+		return true
+	}
+	if verifyCanary(raw, s.cfg.canaryStart(classSize, len(raw))) {
+		return true
+	}
+	s.canaryViolations.Add(1)
+	cmCanaryViolations.Inc()
+	return false
+}
+
+// CanaryViolations reports how many guard-byte violations this store has
+// detected since creation (reads, frees, and compaction copies all check).
+func (s *Store) CanaryViolations() int64 { return s.canaryViolations.Load() }
+
+// CanaryBytes reports the guard-region width of a size class — how many
+// slack bytes each slot of the class guards. 0 means the class fills its
+// stride exactly and overflow detection relies on the next slot's header.
+func (s *Store) CanaryBytes(class int) int {
+	stride := s.Stride(class)
+	return stride - s.cfg.canaryStart(s.cfg.Classes[class], stride)
+}
+
+// CorruptSlotTail deliberately overwrites the last guard byte of an
+// object's slot — the fault-injection hook the soak harness and tests use
+// to prove an overflow is detected. It fails if canaries are disabled or
+// the object's class has no guard region.
+func (s *Store) CorruptSlotTail(addr *Addr) error {
+	if !s.cfg.Canaries {
+		return errors.New("core: canaries disabled")
+	}
+	if !s.cfg.DataBacked {
+		return ErrNoData
+	}
+	st, slot, _, err := s.resolve(addr)
+	if err != nil {
+		return err
+	}
+	st.rw.Lock()
+	defer st.rw.Unlock()
+	if err := st.gone(); err != nil {
+		return err
+	}
+	if s.cfg.canaryStart(s.cfg.Classes[st.Class], st.Stride) >= st.Stride {
+		return fmt.Errorf("core: class %d has no guard region to corrupt", st.Class)
+	}
+	// One flipped byte at the very end of the slot: the smallest overflow
+	// a neighbouring object's overrun would produce.
+	return s.space.WriteAt(st.SlotAddr(slot)+uint64(st.Stride-1), []byte{^byte(canaryByte)})
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func canaryStore(t *testing.T, consistency ConsistencyMode) *Store {
+	t.Helper()
+	s, err := NewStore(Config{
+		Workers:     2,
+		Strategy:    StrategyCoRM,
+		DataBacked:  true,
+		Canaries:    true,
+		Consistency: consistency,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+// TestCanaryStartLayout pins the guard-region math against the slot layout:
+// the guard tail must start after the final payload byte and never overlap a
+// version-tag byte or the checksum.
+func TestCanaryStartLayout(t *testing.T) {
+	cases := []struct {
+		mode      ConsistencyMode
+		classSize int
+		wantStart int
+	}{
+		// versions: line0 holds 48 payload bytes after the 16B header.
+		{ConsistencyVersions, 16, 32},   // stride 64
+		{ConsistencyVersions, 48, 64},   // exactly fills line 0: stride 64, no guard
+		{ConsistencyVersions, 64, 81},   // 2 lines: 48 + 16; guard from 64+1+16
+		{ConsistencyVersions, 111, 128}, // exactly fills 2 lines: no guard
+		{ConsistencyVersions, 256, 243}, // 4 lines: 48+63+63+82? no: 48+63*3=237 >= 256? 48+63+63+63=237 < 256 -> 5 lines
+		// checksum: header + payload + CRC, then 8-byte padding.
+		{ConsistencyChecksum, 16, 36}, // stride 40, guard = 4 pad bytes
+		{ConsistencyChecksum, 20, 40}, // stride 40, no guard
+	}
+	for _, c := range cases {
+		cfg := Config{Consistency: c.mode}
+		var stride int
+		if c.mode == ConsistencyChecksum {
+			stride = checksumStride(c.classSize)
+		} else {
+			stride = dataStride(c.classSize)
+		}
+		got := cfg.canaryStart(c.classSize, stride)
+		if got > stride {
+			t.Fatalf("class %d (%v): canaryStart %d beyond stride %d", c.classSize, c.mode, got, stride)
+		}
+		if c.classSize == 256 {
+			// 256 = 48 + 63*3 + 19: five lines, guard starts at 4*64+1+19.
+			if want := 4*cacheline + 1 + 19; got != want {
+				t.Fatalf("class 256: canaryStart %d, want %d", got, want)
+			}
+			continue
+		}
+		if got != c.wantStart {
+			t.Fatalf("class %d (%v): canaryStart %d, want %d", c.classSize, c.mode, got, c.wantStart)
+		}
+	}
+}
+
+// TestCanaryDetectsInjectedOverflow is the satellite's core claim: a write
+// past an object's payload into the slot's guard tail is detected on the
+// next read, counted, and surfaced as ErrCorruption.
+func TestCanaryDetectsInjectedOverflow(t *testing.T) {
+	for _, mode := range []ConsistencyMode{ConsistencyVersions, ConsistencyChecksum} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := canaryStore(t, mode)
+			res, err := s.AllocOn(0, 64)
+			if err != nil {
+				t.Fatalf("AllocOn: %v", err)
+			}
+			addr := res.Addr
+			if s.CanaryBytes(int(addr.Class())) == 0 {
+				t.Fatalf("class %d has no guard bytes; pick a size with slack", addr.Class())
+			}
+			payload := make([]byte, 64)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			if err := s.Write(&addr, payload); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			buf := make([]byte, 256)
+			if _, err := s.Read(&addr, buf); err != nil {
+				t.Fatalf("clean Read: %v", err)
+			}
+
+			if err := s.CorruptSlotTail(&addr); err != nil {
+				t.Fatalf("CorruptSlotTail: %v", err)
+			}
+			if _, err := s.Read(&addr, buf); !errors.Is(err, ErrCorruption) {
+				t.Fatalf("Read after overflow: got %v, want ErrCorruption", err)
+			}
+			if _, err := s.ReadStaged(&addr, make([]byte, s.Stride(int(addr.Class())))); !errors.Is(err, ErrCorruption) {
+				t.Fatalf("ReadStaged after overflow: want ErrCorruption")
+			}
+			if err := s.Free(&addr); !errors.Is(err, ErrCorruption) {
+				t.Fatalf("Free after overflow: got %v, want ErrCorruption", err)
+			}
+			// The free still released the slot despite reporting corruption.
+			if err := s.Free(&addr); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("second Free: got %v, want ErrNotFound (slot must be released)", err)
+			}
+			if got := s.CanaryViolations(); got < 3 {
+				t.Fatalf("CanaryViolations = %d, want >= 3 (two reads + free)", got)
+			}
+		})
+	}
+}
+
+// TestCanarySurvivesWriteAndRead proves the guard tail is invisible to the
+// normal object lifecycle: alloc, many writes of varying lengths, reads, and
+// frees never trip a violation.
+func TestCanarySurvivesWriteAndRead(t *testing.T) {
+	s := canaryStore(t, ConsistencyVersions)
+	var addrs []Addr
+	for i := 0; i < 64; i++ {
+		res, err := s.AllocOn(i%2, 100)
+		if err != nil {
+			t.Fatalf("AllocOn: %v", err)
+		}
+		addrs = append(addrs, res.Addr)
+	}
+	buf := make([]byte, 256)
+	for round := 0; round < 3; round++ {
+		for i := range addrs {
+			payload := make([]byte, 1+(i+round*17)%100)
+			for j := range payload {
+				payload[j] = byte(i + j + round)
+			}
+			if err := s.Write(&addrs[i], payload); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			if _, err := s.Read(&addrs[i], buf); err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+		}
+	}
+	for i := range addrs {
+		if err := s.Free(&addrs[i]); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	if got := s.CanaryViolations(); got != 0 {
+		t.Fatalf("CanaryViolations = %d after clean lifecycle, want 0", got)
+	}
+}
+
+// TestCanarySurvivesCompaction allocates across blocks, frees alternating
+// objects to create fragmentation, compacts, and verifies both that the
+// copies preserved guard tails and that survivors still read cleanly.
+func TestCanarySurvivesCompaction(t *testing.T) {
+	s := canaryStore(t, ConsistencyVersions)
+	const n = 256
+	var addrs []Addr
+	payload := make([]byte, 32)
+	for i := 0; i < n; i++ {
+		res, err := s.AllocOn(0, 32)
+		if err != nil {
+			t.Fatalf("AllocOn: %v", err)
+		}
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		if err := s.Write(&res.Addr, payload); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		addrs = append(addrs, res.Addr)
+	}
+	for i := 0; i < n; i += 2 {
+		if err := s.Free(&addrs[i]); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	class := int(addrs[1].Class())
+	rep := s.CompactClass(CompactOptions{Class: class})
+	if rep.ObjectsCopied == 0 {
+		t.Fatal("compaction copied no objects; fragmentation setup broken")
+	}
+	buf := make([]byte, 64)
+	for i := 1; i < n; i += 2 {
+		if _, err := s.Read(&addrs[i], buf); err != nil {
+			t.Fatalf("Read survivor %d after compaction: %v", i, err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("survivor %d payload corrupted: got %d", i, buf[0])
+		}
+	}
+	if got := s.CanaryViolations(); got != 0 {
+		t.Fatalf("CanaryViolations = %d after compaction, want 0", got)
+	}
+}
+
+// TestCanaryDisabledByDefault: stores without Config.Canaries neither pay
+// for nor report guard checks, and CorruptSlotTail refuses to run.
+func TestCanaryDisabledByDefault(t *testing.T) {
+	s, err := NewStore(Config{Workers: 1, Strategy: StrategyCoRM, DataBacked: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	res, err := s.AllocOn(0, 64)
+	if err != nil {
+		t.Fatalf("AllocOn: %v", err)
+	}
+	if err := s.CorruptSlotTail(&res.Addr); err == nil {
+		t.Fatal("CorruptSlotTail should refuse when canaries are disabled")
+	}
+	if got := s.CanaryViolations(); got != 0 {
+		t.Fatalf("CanaryViolations = %d, want 0", got)
+	}
+}

@@ -139,6 +139,11 @@ type Config struct {
 	// FragThreshold is the granted/used ratio above which the policy
 	// triggers compaction for a class (§3.1.3).
 	FragThreshold float64
+	// Canaries paints guard bytes into each slot's slack tail at alloc
+	// and verifies them on read, free, and compaction copy (canary.go).
+	// Off by default: the verify loop touches every slack byte on the
+	// read path, which benchmarks should not pay unless asked to.
+	Canaries bool
 	// Model supplies the latency constants for cost accounting.
 	Model timing.Model
 	// Seed feeds the store's deterministic RNG (object IDs).

@@ -105,6 +105,11 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 			if err := s.space.ReadAt(src.SlotAddr(idx), raw); err != nil {
 				panic(err)
 			}
+			// The copy is corruption's best chance to spread: verify the
+			// source slot's guard tail before the bytes land in dst. The
+			// merge proceeds (aborting mid-merge would strand the block);
+			// the violation is recorded for the store's counters.
+			s.checkCanary(raw, s.cfg.Classes[src.Class])
 			if err := s.space.WriteAt(dst.SlotAddr(newSlot), raw); err != nil {
 				panic(err)
 			}

@@ -70,6 +70,9 @@ var (
 	cmCompactorState = metrics.Default().Gauge("corm_compactor_state",
 		"background compactor state: 0 stopped, 1 active, 2 idle backoff, 3 shedding (sums across stores)")
 
+	cmCanaryViolations = metrics.Default().Counter("corm_core_canary_violations_total",
+		"slot guard-byte violations detected (memory-safety canaries)")
+
 	cmObjectsLive = metrics.Default().Gauge("corm_core_objects_live",
 		"currently allocated objects")
 	cmBlocksLive = metrics.Default().Gauge("corm_core_blocks_live",

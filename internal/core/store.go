@@ -117,6 +117,12 @@ type Store struct {
 	vt    *vaddrTracker
 	stats counters
 
+	// canaryViolations counts guard-byte violations detected by this
+	// store (canary.go). Per-store — the global registry counter sums
+	// across every store in the process, which multi-node harnesses
+	// cannot attribute.
+	canaryViolations atomic.Int64
+
 	// tuner, when attached, observes every alloc/free so the adaptive
 	// compaction policy (§4.4 auto-labeling) sees real churn. An atomic
 	// pointer: attachment may race with live traffic.
@@ -331,6 +337,9 @@ func (s *Store) AllocOn(thread int, size int) (AllocResult, error) {
 			} else {
 				tagLines(raw, 0)
 			}
+			if s.cfg.Canaries {
+				paintCanary(raw, s.cfg.canaryStart(s.cfg.Classes[class], b.Stride))
+			}
 			if err := s.space.WriteAt(b.SlotAddr(slot), raw); err != nil {
 				st.meta.clear(slot)
 				s.vt.decHome(b.VAddr)
@@ -464,6 +473,9 @@ func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
 	if err := s.space.ReadAt(st.SlotAddr(slot), raw); err != nil {
 		return 0, err
 	}
+	if !s.checkCanary(raw, size) {
+		return 0, ErrCorruption
+	}
 	if s.cfg.Consistency == ConsistencyChecksum {
 		copy(buf, raw[headerBytes:headerBytes+size])
 	} else {
@@ -510,6 +522,9 @@ func (s *Store) ReadStaged(addr *Addr, buf []byte) (int, error) {
 	raw := buf[:st.Stride]
 	if err := s.space.ReadAt(st.SlotAddr(slot), raw); err != nil {
 		return 0, err
+	}
+	if !s.checkCanary(raw, size) {
+		return 0, ErrCorruption
 	}
 	if s.cfg.Consistency == ConsistencyChecksum {
 		copy(buf, raw[headerBytes:headerBytes+size])
@@ -647,6 +662,17 @@ func (s *Store) Free(addr *Addr) error {
 		st.rw.Unlock()
 		return err
 	}
+	// Last chance to catch an overflow into this slot's guard tail before
+	// the slot is recycled and the evidence repainted. The free proceeds
+	// either way — the slot must not leak — but the violation is recorded
+	// and reported to the caller.
+	corrupt := false
+	if s.cfg.Canaries && s.cfg.DataBacked {
+		raw := make([]byte, st.Stride)
+		if s.space.ReadAt(st.SlotAddr(slot), raw) == nil {
+			corrupt = !s.checkCanary(raw, s.ClassSize(st.Class))
+		}
+	}
 	_, home := st.meta.clear(slot)
 	if s.cfg.DataBacked {
 		// Mark the stored slot free so one-sided readers reject it.
@@ -677,6 +703,9 @@ func (s *Store) Free(addr *Addr) error {
 	}
 	if pages, reuse := s.vt.decHome(home); reuse {
 		s.releaseAlias(home, pages)
+	}
+	if corrupt {
+		return ErrCorruption
 	}
 	return nil
 }

@@ -34,6 +34,10 @@ var (
 		"Submits that blocked waiting for a worker token")
 	mTokenWait = metrics.Default().Histogram("corm_rpc_token_wait_ns",
 		"time spent queued for a worker token (contended Submits only)")
+	mShed = metrics.Default().Counter("corm_rpc_shed_total",
+		"requests rejected with StatusThrottled by queue-depth load shedding")
+	mQueueDepth = metrics.Default().Gauge("corm_rpc_queue_depth",
+		"submissions currently waiting behind busy workers (sums across servers)")
 	mScanMatches = metrics.Default().Histogram("corm_rpc_scan_matches",
 		"matches returned per OpScan request")
 	mScanTruncated = metrics.Default().Counter("corm_rpc_scan_truncated_total",

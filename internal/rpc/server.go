@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"corm/internal/core"
@@ -26,6 +27,16 @@ type Server struct {
 	// (CAS/FetchAdd/CondWrite) re-delivered across reconnects.
 	dedup dedupCache
 
+	// queued counts submissions currently waiting behind busy workers;
+	// maxQueue is the depth at which further arrivals are shed with
+	// StatusThrottled instead of joining the line (0 = never shed). The
+	// overload-control mirror of the compactor's op-rate shedding: a
+	// bounded queue keeps tail latency bounded, because a request that
+	// would wait behind an unbounded line is better rejected at arrival
+	// while the client still has its timeout budget to retry elsewhere.
+	queued   atomic.Int64
+	maxQueue atomic.Int64
+
 	// mu is held shared by Submit and exclusively by Close, so concurrent
 	// submissions never serialize on each other — only against shutdown.
 	mu     sync.RWMutex
@@ -47,6 +58,15 @@ func NewServer(store *core.Store) *Server {
 // Store exposes the underlying store.
 func (s *Server) Store() *core.Store { return s.store }
 
+// SetQueueLimit bounds how many submissions may wait behind busy workers
+// before new arrivals are shed with StatusThrottled. 0 (the default)
+// disables shedding — submissions queue without bound, the pre-overload-
+// control behavior. Safe to call while serving.
+func (s *Server) SetQueueLimit(n int) { s.maxQueue.Store(int64(n)) }
+
+// QueueLimit reports the configured shed threshold (0 = unbounded).
+func (s *Server) QueueLimit() int { return int(s.maxQueue.Load()) }
+
 // Close stops accepting requests and waits for in-flight ones to drain.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -66,7 +86,10 @@ func (s *Server) Submit(req Request) Response {
 		return Response{Status: StatusError}
 	}
 	mRequests.Inc()
-	thread := s.grabToken()
+	thread, ok := s.grabToken()
+	if !ok {
+		return Response{Status: StatusThrottled}
+	}
 	start := time.Now()
 	var resp Response
 	switch req.Op {
@@ -85,18 +108,30 @@ func (s *Server) Submit(req Request) Response {
 // grabToken borrows a worker thread. Fast path: a token is free and the
 // grab costs one channel op. Only a contended grab — one that actually
 // queues behind busy workers — pays for a timestamp, so the uncontended
-// hot path stays clock-free.
-func (s *Server) grabToken() int {
+// hot path stays clock-free. A contended grab first claims a place in the
+// bounded waiting line; if the line is full the request is shed (ok=false)
+// without blocking, so overload rejects at arrival instead of building an
+// unbounded queue whose tail latency has already blown every SLO.
+func (s *Server) grabToken() (thread int, ok bool) {
 	select {
 	case thread := <-s.tokens:
-		return thread
+		return thread, true
 	default:
 	}
+	depth := s.queued.Add(1)
+	if max := s.maxQueue.Load(); max > 0 && depth > max {
+		s.queued.Add(-1)
+		mShed.Inc()
+		return 0, false
+	}
 	mTokenContended.Inc()
+	mQueueDepth.Add(1)
 	waitStart := time.Now()
-	thread := <-s.tokens
+	thread = <-s.tokens
+	s.queued.Add(-1)
+	mQueueDepth.Dec()
 	mTokenWait.Record(time.Since(waitStart))
-	return thread
+	return thread, true
 }
 
 // growBytes extends b by n bytes, reusing capacity without zeroing it —
@@ -129,7 +164,11 @@ func (s *Server) SubmitAppend(req Request, dst []byte) []byte {
 		return r.MarshalAppend(dst)
 	}
 	mRequests.Inc()
-	thread := s.grabToken()
+	thread, ok := s.grabToken()
+	if !ok {
+		r := Response{Status: StatusThrottled}
+		return r.MarshalAppend(dst)
+	}
 	start := time.Now()
 	switch req.Op {
 	case OpBatch:

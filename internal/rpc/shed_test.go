@@ -1,0 +1,100 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"corm/internal/core"
+)
+
+func shedStore(t *testing.T) *core.Store {
+	t.Helper()
+	store, err := core.NewStore(core.Config{Workers: 1, Strategy: core.StrategyCoRM, DataBacked: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return store
+}
+
+// TestQueueDepthShedding pins the overload-control contract: with the sole
+// worker busy and the waiting line full, new arrivals are rejected with
+// StatusThrottled instead of queuing, and service resumes normally once the
+// worker frees up — tokens never leak through the shed path.
+func TestQueueDepthShedding(t *testing.T) {
+	s := NewServer(shedStore(t))
+	s.SetQueueLimit(1)
+
+	tok := <-s.tokens // occupy the only worker
+	queuedResp := make(chan Response, 1)
+	go func() { queuedResp <- s.Submit(Request{Op: OpInfo}) }()
+	for i := 0; s.queued.Load() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("queued submission never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Line is full (depth 1 of limit 1): the next arrival sheds without
+	// blocking, on both the Response and the append-marshalled path.
+	if resp := s.Submit(Request{Op: OpInfo}); resp.Status != StatusThrottled {
+		t.Fatalf("Submit over full queue: status %v, want StatusThrottled", resp.Status)
+	}
+	out := s.SubmitAppend(Request{Op: OpInfo}, nil)
+	if len(out) < 1 || Status(out[0]) != StatusThrottled {
+		t.Fatalf("SubmitAppend over full queue: got %v, want StatusThrottled record", out)
+	}
+
+	s.tokens <- tok
+	if r := <-queuedResp; r.Status != StatusOK {
+		t.Fatalf("queued submission: status %v, want OK", r.Status)
+	}
+	// The shed path must not have consumed the token.
+	if resp := s.Submit(Request{Op: OpInfo}); resp.Status != StatusOK {
+		t.Fatalf("post-drain Submit: status %v, want OK", resp.Status)
+	}
+}
+
+// TestQueueUnlimitedByDefault: without SetQueueLimit, contended submissions
+// wait their turn — the pre-overload-control behavior is untouched.
+func TestQueueUnlimitedByDefault(t *testing.T) {
+	s := NewServer(shedStore(t))
+	if s.QueueLimit() != 0 {
+		t.Fatalf("default queue limit %d, want 0 (unbounded)", s.QueueLimit())
+	}
+	tok := <-s.tokens
+	results := make(chan Response, 4)
+	for i := 0; i < 4; i++ {
+		go func() { results <- s.Submit(Request{Op: OpInfo}) }()
+	}
+	for i := 0; s.queued.Load() < 4; i++ {
+		if i > 5000 {
+			t.Fatalf("only %d of 4 submissions queued", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.tokens <- tok
+	for i := 0; i < 4; i++ {
+		if r := <-results; r.Status != StatusOK {
+			t.Fatalf("queued submission %d: status %v, want OK", i, r.Status)
+		}
+	}
+}
+
+// TestThrottledStatusRoundTrip: the wire mapping is lossless and the
+// sentinel is recognizable with errors.Is — the property the cluster layer
+// relies on to keep throttles out of the circuit breakers.
+func TestThrottledStatusRoundTrip(t *testing.T) {
+	if got := StatusOf(ErrThrottled); got != StatusThrottled {
+		t.Fatalf("StatusOf(ErrThrottled) = %v", got)
+	}
+	if !errors.Is(StatusThrottled.Err(), ErrThrottled) {
+		t.Fatal("StatusThrottled.Err() is not ErrThrottled")
+	}
+	if got := StatusOf(core.ErrCorruption); got != StatusCorrupt {
+		t.Fatalf("StatusOf(ErrCorruption) = %v", got)
+	}
+	if !errors.Is(StatusCorrupt.Err(), core.ErrCorruption) {
+		t.Fatal("StatusCorrupt.Err() is not core.ErrCorruption")
+	}
+}

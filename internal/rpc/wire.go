@@ -86,10 +86,24 @@ const (
 	// StatusNoData rejects a data-dependent pushdown op on an
 	// accounting-only (non-data-backed) store.
 	StatusNoData
+	// StatusThrottled sheds a request the server refused to queue: every
+	// worker was busy and the waiting line was at its configured depth
+	// limit. The operation was NOT attempted — retrying after backoff is
+	// always safe, and callers should treat it as overload pressure, not
+	// as a node fault (it must never trip a circuit breaker).
+	StatusThrottled
+	// StatusCorrupt reports a memory-safety canary violation: the slot's
+	// guard bytes were overwritten, so the payload cannot be trusted.
+	StatusCorrupt
 )
 
 // ErrTooLarge is the client-side sentinel for StatusTooLarge.
 var ErrTooLarge = errors.New("rpc: batch response exceeds frame limit")
+
+// ErrThrottled is the client-side sentinel for StatusThrottled: the server
+// shed the request under load before executing it. Deliberately NOT a
+// transport error — the connection is healthy, the node is just saturated.
+var ErrThrottled = errors.New("rpc: request shed by server load control")
 
 // StatusOf maps store errors onto wire codes.
 func StatusOf(err error) Status {
@@ -108,6 +122,10 @@ func StatusOf(err error) Status {
 		return StatusConflict
 	case errors.Is(err, core.ErrNoData):
 		return StatusNoData
+	case errors.Is(err, ErrThrottled):
+		return StatusThrottled
+	case errors.Is(err, core.ErrCorruption):
+		return StatusCorrupt
 	case errors.Is(err, core.ErrShortBuffer):
 		// A pushdown range that overruns the object is a malformed request,
 		// not a server fault.
@@ -135,6 +153,10 @@ func (s Status) Err() error {
 		return core.ErrConflict
 	case StatusNoData:
 		return core.ErrNoData
+	case StatusThrottled:
+		return ErrThrottled
+	case StatusCorrupt:
+		return core.ErrCorruption
 	}
 	return errors.New("rpc: remote error")
 }

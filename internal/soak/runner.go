@@ -1,0 +1,439 @@
+package soak
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corm/internal/cluster"
+	"corm/internal/core"
+	"corm/internal/fault"
+)
+
+// canaryObjectBytes sizes the per-node sentinel object whose guard bytes
+// ActCorrupt overwrites.
+const canaryObjectBytes = 64
+
+// run is the live state of one executing scenario.
+type run struct {
+	spec Spec
+	logf func(string, ...any)
+
+	cl         *cluster.LocalCluster
+	kv         *cluster.KV
+	adm        *cluster.Admission
+	compactors []*core.Compactor
+	replicator *cluster.Replicator
+	injector   *fault.Injector
+
+	recorders []*recorder
+	phase     atomic.Int32
+	start     time.Time
+	stop      chan struct{}
+
+	// Chaos goroutine state: it is the sole writer between start and the
+	// close of chaosDone, after which the runner reads it single-threaded.
+	down        map[int]bool
+	canaryAddrs []core.Addr
+	chaosRan    int
+	chaosDone   chan struct{}
+}
+
+// Run executes one soak scenario end to end and returns its Report. logf
+// (nil = silent) receives progress lines. The returned error covers
+// harness failures — a spec that cannot run; a finished run's verdict is
+// Report.Pass, never an error.
+func Run(spec Spec, logf func(string, ...any)) (*Report, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := &run{
+		spec:      spec,
+		logf:      logf,
+		stop:      make(chan struct{}),
+		down:      make(map[int]bool),
+		chaosDone: make(chan struct{}),
+	}
+	defer func() {
+		if r.cl != nil {
+			r.cl.Close()
+		}
+	}()
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+	before := sampleCounters()
+	if err := r.preload(); err != nil {
+		return nil, fmt.Errorf("soak: preload: %w", err)
+	}
+	acked := r.drive()
+	r.recover()
+	verified, lost := r.audit(acked)
+	r.teardown()
+	return r.report(before, verified, lost), nil
+}
+
+// setup spins the cluster and its background machinery per the spec.
+func (r *run) setup() error {
+	s := r.spec
+	r.logf("soak %s: %d nodes, %d tenants, k=%d W=%d, %v",
+		s.Name, s.Nodes, len(s.Tenants), s.Replicas, s.WriteConcern, s.Duration)
+	opts := cluster.HarnessOptions{
+		Canaries:   true,
+		QueueLimit: s.QueueLimit,
+	}
+	if s.NetFault != nil {
+		r.injector = fault.NewInjector(s.Seed, fault.Plan{
+			Latency:        s.NetFault.Latency,
+			Jitter:         s.NetFault.Jitter,
+			WriteResetRate: s.NetFault.ResetRate,
+			ReadResetRate:  s.NetFault.ResetRate,
+		})
+		opts.Dialer = r.injector.Dial
+	}
+	cl, err := cluster.SpinLocalOptions(s.Nodes, s.Seed, opts)
+	if err != nil {
+		return err
+	}
+	r.cl = cl
+	r.kv = cluster.NewReplicatedKV(cl.Pool(), cluster.ReplicationConfig{
+		Replicas: s.Replicas, WriteConcern: s.WriteConcern,
+	})
+	if s.Compaction {
+		for i := 0; i < cl.Nodes(); i++ {
+			c := core.NewCompactor(cl.Node(i).Store(), core.CompactorConfig{
+				Interval: 20 * time.Millisecond,
+			})
+			c.Start()
+			r.compactors = append(r.compactors, c)
+		}
+	}
+	if s.Replicas > 1 {
+		r.replicator = cluster.NewReplicator(r.kv, cluster.ReplicatorConfig{
+			Interval: 20 * time.Millisecond,
+		})
+		r.replicator.Start()
+	}
+	r.adm = cluster.NewAdmission()
+	for _, t := range s.Tenants {
+		if t.Admission != nil {
+			r.adm.SetTenant(t.Name, t.Admission.RatePerSec, t.Admission.Burst)
+		}
+		r.recorders = append(r.recorders, newRecorder(t.Name, s.Phases))
+	}
+	// One sentinel object per node, allocated straight on the store so it
+	// exists (and can be corrupted) even while the node's listener is dead.
+	for i := 0; i < cl.Nodes(); i++ {
+		addr, err := r.allocCanary(cl.Node(i).Store())
+		if err != nil {
+			return err
+		}
+		r.canaryAddrs = append(r.canaryAddrs, addr)
+	}
+	return nil
+}
+
+func (r *run) allocCanary(st *core.Store) (core.Addr, error) {
+	res, err := st.AllocOn(0, canaryObjectBytes)
+	if err != nil {
+		return core.Addr{}, fmt.Errorf("soak: canary alloc: %w", err)
+	}
+	return res.Addr, nil
+}
+
+// preload writes seq 0 of every tenant key so reads never miss and the
+// audit has a baseline for keys the run never rewrites.
+func (r *run) preload() error {
+	for _, t := range r.spec.Tenants {
+		val := make([]byte, t.ValueBytes)
+		for k := 0; k < t.Keys; k++ {
+			encodeValue(val, uint64(k), 0, t.Name)
+			var err error
+			// A few retries ride out injected connection resets (NetFault
+			// is live during preload too).
+			for attempt := 0; attempt < 5; attempt++ {
+				if err = r.kv.Put(keyName(t.Name, uint64(k)), val); err == nil {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	r.logf("soak %s: preloaded %d tenants", r.spec.Name, len(r.spec.Tenants))
+	return nil
+}
+
+// drive runs the measured window: phase scheduler, chaos schedule, and
+// every tenant client, then merges the clients' acked-write maps.
+func (r *run) drive() []map[uint64]uint64 {
+	r.start = time.Now()
+	go r.phaseLoop()
+	go r.chaosLoop()
+
+	acked := make([]map[uint64]uint64, len(r.spec.Tenants))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for ti := range r.spec.Tenants {
+		t := &tenantRunner{
+			spec:  r.spec.Tenants[ti],
+			kv:    r.kv,
+			adm:   r.adm,
+			rec:   r.recorders[ti],
+			phase: &r.phase,
+			start: r.start,
+			stop:  r.stop,
+		}
+		acked[ti] = make(map[uint64]uint64)
+		for cid := 0; cid < t.spec.Clients; cid++ {
+			wg.Add(1)
+			go func(ti, cid int, t *tenantRunner) {
+				defer wg.Done()
+				got := t.runClient(cid, r.spec.Seed*1_000_003+int64(ti)*8191+int64(cid))
+				mu.Lock()
+				// Client write partitions are disjoint, so the merge
+				// never sees two writers for one key.
+				for k, v := range got {
+					acked[ti][k] = v
+				}
+				mu.Unlock()
+			}(ti, cid, t)
+		}
+	}
+
+	time.Sleep(r.spec.Duration)
+	close(r.stop)
+	wg.Wait()
+	<-r.chaosDone
+	return acked
+}
+
+// phaseLoop advances the current phase index as the clock crosses each
+// declared boundary.
+func (r *run) phaseLoop() {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			elapsed := time.Since(r.start)
+			idx := len(r.spec.Phases) - 1
+			for i, p := range r.spec.Phases {
+				if elapsed < p.Until {
+					idx = i
+					break
+				}
+			}
+			r.phase.Store(int32(idx))
+		}
+	}
+}
+
+// chaosLoop fires the fault schedule in After order.
+func (r *run) chaosLoop() {
+	defer close(r.chaosDone)
+	events := append([]ChaosEvent(nil), r.spec.Chaos...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].After < events[j].After })
+	for _, e := range events {
+		wait := e.After - time.Since(r.start)
+		if wait > 0 {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(wait):
+			}
+		}
+		r.fire(e)
+	}
+}
+
+// fire executes one chaos event against the live cluster.
+func (r *run) fire(e ChaosEvent) {
+	node := r.cl.Node(e.Node)
+	switch e.Action {
+	case ActKill:
+		if r.down[e.Node] {
+			return
+		}
+		node.Kill()
+		r.down[e.Node] = true
+	case ActRestart:
+		if !r.down[e.Node] {
+			return
+		}
+		if err := node.Restart(); err != nil {
+			r.logf("soak chaos: restart node %d: %v", e.Node, err)
+			return
+		}
+		r.down[e.Node] = false
+	case ActWipe:
+		if !r.down[e.Node] {
+			node.Kill()
+		}
+		if err := node.Wipe(); err != nil {
+			r.logf("soak chaos: wipe node %d: %v", e.Node, err)
+			return
+		}
+		r.down[e.Node] = false
+		// The wiped store is brand new: plant a fresh sentinel in it.
+		if addr, err := r.allocCanary(node.Store()); err == nil {
+			r.canaryAddrs[e.Node] = addr
+		} else {
+			r.logf("soak chaos: %v", err)
+		}
+	case ActCorrupt:
+		if err := node.Store().CorruptSlotTail(&r.canaryAddrs[e.Node]); err != nil {
+			r.logf("soak chaos: corrupt node %d: %v", e.Node, err)
+			return
+		}
+	}
+	r.chaosRan++
+	r.logf("soak chaos: %s node %d at +%v", e.Action, e.Node, time.Since(r.start).Round(time.Millisecond))
+}
+
+// recover restarts any node the chaos schedule left down, so the audit
+// reads against a whole cluster (the state an operator would restore).
+func (r *run) recover() {
+	// The audit must measure what the cluster holds, not the network's
+	// mood: stop injecting before reading anything back.
+	if r.injector != nil {
+		r.injector.Disable()
+	}
+	for i, isDown := range r.down {
+		if !isDown {
+			continue
+		}
+		if err := r.cl.Node(i).Restart(); err != nil {
+			r.logf("soak recover: node %d: %v", i, err)
+			continue
+		}
+		r.down[i] = false
+	}
+	if r.replicator != nil {
+		r.replicator.Kick()
+	}
+}
+
+// audit proves durability: every key must read back exactly its last acked
+// sequence number (failed replicated Puts roll back completely, so nothing
+// between acks can surface). Keys that fail get retry passes — repair may
+// still be healing replicas — before they count as lost.
+func (r *run) audit(acked []map[uint64]uint64) (verified, lost int) {
+	type pending struct {
+		tenant int
+		key    uint64
+		want   uint64
+	}
+	var failing []pending
+	check := func(p pending) bool {
+		t := r.spec.Tenants[p.tenant]
+		v, found, err := r.kv.Get(keyName(t.Name, p.key))
+		if err != nil || !found {
+			return false
+		}
+		seq, ok := decodeValue(v, p.key, t.Name, t.ValueBytes)
+		return ok && seq == p.want
+	}
+	for ti, t := range r.spec.Tenants {
+		for k := 0; k < t.Keys; k++ {
+			p := pending{tenant: ti, key: uint64(k), want: acked[ti][uint64(k)]}
+			verified++
+			if !check(p) {
+				failing = append(failing, p)
+			}
+		}
+	}
+	for pass := 0; pass < 20 && len(failing) > 0; pass++ {
+		time.Sleep(50 * time.Millisecond)
+		var still []pending
+		for _, p := range failing {
+			if !check(p) {
+				still = append(still, p)
+			}
+		}
+		failing = still
+	}
+	for _, p := range failing {
+		r.logf("soak audit: LOST %s/%d want seq %d",
+			r.spec.Tenants[p.tenant].Name, p.key, p.want)
+	}
+	return verified, len(failing)
+}
+
+// teardown sweeps the canary sentinels (reading each one trips detection
+// on any injected corruption) and stops the background machinery.
+func (r *run) teardown() {
+	buf := make([]byte, canaryObjectBytes)
+	for i := 0; i < r.cl.Nodes(); i++ {
+		// ErrCorruption here is the sweep working, not a failure; the
+		// violation counter it bumps is the report's source of truth.
+		_, _ = r.cl.Node(i).Store().Read(&r.canaryAddrs[i], buf)
+	}
+	if r.replicator != nil {
+		r.replicator.Stop()
+	}
+	for _, c := range r.compactors {
+		c.Stop()
+	}
+}
+
+// report assembles the final Report and renders the verdict.
+func (r *run) report(before map[string]int64, verified, lost int) *Report {
+	rep := &Report{
+		Scenario:        r.spec.Name,
+		Seed:            r.spec.Seed,
+		Nodes:           r.spec.Nodes,
+		Replicas:        r.spec.Replicas,
+		WriteConcern:    r.spec.WriteConcern,
+		Seconds:         time.Since(r.start).Seconds(),
+		ChaosEvents:     r.chaosRan,
+		VerifiedKeys:    verified,
+		LostAckedWrites: lost,
+		CanaryExpected:  r.spec.ExpectCanary,
+		Cluster:         counterDeltas(before),
+		SLOPass:         true,
+	}
+	rep.CanaryViolations = rep.Cluster["corm_core_canary_violations_total"]
+	for ti, t := range r.spec.Tenants {
+		rec := r.recorders[ti]
+		tr := TenantReport{
+			Name:      t.Name,
+			Ops:       rec.ops.Load(),
+			Errors:    rec.errs.Load(),
+			Throttled: rec.throttled.Load(),
+			Get:       quantilesOf(rec.overall[opGet]),
+			Put:       quantilesOf(rec.overall[opPut]),
+		}
+		if tr.Ops > 0 {
+			tr.ErrorRate = float64(tr.Errors) / float64(tr.Ops)
+		}
+		for pi, p := range r.spec.Phases {
+			tr.Phases = append(tr.Phases, PhaseReport{
+				Phase: p.Name,
+				Get:   quantilesOf(rec.phases[pi][opGet]),
+				Put:   quantilesOf(rec.phases[pi][opPut]),
+			})
+		}
+		evaluateSLO(&tr, t.SLO)
+		if !tr.SLO.Pass {
+			rep.SLOPass = false
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	canaryOK := rep.CanaryViolations == 0
+	if r.spec.ExpectCanary {
+		canaryOK = rep.CanaryViolations > 0
+	}
+	rep.Pass = rep.SLOPass && rep.LostAckedWrites == 0 && canaryOK
+	return rep
+}

@@ -1,0 +1,220 @@
+package soak
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"corm/internal/workload"
+)
+
+// Built-in scenarios. Each is a function of the run duration so callers
+// (CI smoke vs. a long local soak) stretch the same shape over different
+// windows; chaos offsets scale with the window.
+
+var scenarios = map[string]func(d time.Duration) Spec{
+	"smoke":    smokeSpec,
+	"standard": standardSpec,
+	"overload": overloadSpec,
+	"canary":   canarySpec,
+}
+
+// Lookup resolves a named scenario at the given duration (0 = the
+// scenario's default).
+func Lookup(name string, d time.Duration) (Spec, error) {
+	fn, ok := scenarios[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("soak: unknown scenario %q (have %v)", name, Names())
+	}
+	return fn(d), nil
+}
+
+// Names lists the built-in scenarios, sorted.
+func Names() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// smokeSpec is the CI gate: 3 nodes, 2 tenants, compaction on, one node
+// killed mid-run and restarted, generous SLOs. Short enough for a -race
+// CI step, real enough to catch lost acks and SLO regressions.
+func smokeSpec(d time.Duration) Spec {
+	if d <= 0 {
+		d = 8 * time.Second
+	}
+	return Spec{
+		Name:         "smoke",
+		Seed:         1,
+		Nodes:        3,
+		Replicas:     3,
+		WriteConcern: 2,
+		Duration:     d,
+		Compaction:   true,
+		Phases: []PhaseSpec{
+			{Name: "steady", Until: d / 4},
+			{Name: "degraded", Until: 3 * d / 4},
+			{Name: "healed", Until: d},
+		},
+		Chaos: []ChaosEvent{
+			{After: d / 4, Action: ActKill, Node: 1},
+			{After: 3 * d / 4, Action: ActRestart, Node: 1},
+		},
+		Tenants: []TenantSpec{
+			{
+				Name: "oltp", Clients: 3, Keys: 256, ValueBytes: 128,
+				Mix: workload.Mix95, Dist: workload.DistZipf, Theta: 0.99,
+				TargetOpsPerSec: 600,
+				SLO: SLO{
+					GetP99: 250 * time.Millisecond, PutP99: 500 * time.Millisecond,
+					MaxErrorRate: 0.01,
+				},
+			},
+			{
+				Name: "batch", Clients: 2, Keys: 128, ValueBytes: 512,
+				Mix: workload.Mix50, Dist: workload.DistUniform,
+				TargetOpsPerSec: 300,
+				SLO:             SLO{MaxErrorRate: 0.01},
+			},
+		},
+	}
+}
+
+// standardSpec is the full production rehearsal: three tenant tiers with
+// diurnal ramps and hot-key storms, compaction, a kill/restart plus a
+// wipe (the re-replication case), admission caps on the batch tier, and
+// bounded server queues.
+func standardSpec(d time.Duration) Spec {
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	return Spec{
+		Name:         "standard",
+		Seed:         7,
+		Nodes:        3,
+		Replicas:     3,
+		WriteConcern: 2,
+		Duration:     d,
+		Compaction:   true,
+		QueueLimit:   256,
+		Phases: []PhaseSpec{
+			{Name: "rampup", Until: d / 3},
+			{Name: "chaos", Until: 2 * d / 3},
+			{Name: "recovery", Until: d},
+		},
+		Chaos: []ChaosEvent{
+			{After: d / 3, Action: ActKill, Node: 2},
+			{After: d / 2, Action: ActRestart, Node: 2},
+			{After: 7 * d / 12, Action: ActWipe, Node: 0},
+		},
+		// Continuous low-grade network flakiness underneath the scheduled
+		// chaos: every connection occasionally resets and carries jitter.
+		NetFault: &NetFaultSpec{
+			Latency: 20 * time.Microsecond, Jitter: 30 * time.Microsecond,
+			ResetRate: 0.0002,
+		},
+		Tenants: []TenantSpec{
+			{
+				// Latency-sensitive gold tier: diurnal ramp, skewed reads.
+				Name: "gold", Clients: 4, Keys: 1024, ValueBytes: 128,
+				Mix: workload.Mix95, Dist: workload.DistZipf, Theta: 0.99,
+				Ramp: &workload.Ramp{Base: 400, Peak: 1600, Period: d},
+				SLO: SLO{
+					GetP99: 250 * time.Millisecond, GetP999: time.Second,
+					PutP99:       500 * time.Millisecond,
+					MaxErrorRate: 0.01,
+				},
+			},
+			{
+				// Mid-tier with recurring hot-key storms.
+				Name: "silver", Clients: 3, Keys: 2048, ValueBytes: 256,
+				Mix: workload.Mix95, Dist: workload.DistUniform,
+				TargetOpsPerSec: 500,
+				Storm: &workload.StormConfig{
+					HotKeys: 16, Fraction: 0.7,
+					Period: d / 3, Duration: d / 12,
+				},
+				SLO: SLO{GetP99: 500 * time.Millisecond, MaxErrorRate: 0.01},
+			},
+			{
+				// Write-heavy batch tier, capped at admission so it cannot
+				// starve the paying tiers.
+				Name: "batch", Clients: 2, Keys: 512, ValueBytes: 1024,
+				Mix: workload.Mix50, Dist: workload.DistUniform,
+				Admission: &AdmissionSpec{RatePerSec: 400, Burst: 64},
+				SLO:       SLO{MaxErrorRate: 0.01},
+			},
+		},
+	}
+}
+
+// overloadSpec proves graceful degradation: an unpaced flood tenant
+// hammers the cluster through a tight admission cap and a bounded server
+// queue while a paced SLO tenant must keep meeting its latency targets.
+// The flood is shed (throttles, not errors); the SLO tenant must pass.
+func overloadSpec(d time.Duration) Spec {
+	if d <= 0 {
+		d = 6 * time.Second
+	}
+	return Spec{
+		Name:         "overload",
+		Seed:         3,
+		Nodes:        3,
+		Replicas:     2,
+		WriteConcern: 2,
+		Duration:     d,
+		QueueLimit:   64,
+		Tenants: []TenantSpec{
+			{
+				Name: "slo", Clients: 2, Keys: 256, ValueBytes: 128,
+				Mix: workload.Mix95, Dist: workload.DistZipf, Theta: 0.99,
+				TargetOpsPerSec: 400,
+				SLO: SLO{
+					GetP99: 250 * time.Millisecond, PutP99: 500 * time.Millisecond,
+					MaxErrorRate: 0.01,
+				},
+			},
+			{
+				// Unpaced: offers load as fast as it can generate it.
+				Name: "flood", Clients: 4, Keys: 256, ValueBytes: 128,
+				Mix: workload.Mix50, Dist: workload.DistUniform,
+				Admission: &AdmissionSpec{RatePerSec: 500, Burst: 32},
+				SLO:       SLO{MaxErrorRate: 0.01},
+			},
+		},
+	}
+}
+
+// canarySpec injects a slot-boundary corruption on every node mid-run and
+// passes only if the canary sweep detects it — the harness checking its
+// own smoke detector.
+func canarySpec(d time.Duration) Spec {
+	if d <= 0 {
+		d = 4 * time.Second
+	}
+	return Spec{
+		Name:         "canary",
+		Seed:         5,
+		Nodes:        3,
+		Replicas:     2,
+		WriteConcern: 1,
+		Duration:     d,
+		ExpectCanary: true,
+		Chaos: []ChaosEvent{
+			{After: d / 2, Action: ActCorrupt, Node: 0},
+			{After: d / 2, Action: ActCorrupt, Node: 1},
+			{After: d / 2, Action: ActCorrupt, Node: 2},
+		},
+		Tenants: []TenantSpec{
+			{
+				Name: "probe", Clients: 2, Keys: 128, ValueBytes: 128,
+				Mix: workload.Mix95, Dist: workload.DistUniform,
+				TargetOpsPerSec: 300,
+				SLO:             SLO{MaxErrorRate: 0.01},
+			},
+		},
+	}
+}

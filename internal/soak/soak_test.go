@@ -1,0 +1,327 @@
+package soak
+
+import (
+	"testing"
+	"time"
+
+	"corm/internal/workload"
+)
+
+// shortSpec is a compressed chaos scenario: 3 nodes, replicated writes,
+// compaction on, one node killed and restarted mid-run. Small enough to
+// run under -race in CI, complete enough to exercise every layer the full
+// soak composes.
+func shortSpec(d time.Duration) Spec {
+	return Spec{
+		Name:         "test-short",
+		Seed:         11,
+		Nodes:        3,
+		Replicas:     3,
+		WriteConcern: 2,
+		Duration:     d,
+		Compaction:   true,
+		Phases: []PhaseSpec{
+			{Name: "steady", Until: d / 3},
+			{Name: "degraded", Until: d},
+		},
+		Chaos: []ChaosEvent{
+			{After: d / 3, Action: ActKill, Node: 1},
+			{After: 2 * d / 3, Action: ActRestart, Node: 1},
+		},
+		Tenants: []TenantSpec{
+			{
+				Name: "alpha", Clients: 2, Keys: 96, ValueBytes: 128,
+				Mix: workload.Mix95, Dist: workload.DistZipf, Theta: 0.99,
+				TargetOpsPerSec: 400,
+				SLO:             SLO{MaxErrorRate: 0.02},
+			},
+			{
+				Name: "beta", Clients: 2, Keys: 64, ValueBytes: 256,
+				Mix: workload.Mix50, Dist: workload.DistUniform,
+				TargetOpsPerSec: 200,
+				SLO:             SLO{MaxErrorRate: 0.02},
+			},
+		},
+	}
+}
+
+// TestSoakChaosRun drives the full harness — replication, compaction,
+// kill/restart chaos, two tenants — and demands a clean verdict: every
+// acked write read back, no canary violations, SLOs held.
+func TestSoakChaosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	rep, err := Run(shortSpec(3*time.Second), t.Logf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.LostAckedWrites != 0 {
+		t.Fatalf("lost %d acked writes", rep.LostAckedWrites)
+	}
+	if rep.CanaryViolations != 0 {
+		t.Fatalf("unexpected canary violations: %d", rep.CanaryViolations)
+	}
+	if !rep.SLOPass || !rep.Pass {
+		t.Fatalf("run failed: slo=%v pass=%v tenants=%+v", rep.SLOPass, rep.Pass, rep.Tenants)
+	}
+	if rep.ChaosEvents != 2 {
+		t.Fatalf("chaos events executed = %d, want 2", rep.ChaosEvents)
+	}
+	if rep.VerifiedKeys != 96+64 {
+		t.Fatalf("verified %d keys, want 160", rep.VerifiedKeys)
+	}
+	for _, tn := range rep.Tenants {
+		if tn.Ops == 0 {
+			t.Fatalf("tenant %s recorded no ops", tn.Name)
+		}
+		if len(tn.Phases) != 2 {
+			t.Fatalf("tenant %s has %d phase reports, want 2", tn.Name, len(tn.Phases))
+		}
+	}
+}
+
+// TestSoakOverloadDegradesGracefully is the backpressure proof: an
+// unpaced flood tenant behind a tight admission cap must be throttled —
+// not errored — while the paced SLO tenant keeps meeting its targets.
+func TestSoakOverloadDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	spec := Spec{
+		Name:         "test-overload",
+		Seed:         13,
+		Nodes:        3,
+		Replicas:     2,
+		WriteConcern: 2,
+		Duration:     2500 * time.Millisecond,
+		QueueLimit:   64,
+		Tenants: []TenantSpec{
+			{
+				Name: "slo", Clients: 2, Keys: 128, ValueBytes: 128,
+				Mix: workload.Mix95, Dist: workload.DistZipf, Theta: 0.99,
+				TargetOpsPerSec: 300,
+				SLO:             SLO{MaxErrorRate: 0.02},
+			},
+			{
+				Name: "flood", Clients: 4, Keys: 128, ValueBytes: 128,
+				Mix: workload.Mix50, Dist: workload.DistUniform,
+				Admission: &AdmissionSpec{RatePerSec: 200, Burst: 16},
+				SLO:       SLO{MaxErrorRate: 0.02},
+			},
+		},
+	}
+	rep, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var slo, flood *TenantReport
+	for i := range rep.Tenants {
+		switch rep.Tenants[i].Name {
+		case "slo":
+			slo = &rep.Tenants[i]
+		case "flood":
+			flood = &rep.Tenants[i]
+		}
+	}
+	if flood.Throttled == 0 {
+		t.Fatal("flood tenant was never throttled — admission cap did nothing")
+	}
+	if !flood.SLO.Pass {
+		t.Fatalf("flood tenant errored instead of shedding: %+v", flood.SLO)
+	}
+	if !slo.SLO.Pass {
+		t.Fatalf("slo tenant breached under overload: %+v", slo.SLO)
+	}
+	if rep.LostAckedWrites != 0 {
+		t.Fatalf("lost %d acked writes under overload", rep.LostAckedWrites)
+	}
+	if !rep.Pass {
+		t.Fatalf("overload run failed: %+v", rep)
+	}
+	adm := rep.Cluster["corm_cluster_admission_throttled_total"]
+	if adm == 0 {
+		t.Fatal("admission throttle counter never moved")
+	}
+}
+
+// TestSoakCanaryScenario injects a slot-tail corruption mid-run and
+// demands the sweep detects it: the run passes BECAUSE violations were
+// found (ExpectCanary inverts the criterion).
+func TestSoakCanaryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	spec := Spec{
+		Name:         "test-canary",
+		Seed:         17,
+		Nodes:        2,
+		Replicas:     2,
+		WriteConcern: 1,
+		Duration:     1500 * time.Millisecond,
+		ExpectCanary: true,
+		Chaos: []ChaosEvent{
+			{After: 500 * time.Millisecond, Action: ActCorrupt, Node: 0},
+		},
+		Tenants: []TenantSpec{
+			{
+				Name: "probe", Clients: 1, Keys: 32, ValueBytes: 64,
+				Mix: workload.Mix95, Dist: workload.DistUniform,
+				TargetOpsPerSec: 100,
+				SLO:             SLO{MaxErrorRate: 0.02},
+			},
+		},
+	}
+	rep, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.CanaryViolations == 0 {
+		t.Fatal("injected corruption went undetected")
+	}
+	if !rep.Pass {
+		t.Fatalf("canary scenario failed: %+v", rep)
+	}
+
+	// The same corruption without ExpectCanary must fail the run.
+	spec.ExpectCanary = false
+	spec.Name = "test-canary-strict"
+	rep, err = Run(spec, t.Logf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Pass {
+		t.Fatal("corrupted run passed with ExpectCanary off")
+	}
+}
+
+// TestSoakNetFault runs with continuous connection resets and jitter
+// injected on every pool connection (internal/fault underneath the KV):
+// errors are tolerated up to the SLO, but no acked write may be lost and
+// the audit must still complete once injection stops.
+func TestSoakNetFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	spec := Spec{
+		Name:         "test-netfault",
+		Seed:         19,
+		Nodes:        3,
+		Replicas:     3,
+		WriteConcern: 2,
+		Duration:     2 * time.Second,
+		NetFault: &NetFaultSpec{
+			Latency: 20 * time.Microsecond, Jitter: 30 * time.Microsecond,
+			ResetRate: 0.001,
+		},
+		Tenants: []TenantSpec{
+			{
+				Name: "jittery", Clients: 2, Keys: 64, ValueBytes: 128,
+				Mix: workload.Mix50, Dist: workload.DistUniform,
+				TargetOpsPerSec: 300,
+				SLO:             SLO{MaxErrorRate: 0.25},
+			},
+		},
+	}
+	rep, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.LostAckedWrites != 0 {
+		t.Fatalf("lost %d acked writes under network faults", rep.LostAckedWrites)
+	}
+	if !rep.Pass {
+		t.Fatalf("netfault run failed: %+v", rep.Tenants)
+	}
+}
+
+// TestSpecValidation exercises the declarative layer's guard rails.
+func TestSpecValidation(t *testing.T) {
+	base := func() Spec {
+		return Spec{Nodes: 2, Tenants: []TenantSpec{{Name: "a"}}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no tenants", func(s *Spec) { s.Tenants = nil }},
+		{"empty tenant name", func(s *Spec) { s.Tenants[0].Name = "" }},
+		{"duplicate tenant", func(s *Spec) { s.Tenants = append(s.Tenants, TenantSpec{Name: "a"}) }},
+		{"chaos node out of range", func(s *Spec) { s.Chaos = []ChaosEvent{{Node: 5}} }},
+		{"phase order", func(s *Spec) {
+			// The last phase is normalized to Duration, so the violation
+			// must sit in the middle of the list.
+			s.Phases = []PhaseSpec{
+				{Name: "a", Until: 3 * time.Second},
+				{Name: "b", Until: time.Second},
+				{Name: "c", Until: 2 * time.Second},
+			}
+		}},
+		{"empty phase name", func(s *Spec) { s.Phases = []PhaseSpec{{Until: time.Second}} }},
+	}
+	for _, c := range cases {
+		s := base()
+		c.mutate(&s)
+		if err := s.withDefaults().validate(); err == nil {
+			t.Fatalf("%s: validate accepted bad spec", c.name)
+		}
+	}
+	ok := base().withDefaults()
+	if err := ok.validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if ok.WriteConcern != ok.Replicas {
+		t.Fatalf("write concern default = %d, want %d", ok.WriteConcern, ok.Replicas)
+	}
+	if ok.Tenants[0].ValueBytes < auditHeaderBytes {
+		t.Fatalf("value bytes %d below audit header", ok.Tenants[0].ValueBytes)
+	}
+}
+
+// TestScenarioRegistry pins the built-in catalogue.
+func TestScenarioRegistry(t *testing.T) {
+	want := []string{"canary", "overload", "smoke", "standard"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		spec, err := Lookup(name, 2*time.Second)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		spec = spec.withDefaults()
+		if err := spec.validate(); err != nil {
+			t.Fatalf("scenario %s invalid: %v", name, err)
+		}
+		if spec.Duration != 2*time.Second {
+			t.Fatalf("scenario %s ignored duration override", name)
+		}
+	}
+	if _, err := Lookup("nope", 0); err == nil {
+		t.Fatal("Lookup accepted unknown scenario")
+	}
+}
+
+// TestValueAudit pins the audit encoding round trip and its rejections.
+func TestValueAudit(t *testing.T) {
+	v := make([]byte, 64)
+	encodeValue(v, 42, 7, "gold")
+	if seq, ok := decodeValue(v, 42, "gold", 64); !ok || seq != 7 {
+		t.Fatalf("round trip: seq=%d ok=%v", seq, ok)
+	}
+	if _, ok := decodeValue(v, 43, "gold", 64); ok {
+		t.Fatal("accepted wrong key")
+	}
+	if _, ok := decodeValue(v, 42, "silver", 64); ok {
+		t.Fatal("accepted wrong tenant")
+	}
+	if _, ok := decodeValue(v[:32], 42, "gold", 64); ok {
+		t.Fatal("accepted truncated value")
+	}
+}

@@ -1,0 +1,245 @@
+// Package soak is the production soak harness: a multi-node, multi-tenant
+// scenario engine that drives the full stack — replicated cluster KV over
+// the in-process harness, background compaction, chaos (kill / restart /
+// wipe / corrupt), admission control, and server-side load shedding — the
+// way production traffic would, simultaneously, and judges the run against
+// declared SLOs.
+//
+// A Spec is declarative: tenants × workload mix × skew × chaos schedule ×
+// SLO targets. Run executes it and produces a machine-readable Report
+// (per-tenant/per-phase latency quantiles, error and throttle counts,
+// lost-acked-write audit, canary-corruption audit, SLO pass/fail booleans)
+// that `corm-bench soak` serializes as BENCH_soak.json and CI gates on.
+package soak
+
+import (
+	"fmt"
+	"time"
+
+	"corm/internal/workload"
+)
+
+// SLO declares a tenant's latency and error targets. Zero-valued fields
+// are not enforced, so a tenant can declare only the bounds it cares
+// about. Latencies are end-to-end client-observed (admission wait
+// excluded — a throttled op is shed, not served).
+type SLO struct {
+	// GetP99/GetP999 bound read latency quantiles.
+	GetP99  time.Duration
+	GetP999 time.Duration
+	// PutP99/PutP999 bound write latency quantiles.
+	PutP99  time.Duration
+	PutP999 time.Duration
+	// MaxErrorRate bounds errors/ops over the whole run. Throttled
+	// operations are shed load, not errors — graceful degradation is the
+	// point — so they count separately.
+	MaxErrorRate float64
+}
+
+// NetFaultSpec scripts background network flakiness for the whole run:
+// every pool connection is wrapped by a seeded internal/fault Injector, so
+// the soak exercises redial, retry, and breaker paths continuously instead
+// of only at chaos events. Injection is disabled before the final audit.
+type NetFaultSpec struct {
+	// Latency/Jitter delay every wire operation (fixed + uniform random).
+	Latency time.Duration
+	Jitter  time.Duration
+	// ResetRate resets a connection with this per-operation probability.
+	ResetRate float64
+}
+
+// AdmissionSpec caps a tenant's offered load at the client/cluster edge.
+type AdmissionSpec struct {
+	// RatePerSec is the steady-state admitted rate.
+	RatePerSec float64
+	// Burst is the bucket depth (ops admitted instantaneously).
+	Burst int
+}
+
+// TenantSpec declares one tenant's workload shape and targets.
+type TenantSpec struct {
+	// Name labels the tenant in the report and metrics.
+	Name string
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// Keys is the tenant's key-space size.
+	Keys int
+	// ValueBytes is the object payload size (clamped to >= 24, the
+	// audit-header minimum).
+	ValueBytes int
+	// Mix is the read:write ratio.
+	Mix workload.Mix
+	// Dist selects the key distribution; Theta applies to DistZipf.
+	Dist  workload.Dist
+	Theta float64
+	// TargetOpsPerSec paces the tenant's offered load (split across its
+	// clients). 0 = unpaced: offer as fast as possible (the overload
+	// tenant shape).
+	TargetOpsPerSec float64
+	// Ramp, when set, replaces TargetOpsPerSec with a diurnal curve.
+	Ramp *workload.Ramp
+	// Storm, when set, overlays recurring hot-key storms on the stream.
+	Storm *workload.StormConfig
+	// Admission, when set, caps the tenant at the admission controller.
+	Admission *AdmissionSpec
+	// SLO is the tenant's declared targets.
+	SLO SLO
+}
+
+// ChaosAction is one kind of scheduled fault.
+type ChaosAction int
+
+const (
+	// ActKill closes a node's listener (store survives).
+	ActKill ChaosAction = iota
+	// ActRestart brings a killed node back over its surviving store.
+	ActRestart
+	// ActWipe brings a killed node back with an empty store (machine
+	// replacement; the replicator's repair case). Applies to a down node
+	// or a live one (which is killed first).
+	ActWipe
+	// ActCorrupt overwrites a guard byte of the node's canary object —
+	// an injected memory-safety violation the canary sweep must catch.
+	ActCorrupt
+)
+
+func (a ChaosAction) String() string {
+	switch a {
+	case ActKill:
+		return "kill"
+	case ActRestart:
+		return "restart"
+	case ActWipe:
+		return "wipe"
+	case ActCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("chaos(%d)", int(a))
+}
+
+// ChaosEvent schedules one fault at an offset from the run start.
+type ChaosEvent struct {
+	After  time.Duration
+	Action ChaosAction
+	Node   int
+}
+
+// PhaseSpec names a window of the run; per-phase latency histograms are
+// keyed by it. Until is the phase's end offset from the run start; phases
+// must be declared in increasing Until order and the last one is extended
+// to cover the full duration.
+type PhaseSpec struct {
+	Name  string
+	Until time.Duration
+}
+
+// Spec is one declarative soak scenario.
+type Spec struct {
+	// Name labels the scenario in the report.
+	Name string
+	// Seed makes workload streams and chaos deterministic.
+	Seed int64
+	// Nodes is the cluster size.
+	Nodes int
+	// Replicas/WriteConcern configure the replicated KV (defaults 1/k).
+	Replicas     int
+	WriteConcern int
+	// Duration is the measured soak window.
+	Duration time.Duration
+	// Compaction runs a background compactor on every node.
+	Compaction bool
+	// QueueLimit bounds each node's rpc.Server waiting line (0 = off).
+	QueueLimit int
+	// Phases partitions the run for per-phase histograms; empty = one
+	// phase named "soak".
+	Phases []PhaseSpec
+	// Chaos is the fault schedule.
+	Chaos []ChaosEvent
+	// NetFault, when set, injects continuous network flakiness on every
+	// pool connection (forces the TCP wire path).
+	NetFault *NetFaultSpec
+	// Tenants is the tenant set.
+	Tenants []TenantSpec
+	// ExpectCanary inverts the canary criterion: the scenario injects
+	// corruption (ActCorrupt) and PASSES iff it is detected. Without it,
+	// any detected violation fails the run.
+	ExpectCanary bool
+}
+
+// withDefaults fills unset fields and normalizes phases.
+func (s Spec) withDefaults() Spec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 3
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.WriteConcern == 0 {
+		s.WriteConcern = s.Replicas
+	}
+	if s.Duration == 0 {
+		s.Duration = 10 * time.Second
+	}
+	if len(s.Phases) == 0 {
+		s.Phases = []PhaseSpec{{Name: "soak", Until: s.Duration}}
+	}
+	s.Phases[len(s.Phases)-1].Until = s.Duration
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		if t.Clients == 0 {
+			t.Clients = 2
+		}
+		if t.Keys == 0 {
+			t.Keys = 512
+		}
+		if t.ValueBytes < auditHeaderBytes {
+			t.ValueBytes = auditHeaderBytes
+		}
+		if t.Mix == (workload.Mix{}) {
+			t.Mix = workload.Mix95
+		}
+		if t.Dist == workload.DistZipf && t.Theta == 0 {
+			t.Theta = 0.99
+		}
+	}
+	return s
+}
+
+// validate rejects specs the runner cannot execute.
+func (s Spec) validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("soak: need at least one node")
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("soak: need at least one tenant")
+	}
+	seen := map[string]bool{}
+	for _, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("soak: tenant with empty name")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("soak: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	var prev time.Duration
+	for _, p := range s.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("soak: phase with empty name")
+		}
+		if p.Until < prev {
+			return fmt.Errorf("soak: phase %q ends before its predecessor", p.Name)
+		}
+		prev = p.Until
+	}
+	for _, e := range s.Chaos {
+		if e.Node < 0 || e.Node >= s.Nodes {
+			return fmt.Errorf("soak: chaos event targets node %d of %d", e.Node, s.Nodes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package soak
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"corm/internal/cluster"
+	"corm/internal/workload"
+)
+
+// auditHeaderBytes is the self-describing prefix every soak value carries:
+// the writer's sequence number, the key, and a tenant fingerprint. The
+// post-run audit decodes it to prove every acked write survived.
+const auditHeaderBytes = 24
+
+// encodeValue stamps the audit header and fills the tail with a fixed
+// pattern (deterministic, so torn or misrouted bytes are visible).
+func encodeValue(dst []byte, key, seq uint64, tenant string) {
+	binary.LittleEndian.PutUint64(dst[0:8], seq)
+	binary.LittleEndian.PutUint64(dst[8:16], key)
+	binary.LittleEndian.PutUint64(dst[16:24], tenantFingerprint(tenant))
+	for i := auditHeaderBytes; i < len(dst); i++ {
+		dst[i] = byte(0xA0 + i%7)
+	}
+}
+
+// decodeValue recovers (seq, key, ok): ok demands the length, the embedded
+// key, and the tenant fingerprint all match expectation.
+func decodeValue(v []byte, wantKey uint64, tenant string, wantLen int) (seq uint64, ok bool) {
+	if len(v) != wantLen || len(v) < auditHeaderBytes {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(v[8:16]) != wantKey {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(v[16:24]) != tenantFingerprint(tenant) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v[0:8]), true
+}
+
+func tenantFingerprint(tenant string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	return h.Sum64()
+}
+
+// keyName maps a tenant's numeric key into the shared KV namespace.
+func keyName(tenant string, key uint64) string {
+	// Fixed-width decimal keeps allocation size uniform per tenant.
+	buf := make([]byte, 0, len(tenant)+12)
+	buf = append(buf, tenant...)
+	buf = append(buf, '/')
+	var digits [10]byte
+	for i := 9; i >= 0; i-- {
+		digits[i] = byte('0' + key%10)
+		key /= 10
+	}
+	return string(append(buf, digits[:]...))
+}
+
+// tenantRunner drives one tenant's client goroutines against the KV.
+type tenantRunner struct {
+	spec  TenantSpec
+	kv    *cluster.KV
+	adm   *cluster.Admission
+	rec   *recorder
+	phase *atomic.Int32
+	start time.Time
+	stop  chan struct{}
+}
+
+// throttleBackoff is how long a client sits out after a throttle —
+// production clients back off on 429s; a spin would burn the host CPU the
+// measured tenants need.
+const throttleBackoff = 200 * time.Microsecond
+
+// rate evaluates the tenant's offered load at an elapsed offset.
+func (t *tenantRunner) rate(elapsed time.Duration) float64 {
+	if t.spec.Ramp != nil {
+		return t.spec.Ramp.Rate(elapsed)
+	}
+	return t.spec.TargetOpsPerSec
+}
+
+// runClient is one client goroutine's lifetime: draw from the key stream,
+// pace to the tenant's offered rate, pass admission, execute against the
+// KV, and record. Writes stay inside the client's own key partition so the
+// post-run audit has a single writer per key; it returns the client's
+// acked-write map (key -> last acked seq).
+func (t *tenantRunner) runClient(cid int, seed int64) map[uint64]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var keys workload.KeyGen
+	switch t.spec.Dist {
+	case workload.DistZipf:
+		keys = workload.NewZipf(rng, uint64(t.spec.Keys), t.spec.Theta, true)
+	default:
+		keys = workload.NewUniform(rng, uint64(t.spec.Keys))
+	}
+	if t.spec.Storm != nil {
+		keys = workload.NewStorm(seed+7919, keys, *t.spec.Storm)
+	}
+	partLo := cid * t.spec.Keys / t.spec.Clients
+	partHi := (cid + 1) * t.spec.Keys / t.spec.Clients
+	if partHi <= partLo {
+		partHi = partLo + 1 // more clients than keys: overlap is fine for reads
+	}
+	mixTotal := t.spec.Mix.Read + t.spec.Mix.Write
+
+	acked := make(map[uint64]uint64)
+	val := make([]byte, t.spec.ValueBytes)
+	var seq uint64
+	for {
+		select {
+		case <-t.stop:
+			return acked
+		default:
+		}
+		if r := t.rate(time.Since(t.start)); r > 0 {
+			interval := time.Duration(float64(time.Second) * float64(t.spec.Clients) / r)
+			select {
+			case <-t.stop:
+				return acked
+			case <-time.After(interval):
+			}
+		}
+
+		key := keys.Next()
+		write := t.spec.Mix.Write > 0 && (t.spec.Mix.Read == 0 || rng.Intn(mixTotal) >= t.spec.Mix.Read)
+		if write {
+			key = uint64(partLo) + key%uint64(partHi-partLo)
+		}
+		if err := t.adm.Admit(t.spec.Name); err != nil {
+			t.rec.noteThrottle()
+			time.Sleep(throttleBackoff)
+			continue
+		}
+
+		phase := int(t.phase.Load())
+		name := keyName(t.spec.Name, key)
+		begin := time.Now()
+		if write {
+			seq++
+			encodeValue(val, key, seq, t.spec.Name)
+			err := t.kv.Put(name, val)
+			switch {
+			case err == nil:
+				t.rec.observe(phase, opPut, time.Since(begin))
+				acked[key] = seq
+			case errors.Is(err, cluster.ErrThrottled):
+				t.rec.noteThrottle()
+				time.Sleep(throttleBackoff)
+			default:
+				t.rec.noteError()
+			}
+			continue
+		}
+		v, found, err := t.kv.Get(name)
+		switch {
+		case err == nil && found:
+			if _, ok := decodeValue(v, key, t.spec.Name, t.spec.ValueBytes); !ok {
+				// Wrong key, wrong tenant, or wrong shape: the read was
+				// served but the bytes are not a value any writer acked.
+				t.rec.noteError()
+				continue
+			}
+			t.rec.observe(phase, opGet, time.Since(begin))
+		case errors.Is(err, cluster.ErrThrottled):
+			t.rec.noteThrottle()
+			time.Sleep(throttleBackoff)
+		default:
+			// Not-found counts too: every key was preloaded, so a miss is
+			// a served-but-wrong answer, not an expected state.
+			t.rec.noteError()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Production traffic is not a constant offered load: it breathes on a
+// diurnal cycle and occasionally piles onto a handful of keys when
+// something goes viral. Ramp and Storm model those two shapes so soak
+// scenarios can drive the system the way real tenants would.
+
+// Ramp is a diurnal offered-load curve: the rate swings sinusoidally from
+// Base (the overnight trough) up to Peak (the daily crest) and back, once
+// per Period. Rate(0) == Base — a scenario starts at the trough and climbs.
+type Ramp struct {
+	// Base is the trough rate in ops/sec.
+	Base float64
+	// Peak is the crest rate in ops/sec. Peak <= Base degenerates to a
+	// constant Base.
+	Peak float64
+	// Period is one full day of the simulated cycle.
+	Period time.Duration
+}
+
+// Rate evaluates the curve at an elapsed offset from the scenario start.
+// The curve is 1-cos so it is smooth at the trough (no rate discontinuity
+// at t=0) and spends equal time above and below the midpoint.
+func (r Ramp) Rate(elapsed time.Duration) float64 {
+	if r.Period <= 0 || r.Peak <= r.Base {
+		return r.Base
+	}
+	phase := 2 * math.Pi * float64(elapsed) / float64(r.Period)
+	return r.Base + (r.Peak-r.Base)*(1-math.Cos(phase))/2
+}
+
+// StormConfig shapes a recurring hot-key storm.
+type StormConfig struct {
+	// HotKeys is the size of the hot set: keys [0, HotKeys) of the
+	// underlying key space.
+	HotKeys uint64
+	// Fraction of draws redirected to the hot set while a storm is
+	// active, in [0, 1].
+	Fraction float64
+	// Period is the storm recurrence interval; a storm ignites at every
+	// multiple of Period, starting at t=0.
+	Period time.Duration
+	// Duration is how long each storm burns. Duration >= Period storms
+	// permanently.
+	Duration time.Duration
+}
+
+// Storm wraps a KeyGen and, during recurring storm windows, redirects a
+// fraction of draws onto a small hot set — the "everyone loads the same
+// page" event. Outside storm windows it is transparent. Deterministic for
+// a fixed seed and clock sequence.
+type Storm struct {
+	inner KeyGen
+	cfg   StormConfig
+	rng   *rand.Rand
+	start time.Time
+	// elapsed reports time since the storm schedule began; injectable so
+	// tests pin windows without sleeping.
+	elapsed func() time.Duration
+}
+
+// NewStorm wraps inner with a storm schedule starting now.
+func NewStorm(seed int64, inner KeyGen, cfg StormConfig) *Storm {
+	s := &Storm{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	s.start = time.Now()
+	s.elapsed = func() time.Duration { return time.Since(s.start) }
+	return s
+}
+
+// WithClock replaces the elapsed-time source (deterministic tests).
+func (s *Storm) WithClock(elapsed func() time.Duration) *Storm {
+	s.elapsed = elapsed
+	return s
+}
+
+// Active reports whether a storm window is currently burning.
+func (s *Storm) Active() bool {
+	if s.cfg.Period <= 0 || s.cfg.Duration <= 0 || s.cfg.HotKeys == 0 || s.cfg.Fraction <= 0 {
+		return false
+	}
+	if s.cfg.Duration >= s.cfg.Period {
+		return true
+	}
+	return s.elapsed()%s.cfg.Period < s.cfg.Duration
+}
+
+// Next draws the next key: from the hot set with probability Fraction
+// while a storm is active, from the wrapped generator otherwise.
+func (s *Storm) Next() uint64 {
+	if s.Active() && s.rng.Float64() < s.cfg.Fraction {
+		return uint64(s.rng.Int63n(int64(s.cfg.HotKeys)))
+	}
+	return s.inner.Next()
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRampShape pins the diurnal curve's defining properties across a table
+// of configurations: trough at t=0, crest at half period, periodicity, and
+// the degenerate constant cases.
+func TestRampShape(t *testing.T) {
+	day := 24 * time.Hour
+	cases := []struct {
+		name string
+		r    Ramp
+	}{
+		{"typical", Ramp{Base: 100, Peak: 1000, Period: day}},
+		{"narrow", Ramp{Base: 990, Peak: 1000, Period: time.Minute}},
+		{"fast-cycle", Ramp{Base: 10, Peak: 50, Period: 2 * time.Second}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := c.r
+			if got := r.Rate(0); math.Abs(got-r.Base) > 1e-9 {
+				t.Fatalf("Rate(0) = %v, want trough %v", got, r.Base)
+			}
+			if got := r.Rate(r.Period / 2); math.Abs(got-r.Peak) > 1e-6*r.Peak {
+				t.Fatalf("Rate(P/2) = %v, want crest %v", got, r.Peak)
+			}
+			// Periodic: one full cycle returns to the trough.
+			if got := r.Rate(r.Period); math.Abs(got-r.Base) > 1e-6*r.Peak {
+				t.Fatalf("Rate(P) = %v, want trough %v", got, r.Base)
+			}
+			// Bounded and monotone on the climb half.
+			prev := -1.0
+			for i := 0; i <= 100; i++ {
+				at := time.Duration(int64(r.Period) * int64(i) / 200) // [0, P/2]
+				got := r.Rate(at)
+				if got < r.Base-1e-9 || got > r.Peak+1e-9 {
+					t.Fatalf("Rate(%v) = %v outside [%v, %v]", at, got, r.Base, r.Peak)
+				}
+				if got < prev-1e-9 {
+					t.Fatalf("climb not monotone at %v: %v < %v", at, got, prev)
+				}
+				prev = got
+			}
+		})
+	}
+
+	for _, flat := range []Ramp{
+		{Base: 500}, // no period
+		{Base: 500, Peak: 100, Period: time.Hour}, // peak below base
+		{Base: 500, Peak: 500, Period: time.Hour}, // peak == base
+	} {
+		for _, at := range []time.Duration{0, time.Second, time.Hour, 37 * time.Hour} {
+			if got := flat.Rate(at); got != flat.Base {
+				t.Fatalf("degenerate ramp %+v: Rate(%v) = %v, want %v", flat, at, got, flat.Base)
+			}
+		}
+	}
+}
+
+// TestStormWindows drives a Storm with a pinned clock through its schedule:
+// inactive between windows, active within them, and permanently active when
+// Duration covers the whole Period.
+func TestStormWindows(t *testing.T) {
+	var now time.Duration
+	clock := func() time.Duration { return now }
+	cfg := StormConfig{HotKeys: 8, Fraction: 1.0, Period: 10 * time.Second, Duration: 2 * time.Second}
+	s := NewStorm(1, NewUniform(rand.New(rand.NewSource(2)), 1<<20), cfg).WithClock(clock)
+
+	steps := []struct {
+		at     time.Duration
+		active bool
+	}{
+		{0, true}, // storms ignite at t=0
+		{1900 * time.Millisecond, true},
+		{2 * time.Second, false}, // window closes at Duration
+		{5 * time.Second, false},
+		{10 * time.Second, true}, // next period ignites
+		{11 * time.Second, true},
+		{12 * time.Second, false},
+		{25 * time.Second, false},
+		{30500 * time.Millisecond, true},
+	}
+	for _, st := range steps {
+		now = st.at
+		if got := s.Active(); got != st.active {
+			t.Fatalf("Active at %v = %v, want %v", st.at, got, st.active)
+		}
+	}
+
+	perm := NewStorm(1, NewUniform(rand.New(rand.NewSource(2)), 1<<20),
+		StormConfig{HotKeys: 8, Fraction: 0.5, Period: time.Second, Duration: time.Second}).WithClock(clock)
+	for _, at := range []time.Duration{0, 500 * time.Millisecond, 3 * time.Second} {
+		now = at
+		if !perm.Active() {
+			t.Fatalf("Duration >= Period storm inactive at %v", at)
+		}
+	}
+}
+
+// TestStormRedirectsFraction: during a window roughly Fraction of draws
+// land in the hot set; outside a window the wrapped generator passes
+// through untouched (same stream as an unwrapped twin).
+func TestStormRedirectsFraction(t *testing.T) {
+	const keySpace = 1 << 20
+	const hot = 16
+	var now time.Duration
+	cfg := StormConfig{HotKeys: hot, Fraction: 0.8, Period: 10 * time.Second, Duration: 5 * time.Second}
+	s := NewStorm(7, NewUniform(rand.New(rand.NewSource(3)), keySpace), cfg).
+		WithClock(func() time.Duration { return now })
+
+	now = time.Second // mid-window
+	const n = 20000
+	inHot := 0
+	for i := 0; i < n; i++ {
+		if s.Next() < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / n
+	// Background uniform traffic adds ~hot/keySpace ≈ 0.0015% — noise.
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("hot fraction during storm = %.3f, want ≈ 0.8", frac)
+	}
+
+	// Outside the window the stream must equal the unwrapped generator's.
+	now = 6 * time.Second
+	quiet := NewStorm(7, NewUniform(rand.New(rand.NewSource(11)), keySpace), cfg).
+		WithClock(func() time.Duration { return now })
+	twin := NewUniform(rand.New(rand.NewSource(11)), keySpace)
+	for i := 0; i < 1000; i++ {
+		if got, want := quiet.Next(), twin.Next(); got != want {
+			t.Fatalf("draw %d outside storm: %d != unwrapped %d", i, got, want)
+		}
+	}
+}
+
+// TestStormDeterministic: identical seeds and clock sequences produce
+// identical key streams — the property soak replays depend on.
+func TestStormDeterministic(t *testing.T) {
+	mk := func() *Storm {
+		var i int
+		return NewStorm(42, NewZipf(rand.New(rand.NewSource(9)), 1<<16, 0.99, true),
+			StormConfig{HotKeys: 32, Fraction: 0.5, Period: 100 * time.Millisecond, Duration: 50 * time.Millisecond}).
+			WithClock(func() time.Duration {
+				i++
+				return time.Duration(i) * time.Millisecond
+			})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 5000; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("streams diverge at draw %d: %d != %d", i, ka, kb)
+		}
+	}
+}
+
+// TestZipfCrossInstanceDeterminism extends the existing determinism check
+// property-style across a table of (n, theta, scramble) shapes: two
+// independently built generators with the same parameters must emit
+// identical streams, and every draw stays in range.
+func TestZipfCrossInstanceDeterminism(t *testing.T) {
+	cases := []struct {
+		n        uint64
+		theta    float64
+		scramble bool
+	}{
+		{1 << 10, 0.5, true},
+		{1 << 10, 0.99, false},
+		{1 << 20, 0.99, true},
+		{999, 0.7, true}, // non-power-of-two key space
+	}
+	for _, c := range cases {
+		a := NewZipf(rand.New(rand.NewSource(1234)), c.n, c.theta, c.scramble)
+		b := NewZipf(rand.New(rand.NewSource(1234)), c.n, c.theta, c.scramble)
+		for i := 0; i < 2000; i++ {
+			ka, kb := a.Next(), b.Next()
+			if ka != kb {
+				t.Fatalf("n=%d theta=%v: streams diverge at %d", c.n, c.theta, i)
+			}
+			if ka >= c.n {
+				t.Fatalf("n=%d theta=%v: draw %d out of range", c.n, c.theta, ka)
+			}
+		}
+	}
+}
+
+// TestMixConvergence: the observed write fraction of a YCSB stream
+// converges to the configured mix across the standard mixes and an uneven
+// one, within statistical tolerance.
+func TestMixConvergence(t *testing.T) {
+	const n = 50000
+	for _, mix := range []Mix{Mix100, Mix95, Mix50, {Read: 70, Write: 30}, {Read: 0, Write: 100}} {
+		y := NewYCSB(5, 1<<16, DistZipf, 0.99, mix)
+		writes := 0
+		for i := 0; i < n; i++ {
+			op, key := y.Next()
+			if key >= 1<<16 {
+				t.Fatalf("mix %v: key %d out of range", mix, key)
+			}
+			if op == OpWrite {
+				writes++
+			}
+		}
+		want := float64(mix.Write) / float64(mix.Read+mix.Write)
+		got := float64(writes) / n
+		// ±3σ of a binomial with p=want, plus exactness at the endpoints.
+		if want == 0 || want == 1 {
+			if got != want {
+				t.Fatalf("mix %v: write fraction %v, want exactly %v", mix, got, want)
+			}
+			continue
+		}
+		sigma := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 4*sigma {
+			t.Fatalf("mix %v: write fraction %.4f, want %.4f ± %.4f", mix, got, want, 4*sigma)
+		}
+	}
+}
