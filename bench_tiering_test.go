@@ -1,0 +1,87 @@
+// Elastic-memory benchmarks: the cost of serving reads from an
+// oversubscribed store (resident hits mixed with tier fault-ins) and the
+// raw fault-in path itself. Full oversubscription curves with hot-set
+// latency bars come from `go run ./cmd/corm-bench tiering`.
+package corm
+
+import (
+	"testing"
+
+	"corm/internal/core"
+)
+
+// benchTieredStore preloads objs objects of the given size into a store
+// whose frame budget is budgetFrac of the resulting working set, spilling
+// the overflow into the compressed tier.
+func benchTieredStore(b *testing.B, objs, size int, budgetFrac float64) (*core.Store, []core.Addr) {
+	b.Helper()
+	working := int64(objs * size)
+	s := benchStore(b, func(c *Config) {
+		c.MemBudgetBytes = int64(budgetFrac * float64(working))
+		c.TierSpec = "compressed"
+	})
+	b.Cleanup(func() { s.Close() })
+	addrs := make([]core.Addr, objs)
+	payload := make([]byte, size)
+	for i := range addrs {
+		r, err := s.AllocOn(i%s.Workers(), size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = r.Addr
+		if err := s.Write(&addrs[i], payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, addrs
+}
+
+// BenchmarkTieredRead reads round-robin across a working set twice the
+// frame budget: roughly half the accesses hit resident blocks, the rest
+// take the spill-out/fault-in cycle. The number to watch against
+// BenchmarkFig09RPCRead is the oversubscription tax on the average read.
+func BenchmarkTieredRead(b *testing.B) {
+	const objs, size = 2048, 512
+	s, addrs := benchTieredStore(b, objs, size, 0.5)
+	buf := make([]byte, s.ClassSize(int(addrs[0].Class())))
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(&addrs[i%objs], buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Residency().Stats()
+	if st.FaultIns == 0 && b.N > objs {
+		b.Fatal("no fault-ins: benchmark is not oversubscribed")
+	}
+	b.ReportMetric(float64(st.FaultIns)/float64(b.N), "faults/op")
+}
+
+// BenchmarkFaultIn isolates the fault-in path: every timed read lands on
+// an evicted block (one object per block; the whole set is force-evicted
+// outside the timed region each sweep), so each op pays frame allocation,
+// tier decompression, and the refill copy.
+func BenchmarkFaultIn(b *testing.B) {
+	const objs, size = 64, 2048                    // one object per 4 KiB block
+	s, addrs := benchTieredStore(b, objs, size, 4) // budget ample: only explicit eviction
+	buf := make([]byte, s.ClassSize(int(addrs[0].Class())))
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%objs == 0 {
+			b.StopTimer()
+			for s.EvictBlocks(objs) > 0 {
+			}
+			b.StartTimer()
+		}
+		if _, err := s.Read(&addrs[i%objs], buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Residency().Stats(); st.FaultIns < int64(b.N/2) {
+		b.Fatalf("only %d fault-ins across %d reads: eviction sweep not sticking", st.FaultIns, b.N)
+	}
+}

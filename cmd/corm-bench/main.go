@@ -64,6 +64,9 @@ func main() {
 	case "soak":
 		runSoak(args[1:])
 		return
+	case "tiering":
+		runTiering(args[1:])
+		return
 	case "summarize":
 		runSummarize(args[1:])
 		return
@@ -115,6 +118,8 @@ usage:
   corm-bench pushdown [-out FILE]
   corm-bench soak [-scenario NAME] [-duration D] [-seed N] [-out FILE]
                   [-quiet] [-list]
+  corm-bench tiering [-objects N] [-size B] [-ops N] [-budget-frac F]
+                     [-tier T] [-bar R] [-out FILE]
   corm-bench summarize [-dir DIR] [-out FILE]
 `)
 	flag.PrintDefaults()

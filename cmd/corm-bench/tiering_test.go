@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTieringSmall drives the full tiering benchmark at toy scale:
+// both passes (baseline + tiered), the verification audit, and the JSON
+// report. -bar 0 keeps the latency criterion out of it (this is a
+// correctness test on shared CI hardware, the same mode the -race CI leg
+// uses); the correctness criteria — zero lost acked writes, zero corrupt
+// reads, real evictions and fault-ins — still all apply.
+func TestRunTieringSmall(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tiering.json")
+	runTiering([]string{
+		"-objects", "512", "-size", "256", "-ops", "4000", "-clients", "2",
+		"-budget-frac", "0.5", "-bar", "0", "-seed", "7", "-out", out,
+	})
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep tieringReport
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("report did not pass: %+v", rep)
+	}
+	if rep.LostAckedWrites != 0 || rep.CorruptReads != 0 {
+		t.Fatalf("correctness violation: %+v", rep)
+	}
+	if rep.Evictions == 0 || rep.FaultIns == 0 {
+		t.Fatalf("no tier traffic at 2x oversubscription: %+v", rep)
+	}
+	if rep.Oversubscribed < 1.9 || rep.Oversubscribed > 2.1 {
+		t.Fatalf("oversubscription = %.2f, want ~2", rep.Oversubscribed)
+	}
+	if rep.FaultInP99Us <= 0 {
+		t.Fatalf("fault-in histogram empty: %+v", rep)
+	}
+}
+
+// TestRunTieringDiskTier exercises the disk spill backend end to end.
+func TestRunTieringDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiering.json")
+	runTiering([]string{
+		"-objects", "256", "-size", "256", "-ops", "1500", "-clients", "2",
+		"-bar", "0", "-tier", "disk:" + filepath.Join(dir, "spill"), "-out", out,
+	})
+	var rep tieringReport
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Tier != "disk:"+filepath.Join(dir, "spill") {
+		t.Fatalf("disk-tier run: %+v", rep)
+	}
+}
+
+// TestRunSummarize pins the report flattening: every BENCH_*.json in the
+// directory lands in the generated summary as sorted key lines.
+func TestRunSummarize(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_tiering.json"),
+		[]byte(`{"pass": true, "faultins": 42, "nested": {"p99_us": 1.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "summary.txt")
+	runSummarize([]string{"-dir", dir, "-out", out})
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, want := range []string{"BENCH_tiering.json", "faultins: 42", "nested.p99_us: 1.5"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+}

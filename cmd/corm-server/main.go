@@ -33,6 +33,8 @@ func main() {
 	compactEvery := flag.Duration("compact-every", 0, "legacy: run the full compaction policy periodically (0 = only on demand); superseded by -compact")
 	fragThreshold := flag.Float64("frag-threshold", 2.0, "fragmentation ratio that triggers compaction")
 	metricsAddr := flag.String("metrics-addr", "", "observability HTTP address (e.g. :9100) serving /metrics, /debug/vars, /debug/pprof; empty = disabled")
+	memBudget := flag.String("mem-budget", "", "resident-memory cap with K/M/G suffix (e.g. 256M); cold blocks spill to the tier; empty = uncapped")
+	tierSpec := flag.String("tier", "", "spill tier for evicted blocks: compressed, disk, disk:<dir>, off (default compressed when -mem-budget is set)")
 	flag.Parse()
 
 	cfg := corm.DefaultConfig()
@@ -61,6 +63,16 @@ func main() {
 		LoadShedOpsPerSec: *compactShed,
 	}
 	var opts []corm.ServerOption
+	if *memBudget != "" {
+		bytes, err := parseBytes(*memBudget)
+		if err != nil {
+			log.Fatalf("-mem-budget: %v", err)
+		}
+		opts = append(opts, corm.WithMemoryBudget(bytes))
+	}
+	if *tierSpec != "" {
+		opts = append(opts, corm.WithTier(*tierSpec))
+	}
 	switch strings.ToLower(*compactMode) {
 	case "auto":
 		opts = append(opts, corm.WithAdaptiveCompaction(ccfg))
@@ -82,6 +94,9 @@ func main() {
 	}
 	log.Printf("corm-server listening on %s (workers=%d block=%d strategy=%v idbits=%d)",
 		addr, cfg.Workers, cfg.BlockBytes, cfg.Strategy, cfg.IDBits)
+	if srv.Store().Tiered() {
+		log.Printf("elastic memory: budget=%s tier=%s", *memBudget, srv.Store().Config().TierSpec)
+	}
 
 	if *metricsAddr != "" {
 		maddr, stopMetrics, err := metrics.Serve(*metricsAddr, metrics.Default())
@@ -122,6 +137,28 @@ func main() {
 				human(srv.ActiveBytes()), st.Allocs, st.Frees, st.Corrections, st.Compactions)
 		}
 	}
+}
+
+// parseBytes parses a human byte size: a plain number or one with a
+// K/M/G/T suffix (binary units), e.g. "256M", "2G", "4096".
+func parseBytes(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "T"):
+		mult, u = 1<<40, strings.TrimSuffix(u, "T")
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "G")
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "M")
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "K")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(u, "%d", &n); err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 256M, 2G)", s)
+	}
+	return n * mult, nil
 }
 
 func human(n int64) string {

@@ -131,15 +131,25 @@ type Server struct {
 	compactor *core.Compactor
 }
 
+// serverOptions collects construction-time settings: config edits run
+// before the store is built (so options can change Config fields like the
+// memory budget), attach hooks after.
+type serverOptions struct {
+	cfgEdits []func(*Config)
+	attach   func(*Server)
+}
+
 // ServerOption configures a Server at construction.
-type ServerOption func(*Server)
+type ServerOption func(*serverOptions)
 
 // WithBackgroundCompaction starts a background compactor on the node with
 // the given service configuration (zero value = 50ms pace, threshold
 // policy). The compactor stops when the server closes.
 func WithBackgroundCompaction(cfg CompactorConfig) ServerOption {
-	return func(s *Server) {
-		s.compactor = core.NewCompactor(s.store, cfg)
+	return func(o *serverOptions) {
+		o.attach = func(s *Server) {
+			s.compactor = core.NewCompactor(s.store, cfg)
+		}
 	}
 }
 
@@ -148,23 +158,50 @@ func WithBackgroundCompaction(cfg CompactorConfig) ServerOption {
 // skipped, cold classes compacted aggressively, conflict-saturated classes
 // back off. The tuner is attached to the store's alloc/free path.
 func WithAdaptiveCompaction(cfg CompactorConfig) ServerOption {
-	return func(s *Server) {
-		tuner := core.NewAutoTuner(s.store)
-		s.store.AttachTuner(tuner)
-		cfg.Policy = core.NewAdaptivePolicy(tuner, cfg.MaxBlocks)
-		s.compactor = core.NewCompactor(s.store, cfg)
+	return func(o *serverOptions) {
+		o.attach = func(s *Server) {
+			tuner := core.NewAutoTuner(s.store)
+			s.store.AttachTuner(tuner)
+			cfg.Policy = core.NewAdaptivePolicy(tuner, cfg.MaxBlocks)
+			s.compactor = core.NewCompactor(s.store, cfg)
+		}
+	}
+}
+
+// WithMemoryBudget caps the node's resident physical memory at bytes.
+// Under pressure, cold blocks spill to the configured tier (compressed
+// in-memory by default — see WithTier) and fault back in on access,
+// letting the node oversubscribe RAM.
+func WithMemoryBudget(bytes int64) ServerOption {
+	return func(o *serverOptions) {
+		o.cfgEdits = append(o.cfgEdits, func(c *Config) { c.MemBudgetBytes = bytes })
+	}
+}
+
+// WithTier selects the spill backend for evicted blocks: "compressed"
+// (in-memory deflate), "disk" or "disk:<dir>", or "off".
+func WithTier(spec string) ServerOption {
+	return func(o *serverOptions) {
+		o.cfgEdits = append(o.cfgEdits, func(c *Config) { c.TierSpec = spec })
 	}
 }
 
 // NewServer builds and starts a node (workers running, not yet listening).
 func NewServer(cfg Config, opts ...ServerOption) (*Server, error) {
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	for _, edit := range o.cfgEdits {
+		edit(&cfg)
+	}
 	store, err := core.NewStore(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{store: store, rpc: rpc.NewServer(store)}
-	for _, opt := range opts {
-		opt(s)
+	if o.attach != nil {
+		o.attach(s)
 	}
 	if s.compactor != nil {
 		s.compactor.Start()
@@ -213,7 +250,8 @@ func (s *Server) ActiveBytes() int64 { return s.store.ActiveBytes() }
 // Stats snapshots store counters.
 func (s *Server) Stats() StoreStats { return s.store.Stats() }
 
-// Close shuts the node down, draining the background compactor first.
+// Close shuts the node down, draining the background compactor first and
+// releasing tiering resources (disk spill files) last.
 func (s *Server) Close() {
 	if s.compactor != nil {
 		s.compactor.Stop()
@@ -222,6 +260,7 @@ func (s *Server) Close() {
 		s.tcp.Close()
 	}
 	s.rpc.Close()
+	s.store.Close()
 }
 
 // Client is a CoRM client context implementing the Table 2 API, plus the

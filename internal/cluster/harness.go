@@ -40,6 +40,12 @@ type HarnessOptions struct {
 	// fault-injection hook (internal/fault Injector.Dial). Setting it
 	// forces the wire path (no shared-memory fast path).
 	Dialer func(network, addr string) (net.Conn, error)
+	// MemBudgetBytes caps each node's resident frames; cold blocks spill
+	// to TierSpec and fault back in on access (elastic memory). 0 = off.
+	MemBudgetBytes int64
+	// TierSpec selects the spill backend ("compressed", "disk",
+	// "disk:<dir>", "off"); empty with a budget defaults to compressed.
+	TierSpec string
 }
 
 // LocalNode is one harness-managed CoRM node.
@@ -82,10 +88,12 @@ func (n *LocalNode) Wipe() error {
 		return err
 	}
 	oldRPC := n.rpc
+	oldStore := n.store
 	n.store = store
 	n.rpc = rpc.NewServer(store)
 	n.rpc.SetQueueLimit(n.opts.QueueLimit)
 	oldRPC.Close()
+	oldStore.Close()
 	ts, err := transport.Listen(n.addr, n.rpc)
 	if err != nil {
 		return fmt.Errorf("cluster: wipe %s: %w", n.addr, err)
@@ -94,10 +102,11 @@ func (n *LocalNode) Wipe() error {
 	return nil
 }
 
-// Close tears the node down.
+// Close tears the node down, releasing tiering resources with it.
 func (n *LocalNode) Close() {
 	n.ts.Close()
 	n.rpc.Close()
+	n.store.Close()
 }
 
 // LocalCluster is an in-process cluster: n nodes plus a pool over them.
@@ -113,10 +122,12 @@ func newLocalStore(seed int64, opts HarnessOptions) (*core.Store, error) {
 	}
 	return core.NewStore(core.Config{
 		Workers: workers, Strategy: core.StrategyCoRM, DataBacked: true,
-		Remap:    core.RemapODPPrefetch,
-		Model:    timing.Default().WithNIC(timing.ConnectX5()),
-		Seed:     seed,
-		Canaries: opts.Canaries,
+		Remap:          core.RemapODPPrefetch,
+		Model:          timing.Default().WithNIC(timing.ConnectX5()),
+		Seed:           seed,
+		Canaries:       opts.Canaries,
+		MemBudgetBytes: opts.MemBudgetBytes,
+		TierSpec:       opts.TierSpec,
 	})
 }
 

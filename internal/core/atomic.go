@@ -57,11 +57,10 @@ func (s *Store) mutateSlot(addr *Addr, fn func(pay []byte, ver uint32) (bool, er
 		return 0, err
 	}
 	size := s.ClassSize(st.Class)
-	st.rw.Lock()
-	defer st.rw.Unlock()
-	if err := st.gone(); err != nil {
+	if err := s.lockResident(st); err != nil {
 		return 0, err
 	}
+	defer st.rw.Unlock()
 	sc := slotScratchPool.Get().(*slotScratch)
 	defer slotScratchPool.Put(sc)
 	raw, pay := sc.buffers(st.Stride, size)
@@ -229,11 +228,10 @@ func (s *Store) ScanClass(class int, pred func(pay []byte) bool, emit func(addr 
 // scan. An ErrCompacting/ErrNotFound return is the block-level liveness
 // verdict for the caller's retry loop.
 func (s *Store) scanBlock(st *blockState, class, size int, sc *slotScratch, seen map[scanKey]struct{}, pred func(pay []byte) bool, emit func(addr Addr, pay []byte) bool) (bool, error) {
-	st.rw.RLock()
-	defer st.rw.RUnlock()
-	if err := st.gone(); err != nil {
+	if err := s.rlockResident(st); err != nil {
 		return false, err
 	}
+	defer st.rw.RUnlock()
 	raw, pay := sc.buffers(st.Stride, size)
 	for slot := 0; slot < st.Slots; slot++ {
 		if !st.SlotUsed(slot) {

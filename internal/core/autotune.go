@@ -35,6 +35,11 @@ type ClassLabel struct {
 	Probability float64 // no-collision probability at the recommendation
 }
 
+// Hot reports whether the class is self-recycling — high churn at healthy
+// occupancy. The same signal that makes adaptive compaction skip a class
+// also marks its blocks as poor eviction victims for the tiering clock.
+func (l ClassLabel) Hot() bool { return l.Churn >= hotChurn && l.Occupancy >= 0.5 }
+
 // AutoTuner accumulates per-class allocation statistics. Counters are
 // atomics: observations arrive concurrently from every worker thread once
 // the tuner is attached to the store's alloc/free path (Store.AttachTuner),
@@ -91,7 +96,7 @@ func (a *AutoTuner) Snapshot() []ClassLabel {
 		label.Occupancy = occ
 
 		// Hot classes self-recycle: skip compaction, save the bytes.
-		if label.Churn >= hotChurn && occ >= 0.5 {
+		if label.Hot() {
 			out = append(out, label)
 			continue
 		}

@@ -111,11 +111,10 @@ func (s *Store) CorruptSlotTail(addr *Addr) error {
 	if err != nil {
 		return err
 	}
-	st.rw.Lock()
-	defer st.rw.Unlock()
-	if err := st.gone(); err != nil {
+	if err := s.lockResident(st); err != nil {
 		return err
 	}
+	defer st.rw.Unlock()
 	if s.cfg.canaryStart(s.cfg.Classes[st.Class], st.Stride) >= st.Stride {
 		return fmt.Errorf("core: class %d has no guard region to corrupt", st.Class)
 	}

@@ -148,6 +148,14 @@ type Config struct {
 	Model timing.Model
 	// Seed feeds the store's deterministic RNG (object IDs).
 	Seed int64
+	// MemBudgetBytes caps resident frames (0 = unlimited). When set, cold
+	// blocks are spilled to the tier selected by TierSpec and faulted back
+	// in on access, letting the store oversubscribe physical memory.
+	MemBudgetBytes int64
+	// TierSpec selects where evicted blocks go: "compressed" (in-memory,
+	// deflate), "disk" or "disk:<dir>", or "off" to disable tiering even
+	// with a budget set. Empty with a budget defaults to "compressed".
+	TierSpec string
 }
 
 // withDefaults fills unset fields.
@@ -173,6 +181,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.MemBudgetBytes > 0 && c.TierSpec == "" {
+		c.TierSpec = "compressed"
+	}
 	return c
 }
 
@@ -193,6 +204,15 @@ func (c Config) validate() error {
 	if c.Remap != RemapRereg && !c.Model.NIC.HasODP {
 		return fmt.Errorf("core: remap strategy %v requires an ODP-capable NIC (%s has none)",
 			c.Remap, c.Model.NIC.Name)
+	}
+	if c.MemBudgetBytes > 0 && c.TierSpec != "off" && c.Remap == RemapRereg {
+		// Evicted pages are recovered through the NIC's ODP fault path;
+		// rereg has no fault hook, so a one-sided access to an evicted
+		// block would break the QP instead of faulting the block in.
+		return fmt.Errorf("core: memory budget requires an ODP remap strategy, not %v", c.Remap)
+	}
+	if c.MemBudgetBytes < 0 {
+		return fmt.Errorf("core: negative memory budget %d", c.MemBudgetBytes)
 	}
 	return nil
 }

@@ -41,7 +41,9 @@ func (s *Store) executePlan(plan CompactPlan, opts *CompactOptions, r *CompactRe
 			cmCompactRevalRejects.Inc()
 			continue
 		}
-		s.merge(plan.Strategy, p.Src, p.Dst, opts, r)
+		if !s.merge(plan.Strategy, p.Src, p.Dst, opts, r) {
+			continue
+		}
 		merged[p.Src] = true
 		r.Merges++
 		r.BlocksFreed++
@@ -54,7 +56,9 @@ func (s *Store) executePlan(plan CompactPlan, opts *CompactOptions, r *CompactRe
 // possible and relocating on conflict (CoRM only), then remaps src's
 // virtual address — and every alias already attached to it — onto dst's
 // physical frames, preserving RDMA access per the configured strategy.
-func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOptions, r *CompactReport) {
+// It reports false when a side could not be faulted in (tier failure) —
+// the pair is skipped, nothing was mutated.
+func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOptions, r *CompactReport) bool {
 	stSrc, stDst := s.stateOf(src), s.stateOf(dst)
 	cpu := s.cfg.Model.CPU
 
@@ -64,11 +68,29 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 	// RPC-path check sound: any Free/Write/ReleasePtr that passed the check
 	// has drained by the time the lock is acquired, and later ones observe
 	// the flag. The slot set is therefore stable once read below.
+	//
+	// Both sides must be resident for the copy/remap phases; faulting them
+	// in under the same rw hold that raises the compacting flag means the
+	// clock cannot re-evict either until the merge completes (tryEvict
+	// observes the flag via gone()).
 	stSrc.rw.Lock()
+	if err := s.faultInLocked(stSrc); err != nil {
+		stSrc.rw.Unlock()
+		r.RevalRejects++
+		cmCompactRevalRejects.Inc()
+		return false
+	}
 	stSrc.setCompacting(true)
 	srcSlots := src.UsedSlots()
 	stSrc.rw.Unlock()
 	stDst.rw.Lock()
+	if err := s.faultInLocked(stDst); err != nil {
+		stDst.rw.Unlock()
+		stSrc.setCompacting(false)
+		r.RevalRejects++
+		cmCompactRevalRejects.Inc()
+		return false
+	}
 	stDst.setCompacting(true)
 	stDst.rw.Unlock()
 	if s.cfg.DataBacked {
@@ -152,6 +174,12 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 		ash.mu.Unlock()
 	}
 	stDst.addAliases(aliasList)
+	if h := stSrc.resH; h != nil {
+		// src dissolves into an alias of dst: drop it from the eviction
+		// clock before the dissolved flag lands, or a victim sweep could
+		// unmap the alias mapping out from under dst's frames.
+		s.res.Unregister(h)
+	}
 	s.proc.DropBlockKeepMapping(src)
 	// DropBlockKeepMapping bypasses onReleaseBlock (the vaddr stays mapped
 	// as an alias), but src's physical frames are gone — account for them
@@ -183,6 +211,7 @@ func (s *Store) merge(strategy Strategy, src, dst *alloc.Block, opts *CompactOpt
 	stSrc.setCompacting(false)
 	stDst.setCompacting(false)
 	s.phase(opts, r, PhaseUnlock, time.Duration(len(srcSlots))*cpu.LockPerObject)
+	return true
 }
 
 // remapOne performs the virtual remapping of one block-base address onto

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"corm/internal/alloc"
+	"corm/internal/tier"
 )
 
 // blockMeta is the per-block object metadata the paper keeps thread-local:
@@ -123,6 +124,18 @@ type blockState struct {
 
 	// region is the RNIC registration covering this block's vaddr.
 	region regionRef
+
+	// resH is the block's residency handle (nil when tiering is off). Set
+	// once in onNewBlock before the block is published, immutable after.
+	resH *tier.Handle
+}
+
+// aliased reports whether dissolved bases still route to this block —
+// such blocks are pinned resident (see tryEvict).
+func (st *blockState) aliased() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.aliasList) > 0
 }
 
 // addAliases attaches dissolved bases to this live block.

@@ -73,6 +73,19 @@ var (
 	cmCanaryViolations = metrics.Default().Counter("corm_core_canary_violations_total",
 		"slot guard-byte violations detected (memory-safety canaries)")
 
+	cmEvictions = metrics.Default().Counter("corm_tier_evictions_total",
+		"blocks spilled out to the tier")
+	cmFaultIns = metrics.Default().Counter("corm_tier_faultins_total",
+		"blocks faulted back in from the tier")
+	cmFaultInNs = metrics.Default().Histogram("corm_tier_faultin_ns",
+		"wall-clock nanoseconds per block fault-in")
+	cmTierReclaims = metrics.Default().Counter("corm_tier_reclaim_runs_total",
+		"budget-pressure reclaim passes (Phys allocations over budget)")
+	cmTierPrefetches = metrics.Default().Counter("corm_tier_prefetches_total",
+		"MTT prefetches issued after hot-block fault-ins (ibv_advise_mr)")
+	cmEvictedBlocks = metrics.Default().Gauge("corm_tier_evicted_blocks",
+		"blocks currently spilled to the tier")
+
 	cmObjectsLive = metrics.Default().Gauge("corm_core_objects_live",
 		"currently allocated objects")
 	cmBlocksLive = metrics.Default().Gauge("corm_core_blocks_live",

@@ -5,6 +5,7 @@ import (
 
 	"corm/internal/alloc"
 	"corm/internal/prob"
+	"corm/internal/tier"
 )
 
 // The compaction planner. This is the pure half of §3.1.4's merge stage:
@@ -25,12 +26,21 @@ type mergeSet struct {
 	used  int
 	ids   map[uint16]bool // CoRM: live object IDs
 	slots map[int]bool    // Mesh/CoRM-0: occupied offsets
+
+	// evicted marks a block currently spilled to the tier. Merging such a
+	// block costs a fault-in; the pairing pass avoids pairs where BOTH
+	// sides are evicted unless no cheaper destination exists.
+	evicted bool
 }
 
 func (s *Store) snapshotSet(strategy Strategy, b *alloc.Block) *mergeSet {
 	m := &mergeSet{block: b, used: b.Used()}
+	st := s.stateOf(b)
+	if st != nil && st.resH != nil {
+		m.evicted = st.resH.State() != tier.Resident
+	}
 	if strategy == StrategyCoRM {
-		m.ids = s.stateOf(b).meta.idSet()
+		m.ids = st.meta.idSet()
 	} else {
 		m.slots = make(map[int]bool, m.used)
 		for _, idx := range b.UsedSlots() {
@@ -73,6 +83,9 @@ func (a *mergeSet) disjoint(b *mergeSet) bool {
 // destination without re-snapshotting live state.
 func (a *mergeSet) union(src *mergeSet) {
 	a.used += src.used
+	// Executing the merge faults the destination in; planning a second
+	// merge into it costs nothing extra.
+	a.evicted = false
 	for id := range src.ids {
 		a.ids[id] = true
 	}
@@ -83,7 +96,7 @@ func (a *mergeSet) union(src *mergeSet) {
 
 // clone deep-copies a set so planning never mutates the caller's snapshots.
 func (a *mergeSet) clone() *mergeSet {
-	c := &mergeSet{block: a.block, used: a.used}
+	c := &mergeSet{block: a.block, used: a.used, evicted: a.evicted}
 	if a.ids != nil {
 		c.ids = make(map[uint16]bool, len(a.ids))
 		for id := range a.ids {
@@ -174,6 +187,7 @@ func planMerges(sets []*mergeSet, cfg planConfig) (pairs [][2]int, attempts, con
 		// is hopeless, so the bounded attempts are spent where merges can
 		// actually succeed.
 		best := -1
+		fallback := -1
 		tried := 0
 		// scans bounds how many candidates are even examined, so classes
 		// where no pairing can succeed stay cheap.
@@ -193,10 +207,22 @@ func planMerges(sets []*mergeSet, cfg planConfig) (pairs [][2]int, attempts, con
 			tried++
 			attempts++
 			if src.disjoint(dst) {
+				if src.evicted && dst.evicted {
+					// Workable, but executing it would fault BOTH sides in
+					// from the tier. Remember it and keep looking for a
+					// destination that is already resident.
+					if fallback < 0 {
+						fallback = j
+					}
+					continue
+				}
 				best = j
 				break
 			}
 			conflicts++
+		}
+		if best < 0 {
+			best = fallback
 		}
 		if best < 0 {
 			continue

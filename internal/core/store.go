@@ -10,6 +10,7 @@ import (
 	"corm/internal/alloc"
 	"corm/internal/mem"
 	"corm/internal/rnic"
+	"corm/internal/tier"
 )
 
 // Store errors.
@@ -117,6 +118,16 @@ type Store struct {
 	vt    *vaddrTracker
 	stats counters
 
+	// res manages block residency when a memory budget or tier is
+	// configured (residency.go); nil otherwise. tierImpl is the spill
+	// backend, kept for Close.
+	res      *tier.Residency
+	tierImpl tier.Tier
+
+	// heatRefreshed throttles AutoTuner snapshots on the reclaim path
+	// (unix nanos of the last Relabel).
+	heatRefreshed atomic.Int64
+
 	// canaryViolations counts guard-byte violations detected by this
 	// store (canary.go). Per-store — the global registry counter sums
 	// across every store in the process, which multi-node harnesses
@@ -171,6 +182,19 @@ func NewStore(cfg Config) (*Store, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.thread = append(s.thread, alloc.NewThreadLocal(i, proc))
 	}
+	if cfg.MemBudgetBytes > 0 || (cfg.TierSpec != "" && cfg.TierSpec != "off") {
+		t, err := tier.Open(cfg.TierSpec)
+		if err != nil {
+			return nil, err
+		}
+		if t != nil {
+			s.tierImpl = t
+			s.res = tier.NewResidency(space, t)
+			phys.SetBudget(int(cfg.MemBudgetBytes / mem.PageSize))
+			phys.SetReclaimer(s.reclaimFrames)
+			s.nic.SetPageFaultHandler(s.handleNICFault)
+		}
+	}
 	proc.OnNewBlock = s.onNewBlock
 	proc.OnReleaseBlock = s.onReleaseBlock
 	return s, nil
@@ -217,6 +241,9 @@ func (s *Store) onNewBlock(b *alloc.Block) {
 		}
 		st.region = regionRef{rkey: region.RKey}
 	}
+	if s.res != nil {
+		st.resH = s.res.Register(b.VAddr, b.Pages, b.Class)
+	}
 	sh := s.shard(b.VAddr)
 	sh.mu.Lock()
 	if region != nil {
@@ -243,6 +270,18 @@ func (s *Store) onReleaseBlock(b *alloc.Block) {
 	if st != nil {
 		st.markDead() // stale references must not touch the unmapped vaddr
 		st.takeAliases()
+		if h := st.resH; h != nil {
+			// The allocator unmaps the vaddr right after this callback, so
+			// an evicted block must be re-mapped first. (In practice the
+			// release path only runs on empty blocks, which went empty via
+			// frees that faulted them in — this is belt-and-braces.)
+			if h.State() != tier.Resident {
+				if err := s.res.FaultIn(h); err == nil {
+					cmEvictedBlocks.Dec()
+				}
+			}
+			s.res.Unregister(h)
+		}
 	}
 	if region != nil {
 		s.nic.Deregister(region)
@@ -319,48 +358,113 @@ func (s *Store) AllocOn(thread int, size int) (AllocResult, error) {
 	// allocator's critical section (AllocAnd): a compaction leader collecting
 	// this thread's blocks serializes on the same lock, so it can never merge
 	// away a slot whose metadata and header are not yet written.
-	var (
-		addr    Addr
-		postErr error
-	)
-	b, _, refilled := s.thread[thread].AllocAnd(class, func(b *alloc.Block, slot int, _ bool) error {
-		st := s.stateOf(b)
-		id := s.drawID(st)
-		st.meta.set(slot, id, b.VAddr)
-		s.vt.incHome(b.VAddr)
-
-		if s.cfg.DataBacked {
-			raw := make([]byte, b.Stride)
-			encodeHeader(raw, header{Version: 0, Lock: lockFree, Alloc: true, ID: id, Home: b.VAddr})
-			if s.cfg.Consistency == ConsistencyChecksum {
-				sealChecksum(raw, nil, s.cfg.Classes[class], 0)
-			} else {
-				tagLines(raw, 0)
-			}
-			if s.cfg.Canaries {
-				paintCanary(raw, s.cfg.canaryStart(s.cfg.Classes[class], b.Stride))
-			}
-			if err := s.space.WriteAt(b.SlotAddr(slot), raw); err != nil {
-				st.meta.clear(slot)
-				s.vt.decHome(b.VAddr)
-				postErr = err
-				return err
-			}
+	//
+	// pinned carries a residency pin across fault-then-retry rounds: the
+	// fault-in below happens outside the allocator's critical section, so
+	// without the pin an aggressive evictor could spill the target again
+	// before the retry re-enters it — repeated forever, that starves the
+	// allocation. The pin closes its own race lazily: an eviction already
+	// past the pin check can spill the block once more, but the next round
+	// faults it back in with the pin long since visible.
+	var pinned *tier.Handle
+	defer func() {
+		if pinned != nil {
+			pinned.Unpin()
 		}
-		addr = MakeAddr(b.SlotAddr(slot), id, st.region.rkey, uint8(class))
-		return nil
-	})
-	if b == nil {
-		return AllocResult{}, postErr
-	}
+	}()
+	for try := 0; ; try++ {
+		var (
+			addr    Addr
+			postErr error
+			faultSt *blockState
+		)
+		b, _, refilled := s.thread[thread].AllocAnd(class, func(b *alloc.Block, slot int, _ bool) error {
+			st := s.stateOf(b)
+			// Residency gate: the slot write below needs the block's frames
+			// mapped, and eviction takes rw exclusively, so the check and
+			// the write must sit under a shared rw hold — a bare state load
+			// would race a spill between check and write. TryRLock, never a
+			// blocking RLock: Free holds rw while re-acquiring this thread's
+			// allocator mutex, so blocking here on the same block deadlocks.
+			// Either failure aborts out of the critical section and retries
+			// after an unlocked fault-in (faulting in here would invert the
+			// lock order: reclaim takes block locks before waking the
+			// allocator).
+			if h := st.resH; h != nil {
+				if !st.rw.TryRLock() {
+					faultSt = st
+					postErr = errNotResident
+					return errNotResident
+				}
+				defer st.rw.RUnlock()
+				if h.State() != tier.Resident {
+					faultSt = st
+					postErr = errNotResident
+					return errNotResident
+				}
+				h.Touch()
+			}
+			id := s.drawID(st)
+			st.meta.set(slot, id, b.VAddr)
+			s.vt.incHome(b.VAddr)
 
-	s.stats.allocs.Add(1)
-	cmAllocs.Inc()
-	cmObjectsLive.Inc()
-	if t := s.tuner.Load(); t != nil {
-		t.ObserveAlloc(class)
+			if s.cfg.DataBacked {
+				raw := make([]byte, b.Stride)
+				encodeHeader(raw, header{Version: 0, Lock: lockFree, Alloc: true, ID: id, Home: b.VAddr})
+				if s.cfg.Consistency == ConsistencyChecksum {
+					sealChecksum(raw, nil, s.cfg.Classes[class], 0)
+				} else {
+					tagLines(raw, 0)
+				}
+				if s.cfg.Canaries {
+					paintCanary(raw, s.cfg.canaryStart(s.cfg.Classes[class], b.Stride))
+				}
+				if err := s.space.WriteAt(b.SlotAddr(slot), raw); err != nil {
+					st.meta.clear(slot)
+					s.vt.decHome(b.VAddr)
+					postErr = err
+					return err
+				}
+			}
+			addr = MakeAddr(b.SlotAddr(slot), id, st.region.rkey, uint8(class))
+			return nil
+		})
+		if b == nil {
+			if errors.Is(postErr, errNotResident) && faultSt != nil && try < allocFaultRetries {
+				if h := faultSt.resH; h != nil && h != pinned {
+					// The allocator may have switched blocks since the
+					// last round: move the pin to the current target.
+					if pinned != nil {
+						pinned.Unpin()
+					}
+					h.Pin()
+					pinned = h
+				}
+				if err := s.ensureResidentSlow(faultSt); err != nil {
+					return AllocResult{}, err
+				}
+				// If the abort was pure lock contention (block resident,
+				// TryRLock lost), ensureResidentSlow was a no-op and the
+				// tight retry loop would burn every round before the writer
+				// is even scheduled. The writer may be a Free blocked on
+				// this thread's allocator mutex — which the abort just
+				// released — so a blocking rendezvous here is deadlock-free
+				// and waits exactly as long as needed.
+				faultSt.rw.RLock()
+				faultSt.rw.RUnlock() //nolint:staticcheck // empty critical section is the wait
+				continue
+			}
+			return AllocResult{}, postErr
+		}
+
+		s.stats.allocs.Add(1)
+		cmAllocs.Inc()
+		cmObjectsLive.Inc()
+		if t := s.tuner.Load(); t != nil {
+			t.ObserveAlloc(class)
+		}
+		return AllocResult{Addr: addr, Refilled: refilled}, nil
 	}
-	return AllocResult{Addr: addr, Refilled: refilled}, nil
 }
 
 // resolve locates the live block and slot for a pointer, performing
@@ -456,12 +560,13 @@ func (s *Store) Read(addr *Addr, buf []byte) (int, error) {
 	// while holding rw exclusively, so an operation that passed the check
 	// cannot still be in flight when the merge's copy phase begins — and a
 	// stale reference to a dissolved or released block is caught here
-	// before any memory access.
-	st.rw.RLock()
-	defer st.rw.RUnlock()
-	if err := st.gone(); err != nil {
+	// before any memory access. The residency gate rides the same lock:
+	// spill-out needs rw exclusively, so a block that was resident when the
+	// read lock was granted stays resident until it is released.
+	if err := s.rlockResident(st); err != nil {
 		return 0, err
 	}
+	defer st.rw.RUnlock()
 	s.stats.reads.Add(1)
 	cmReads.Inc()
 	sc := readScratchPool.Get().(*readScratch)
@@ -512,11 +617,10 @@ func (s *Store) ReadStaged(addr *Addr, buf []byte) (int, error) {
 		clear(buf[:size])
 		return size, nil
 	}
-	st.rw.RLock()
-	defer st.rw.RUnlock()
-	if err := st.gone(); err != nil {
+	if err := s.rlockResident(st); err != nil {
 		return 0, err
 	}
+	defer st.rw.RUnlock()
 	s.stats.reads.Add(1)
 	cmReads.Inc()
 	raw := buf[:st.Stride]
@@ -564,11 +668,10 @@ func (s *Store) Write(addr *Addr, payload []byte) error {
 		return nil
 	}
 
-	st.rw.Lock()
-	defer st.rw.Unlock()
-	if err := st.gone(); err != nil {
+	if err := s.lockResident(st); err != nil {
 		return err
 	}
+	defer st.rw.Unlock()
 	s.stats.writes.Add(1)
 	cmWrites.Inc()
 	base := st.SlotAddr(slot)
@@ -656,10 +759,9 @@ func (s *Store) Free(addr *Addr) error {
 	}
 	// Held across the whole mutation so a merge that starts concurrently
 	// (its lock phase takes rw exclusively) either waits for this free or
-	// is observed by the compacting check.
-	st.rw.Lock()
-	if err := st.gone(); err != nil {
-		st.rw.Unlock()
+	// is observed by the compacting check. The slot rewrite below needs
+	// the block resident, hence the residency-gated acquire.
+	if err := s.lockResident(st); err != nil {
 		return err
 	}
 	// Last chance to catch an overflow into this slot's guard tail before
@@ -719,9 +821,7 @@ func (s *Store) ReleasePtr(addr *Addr) (Addr, error) {
 	if err != nil {
 		return Addr{}, err
 	}
-	st.rw.Lock()
-	if err := st.gone(); err != nil {
-		st.rw.Unlock()
+	if err := s.lockResident(st); err != nil {
 		return Addr{}, err
 	}
 	s.stats.releases.Add(1)

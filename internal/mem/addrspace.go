@@ -21,6 +21,13 @@ type AddrSpace struct {
 	next  uint64 // bump pointer for fresh virtual addresses (page units)
 	reuse map[int][]uint64
 
+	// lastGen remembers the generation a page had when it was unmapped, so
+	// a later re-map resumes at lastGen+1. Without this, an evict/fault-in
+	// cycle would hand the RNIC a fresh mapping at generation zero and the
+	// ODP staleness check (mtt gen != page gen) could not tell the new
+	// frames from the ones it snapshotted before eviction.
+	lastGen map[uint64]uint64
+
 	mapped int // currently mapped pages
 }
 
@@ -36,10 +43,11 @@ const arenaBase = uint64(0x1000_0000_0000)
 // NewAddrSpace creates an address space drawing frames from phys.
 func NewAddrSpace(phys *Phys) *AddrSpace {
 	return &AddrSpace{
-		phys:  phys,
-		pages: make(map[uint64]*pte),
-		next:  arenaBase >> PageShift,
-		reuse: make(map[int][]uint64),
+		phys:    phys,
+		pages:   make(map[uint64]*pte),
+		next:    arenaBase >> PageShift,
+		reuse:   make(map[int][]uint64),
+		lastGen: make(map[uint64]uint64),
 	}
 }
 
@@ -105,7 +113,12 @@ func (s *AddrSpace) Map(vaddr uint64, frames []*Frame) {
 			panic(fmt.Sprintf("mem: double map at %#x", vaddr+uint64(i)*PageSize))
 		}
 		s.phys.incRef(f)
-		s.pages[vp+uint64(i)] = &pte{frame: f}
+		gen := uint64(0)
+		if last, ok := s.lastGen[vp+uint64(i)]; ok {
+			gen = last + 1
+			delete(s.lastGen, vp+uint64(i))
+		}
+		s.pages[vp+uint64(i)] = &pte{frame: f, gen: gen}
 		s.mapped++
 	}
 }
@@ -142,6 +155,7 @@ func (s *AddrSpace) Unmap(vaddr uint64, pages int) {
 			panic(fmt.Sprintf("mem: Unmap of unmapped page %#x", vaddr+uint64(i)*PageSize))
 		}
 		s.phys.decRef(e.frame)
+		s.lastGen[vp+uint64(i)] = e.gen
 		delete(s.pages, vp+uint64(i))
 		s.mapped--
 	}

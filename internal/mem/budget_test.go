@@ -1,0 +1,220 @@
+package mem
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBudgetInvokesReclaimer pins the soft-budget contract: an Alloc that
+// would overshoot invokes the reclaimer for the shortfall, and succeeds
+// regardless of whether reclaim delivered.
+func TestBudgetInvokesReclaimer(t *testing.T) {
+	p := NewPhys(false)
+	s := NewAddrSpace(p)
+	p.SetBudget(4)
+
+	var asked []int
+	victims := []uint64{}
+	p.SetReclaimer(func(need int) int {
+		asked = append(asked, need)
+		if len(victims) == 0 {
+			return 0
+		}
+		v := victims[len(victims)-1]
+		victims = victims[:len(victims)-1]
+		s.Unmap(v, 2)
+		return 2
+	})
+
+	v1 := s.ReserveBlock(2)
+	s.Map(v1, p.Alloc(2))
+	v2 := s.ReserveBlock(2)
+	s.Map(v2, p.Alloc(2))
+	if len(asked) != 0 {
+		t.Fatalf("reclaim invoked below budget: %v", asked)
+	}
+
+	// Third block overshoots; the reclaimer evicts v1 and the allocation
+	// lands back inside the budget.
+	victims = append(victims, v1)
+	v3 := s.ReserveBlock(2)
+	s.Map(v3, p.Alloc(2))
+	if len(asked) != 1 || asked[0] != 2 {
+		t.Fatalf("reclaim asks = %v, want [2]", asked)
+	}
+	if p.LivePages() != 4 {
+		t.Fatalf("live = %d, want 4", p.LivePages())
+	}
+	if p.BudgetOverruns() != 0 {
+		t.Fatalf("overruns = %d, want 0", p.BudgetOverruns())
+	}
+
+	// With nothing left to evict the budget is soft: bounded retries, then
+	// the allocation proceeds and the overrun is counted.
+	v4 := s.ReserveBlock(2)
+	s.Map(v4, p.Alloc(2))
+	if p.LivePages() != 6 {
+		t.Fatalf("live = %d, want 6 (soft budget)", p.LivePages())
+	}
+	if p.BudgetOverruns() != 1 {
+		t.Fatalf("overruns = %d, want 1", p.BudgetOverruns())
+	}
+	if p.Reclaims() < 2 {
+		t.Fatalf("reclaims = %d, want >= 2", p.Reclaims())
+	}
+}
+
+// TestDoubleReleasePanics pins the frame-lifecycle guard: returning a
+// frame to the free list twice must panic with the frame's identity, not
+// silently corrupt the live-frame accounting.
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPhys(false)
+	f := p.Alloc(1)[0]
+	p.mu.Lock()
+	p.release(f)
+	func() {
+		defer p.mu.Unlock()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("double release did not panic")
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "double release") || !strings.Contains(msg, f.ID.String()) {
+				t.Fatalf("panic %v does not name the frame", r)
+			}
+		}()
+		p.release(f)
+	}()
+}
+
+// TestRefToFreedFramePanics pins the companion guard: taking a mapping
+// reference on a frame that is already on the free list is a
+// use-after-free and must panic with the frame's identity.
+func TestRefToFreedFramePanics(t *testing.T) {
+	p := NewPhys(false)
+	s := NewAddrSpace(p)
+	frames := p.Alloc(1)
+	v := s.ReserveBlock(1)
+	s.Map(v, frames)
+	s.Unmap(v, 1) // frame back on the free list
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mapping a freed frame did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "freed frame") || !strings.Contains(msg, frames[0].ID.String()) {
+			t.Fatalf("panic %v does not name the frame", r)
+		}
+	}()
+	s.Map(s.ReserveBlock(1), frames)
+}
+
+// TestRefcountUnderflowPanics drives decRef below zero directly.
+func TestRefcountUnderflowPanics(t *testing.T) {
+	p := NewPhys(false)
+	f := p.Alloc(1)[0]
+	p.incRef(f)
+	p.decRef(f) // hits zero: released
+	defer func() {
+		if recover() == nil {
+			t.Fatal("refcount underflow did not panic")
+		}
+	}()
+	p.decRef(f)
+}
+
+// TestAccountingModeConcurrentRemapRelease hammers the accounting-only
+// allocator (no byte backing) with concurrent remap-alias and
+// unmap-release traffic — the compaction pattern — under -race. The
+// invariant is purely arithmetical: after every goroutine finishes, live
+// pages are exactly the still-mapped set and no panic (double release,
+// freed-frame ref) fired on any interleaving.
+func TestAccountingModeConcurrentRemapRelease(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+		pages   = 4
+	)
+	p := NewPhys(false)
+	s := NewAddrSpace(p)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Allocate two blocks, alias the first onto the second's
+				// frames (the merge step), then tear both down in the
+				// order compaction would: alias first, then primary.
+				src := s.ReserveBlock(pages)
+				dst := s.ReserveBlock(pages)
+				s.Map(src, p.Alloc(pages))
+				dstFrames := p.Alloc(pages)
+				s.Map(dst, dstFrames)
+				s.Remap(src, dstFrames) // src's frames released here
+				s.Unmap(src, pages)
+				s.Unmap(dst, pages)
+				s.RetireBlock(src, pages)
+				s.RetireBlock(dst, pages)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.LivePages() != 0 {
+		t.Fatalf("leaked %d live pages after concurrent remap/release", p.LivePages())
+	}
+}
+
+// TestBudgetedAllocConcurrent races budgeted allocations against a
+// reclaimer that evicts other goroutines' mappings, under -race: the
+// reclaim hook runs without the allocator lock, so eviction (Unmap →
+// release) interleaves freely with Alloc.
+func TestBudgetedAllocConcurrent(t *testing.T) {
+	const workers = 8
+	p := NewPhys(false)
+	s := NewAddrSpace(p)
+	p.SetBudget(workers) // one page per worker: constant pressure
+
+	var mu sync.Mutex
+	mapped := []uint64{}
+	p.SetReclaimer(func(need int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		freed := 0
+		for freed < need && len(mapped) > 0 {
+			v := mapped[len(mapped)-1]
+			mapped = mapped[:len(mapped)-1]
+			s.Unmap(v, 1)
+			freed++
+		}
+		return freed
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := s.ReserveBlock(1)
+				frames := p.Alloc(1)
+				s.Map(v, frames)
+				mu.Lock()
+				mapped = append(mapped, v)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	remaining := len(mapped)
+	mu.Unlock()
+	if p.LivePages() != remaining {
+		t.Fatalf("live = %d, want %d (mapped survivors)", p.LivePages(), remaining)
+	}
+}

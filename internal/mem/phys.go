@@ -48,10 +48,11 @@ func (id FrameID) String() string { return fmt.Sprintf("fd%d+%#x", id.FD, id.Off
 
 // Frame is one simulated physical page.
 type Frame struct {
-	ID   FrameID
-	refs int
-	data []byte // nil when the allocator is not byte-backed
-	phys *Phys
+	ID    FrameID
+	refs  int
+	freed bool   // on the free list; guards double-release / use-after-free
+	data  []byte // nil when the allocator is not byte-backed
+	phys  *Phys
 
 	// dataMu serializes byte access at page granularity. This mirrors DMA
 	// atomicity: single-cacheline (and in our model, single-page) accesses
@@ -95,6 +96,15 @@ type Phys struct {
 	live    int
 	peak    int
 	files   int
+
+	// budget caps live frames (0 = unlimited). When an Alloc would exceed
+	// it, reclaim is invoked (without p.mu held) to evict cold mappings;
+	// the budget is soft — if reclaim cannot free enough, the allocation
+	// proceeds anyway and overruns counts the breach.
+	budget   int
+	reclaim  func(needPages int) int
+	overruns int64
+	reclaims int64
 }
 
 // NewPhys creates a frame allocator. If backed is true every frame carries
@@ -106,15 +116,81 @@ func NewPhys(backed bool) *Phys {
 // Backed reports whether frames carry real bytes.
 func (p *Phys) Backed() bool { return p.backed }
 
-// Alloc returns n frames. Frames are handed out with a reference count of
-// zero; mapping them into an AddrSpace takes references.
-func (p *Phys) Alloc(n int) []*Frame {
+// maxReclaimAttempts bounds how many eviction rounds one Alloc triggers
+// before it gives up and breaches the (soft) budget.
+const maxReclaimAttempts = 3
+
+// SetBudget caps live frames at pages (0 = unlimited).
+func (p *Phys) SetBudget(pages int) {
+	p.mu.Lock()
+	p.budget = pages
+	p.mu.Unlock()
+}
+
+// Budget returns the live-frame cap (0 = unlimited).
+func (p *Phys) Budget() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.budget
+}
+
+// SetReclaimer installs the eviction hook Alloc invokes, with p.mu
+// released, when an allocation would exceed the budget. The hook returns
+// how many pages it managed to free.
+func (p *Phys) SetReclaimer(f func(needPages int) int) {
+	p.mu.Lock()
+	p.reclaim = f
+	p.mu.Unlock()
+}
+
+// BudgetOverruns counts allocations that proceeded past the budget after
+// reclaim could not free enough frames.
+func (p *Phys) BudgetOverruns() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.overruns
+}
+
+// Reclaims counts reclaim-hook invocations driven by budget pressure.
+func (p *Phys) Reclaims() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reclaims
+}
+
+// Alloc returns n frames. Frames are handed out with a reference count of
+// zero; mapping them into an AddrSpace takes references. Under a frame
+// budget, allocations that would exceed it first ask the reclaimer to
+// evict cold mappings; the budget is soft, so after bounded reclaim
+// attempts the allocation succeeds regardless.
+func (p *Phys) Alloc(n int) []*Frame {
+	for attempt := 0; ; attempt++ {
+		p.mu.Lock()
+		over := p.budget > 0 && p.live+n > p.budget
+		if !over || p.reclaim == nil || attempt >= maxReclaimAttempts {
+			if over {
+				p.overruns++
+			}
+			out := p.allocLocked(n)
+			p.mu.Unlock()
+			return out
+		}
+		need := p.live + n - p.budget
+		reclaim := p.reclaim
+		p.reclaims++
+		p.mu.Unlock()
+		// Invoked without p.mu: the reclaimer evicts mappings, which calls
+		// back into decRef/release on this allocator.
+		reclaim(need)
+	}
+}
+
+func (p *Phys) allocLocked(n int) []*Frame {
 	out := make([]*Frame, 0, n)
 	for len(p.free) > 0 && len(out) < n {
 		f := p.free[len(p.free)-1]
 		p.free = p.free[:len(p.free)-1]
+		f.freed = false
 		if p.backed {
 			for i := range f.data {
 				f.data[i] = 0
@@ -145,8 +221,15 @@ func (p *Phys) Alloc(n int) []*Frame {
 }
 
 // release returns a frame to the free list once its refcount drops to zero.
-// Callers hold p.mu.
+// Callers hold p.mu. Releasing a frame that is already free would double-
+// count it on the free list and silently corrupt the live-frame accounting
+// (the paper's "active memory" metric), so it panics with the frame's
+// identity instead.
 func (p *Phys) release(f *Frame) {
+	if f.freed {
+		panic("mem: double release of frame " + f.ID.String())
+	}
+	f.freed = true
 	p.free = append(p.free, f)
 	p.live--
 }
@@ -154,6 +237,10 @@ func (p *Phys) release(f *Frame) {
 // incRef takes a mapping reference on f.
 func (p *Phys) incRef(f *Frame) {
 	p.mu.Lock()
+	if f.freed {
+		p.mu.Unlock()
+		panic("mem: reference to freed frame " + f.ID.String())
+	}
 	f.refs++
 	p.mu.Unlock()
 }

@@ -1,0 +1,20 @@
+package rnic
+
+import "corm/internal/metrics"
+
+// Registry mirrors of the per-NIC Stats counters, so fault behaviour shows
+// up in /metrics and soak reports without plumbing NIC handles around.
+// With several NICs in one process (the cluster harness) these aggregate
+// across all of them; per-NIC numbers remain available via NIC.Stats.
+var (
+	rmReads        = metrics.Default().Counter("corm_rnic_reads_total", "one-sided RDMA reads")
+	rmWrites       = metrics.Default().Counter("corm_rnic_writes_total", "one-sided RDMA writes")
+	rmCacheHits    = metrics.Default().Counter("corm_rnic_cache_hits_total", "NIC translation cache hits")
+	rmCacheMisses  = metrics.Default().Counter("corm_rnic_cache_misses_total", "NIC translation cache misses")
+	rmODPFaults    = metrics.Default().Counter("corm_rnic_odp_faults_total", "ODP faults taken refreshing MTT entries")
+	rmHostFaults   = metrics.Default().Counter("corm_rnic_host_faults_total", "host page-fault upcalls for evicted pages")
+	rmQPBreaks     = metrics.Default().Counter("corm_rnic_qp_breaks_total", "queue pairs broken by access violations")
+	rmStaleReads   = metrics.Default().Counter("corm_rnic_stale_reads_total", "accesses served from stale non-ODP translations")
+	rmBytesRead    = metrics.Default().Counter("corm_rnic_bytes_read_total", "bytes moved by one-sided reads")
+	rmBytesWritten = metrics.Default().Counter("corm_rnic_bytes_written_total", "bytes moved by one-sided writes")
+)

@@ -68,6 +68,7 @@ func (qp *QP) Reconnect() Cost {
 func (qp *QP) breakLocked() {
 	qp.broken = true
 	qp.nic.stats.QPBreaks++
+	rmQPBreaks.Add(1)
 }
 
 // checkAccessLocked validates the key and region state, breaking the QP on
@@ -121,9 +122,13 @@ func (qp *QP) access(rkey uint32, vaddr uint64, buf []byte, write bool) (Cost, e
 		cost.Latency += n.Model.WritePerOp
 		n.stats.Writes++
 		n.stats.BytesWritten += int64(len(buf))
+		rmWrites.Add(1)
+		rmBytesWritten.Add(int64(len(buf)))
 	} else {
 		n.stats.Reads++
 		n.stats.BytesRead += int64(len(buf))
+		rmReads.Add(1)
+		rmBytesRead.Add(int64(len(buf)))
 	}
 
 	// Resolve frames page by page while holding the NIC lock, then do the
@@ -140,6 +145,11 @@ func (qp *QP) access(rkey uint32, vaddr uint64, buf []byte, write bool) (Cost, e
 	var inline [8]chunk
 	chunks := inline[:0]
 	done := 0
+	// A long access can cross several evicted blocks; each host fault makes
+	// progress, but a block can in principle be re-evicted under extreme
+	// pressure before the retry, so the budget has headroom beyond one
+	// fault per page.
+	faultBudget := len(buf)/mem.PageSize + 8
 	for done < len(buf) {
 		addr := vaddr + uint64(done)
 		vp := addr >> mem.PageShift
@@ -147,6 +157,30 @@ func (qp *QP) access(rkey uint32, vaddr uint64, buf []byte, write bool) (Cost, e
 		f, c, terr := n.translateLocked(vp, r)
 		cost = cost.add(c)
 		if terr != nil {
+			if terr == errNeedHostFault && faultBudget > 0 {
+				// The page's block is evicted: release the NIC lock, let the
+				// host fault it in (which may call back into AdviseMR or
+				// Invalidate), then revalidate and retry this page.
+				faultBudget--
+				handler := n.faultHandler
+				n.stats.HostFaults++
+				rmHostFaults.Add(1)
+				n.mu.Unlock()
+				herr := handler(addr)
+				n.mu.Lock()
+				if herr != nil {
+					n.mu.Unlock()
+					return cost, fmt.Errorf("%w: page %#x: host fault: %v", ErrUnmapped, addr, herr)
+				}
+				if r, err = qp.checkAccessLocked(rkey, vaddr, len(buf)); err != nil {
+					n.mu.Unlock()
+					return cost, err
+				}
+				continue
+			}
+			if terr == errNeedHostFault {
+				terr = fmt.Errorf("%w: page %#x: host fault budget exhausted", ErrUnmapped, addr)
+			}
 			n.mu.Unlock()
 			return cost, terr
 		}

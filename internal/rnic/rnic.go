@@ -94,6 +94,7 @@ type Stats struct {
 	ODPFaults     int64
 	QPBreaks      int64
 	StaleReads    int64 // reads served from a stale (non-ODP) translation
+	HostFaults    int64 // accesses that invoked the host page-fault handler
 	BytesRead     int64
 	BytesWritten  int64
 }
@@ -111,6 +112,14 @@ type NIC struct {
 	nextQP  uint64
 	qps     map[uint64]*QP // live (connected, unclosed) queue pairs
 	stats   Stats
+
+	// faultHandler, when set, is the host's page-fault upcall: a one-sided
+	// access to a page that is not live in the OS page table (an evicted
+	// block, under elastic memory) invokes it — with n.mu released — to
+	// fault the backing block in, then retries the translation. This is
+	// the simulated counterpart of ODP's kernel fault handler resolving a
+	// non-present page before the NIC retries the DMA.
+	faultHandler func(vaddr uint64) error
 }
 
 // New creates a NIC over the given address space with the given model.
@@ -148,6 +157,21 @@ func (n *NIC) BreakAllQPs() {
 
 // Space returns the host address space the NIC is attached to.
 func (n *NIC) Space() *mem.AddrSpace { return n.space }
+
+// SetPageFaultHandler installs the host upcall used when an ODP access
+// touches a page with no live OS translation (see NIC.faultHandler). The
+// handler runs without NIC locks held and may call back into the NIC
+// (AdviseMR, Invalidate).
+func (n *NIC) SetPageFaultHandler(h func(vaddr uint64) error) {
+	n.mu.Lock()
+	n.faultHandler = h
+	n.mu.Unlock()
+}
+
+// errNeedHostFault is an internal sentinel from translateLocked: the page
+// is not live in the OS page table and a fault handler is installed, so
+// the caller must release n.mu, invoke the handler, and retry.
+var errNeedHostFault = errors.New("rnic: host page fault required")
 
 // Stats returns a snapshot of the NIC counters.
 func (n *NIC) Stats() Stats {
@@ -284,8 +308,10 @@ func (n *NIC) translateLocked(vp uint64, r *Region) (*mem.Frame, Cost, error) {
 	var cost Cost
 	if n.cache.touch(vp) {
 		n.stats.CacheHits++
+		rmCacheHits.Add(1)
 	} else {
 		n.stats.CacheMisses++
+		rmCacheMisses.Add(1)
 		cost.CacheMiss = true
 		cost.Latency += n.Model.MTTMissLatency
 		cost.Engine += n.Model.MTTMissEngine
@@ -307,10 +333,15 @@ func (n *NIC) translateLocked(vp uint64, r *Region) (*mem.Frame, Cost, error) {
 		// ODP fault: fetch the current translation from the OS.
 		f, gen, live := n.space.TranslateEntry(vp << mem.PageShift)
 		if !live {
+			if n.faultHandler != nil {
+				// Evicted block: the host must fault it in first.
+				return nil, cost, errNeedHostFault
+			}
 			return nil, cost, fmt.Errorf("%w: page %#x", ErrUnmapped, vp<<mem.PageShift)
 		}
 		n.mtt[vp] = mttEntry{frame: f, gen: gen}
 		n.stats.ODPFaults++
+		rmODPFaults.Add(1)
 		cost.ODPFault = true
 		cost.Latency += n.Model.ODPMiss
 		return f, cost, nil
@@ -319,6 +350,7 @@ func (n *NIC) translateLocked(vp uint64, r *Region) (*mem.Frame, Cost, error) {
 		// Staleness accounting: the NIC can't know, but tests can.
 		if _, gen, live := n.space.TranslateEntry(vp << mem.PageShift); live && gen != e.gen {
 			n.stats.StaleReads++
+			rmStaleReads.Add(1)
 		}
 	}
 	return e.frame, cost, nil

@@ -190,6 +190,10 @@ var clusterCounterNames = []string{
 	"corm_cluster_replicas_repaired_total",
 	"corm_cluster_write_concern_misses_total",
 	"corm_core_canary_violations_total",
+	"corm_tier_evictions_total",
+	"corm_tier_faultins_total",
+	"corm_tier_reclaim_runs_total",
+	"corm_rnic_host_faults_total",
 }
 
 // sampleCounters snapshots the sampled registry counters.

@@ -85,8 +85,10 @@ func (r *run) setup() error {
 	r.logf("soak %s: %d nodes, %d tenants, k=%d W=%d, %v",
 		s.Name, s.Nodes, len(s.Tenants), s.Replicas, s.WriteConcern, s.Duration)
 	opts := cluster.HarnessOptions{
-		Canaries:   true,
-		QueueLimit: s.QueueLimit,
+		Canaries:       true,
+		QueueLimit:     s.QueueLimit,
+		MemBudgetBytes: s.MemBudgetBytes,
+		TierSpec:       s.TierSpec,
 	}
 	if s.NetFault != nil {
 		r.injector = fault.NewInjector(s.Seed, fault.Plan{

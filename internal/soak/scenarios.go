@@ -17,6 +17,7 @@ var scenarios = map[string]func(d time.Duration) Spec{
 	"standard": standardSpec,
 	"overload": overloadSpec,
 	"canary":   canarySpec,
+	"tiered":   tieredSpec,
 }
 
 // Lookup resolves a named scenario at the given duration (0 = the
@@ -183,6 +184,63 @@ func overloadSpec(d time.Duration) Spec {
 				Mix: workload.Mix50, Dist: workload.DistUniform,
 				Admission: &AdmissionSpec{RatePerSec: 500, Burst: 32},
 				SLO:       SLO{MaxErrorRate: 0.01},
+			},
+		},
+	}
+}
+
+// tieredSpec soaks elastic memory at ~2× oversubscription: each node's
+// resident budget is about half the tenants' combined working set, so the
+// clock must keep evicting cold blocks to the compressed tier while the
+// Zipf tenant's hot set stays resident — all with compaction merging
+// blocks, replication repairing them, and a kill/restart mid-run. Lost
+// acked writes or canary violations fail the run, proving eviction and
+// fault-in never drop or corrupt data under the full stack.
+func tieredSpec(d time.Duration) Spec {
+	if d <= 0 {
+		d = 8 * time.Second
+	}
+	return Spec{
+		Name:         "tiered",
+		Seed:         11,
+		Nodes:        3,
+		Replicas:     3,
+		WriteConcern: 2,
+		Duration:     d,
+		Compaction:   true,
+		// Working set per node: hot 1024×1024B + cold 2048×1024B ≈ 3 MiB
+		// of payload (every node replicates every key at Replicas=3).
+		// A 1.5 MiB budget is ~2× oversubscribed, so steady-state traffic
+		// cannot run without eviction.
+		MemBudgetBytes: 3 << 19,
+		TierSpec:       "compressed",
+		Phases: []PhaseSpec{
+			{Name: "steady", Until: d / 4},
+			{Name: "degraded", Until: 3 * d / 4},
+			{Name: "healed", Until: d},
+		},
+		Chaos: []ChaosEvent{
+			{After: d / 4, Action: ActKill, Node: 1},
+			{After: 3 * d / 4, Action: ActRestart, Node: 1},
+		},
+		Tenants: []TenantSpec{
+			{
+				// Skewed tenant: its top keys should stay resident.
+				Name: "hot", Clients: 3, Keys: 1024, ValueBytes: 1024,
+				Mix: workload.Mix95, Dist: workload.DistZipf, Theta: 0.99,
+				TargetOpsPerSec: 500,
+				SLO: SLO{
+					GetP99: 500 * time.Millisecond, PutP99: time.Second,
+					MaxErrorRate: 0.01,
+				},
+			},
+			{
+				// Uniform sweeper: touches everything, forcing continuous
+				// eviction/fault-in churn against the budget.
+				Name: "sweep", Clients: 2, Keys: 2048, ValueBytes: 1024,
+				Mix: workload.Mix50, Dist: workload.DistUniform,
+				TargetOpsPerSec: 250,
+				SLO:             SLO{MaxErrorRate: 0.01},
 			},
 		},
 	}

@@ -145,6 +145,43 @@ func TestSoakOverloadDegradesGracefully(t *testing.T) {
 	}
 }
 
+// TestSoakTieredOversubscribed runs the full stack under a resident
+// budget ~2× smaller than the working set: the clock must evict cold
+// blocks to the compressed tier and fault them back on access, under
+// compaction + replication + kill/restart chaos — with zero lost acked
+// writes and zero corruption.
+func TestSoakTieredOversubscribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	spec := shortSpec(3 * time.Second)
+	spec.Name = "test-tiered"
+	spec.Seed = 23
+	// Working set: 96×128 + 64×256 ≈ 28 KiB of payload per node plus
+	// block slack; a 64 KiB budget (16 frames) forces steady eviction.
+	spec.MemBudgetBytes = 64 << 10
+	spec.TierSpec = "compressed"
+	rep, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.LostAckedWrites != 0 {
+		t.Fatalf("lost %d acked writes under oversubscription", rep.LostAckedWrites)
+	}
+	if rep.CanaryViolations != 0 {
+		t.Fatalf("canary violations under oversubscription: %d", rep.CanaryViolations)
+	}
+	if !rep.Pass {
+		t.Fatalf("tiered run failed: %+v", rep.Tenants)
+	}
+	if rep.Cluster["corm_tier_evictions_total"] == 0 {
+		t.Fatal("budget 2x below working set but nothing was evicted")
+	}
+	if rep.Cluster["corm_tier_faultins_total"] == 0 {
+		t.Fatal("evicted blocks were never faulted back in")
+	}
+}
+
 // TestSoakCanaryScenario injects a slot-tail corruption mid-run and
 // demands the sweep detects it: the run passes BECAUSE violations were
 // found (ExpectCanary inverts the criterion).
@@ -280,7 +317,7 @@ func TestSpecValidation(t *testing.T) {
 
 // TestScenarioRegistry pins the built-in catalogue.
 func TestScenarioRegistry(t *testing.T) {
-	want := []string{"canary", "overload", "smoke", "standard"}
+	want := []string{"canary", "overload", "smoke", "standard", "tiered"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

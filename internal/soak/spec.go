@@ -150,6 +150,12 @@ type Spec struct {
 	Compaction bool
 	// QueueLimit bounds each node's rpc.Server waiting line (0 = off).
 	QueueLimit int
+	// MemBudgetBytes caps each node's resident memory; cold blocks spill
+	// to TierSpec and fault back in on access. 0 = uncapped (no tiering).
+	MemBudgetBytes int64
+	// TierSpec selects the spill backend; empty with a budget defaults to
+	// "compressed".
+	TierSpec string
 	// Phases partitions the run for per-phase histograms; empty = one
 	// phase named "soak".
 	Phases []PhaseSpec

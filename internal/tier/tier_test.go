@@ -1,0 +1,349 @@
+package tier
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"corm/internal/mem"
+)
+
+func patterned(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i%7)
+	}
+	return b
+}
+
+func testTierRoundtrip(t *testing.T, tr Tier) {
+	t.Helper()
+	a := patterned(2*mem.PageSize, 3)
+	b := patterned(mem.PageSize, 9)
+	if err := tr.Put(0x1000, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(0x2000, b); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Blocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", tr.Blocks())
+	}
+	got := make([]byte, len(a))
+	if err := tr.Get(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a) {
+		t.Fatal("roundtrip mismatch")
+	}
+	// Replacement updates accounting rather than double-counting.
+	if err := tr.Put(0x1000, b); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Blocks() != 2 {
+		t.Fatalf("blocks after replace = %d, want 2", tr.Blocks())
+	}
+	got = make([]byte, len(b))
+	if err := tr.Get(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("replace mismatch")
+	}
+	if err := tr.Get(0xdead, got); err == nil {
+		t.Fatal("Get of unknown key succeeded")
+	}
+	tr.Delete(0x1000)
+	if tr.Blocks() != 1 {
+		t.Fatalf("blocks after delete = %d, want 1", tr.Blocks())
+	}
+	if err := tr.Get(0x1000, got); err == nil {
+		t.Fatal("Get after delete succeeded")
+	}
+	tr.Delete(0x1000) // idempotent
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedRoundtrip(t *testing.T) {
+	c := NewCompressed()
+	testTierRoundtrip(t, c)
+}
+
+func TestCompressedActuallyCompresses(t *testing.T) {
+	c := NewCompressed()
+	// A zero-heavy page, as cold blocks tend to be.
+	if err := c.Put(1, make([]byte, 16*mem.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if c.StoredBytes() >= 16*mem.PageSize/4 {
+		t.Fatalf("stored %d bytes for a zeroed 64 KiB image", c.StoredBytes())
+	}
+}
+
+func TestDiskRoundtrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testTierRoundtrip(t, d)
+}
+
+func TestDiskOwnedDirRemovedOnClose(t *testing.T) {
+	d, err := NewDisk("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := d.Dir()
+	if err := d.Put(7, patterned(mem.PageSize, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "block-0000000000000007.spill")); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("owned spill dir survived Close: %v", err)
+	}
+}
+
+func TestOpenSpecs(t *testing.T) {
+	if tr, err := Open(""); err != nil || tr != nil {
+		t.Fatalf("Open(\"\") = %v, %v", tr, err)
+	}
+	if tr, err := Open("off"); err != nil || tr != nil {
+		t.Fatalf("Open(off) = %v, %v", tr, err)
+	}
+	tr, err := Open("compressed")
+	if err != nil || tr == nil || tr.Name() != "compressed" {
+		t.Fatalf("Open(compressed) = %v, %v", tr, err)
+	}
+	dir := t.TempDir()
+	tr, err = Open("disk:" + dir)
+	if err != nil || tr.Name() != "disk" {
+		t.Fatalf("Open(disk:) = %v, %v", tr, err)
+	}
+	if tr.(*Disk).Dir() != dir {
+		t.Fatalf("disk dir = %s, want %s", tr.(*Disk).Dir(), dir)
+	}
+	tr.Close()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal("Close removed a caller-owned directory")
+	}
+	if _, err := Open("tape"); err == nil {
+		t.Fatal("Open accepted unknown spec")
+	}
+}
+
+// newTestResidency maps pages-sized blocks into a fresh byte-backed space.
+func newTestResidency(t *testing.T, blocks, pages int) (*Residency, *mem.AddrSpace, []*Handle) {
+	t.Helper()
+	space := mem.NewAddrSpace(mem.NewPhys(true))
+	r := NewResidency(space, NewCompressed())
+	handles := make([]*Handle, blocks)
+	for i := range handles {
+		v := space.ReserveBlock(pages)
+		space.Map(v, space.Phys().Alloc(pages))
+		handles[i] = r.Register(v, pages, i%3)
+	}
+	return r, space, handles
+}
+
+func TestSpillOutFaultInRoundtrip(t *testing.T) {
+	r, space, hs := newTestResidency(t, 1, 2)
+	h := hs[0]
+	payload := patterned(2*mem.PageSize, 42)
+	if err := space.WriteAt(h.Base(), payload); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.SpillOut(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.State() != Evicted {
+		t.Fatalf("state = %v, want evicted", h.State())
+	}
+	if space.Phys().LivePages() != 0 {
+		t.Fatalf("frames not released: %d", space.Phys().LivePages())
+	}
+	if err := space.ReadAt(h.Base(), make([]byte, 1)); err == nil {
+		t.Fatal("evicted vaddr still readable")
+	}
+	if err := r.SpillOut(h); err == nil {
+		t.Fatal("double spill-out succeeded")
+	}
+
+	if err := r.FaultIn(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.State() != Resident {
+		t.Fatalf("state = %v, want resident", h.State())
+	}
+	got := make([]byte, len(payload))
+	if err := space.ReadAt(h.Base(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("bytes corrupted across spill/fault cycle")
+	}
+	if err := r.FaultIn(h); err != nil {
+		t.Fatal("re-fault-in of resident block should be a no-op")
+	}
+
+	st := r.Stats()
+	if st.SpillOuts != 1 || st.FaultIns != 1 || st.EvictedBlocks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesSpilled != 2*mem.PageSize || st.BytesRestored != 2*mem.PageSize {
+		t.Fatalf("byte accounting = %+v", st)
+	}
+}
+
+// TestFaultInFailureStaysEvicted pins the error path: if the spilled
+// image is gone, fault-in must roll the mapping back and stay evicted
+// rather than serve zeroed frames.
+func TestFaultInFailureStaysEvicted(t *testing.T) {
+	r, space, hs := newTestResidency(t, 1, 1)
+	h := hs[0]
+	if err := r.SpillOut(h); err != nil {
+		t.Fatal(err)
+	}
+	r.Tier().Delete(h.Base()) // sabotage
+	if err := r.FaultIn(h); err == nil {
+		t.Fatal("fault-in of deleted image succeeded")
+	}
+	if h.State() != Evicted {
+		t.Fatalf("state = %v, want evicted after failed fault-in", h.State())
+	}
+	if space.Phys().LivePages() != 0 {
+		t.Fatalf("failed fault-in leaked %d frames", space.Phys().LivePages())
+	}
+}
+
+// TestClockSecondChance pins the victim policy: banked lives are spent
+// before eviction, so an untouched block goes first and a touched block
+// survives extra laps.
+func TestClockSecondChance(t *testing.T) {
+	r, _, hs := newTestResidency(t, 3, 1)
+	// Drain registration credit so every block is evictable.
+	for drained := 0; drained < 3; {
+		h := r.NextVictim()
+		if h == nil {
+			t.Fatal("no victim while draining")
+		}
+		drained++
+	}
+	// Touch block 1 repeatedly: it must outlive the untouched ones.
+	hs[1].Touch()
+	hs[1].Touch()
+	seen := map[*Handle]int{}
+	for i := 0; i < 2; i++ {
+		h := r.NextVictim()
+		if h == nil {
+			t.Fatal("no victim")
+		}
+		seen[h]++
+		if err := r.SpillOut(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen[hs[1]] != 0 {
+		t.Fatal("touched block evicted before untouched peers")
+	}
+	// With only the touched block left, its lives drain and it goes too.
+	h := r.NextVictim()
+	if h != hs[1] {
+		t.Fatalf("victim = %v, want the touched block once lives drain", h)
+	}
+}
+
+// TestClockSkipsNonResident pins that evicted and faulting blocks are
+// invisible to the sweep.
+func TestClockSkipsNonResident(t *testing.T) {
+	r, _, hs := newTestResidency(t, 2, 1)
+	if err := r.SpillOut(hs[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if h := r.NextVictim(); h == hs[0] {
+			t.Fatal("evicted block offered as victim")
+		}
+	}
+	if err := r.SpillOut(hs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.NextVictim(); h != nil {
+		t.Fatalf("victim %v with nothing resident", h)
+	}
+}
+
+func TestRelabelSetsHotByClass(t *testing.T) {
+	r, _, hs := newTestResidency(t, 6, 1) // classes 0,1,2,0,1,2
+	r.Relabel(func(class int) bool { return class == 1 })
+	for i, h := range hs {
+		want := i%3 == 1
+		if h.Hot() != want {
+			t.Fatalf("handle %d hot = %v, want %v", i, h.Hot(), want)
+		}
+	}
+	// Hot blocks are spared the first lap but still evictable eventually.
+	for drained := 0; drained < len(hs); {
+		if r.NextVictim() != nil {
+			drained++
+		}
+	}
+	victims := 0
+	for r.NextVictim() != nil {
+		h := r.NextVictim()
+		if h == nil {
+			break
+		}
+		if err := r.SpillOut(h); err != nil {
+			t.Fatal(err)
+		}
+		victims++
+	}
+	if r.Stats().EvictedBlocks == 0 {
+		t.Fatal("hot labels made everything unevictable")
+	}
+}
+
+func TestUnregisterDropsSpill(t *testing.T) {
+	r, _, hs := newTestResidency(t, 2, 1)
+	if err := r.SpillOut(hs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tier().Blocks() != 1 {
+		t.Fatal("spill image missing")
+	}
+	r.Unregister(hs[0])
+	if r.Tier().Blocks() != 0 {
+		t.Fatal("Unregister leaked the spill image")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+	if r.Stats().EvictedBlocks != 0 {
+		t.Fatal("evicted gauge not decremented on unregister")
+	}
+	if r.Lookup(hs[0].Base()) != nil {
+		t.Fatal("lookup finds unregistered block")
+	}
+	if r.Lookup(hs[1].Base()) != hs[1] {
+		t.Fatal("lookup lost surviving block")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	r, _, hs := newTestResidency(t, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Register(hs[0].Base(), 1, 0)
+}
